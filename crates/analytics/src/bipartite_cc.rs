@@ -1,0 +1,136 @@
+//! Bipartite clustering-coefficient variants from the literature the
+//! paper surveys (\[14\] Robins–Alexander, \[16\] Opsahl, \[27\] the
+//! metamorphosis coefficient).
+//!
+//! * **Robins–Alexander**: `4·(#4-cycles) / (#paths of length 3)`. In a
+//!   triangle-free graph `L₃ = Σ_{(i,j)∈E} (d_i−1)(d_j−1)`, so this
+//!   coincides with the edge-averaged Def. 10 coefficient
+//!   ([`crate::clustering::global_edge_clustering`]) — a fact the test
+//!   below pins.
+//! * **Opsahl**: fraction of length-3 paths ("4-paths" in his wording)
+//!   that close into a 4-cycle, evaluated per ordered path; for the
+//!   global coefficient this equals Robins–Alexander up to the same
+//!   normalisation in triangle-free graphs, so we expose the L₃ census
+//!   and the closure census separately.
+//! * **Metamorphosis coefficient** (per vertex): the average of Def. 10
+//!   edge coefficients over a vertex's incident edges.
+
+use bikron_graph::Graph;
+
+use crate::butterfly::{butterflies_global, butterflies_per_edge};
+
+/// Number of paths of length 3 (3 edges, 4 distinct vertices) in a
+/// triangle-free graph: `Σ_{(i,j)∈E} (d_i−1)(d_j−1)`.
+///
+/// Panics if the graph has triangles or self loops (the census formula
+/// overcounts otherwise).
+pub fn three_paths_triangle_free(g: &Graph) -> u128 {
+    assert!(g.has_no_self_loops());
+    debug_assert_eq!(
+        crate::triangles::triangles_global(g),
+        0,
+        "three_paths census requires a triangle-free graph"
+    );
+    g.edges()
+        .map(|(i, j)| {
+            let di = g.degree(i) as u128;
+            let dj = g.degree(j) as u128;
+            (di - 1) * (dj - 1)
+        })
+        .sum()
+}
+
+/// The Robins–Alexander bipartite clustering coefficient:
+/// `C₄ = 4·(#squares) / L₃`. `None` when the graph has no 3-paths.
+pub fn robins_alexander(g: &Graph) -> Option<f64> {
+    let l3 = three_paths_triangle_free(g);
+    (l3 > 0).then(|| 4.0 * butterflies_global(g) as f64 / l3 as f64)
+}
+
+/// Per-vertex metamorphosis coefficient: mean of the Def. 10 edge
+/// coefficients over edges incident to each vertex (`None` where no
+/// incident edge has a defined coefficient).
+pub fn metamorphosis_per_vertex(g: &Graph) -> Vec<Option<f64>> {
+    let per_edge = butterflies_per_edge(g);
+    let mut sums = vec![(0.0f64, 0usize); g.num_vertices()];
+    for &(u, v, c) in &per_edge.counts {
+        let du = g.degree(u) as u64;
+        let dv = g.degree(v) as u64;
+        let denom = (du - 1) * (dv - 1);
+        if denom > 0 {
+            let gamma = c as f64 / denom as f64;
+            for x in [u, v] {
+                sums[x].0 += gamma;
+                sums[x].1 += 1;
+            }
+        }
+    }
+    sums.into_iter()
+        .map(|(s, n)| (n > 0).then(|| s / n as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::global_edge_clustering;
+
+    fn complete_bipartite(m: usize, n: usize) -> Graph {
+        let mut edges = Vec::new();
+        for u in 0..m {
+            for w in 0..n {
+                edges.push((u, m + w));
+            }
+        }
+        Graph::from_edges(m + n, &edges).unwrap()
+    }
+
+    #[test]
+    fn robins_alexander_equals_global_edge_clustering() {
+        // The documented equivalence, on an irregular bipartite graph.
+        let g = Graph::from_edges(
+            7,
+            &[(0, 3), (0, 4), (0, 5), (1, 3), (1, 4), (2, 5), (2, 6), (1, 6)],
+        )
+        .unwrap();
+        let ra = robins_alexander(&g).unwrap();
+        let gec = global_edge_clustering(&g).unwrap();
+        assert!((ra - gec).abs() < 1e-12, "{ra} vs {gec}");
+    }
+
+    #[test]
+    fn complete_bipartite_is_one() {
+        let g = complete_bipartite(3, 4);
+        assert!((robins_alexander(&g).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_has_zero_coefficient() {
+        // A double star has 3-paths but no squares.
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (3, 4), (3, 5)]).unwrap();
+        assert_eq!(robins_alexander(&g), Some(0.0));
+        // A single star has no 3-paths at all.
+        let s = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(robins_alexander(&s), None);
+    }
+
+    #[test]
+    fn three_path_census_c6() {
+        // C6: every edge has (2−1)(2−1) = 1 → 6 three-paths.
+        let edges: Vec<(usize, usize)> = (0..6).map(|i| (i, (i + 1) % 6)).collect();
+        let g = Graph::from_edges(6, &edges).unwrap();
+        assert_eq!(three_paths_triangle_free(&g), 6);
+    }
+
+    #[test]
+    fn metamorphosis_values() {
+        let g = complete_bipartite(2, 3);
+        let m = metamorphosis_per_vertex(&g);
+        // Every edge coefficient is 1 → every vertex mean is 1.
+        assert!(m.iter().all(|x| x == &Some(1.0)));
+        // A path's interior edges have undefined coefficients.
+        let p = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let mp = metamorphosis_per_vertex(&p);
+        assert!(mp.iter().all(Option::is_none));
+    }
+}

@@ -1,0 +1,134 @@
+//! Deliberately faulty butterfly counters.
+//!
+//! The generator's stated purpose (§I) is validation: "if an
+//! implementation of a complex graph statistic has a minor error (say a
+//! global count of 4-cycles is off by 1), it is difficult to know, without
+//! a competing implementation". These counters reproduce realistic bug
+//! classes; tests and the `validate_analytics` example assert that
+//! ground-truth comparison *detects* each of them.
+
+use bikron_graph::Graph;
+
+use crate::butterfly::butterflies_global;
+
+/// Bug class: off-by-one in the final division/adjustment — a classic
+/// wedge-accounting slip. Returns `truth + 1` whenever the graph has any
+/// butterfly (an error that no internal consistency check would flag).
+pub fn off_by_one_global(g: &Graph) -> u64 {
+    let t = butterflies_global(g);
+    if t > 0 {
+        t + 1
+    } else {
+        0
+    }
+}
+
+/// Bug class: forgetting to exclude the wedge centre when counting
+/// closures — every wedge looks closed once too often, inflating the
+/// count by (number of wedges)/4-ish. Implemented faithfully: counts
+/// `codeg(u,v)` instead of `codeg(u,v) − 1` per wedge.
+pub fn center_not_excluded_global(g: &Graph) -> u64 {
+    assert!(g.has_no_self_loops());
+    let n = g.num_vertices();
+    let mut codeg = vec![0u64; n];
+    let mut touched = Vec::new();
+    let mut total = 0u64;
+    for i in 0..n {
+        for &a in g.neighbors(i) {
+            for &v in g.neighbors(a) {
+                if v == i {
+                    continue;
+                }
+                if codeg[v] == 0 {
+                    touched.push(v);
+                }
+                codeg[v] += 1;
+            }
+        }
+        for &v in &touched {
+            let w = codeg[v];
+            // BUG: should be C(w, 2) = w(w−1)/2; uses w²/2 rounded down.
+            total += w * w / 2;
+            codeg[v] = 0;
+        }
+        touched.clear();
+    }
+    total / 4
+}
+
+/// Bug class: 32-bit intermediate overflow. Counts correctly but
+/// accumulates wedge pair counts in a `u32`, silently wrapping on graphs
+/// whose counts exceed `u32::MAX` — invisible at small test scale, wrong
+/// at benchmark scale (exactly the failure mode that motivated
+/// trillion-edge validation runs).
+pub fn overflowing_global(g: &Graph) -> u64 {
+    assert!(g.has_no_self_loops());
+    let n = g.num_vertices();
+    let mut codeg = vec![0u32; n];
+    let mut touched = Vec::new();
+    let mut total: u32 = 0;
+    for i in 0..n {
+        for &a in g.neighbors(i) {
+            for &v in g.neighbors(a) {
+                if v == i {
+                    continue;
+                }
+                if codeg[v] == 0 {
+                    touched.push(v);
+                }
+                codeg[v] += 1;
+            }
+        }
+        for &v in &touched {
+            let w = codeg[v];
+            total = total.wrapping_add(w * (w.wrapping_sub(1)) / 2);
+            codeg[v] = 0;
+        }
+        touched.clear();
+    }
+    (total / 4) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete_bipartite(m: usize, n: usize) -> Graph {
+        let mut edges = Vec::new();
+        for u in 0..m {
+            for w in 0..n {
+                edges.push((u, m + w));
+            }
+        }
+        Graph::from_edges(m + n, &edges).unwrap()
+    }
+
+    #[test]
+    fn off_by_one_detected_by_ground_truth() {
+        let g = complete_bipartite(3, 3);
+        let truth = butterflies_global(&g);
+        assert_ne!(off_by_one_global(&g), truth);
+    }
+
+    #[test]
+    fn off_by_one_hides_on_butterfly_free_graphs() {
+        // The bug is invisible without butterflies — which is why factors
+        // with *known nonzero* counts matter for validation.
+        let path = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(off_by_one_global(&path), butterflies_global(&path));
+    }
+
+    #[test]
+    fn center_bug_inflates() {
+        let g = complete_bipartite(3, 4);
+        assert!(center_not_excluded_global(&g) > butterflies_global(&g));
+    }
+
+    #[test]
+    fn overflow_bug_matches_at_small_scale() {
+        // At small scale the overflow bug is indistinguishable from correct —
+        // the motivating hazard.
+        let g = complete_bipartite(4, 4);
+        assert_eq!(overflowing_global(&g), butterflies_global(&g));
+    }
+}

@@ -1,0 +1,136 @@
+//! Direct measurement of bipartite community statistics (Def. 11).
+//!
+//! Given a vertex subset `S = R ∪ T` of a bipartite graph (`R ⊂ U`,
+//! `T ⊂ W`), compute the internal/external edge counts and densities the
+//! paper defines. `bikron-core` predicts these for Kronecker products of
+//! factor communities (Thm. 7); these functions measure them, so tests can
+//! pin prediction against measurement.
+
+use bikron_graph::{Bipartition, Graph};
+use bikron_sparse::Ix;
+
+/// Measured community statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommunityStats {
+    /// `m_in(S)`: edges with both endpoints in `S`.
+    pub m_in: u64,
+    /// `m_out(S)`: edges with exactly one endpoint in `S`.
+    pub m_out: u64,
+    /// `|R| = |S ∩ U|`.
+    pub r_len: usize,
+    /// `|T| = |S ∩ W|`.
+    pub t_len: usize,
+    /// `ρ_in(S) = m_in / (|R|·|T|)`; `None` when a part is empty.
+    pub rho_in: Option<f64>,
+    /// `ρ_out(S) = m_out / (|R||W| + |U||T| − 2|R||T|)`; `None` when the
+    /// denominator is 0.
+    pub rho_out: Option<f64>,
+}
+
+/// Measure Def. 11 statistics for the subset `s` (vertex ids) of bipartite
+/// graph `g` with bipartition `bip`.
+///
+/// Self loops are counted in neither `m_in` nor `m_out` for vertices of
+/// `S`: the paper's Def. 11 formula `½·1ᵗA1` assumes a loop-free bipartite
+/// `A` (the Assump. 1(ii) product has no loops because factor `B` has
+/// none, so this matches the paper's setting).
+pub fn community_stats(g: &Graph, bip: &Bipartition, s: &[Ix]) -> CommunityStats {
+    let n = g.num_vertices();
+    let mut in_s = vec![false; n];
+    for &v in s {
+        in_s[v] = true;
+    }
+    let (mut m_in, mut m_out) = (0u64, 0u64);
+    for (u, v) in g.edges() {
+        if u == v {
+            continue;
+        }
+        match (in_s[u], in_s[v]) {
+            (true, true) => m_in += 1,
+            (true, false) | (false, true) => m_out += 1,
+            _ => {}
+        }
+    }
+    let r_len = s.iter().filter(|&&v| bip.side_of(v) == 0).count();
+    let t_len = s.len() - r_len;
+    let u_len = bip.u_len() as u64;
+    let w_len = bip.w_len() as u64;
+    let (r, t) = (r_len as u64, t_len as u64);
+    let rho_in = (r * t > 0).then(|| m_in as f64 / (r * t) as f64);
+    let denom = r * w_len + u_len * t - 2 * r * t;
+    let rho_out = (denom > 0).then(|| m_out as f64 / denom as f64);
+    CommunityStats {
+        m_in,
+        m_out,
+        r_len,
+        t_len,
+        rho_in,
+        rho_out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikron_graph::bipartition;
+
+    fn k23_plus_tail() -> (Graph, Bipartition) {
+        // K_{2,3} on {0,1}×{2,3,4} plus tail 4-5.
+        let g = Graph::from_edges(
+            6,
+            &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4), (4, 5)],
+        )
+        .unwrap();
+        let b = bipartition(&g).unwrap();
+        (g, b)
+    }
+
+    #[test]
+    fn full_biclique_community() {
+        let (g, b) = k23_plus_tail();
+        let s = [0, 1, 2, 3, 4];
+        let st = community_stats(&g, &b, &s);
+        assert_eq!(st.m_in, 6);
+        assert_eq!(st.m_out, 1); // the tail edge
+        assert_eq!((st.r_len, st.t_len), (2, 3));
+        assert_eq!(st.rho_in, Some(1.0));
+    }
+
+    #[test]
+    fn partial_community() {
+        let (g, b) = k23_plus_tail();
+        let s = [0, 2, 3];
+        let st = community_stats(&g, &b, &s);
+        assert_eq!(st.m_in, 2); // (0,2), (0,3)
+        assert_eq!(st.m_out, 3); // (0,4), (1,2), (1,3)
+        assert_eq!(st.rho_in, Some(1.0)); // 2 / (1·2)
+    }
+
+    #[test]
+    fn one_sided_subset_has_no_internal_density() {
+        let (g, b) = k23_plus_tail();
+        let s = [0, 1]; // both in U
+        let st = community_stats(&g, &b, &s);
+        assert_eq!(st.m_in, 0);
+        assert_eq!(st.rho_in, None);
+        assert_eq!(st.m_out, 6);
+    }
+
+    #[test]
+    fn empty_subset() {
+        let (g, b) = k23_plus_tail();
+        let st = community_stats(&g, &b, &[]);
+        assert_eq!(st.m_in, 0);
+        assert_eq!(st.m_out, 0);
+        assert_eq!(st.rho_in, None);
+    }
+
+    #[test]
+    fn whole_graph_has_no_external_edges() {
+        let (g, b) = k23_plus_tail();
+        let all: Vec<usize> = (0..6).collect();
+        let st = community_stats(&g, &b, &all);
+        assert_eq!(st.m_out, 0);
+        assert_eq!(st.m_in, g.num_edges() as u64);
+    }
+}

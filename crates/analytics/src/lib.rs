@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # bikron-analytics
+//!
+//! Direct (combinatorial) implementations of the bipartite analytics the
+//! paper's generator is designed to *validate*. Everything here is
+//! independent of the Kronecker ground-truth formulas in `bikron-core` —
+//! that independence is the point: agreement between the two paths is the
+//! correctness evidence, and disagreement (see [`buggy`]) is what the
+//! generator exists to catch.
+//!
+//! * [`butterfly`] — exact 4-cycle (butterfly) counting: global,
+//!   per-vertex, and per-edge, with the paper's simple
+//!   BFS-into-the-second-neighbourhood baseline and a rayon-parallel
+//!   wedge-hash implementation.
+//! * [`approx`] — sampling estimators (wedge sampling and edge sampling)
+//!   of the global count.
+//! * [`triangles`] — triangle counts for the non-bipartite factors of
+//!   Assump. 1(i).
+//! * [`wing`] — k-wing (bitruss) decomposition by support peeling
+//!   (Sarıyüce–Pinar / Zou comparators from §I).
+//! * [`clustering`] — the bipartite edge clustering coefficient Γ of
+//!   Def. 10 computed directly.
+//! * [`community`] — internal/external edge counts and densities of
+//!   Def. 11 measured directly on a vertex subset.
+//! * [`buggy`] — deliberately faulty counters for failure-injection tests
+//!   and the validation example.
+
+pub mod approx;
+pub mod bipartite_cc;
+pub mod buggy;
+pub mod butterfly;
+pub mod clustering;
+pub mod community;
+pub mod enumerate;
+pub mod projection;
+pub mod tip;
+pub mod triangles;
+pub mod wing;
+
+pub use butterfly::{
+    butterflies_global, butterflies_per_edge, butterflies_per_vertex,
+    butterflies_per_vertex_parallel, EdgeButterflies,
+};
+pub use wing::wing_decomposition;

@@ -1,0 +1,146 @@
+//! One-mode (unipartite) projection of a bipartite graph.
+//!
+//! Projecting onto side `U` connects `u, v ∈ U` when they share a
+//! neighbour, weighting the edge by the co-neighbour count
+//! `w(u,v) = |N(u) ∩ N(v)|`. Projections are the standard first step of
+//! much bipartite analysis the paper's intro surveys (interlocking
+//! directors, term–document similarity), and they tie directly back to
+//! butterflies:
+//!
+//! `Σ_{u<v ∈ U} C(w(u,v), 2) = global butterfly count`
+//!
+//! (each butterfly is one co-neighbour *pair* for exactly one `U`-side
+//! vertex pair) — an identity the tests pin, giving yet another
+//! independent counting path.
+
+use std::collections::BTreeMap;
+
+use bikron_graph::{Bipartition, Graph};
+use bikron_sparse::Ix;
+
+/// A weighted projection: vertices are the chosen side's vertices
+/// (original ids), edges carry co-neighbour multiplicities.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Projection {
+    /// Vertices of the projected side, ascending (original graph ids).
+    pub vertices: Vec<Ix>,
+    /// Weighted edges `(u, v, w)` with `u < v`, sorted; `w ≥ 1`.
+    pub edges: Vec<(Ix, Ix, u64)>,
+}
+
+impl Projection {
+    /// Co-neighbour weight of `{u, v}`, 0 when they share nothing.
+    pub fn weight(&self, u: Ix, v: Ix) -> u64 {
+        let key = (u.min(v), u.max(v));
+        self.edges
+            .binary_search_by_key(&key, |&(a, b, _)| (a, b))
+            .map(|i| self.edges[i].2)
+            .unwrap_or(0)
+    }
+
+    /// `Σ C(w, 2)` over the projection's edges — equals the bipartite
+    /// graph's global butterfly count.
+    pub fn butterfly_mass(&self) -> u64 {
+        self.edges
+            .iter()
+            .map(|&(_, _, w)| w * (w - 1) / 2)
+            .sum()
+    }
+}
+
+/// Project onto side `side` (0 = U, 1 = W) of a bipartite graph.
+/// Requires no self loops; cost `O(Σ_{m ∈ other side} d_m²)`.
+pub fn project(g: &Graph, bip: &Bipartition, side: u8) -> Projection {
+    assert!(g.has_no_self_loops(), "projection requires no self loops");
+    let vertices: Vec<Ix> = (0..g.num_vertices())
+        .filter(|&v| bip.side_of(v) == side)
+        .collect();
+    // Accumulate co-neighbour counts by enumerating wedges centred on the
+    // opposite side.
+    let mut weights: BTreeMap<(Ix, Ix), u64> = BTreeMap::new();
+    for m in 0..g.num_vertices() {
+        if bip.side_of(m) == side {
+            continue;
+        }
+        let nbrs = g.neighbors(m);
+        for (x, &u) in nbrs.iter().enumerate() {
+            for &v in &nbrs[x + 1..] {
+                *weights.entry((u, v)).or_insert(0) += 1;
+            }
+        }
+    }
+    let edges: Vec<(Ix, Ix, u64)> = weights.into_iter().map(|((u, v), w)| (u, v, w)).collect();
+    Projection { vertices, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::butterfly::butterflies_global;
+    use bikron_graph::bipartition;
+
+    fn complete_bipartite(m: usize, n: usize) -> Graph {
+        let mut edges = Vec::new();
+        for u in 0..m {
+            for w in 0..n {
+                edges.push((u, m + w));
+            }
+        }
+        Graph::from_edges(m + n, &edges).unwrap()
+    }
+
+    #[test]
+    fn projection_of_biclique_is_weighted_clique() {
+        let g = complete_bipartite(3, 4);
+        let b = bipartition(&g).unwrap();
+        let p = project(&g, &b, 0);
+        assert_eq!(p.vertices, vec![0, 1, 2]);
+        assert_eq!(p.edges.len(), 3); // C(3,2) pairs
+        for &(_, _, w) in &p.edges {
+            assert_eq!(w, 4); // all 4 right vertices shared
+        }
+        assert_eq!(p.weight(0, 2), 4);
+        assert_eq!(p.weight(0, 0), 0);
+    }
+
+    #[test]
+    fn butterfly_identity() {
+        // Σ C(w,2) over either side's projection = butterflies.
+        for g in [
+            complete_bipartite(3, 4),
+            Graph::from_edges(
+                8,
+                &[(0, 4), (0, 5), (1, 4), (1, 5), (2, 6), (3, 6), (2, 7), (3, 7), (1, 6)],
+            )
+            .unwrap(),
+        ] {
+            let b = bipartition(&g).unwrap();
+            let truth = butterflies_global(&g);
+            assert_eq!(project(&g, &b, 0).butterfly_mass(), truth);
+            assert_eq!(project(&g, &b, 1).butterfly_mass(), truth);
+        }
+    }
+
+    #[test]
+    fn star_projects_to_clique_of_weight_one() {
+        // Star centred at 0 (side U holds the leaves' opposite): project
+        // onto the leaf side: all leaf pairs share the centre once.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let b = bipartition(&g).unwrap();
+        let leaves_side = b.side_of(1);
+        let p = project(&g, &b, leaves_side);
+        assert_eq!(p.edges.len(), 3);
+        assert!(p.edges.iter().all(|&(_, _, w)| w == 1));
+        assert_eq!(p.butterfly_mass(), 0);
+    }
+
+    #[test]
+    fn disconnected_sides_stay_unconnected() {
+        let g = Graph::from_edges(6, &[(0, 3), (1, 3), (2, 4)]).unwrap();
+        let b = bipartition(&g).unwrap();
+        let p = project(&g, &b, 0);
+        assert_eq!(p.weight(0, 1), 1);
+        assert_eq!(p.weight(0, 2), 0);
+        assert_eq!(p.weight(1, 2), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! k-tip decomposition — the *vertex* peeling counterpart of the k-wing
+//! decomposition (both from Sarıyüce–Pinar's bipartite peeling framework,
+//! the paper's reference \[4\]).
+//!
+//! The k-tip of a bipartite graph is the maximal subgraph in which every
+//! vertex of the peeled side participates in at least `k` butterflies
+//! (within the subgraph). Peeling removes minimum-butterfly vertices of
+//! one side; the tip number of a vertex is the largest `k` whose k-tip
+//! contains it.
+//!
+//! When a vertex `u` is peeled, every butterfly `(u, v | a, b)` it forms
+//! with another same-side vertex `v` disappears, decrementing `v`'s
+//! count. Butterflies through `u` are enumerated by common-neighbour
+//! counting restricted to the still-alive side.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use bikron_graph::{Bipartition, Graph};
+use bikron_sparse::Ix;
+
+/// Result of tip peeling for one side of the bipartition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TipDecomposition {
+    /// The peeled-side vertices, in input order.
+    pub vertices: Vec<Ix>,
+    /// `tip[i]` is the tip number of `vertices[i]`.
+    pub tip: Vec<u64>,
+    /// Maximum tip number.
+    pub max_tip: u64,
+}
+
+impl TipDecomposition {
+    /// Tip number of vertex `v` (must be on the peeled side).
+    pub fn get(&self, v: Ix) -> Option<u64> {
+        self.vertices
+            .binary_search(&v)
+            .ok()
+            .map(|i| self.tip[i])
+    }
+}
+
+/// Butterflies between same-side vertices `u` and each alive partner,
+/// returned as `(partner, count)` with `count = C(codeg_alive, 2)`…
+/// actually butterflies pairing `u` with `v` need `C(codeg(u,v), 2)`
+/// where codeg counts *alive opposite-side* common neighbours.
+fn partner_butterflies(
+    g: &Graph,
+    u: Ix,
+    alive_same: &[bool],
+    alive_opp: &[bool],
+) -> Vec<(Ix, u64)> {
+    use std::collections::BTreeMap;
+    let mut codeg: BTreeMap<Ix, u64> = BTreeMap::new();
+    for &w in g.neighbors(u) {
+        if !alive_opp[w] {
+            continue;
+        }
+        for &v in g.neighbors(w) {
+            if v != u && alive_same[v] {
+                *codeg.entry(v).or_insert(0) += 1;
+            }
+        }
+    }
+    codeg
+        .into_iter()
+        .map(|(v, c)| (v, c * c.saturating_sub(1) / 2))
+        .collect()
+}
+
+/// Peel `side` (0 = U, 1 = W) of a bipartite graph. Opposite-side
+/// vertices are never removed (standard tip semantics).
+pub fn tip_decomposition(g: &Graph, bip: &Bipartition, side: u8) -> TipDecomposition {
+    let n = g.num_vertices();
+    let vertices: Vec<Ix> = (0..n).filter(|&v| bip.side_of(v) == side).collect();
+    let mut alive_same = vec![false; n];
+    let mut alive_opp = vec![false; n];
+    for v in 0..n {
+        if bip.side_of(v) == side {
+            alive_same[v] = true;
+        } else {
+            alive_opp[v] = true;
+        }
+    }
+
+    // Initial butterfly counts per peeled-side vertex.
+    let mut count: Vec<u64> = vec![0; n];
+    for &u in &vertices {
+        count[u] = partner_butterflies(g, u, &alive_same, &alive_opp)
+            .iter()
+            .map(|&(_, c)| c)
+            .sum();
+    }
+
+    let mut heap: BinaryHeap<Reverse<(u64, Ix)>> =
+        vertices.iter().map(|&u| Reverse((count[u], u))).collect();
+    let mut tip_of = vec![0u64; n];
+    let mut k = 0u64;
+    let mut removed = 0usize;
+    while removed < vertices.len() {
+        let Reverse((c, u)) = heap.pop().expect("heap covers alive vertices");
+        if !alive_same[u] || c != count[u] {
+            continue;
+        }
+        k = k.max(c);
+        tip_of[u] = k;
+        // Decrement partners *before* removing u so codeg still sees u's
+        // wedges... order matters: compute partner losses with u alive.
+        let partners = partner_butterflies(g, u, &alive_same, &alive_opp);
+        alive_same[u] = false;
+        removed += 1;
+        for (v, lost) in partners {
+            if alive_same[v] && lost > 0 {
+                count[v] -= lost.min(count[v]);
+                heap.push(Reverse((count[v], v)));
+            }
+        }
+    }
+    let tip: Vec<u64> = vertices.iter().map(|&u| tip_of[u]).collect();
+    let max_tip = tip.iter().copied().max().unwrap_or(0);
+    TipDecomposition {
+        vertices,
+        tip,
+        max_tip,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikron_graph::bipartition;
+
+    fn complete_bipartite(m: usize, n: usize) -> Graph {
+        let mut edges = Vec::new();
+        for u in 0..m {
+            for w in 0..n {
+                edges.push((u, m + w));
+            }
+        }
+        Graph::from_edges(m + n, &edges).unwrap()
+    }
+
+    #[test]
+    fn k_mn_uniform_tips() {
+        // In K_{3,4} every left vertex is in (m−1)·C(n,2) = 2·6 = 12
+        // butterflies; symmetry ⇒ uniform tip numbers equal to that.
+        let g = complete_bipartite(3, 4);
+        let b = bipartition(&g).unwrap();
+        let t = tip_decomposition(&g, &b, 0);
+        assert_eq!(t.vertices, vec![0, 1, 2]);
+        assert_eq!(t.max_tip, 12);
+        assert!(t.tip.iter().all(|&x| x == 12));
+    }
+
+    #[test]
+    fn acyclic_all_zero() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let b = bipartition(&g).unwrap();
+        let t = tip_decomposition(&g, &b, 0);
+        assert_eq!(t.max_tip, 0);
+    }
+
+    #[test]
+    fn weak_vertex_peels_first() {
+        // K_{3,3} plus one extra left vertex attached to one right vertex:
+        // the pendant left vertex has no butterflies → tip 0; biclique
+        // vertices keep 2·C(3,2) = 6.
+        let mut edges = Vec::new();
+        for u in 0..3 {
+            for w in 0..3 {
+                edges.push((u, 4 + w));
+            }
+        }
+        edges.push((3, 4));
+        let g = Graph::from_edges(7, &edges).unwrap();
+        let b = bipartition(&g).unwrap();
+        let t = tip_decomposition(&g, &b, 0);
+        assert_eq!(t.get(3), Some(0));
+        assert_eq!(t.get(0), Some(6));
+        assert_eq!(t.max_tip, 6);
+    }
+
+    #[test]
+    fn peel_other_side() {
+        let g = complete_bipartite(2, 5);
+        let b = bipartition(&g).unwrap();
+        // Right side: each right vertex pairs with 4 others × C(2,2)=1.
+        let t = tip_decomposition(&g, &b, 1);
+        assert_eq!(t.vertices.len(), 5);
+        assert!(t.tip.iter().all(|&x| x == 4));
+    }
+
+    #[test]
+    fn tip_bounded_by_initial_count() {
+        let g = complete_bipartite(3, 3);
+        let b = bipartition(&g).unwrap();
+        let t = tip_decomposition(&g, &b, 0);
+        let per_vertex = crate::butterfly::butterflies_per_vertex(&g);
+        for (i, &v) in t.vertices.iter().enumerate() {
+            assert!(t.tip[i] <= per_vertex[v]);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! The baseline ladder for direct 4-cycle counting (§I's algorithm
+//! discussion): the simple sequential sweep, the rayon-parallel variant,
+//! per-edge counting, and the two sampling estimators, all on the same
+//! unicode-like factor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bikron_analytics::approx::{edge_sampling_estimate, wedge_sampling_estimate};
+use bikron_analytics::{
+    butterflies_per_edge, butterflies_per_vertex, butterflies_per_vertex_parallel,
+};
+use bikron_generators::unicode_like::unicode_like;
+
+fn bench_butterflies(c: &mut Criterion) {
+    let g = unicode_like();
+    let mut group = c.benchmark_group("butterfly_algorithms");
+
+    group.bench_function("per_vertex_sequential", |b| {
+        b.iter(|| black_box(butterflies_per_vertex(&g)))
+    });
+    group.bench_function("per_vertex_parallel", |b| {
+        b.iter(|| black_box(butterflies_per_vertex_parallel(&g)))
+    });
+    group.bench_function("per_edge", |b| {
+        b.iter(|| black_box(butterflies_per_edge(&g).total()))
+    });
+    group.bench_function("wedge_sampling_1k", |b| {
+        b.iter(|| black_box(wedge_sampling_estimate(&g, 1000, 42)))
+    });
+    group.bench_function("edge_sampling_1k", |b| {
+        b.iter(|| black_box(edge_sampling_estimate(&g, 1000, 42)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_butterflies);
+criterion_main!(benches);

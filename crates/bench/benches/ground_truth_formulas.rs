@@ -1,0 +1,48 @@
+//! Formula evaluation cost at Table-I scale: FactorStats preprocessing,
+//! the sublinear global count, full per-vertex vectors (`O(|V_C|)`), full
+//! per-edge maps (`O(|E_C|)`) and point queries — the menu of §I's
+//! "global scalar quantities … sublinearly, local quantities … linear".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bikron_core::truth::squares_edge::edge_squares_with;
+use bikron_core::truth::squares_vertex::{global_squares_with, vertex_squares_with};
+use bikron_core::truth::FactorStats;
+use bikron_core::{GroundTruth, KroneckerProduct, SelfLoopMode};
+use bikron_generators::unicode_like::unicode_like;
+
+fn bench_formulas(c: &mut Criterion) {
+    let a = unicode_like();
+    let prod = KroneckerProduct::new(&a, &a, SelfLoopMode::FactorA).unwrap();
+    let sa = FactorStats::compute(prod.factor_a()).unwrap();
+    let sb = FactorStats::compute(prod.factor_b()).unwrap();
+    let gt = GroundTruth::new(prod.clone()).unwrap();
+
+    let mut group = c.benchmark_group("ground_truth_formulas");
+    group.sample_size(10);
+
+    group.bench_function("factor_stats_preprocess", |b| {
+        b.iter(|| black_box(FactorStats::compute(prod.factor_a()).unwrap().order()))
+    });
+    group.bench_function("global_squares_sublinear", |b| {
+        b.iter(|| black_box(global_squares_with(&prod, &sa, &sb).unwrap()))
+    });
+    group.bench_function("vertex_squares_full_vector", |b| {
+        b.iter(|| black_box(vertex_squares_with(&prod, &sa, &sb).unwrap().len()))
+    });
+    group.bench_function("edge_squares_full_map", |b| {
+        b.iter(|| black_box(edge_squares_with(&prod, &sa, &sb).unwrap().counts.len()))
+    });
+    group.bench_function("point_query_vertex", |b| {
+        let mut p = 0usize;
+        b.iter(|| {
+            p = (p + 7919) % prod.num_vertices();
+            black_box(gt.squares_at_vertex(p))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_formulas);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Generator throughput: streaming edge enumeration vs full
+//! materialisation of the Kronecker product, sequential vs parallel —
+//! the generation-side cost the paper contrasts with R-MAT (§I).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bikron_core::{KroneckerProduct, SelfLoopMode};
+use bikron_generators::unicode_like::unicode_like;
+
+fn bench_generation(c: &mut Criterion) {
+    let a = unicode_like();
+    let prod = KroneckerProduct::new(&a, &a, SelfLoopMode::FactorA).unwrap();
+    let nnz = prod.nnz();
+
+    let mut group = c.benchmark_group("kron_generation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(nnz));
+
+    group.bench_function(BenchmarkId::new("stream_sequential", nnz), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (p, q) in prod.entries() {
+                acc = acc.wrapping_add((p ^ q) as u64);
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("stream_parallel", nnz), |b| {
+        b.iter(|| {
+            let acc = AtomicU64::new(0);
+            prod.par_for_each_edge(|p, q| {
+                acc.fetch_add((p ^ q) as u64, Ordering::Relaxed);
+            });
+            black_box(acc.load(Ordering::Relaxed))
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("materialize", nnz), |b| {
+        b.iter(|| black_box(prod.materialize().num_edges()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

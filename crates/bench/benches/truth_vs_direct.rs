@@ -1,0 +1,58 @@
+//! The COMPLEX experiment (DESIGN.md): ground-truth evaluation vs direct
+//! counting across product scales. The paper's claim is that the
+//! ground-truth path is sublinear in `|E_C|` while direct counting is
+//! superlinear; criterion measures both sides at three scales so the
+//! separation (and its growth) is visible in one report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bikron_analytics::butterflies_global;
+use bikron_core::{GroundTruth, KroneckerProduct, SelfLoopMode};
+use bikron_generators::powerlaw::{bipartite_chung_lu, PowerLawParams};
+use bikron_graph::Graph;
+
+fn factor_at_scale(scale: u32) -> Graph {
+    let params = PowerLawParams {
+        nu: 32 << (scale / 2),
+        nw: 48 << (scale / 2),
+        gamma_u: 2.3,
+        gamma_w: 2.4,
+        max_degree_u: 24 << (scale / 2),
+        max_degree_w: 16 << (scale / 2),
+        target_edges: 96 << scale,
+    };
+    bipartite_chung_lu(&params, 7 + scale as u64)
+}
+
+fn bench_truth_vs_direct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("truth_vs_direct");
+    group.sample_size(10);
+    for scale in [0u32, 2, 3] {
+        let a = factor_at_scale(scale);
+        let prod = KroneckerProduct::new(&a, &a, SelfLoopMode::FactorA).unwrap();
+        let edges = prod.num_edges();
+
+        group.bench_with_input(
+            BenchmarkId::new("ground_truth_global", edges),
+            &prod,
+            |bch, prod| {
+                bch.iter(|| {
+                    let gt = GroundTruth::new(prod.clone()).unwrap();
+                    black_box(gt.global_squares().unwrap())
+                })
+            },
+        );
+
+        let g = prod.materialize();
+        group.bench_with_input(
+            BenchmarkId::new("direct_global", edges),
+            &g,
+            |bch, g| bch.iter(|| black_box(butterflies_global(g))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_truth_vs_direct);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Regenerates **Fig. 1**: the three small Kronecker constructions that
+//! motivate Assump. 1 —
+//!
+//! 1. two connected bipartite factors → bipartite but *disconnected*
+//!    product (top panel),
+//! 2. non-bipartite `A`, bipartite `B` → connected bipartite product
+//!    (lower-left, Thm. 1),
+//! 3. both bipartite with all self loops added to `A` → connected
+//!    bipartite product (lower-right, Thm. 2).
+//!
+//! For each case the predicted structure (computed from the factors
+//! alone) is printed next to the measured structure of the materialised
+//! product.
+
+use bikron_core::{predict_structure, KroneckerProduct, SelfLoopMode};
+use bikron_generators::{cycle, path};
+use bikron_graph::{connected_components, is_bipartite};
+
+fn report(name: &str, prod: &KroneckerProduct<'_>) {
+    let pred = predict_structure(prod);
+    let g = prod.materialize();
+    let measured_components = connected_components(&g).count;
+    let measured_bipartite = is_bipartite(&g);
+    println!("{name}");
+    println!(
+        "  predicted: bipartite={} connected={} components={:?} theorem={:?}",
+        pred.bipartite, pred.connected, pred.num_components, pred.theorem
+    );
+    println!(
+        "  measured : bipartite={} connected={} components={}",
+        measured_bipartite,
+        measured_components == 1,
+        measured_components
+    );
+    assert_eq!(pred.bipartite, measured_bipartite);
+    assert_eq!(pred.connected, measured_components == 1);
+    if let Some(nc) = pred.num_components {
+        assert_eq!(nc, measured_components);
+    }
+    println!("  OK: prediction matches measurement");
+    println!();
+}
+
+fn main() {
+    println!("Fig. 1 — connectivity of small bipartite Kronecker products\n");
+
+    // Top panel: P3 ⊗ C4, both bipartite connected ⇒ 2 components.
+    let a_bip = path(3);
+    let b = cycle(4);
+    let top = KroneckerProduct::new(&a_bip, &b, SelfLoopMode::None).unwrap();
+    report("(top) bipartite ⊗ bipartite = disconnected", &top);
+
+    // Lower-left: C3 (non-bipartite) ⊗ C4 ⇒ connected (Thm. 1).
+    let a_odd = cycle(3);
+    let left = KroneckerProduct::new(&a_odd, &b, SelfLoopMode::None).unwrap();
+    report("(lower-left) non-bipartite ⊗ bipartite = connected (Thm. 1)", &left);
+
+    // Lower-right: (P3 + I) ⊗ C4 ⇒ connected (Thm. 2).
+    let right = KroneckerProduct::new(&a_bip, &b, SelfLoopMode::FactorA).unwrap();
+    report("(lower-right) (bipartite + I) ⊗ bipartite = connected (Thm. 2)", &right);
+
+    println!("All three Fig. 1 panels reproduced.");
+}

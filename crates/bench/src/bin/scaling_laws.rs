@@ -1,0 +1,96 @@
+//! Regenerates the paper's analytic scaling-law claims as measurements:
+//!
+//! * **Thm. 6** — `Γ_C(p,q) ≥ ψ·Γ_A·Γ_B` with `ψ ∈ [1/9, 1)`: sweep every
+//!   eligible edge of several products, report the minimum observed slack
+//!   and the ψ range.
+//! * **Cor. 1 / Cor. 2** — community density bounds on products of planted
+//!   BTER communities: report bound vs measured for internal and external
+//!   density.
+//!
+//! Everything is asserted, so a formula regression turns the run red.
+
+use bikron_core::truth::clustering::scaling_law_at;
+use bikron_core::truth::community::predict_and_measure;
+use bikron_core::truth::FactorStats;
+use bikron_core::{KroneckerProduct, SelfLoopMode};
+use bikron_generators::bter::default_bter;
+use bikron_generators::{complete_bipartite, crown, hypercube, wheel};
+
+fn main() {
+    println!("Thm. 6 — bipartite edge clustering coefficient scaling law");
+    let pairs: Vec<(&str, bikron_graph::Graph, bikron_graph::Graph)> = vec![
+        ("wheel5 (x) K34", wheel(5), complete_bipartite(3, 4)),
+        ("wheel4 (x) crown4", wheel(4), crown(4)),
+        ("wheel6 (x) Q3", wheel(6), hypercube(3)),
+    ];
+    for (name, a, b) in &pairs {
+        let prod = KroneckerProduct::new(a, b, SelfLoopMode::None).unwrap();
+        let sa = FactorStats::compute(a).unwrap();
+        let sb = FactorStats::compute(b).unwrap();
+        let mut checked = 0usize;
+        let mut min_slack = f64::INFINITY;
+        let (mut psi_min, mut psi_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (p, q) in prod.edges() {
+            if let Some(s) = scaling_law_at(&prod, &sa, &sb, p, q) {
+                assert!(
+                    s.gamma_c >= s.bound - 1e-12,
+                    "{name}: Thm 6 violated at ({p},{q})"
+                );
+                if s.bound > 0.0 {
+                    min_slack = min_slack.min(s.gamma_c / s.bound);
+                }
+                psi_min = psi_min.min(s.psi);
+                psi_max = psi_max.max(s.psi);
+                checked += 1;
+            }
+        }
+        assert!((1.0 / 9.0..1.0).contains(&psi_min));
+        assert!(psi_max < 1.0);
+        println!(
+            "  {name}: {checked} edges checked, psi in [{psi_min:.4}, {psi_max:.4}], \
+             min Γ_C/(ψΓ_AΓ_B) = {min_slack:.3}"
+        );
+    }
+
+    println!();
+    println!("Cor. 1 / Cor. 2 — community density bounds on BTER-planted factors");
+    let (fa, comms_a) = default_bter(11);
+    let (fb, comms_b) = default_bter(23);
+    let prod = KroneckerProduct::new(&fa, &fb, SelfLoopMode::FactorA).unwrap();
+    let bip_c = bikron_core::connectivity::product_bipartition(&prod).unwrap();
+    for (ia, ca) in comms_a.iter().enumerate() {
+        for (ib, cb) in comms_b.iter().enumerate() {
+            let s_a: Vec<usize> = ca.u_range.clone().chain(ca.w_range.clone()).collect();
+            let s_b: Vec<usize> = cb.u_range.clone().chain(cb.w_range.clone()).collect();
+            let Some((truth, m_in, m_out)) = predict_and_measure(&prod, &s_a, &s_b) else {
+                continue;
+            };
+            // Thm. 7 exactness:
+            assert_eq!(truth.m_in, m_in, "Thm 7 m_in block ({ia},{ib})");
+            assert_eq!(truth.m_out, m_out, "Thm 7 m_out block ({ia},{ib})");
+            let rho_in = truth.rho_in.unwrap_or(0.0);
+            let lb = truth.rho_in_lower_bound.unwrap_or(0.0);
+            assert!(rho_in >= lb - 1e-12, "Cor 1 block ({ia},{ib})");
+            // Measured rho_out vs Cor. 2 bound:
+            let (r, t) = (truth.r_len as u64, truth.t_len as u64);
+            let (u, w) = (bip_c.u_len() as u64, bip_c.w_len() as u64);
+            let denom = r * w + u * t - 2 * r * t;
+            let rho_out = if denom > 0 {
+                m_out as f64 / denom as f64
+            } else {
+                0.0
+            };
+            let ub = truth.rho_out_upper_bound;
+            if let Some(ub) = ub {
+                assert!(rho_out <= ub + 1e-12, "Cor 2 block ({ia},{ib})");
+            }
+            println!(
+                "  A-block {ia} (x) B-block {ib}: m_in={m_in} m_out={m_out} \
+                 rho_in={rho_in:.4} (Cor1 lb {lb:.4}) rho_out={rho_out:.5}{}",
+                ub.map_or(String::new(), |u| format!(" (Cor2 ub {u:.5})"))
+            );
+        }
+    }
+    println!();
+    println!("All scaling laws verified (Thm 6, Thm 7, Cor 1, Cor 2).");
+}

@@ -1,0 +1,106 @@
+//! Verifies the paper's walk-count identities (Figs. 2 and 4) and Rem. 1
+//! across a battery of factor graphs, and the ground-truth theorems on
+//! their products — a one-shot "is every formula in §III right?" runner.
+//!
+//! * Fig. 2: `W⁴(i,i) = 2s_i + d_i² + Σ_{j∈N_i} d_j − d_i` at every vertex.
+//! * Fig. 4: `W³(i,j) = ◇_ij + d_i + d_j − 1` at every edge.
+//! * Rem. 1: products of square-free factors with max degree ≥ 2 contain
+//!   squares; all-degree-≤1 factors (disjoint edges) do not.
+//! * Thms. 3/4/5: ground-truth vertex and edge counts equal direct wedge
+//!   counting on the materialised product for every factor pair.
+
+use bikron_analytics::{butterflies_per_edge, butterflies_per_vertex};
+use bikron_core::truth::squares_edge::edge_squares;
+use bikron_core::truth::squares_vertex::vertex_squares;
+use bikron_core::truth::FactorStats;
+use bikron_core::{KroneckerProduct, SelfLoopMode};
+use bikron_generators::{
+    complete, complete_bipartite, crown, cycle, grid, hypercube, path, petersen, star, wheel,
+};
+use bikron_graph::Graph;
+
+fn factor_battery() -> Vec<(String, Graph)> {
+    vec![
+        ("P5".into(), path(5)),
+        ("C4".into(), cycle(4)),
+        ("C5".into(), cycle(5)),
+        ("C6".into(), cycle(6)),
+        ("star4".into(), star(4)),
+        ("K4".into(), complete(4)),
+        ("K23".into(), complete_bipartite(2, 3)),
+        ("K33".into(), complete_bipartite(3, 3)),
+        ("crown3".into(), crown(3)),
+        ("Q3".into(), hypercube(3)),
+        ("grid23".into(), grid(2, 3)),
+        ("wheel5".into(), wheel(5)),
+        ("petersen".into(), petersen()),
+    ]
+}
+
+fn main() {
+    let battery = factor_battery();
+    let mut identities = 0usize;
+
+    println!("Fig. 2 / Fig. 4 identities on {} factors...", battery.len());
+    for (name, g) in &battery {
+        let fs = FactorStats::compute(g).expect("loop-free factor");
+        for i in 0..g.num_vertices() {
+            let lhs = fs.diag_a4[i];
+            let rhs = 2 * fs.squares[i] + fs.degrees[i] * fs.degrees[i] + fs.w2[i] - fs.degrees[i];
+            assert_eq!(lhs, rhs, "Fig. 2 identity failed on {name} vertex {i}");
+            identities += 1;
+        }
+        for (i, j, w3) in fs.edge_w3.iter() {
+            let rhs = fs.squares_at_edge(i, j).unwrap() + fs.degrees[i] + fs.degrees[j] - 1;
+            assert_eq!(w3, rhs, "Fig. 4 identity failed on {name} edge ({i},{j})");
+            identities += 1;
+        }
+    }
+    println!("  {identities} identity instances verified.");
+
+    println!("Rem. 1: square-free factors with degree >= 2...");
+    let a = petersen(); // girth 5: square-free
+    let b = star(3); // tree: square-free
+    let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+    let s = vertex_squares(&prod).unwrap();
+    let total: u64 = s.iter().sum::<u64>() / 4;
+    assert!(total > 0);
+    println!("  petersen (x) star4: {total} squares despite square-free factors.");
+
+    let me = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap(); // matching
+    let e2 = Graph::from_edges(2, &[(0, 1)]).unwrap();
+    let prod = KroneckerProduct::new(&me, &e2, SelfLoopMode::None).unwrap();
+    let s = vertex_squares(&prod).unwrap();
+    assert!(s.iter().all(|&x| x == 0));
+    println!("  disjoint-edges factors: product square-free, as Rem. 1 allows.");
+
+    println!("Thms. 3/4/5 on all factor pairs (this takes a moment)...");
+    let mut pairs = 0usize;
+    for (an, a) in &battery {
+        for (bn, b) in &battery {
+            // Keep products small enough to materialise quickly.
+            if a.num_vertices() * b.num_vertices() > 200 {
+                continue;
+            }
+            for mode in [SelfLoopMode::None, SelfLoopMode::FactorA] {
+                let prod = KroneckerProduct::new(a, b, mode).unwrap();
+                let g = prod.materialize();
+                let truth_v = vertex_squares(&prod).unwrap();
+                let direct_v = butterflies_per_vertex(&g);
+                assert_eq!(truth_v, direct_v, "vertex truth failed: {an} (x) {bn} {mode:?}");
+                let truth_e = edge_squares(&prod).unwrap();
+                let direct_e = butterflies_per_edge(&g);
+                for &(p, q, c) in &truth_e.counts {
+                    assert_eq!(
+                        direct_e.get(p, q),
+                        Some(c),
+                        "edge truth failed: {an} (x) {bn} {mode:?} edge ({p},{q})"
+                    );
+                }
+                pairs += 1;
+            }
+        }
+    }
+    println!("  {pairs} (factor pair, mode) combinations verified exactly.");
+    println!("All identities and theorems verified.");
+}

@@ -1,0 +1,14 @@
+//! # bikron-bench
+//!
+//! Benchmark harness crate. The substance lives in:
+//!
+//! * `benches/` — criterion benchmark groups (`truth_vs_direct`,
+//!   `kron_generation`, `butterfly_algorithms`, `spgemm`,
+//!   `ground_truth_formulas`, `ablations`);
+//! * `src/bin/` — table/figure regeneration binaries (`table1`,
+//!   `fig1_connectivity`, `fig3_square_types`, `fig5_degree_squares`,
+//!   `verify_identities`, `scaling_laws`, `complexity_sweep`,
+//!   `scale_family`, `stochastic_comparison`).
+//!
+//! See DESIGN.md §5 for the experiment-to-target mapping and
+//! EXPERIMENTS.md for paper-vs-measured results.

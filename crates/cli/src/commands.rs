@@ -1,0 +1,312 @@
+//! Subcommand implementations. Each takes parsed inputs and a writer so
+//! the logic is unit-testable without a process boundary.
+
+use std::io::Write;
+
+use bikron_core::connectivity::product_bipartition;
+use bikron_core::stream::PartitionedStream;
+use bikron_core::truth::FactorStats;
+use bikron_core::{predict_structure, GroundTruth, KroneckerProduct, SelfLoopMode};
+use bikron_graph::{bipartition, connected_components, Graph};
+
+/// Generic error type for command plumbing.
+pub type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+/// `bikron stats A B MODE` — print a Table-I-style report for the product
+/// of two factors, entirely from ground truth.
+pub fn stats(a: &Graph, b: &Graph, mode: SelfLoopMode, out: &mut dyn Write) -> CmdResult {
+    let prod = KroneckerProduct::new(a, b, mode)?;
+    let st = predict_structure(&prod);
+    writeln!(out, "factors: A({} v, {} e)  B({} v, {} e)  mode {:?}",
+        a.num_vertices(), a.num_edges(), b.num_vertices(), b.num_edges(), mode)?;
+    writeln!(out, "product: {} vertices, {} edges", prod.num_vertices(), prod.num_edges())?;
+    writeln!(
+        out,
+        "structure: bipartite={} connected={} components={:?} parts={:?} theorem={:?}",
+        st.bipartite, st.connected, st.num_components, st.parts, st.theorem
+    )?;
+    let gt = GroundTruth::new(prod.clone())?;
+    writeln!(out, "global 4-cycles: {}", gt.global_squares()?)?;
+    writeln!(
+        out,
+        "max degree: {}",
+        bikron_core::truth::degrees::max_degree(&prod)
+    )?;
+    let hist = bikron_core::truth::degrees::degree_histogram(&prod);
+    let distinct = hist.len();
+    writeln!(out, "degree histogram: {distinct} distinct degrees")?;
+    Ok(())
+}
+
+/// `bikron factor SPEC` — inspect one factor graph.
+pub fn factor_report(g: &Graph, out: &mut dyn Write) -> CmdResult {
+    writeln!(
+        out,
+        "vertices: {}  edges: {}  self-loops: {}  max-degree: {}",
+        g.num_vertices(),
+        g.num_edges(),
+        g.num_self_loops(),
+        g.max_degree()
+    )?;
+    let comps = connected_components(g);
+    writeln!(out, "components: {}", comps.count)?;
+    match bipartition(g) {
+        Some(b) => writeln!(out, "bipartite: yes (|U|={}, |W|={})", b.u_len(), b.w_len())?,
+        None => writeln!(out, "bipartite: no")?,
+    }
+    if g.has_no_self_loops() {
+        let fs = FactorStats::compute(g)?;
+        writeln!(out, "global 4-cycles: {}", fs.global_squares())?;
+        let t: i128 = fs.diag_a3.iter().sum::<i128>() / 6;
+        writeln!(out, "global triangles: {t}")?;
+    }
+    Ok(())
+}
+
+/// `bikron generate A B MODE --parts N --out PREFIX [--annotate]` —
+/// stream the product to `PREFIX.partK.el` (or `.tsv` annotated) files.
+/// Returns the total edges written.
+pub fn generate(
+    a: &Graph,
+    b: &Graph,
+    mode: SelfLoopMode,
+    parts: usize,
+    out_prefix: &str,
+    annotate: bool,
+    log: &mut dyn Write,
+) -> Result<u64, Box<dyn std::error::Error>> {
+    let prod = KroneckerProduct::new(a, b, mode)?;
+    let sa = FactorStats::compute(a)?;
+    let sb = FactorStats::compute(b)?;
+    let ps = PartitionedStream::new(&prod, &sa, &sb, parts);
+    let mut total = 0u64;
+    for part in 0..parts {
+        let ext = if annotate { "tsv" } else { "el" };
+        let path = format!("{out_prefix}.part{part}.{ext}");
+        let file = std::fs::File::create(&path)?;
+        let mut w = std::io::BufWriter::new(file);
+        let n = if annotate {
+            ps.write_annotated(part, &mut w)?
+        } else {
+            ps.write_edges(part, &mut w)?
+        };
+        writeln!(log, "wrote {n} edges to {path}")?;
+        total += n;
+    }
+    assert_eq!(total, prod.num_edges(), "partition coverage invariant");
+    Ok(total)
+}
+
+/// `bikron validate A B MODE CLAIMED` — compare a claimed global 4-cycle
+/// count against ground truth. Returns whether the claim was correct.
+pub fn validate(
+    a: &Graph,
+    b: &Graph,
+    mode: SelfLoopMode,
+    claimed: u64,
+    out: &mut dyn Write,
+) -> Result<bool, Box<dyn std::error::Error>> {
+    let prod = KroneckerProduct::new(a, b, mode)?;
+    let gt = GroundTruth::new(prod)?;
+    let v = gt.validate_global(claimed)?;
+    if v.ok {
+        writeln!(out, "OK: claimed count {claimed} matches ground truth")?;
+    } else {
+        writeln!(
+            out,
+            "MISMATCH: claimed {claimed}, ground truth {} (off by {})",
+            v.truth,
+            claimed.abs_diff(v.truth)
+        )?;
+    }
+    Ok(v.ok)
+}
+
+/// `bikron parts A B MODE` — report the bipartition layout of the
+/// product (which vertices are U-side), summarised.
+pub fn parts(a: &Graph, b: &Graph, mode: SelfLoopMode, out: &mut dyn Write) -> CmdResult {
+    let prod = KroneckerProduct::new(a, b, mode)?;
+    match product_bipartition(&prod) {
+        Some(bip) => writeln!(
+            out,
+            "bipartition from factor B: |U|={} |W|={} (side of p = side_B(p mod {}))",
+            bip.u_len(),
+            bip.w_len(),
+            b.num_vertices()
+        )?,
+        None => writeln!(out, "product is not bipartite via factor B")?,
+    }
+    Ok(())
+}
+
+/// `bikron verify-file FILE.tsv` — reload an annotated TSV written by
+/// `generate --annotate` (possibly several concatenated partitions),
+/// rebuild the graph from its edges, recount per-edge 4-cycles with the
+/// independent direct algorithm, and compare against the annotation
+/// column. Returns `Ok(true)` when every annotation matches.
+///
+/// Note: the file must contain the *complete* product (all partitions) —
+/// per-edge counts on a partial subgraph are lower, and the mismatch
+/// report will say so.
+pub fn verify_file(
+    tsv: &str,
+    out: &mut dyn Write,
+) -> Result<bool, Box<dyn std::error::Error>> {
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut annotated: Vec<(usize, usize, u64)> = Vec::new();
+    let mut max_v = 0usize;
+    for (lineno, line) in tsv.lines().enumerate() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let cols: Vec<&str> = t.split('\t').collect();
+        if cols.len() != 5 {
+            return Err(format!("line {}: expected 5 TSV columns", lineno + 1).into());
+        }
+        let p: usize = cols[0].parse()?;
+        let q: usize = cols[1].parse()?;
+        let squares: u64 = cols[4].parse()?;
+        max_v = max_v.max(p).max(q);
+        edges.push((p, q));
+        annotated.push((p.min(q), p.max(q), squares));
+    }
+    if edges.is_empty() {
+        writeln!(out, "empty file: nothing to verify")?;
+        return Ok(true);
+    }
+    let g = Graph::from_edges(max_v + 1, &edges)?;
+    let direct = bikron_analytics::butterflies_per_edge(&g);
+    let mut mismatches = 0u64;
+    for &(p, q, claimed) in &annotated {
+        let measured = direct.get(p, q).unwrap_or(0);
+        if measured != claimed {
+            mismatches += 1;
+            if mismatches <= 5 {
+                writeln!(
+                    out,
+                    "MISMATCH edge ({p},{q}): annotated {claimed}, measured {measured}"
+                )?;
+            }
+        }
+    }
+    if mismatches == 0 {
+        writeln!(out, "OK: {} annotated edges all verified", annotated.len())?;
+        Ok(true)
+    } else {
+        writeln!(
+            out,
+            "{mismatches} of {} annotations mismatched (is the file the full product?)",
+            annotated.len()
+        )?;
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikron_generators::{complete_bipartite, crown, cycle};
+
+    #[test]
+    fn stats_runs_and_reports() {
+        let a = cycle(5);
+        let b = complete_bipartite(2, 3);
+        let mut buf = Vec::new();
+        stats(&a, &b, SelfLoopMode::None, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("bipartite=true connected=true"));
+        assert!(text.contains("global 4-cycles"));
+    }
+
+    #[test]
+    fn factor_report_contents() {
+        // crown(4) = K_{4,4} minus a perfect matching: C(4,2) pairs of
+        // left vertices, each sharing exactly 2 neighbours → 6 squares.
+        let g = crown(4);
+        let mut buf = Vec::new();
+        factor_report(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("bipartite: yes"));
+        assert!(text.contains("global 4-cycles: 6"));
+        assert!(text.contains("global triangles: 0"));
+    }
+
+    #[test]
+    fn generate_writes_partition_files() {
+        let a = cycle(3);
+        let b = complete_bipartite(2, 2);
+        let dir = std::env::temp_dir().join("bikron_gen_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("prod").display().to_string();
+        let mut log = Vec::new();
+        let total =
+            generate(&a, &b, SelfLoopMode::None, 2, &prefix, false, &mut log).unwrap();
+        assert_eq!(total, 24); // nnz(C3)=6, nnz(K22)=8 → 48/2
+        let p0 = std::fs::read_to_string(format!("{prefix}.part0.el")).unwrap();
+        let p1 = std::fs::read_to_string(format!("{prefix}.part1.el")).unwrap();
+        assert_eq!(
+            p0.lines().count() + p1.lines().count(),
+            24
+        );
+    }
+
+    #[test]
+    fn validate_accepts_and_rejects() {
+        let a = crown(3);
+        let b = complete_bipartite(2, 2);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::FactorA).unwrap();
+        let truth = GroundTruth::new(prod).unwrap().global_squares().unwrap();
+        let mut buf = Vec::new();
+        assert!(validate(&a, &b, SelfLoopMode::FactorA, truth, &mut buf).unwrap());
+        assert!(!validate(&a, &b, SelfLoopMode::FactorA, truth + 7, &mut buf).unwrap());
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("MISMATCH"));
+        assert!(text.contains("off by 7"));
+    }
+
+    #[test]
+    fn verify_file_round_trip() {
+        // Generate annotated partitions, concatenate, verify.
+        let a = cycle(3);
+        let b = complete_bipartite(2, 2);
+        let dir = std::env::temp_dir().join("bikron_verify_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("ann").display().to_string();
+        let mut log = Vec::new();
+        generate(&a, &b, SelfLoopMode::None, 2, &prefix, true, &mut log).unwrap();
+        let mut tsv = std::fs::read_to_string(format!("{prefix}.part0.tsv")).unwrap();
+        tsv += &std::fs::read_to_string(format!("{prefix}.part1.tsv")).unwrap();
+        let mut out = Vec::new();
+        assert!(verify_file(&tsv, &mut out).unwrap());
+        // Corrupt one annotation → detected.
+        let corrupted = {
+            let mut lines: Vec<String> = tsv.lines().map(String::from).collect();
+            let mut cols: Vec<String> =
+                lines[0].split('\t').map(String::from).collect();
+            let bumped: u64 = cols[4].parse::<u64>().unwrap() + 1;
+            cols[4] = bumped.to_string();
+            lines[0] = cols.join("\t");
+            lines.join("\n")
+        };
+        let mut out2 = Vec::new();
+        assert!(!verify_file(&corrupted, &mut out2).unwrap());
+        assert!(String::from_utf8(out2).unwrap().contains("MISMATCH"));
+    }
+
+    #[test]
+    fn verify_file_rejects_malformed() {
+        assert!(verify_file("1\t2\t3\n", &mut Vec::new()).is_err());
+        assert!(verify_file("", &mut Vec::new()).unwrap());
+    }
+
+    #[test]
+    fn parts_summary() {
+        let a = cycle(3);
+        let b = complete_bipartite(2, 3);
+        let mut buf = Vec::new();
+        parts(&a, &b, SelfLoopMode::None, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("|U|=6 |W|=9"));
+    }
+}

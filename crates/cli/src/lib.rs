@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # bikron-cli
+//!
+//! Library backing the `bikron` command-line tool: factor specification
+//! parsing and the subcommand implementations, kept in a library so they
+//! are unit-testable. The binary (`src/main.rs`) is a thin wrapper.
+//!
+//! ## Factor specifications
+//!
+//! Factors are given as compact specs:
+//!
+//! | spec | graph |
+//! |---|---|
+//! | `path:N` | path on `N` vertices |
+//! | `cycle:N` | cycle `C_N` |
+//! | `star:N` | star with `N` leaves |
+//! | `complete:N` | clique `K_N` |
+//! | `kmn:MxN` | complete bipartite `K_{M,N}` |
+//! | `crown:N` | crown (biclique minus matching) |
+//! | `hypercube:D` | `Q_D` |
+//! | `grid:MxN` | grid graph |
+//! | `wheel:N` | wheel with rim `N` |
+//! | `petersen` | the Petersen graph |
+//! | `unicode` | the Table-I unicode-like factor |
+//! | `unicode:SEED` | same with an explicit seed |
+//! | `powerlaw:SEED` | default bipartite Chung–Lu with the given seed |
+//! | `file:PATH` | 0-based edge list on disk |
+//! | `konect:PATH` | 1-based KONECT bipartite edge list |
+
+pub mod commands;
+pub mod spec;
+
+pub use spec::{parse_factor, parse_mode, SpecError};

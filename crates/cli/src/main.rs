@@ -1,0 +1,108 @@
+//! The `bikron` command-line tool.
+//!
+//! ```text
+//! bikron stats    A_SPEC B_SPEC MODE
+//! bikron factor   SPEC
+//! bikron generate A_SPEC B_SPEC MODE --out PREFIX [--parts N] [--annotate]
+//! bikron validate A_SPEC B_SPEC MODE CLAIMED_GLOBAL_4CYCLES
+//! bikron parts    A_SPEC B_SPEC MODE
+//! ```
+//!
+//! `MODE` is `none` (`C = A ⊗ B`, Assump. 1(i)) or `loops-a`
+//! (`C = (A+I_A) ⊗ B`, Assump. 1(ii)). See `bikron help` for factor specs.
+
+use std::process::ExitCode;
+
+use bikron_cli::commands;
+use bikron_cli::{parse_factor, parse_mode};
+
+const USAGE: &str = "\
+bikron — bipartite Kronecker graphs with ground truth
+
+USAGE:
+  bikron stats    A_SPEC B_SPEC MODE
+  bikron factor   SPEC
+  bikron generate A_SPEC B_SPEC MODE --out PREFIX [--parts N] [--annotate]
+  bikron validate A_SPEC B_SPEC MODE CLAIMED_COUNT
+  bikron parts    A_SPEC B_SPEC MODE
+  bikron verify-file FILE.tsv
+
+MODE: none | loops-a
+
+FACTOR SPECS:
+  path:N cycle:N star:N complete:N kmn:MxN crown:N hypercube:D
+  grid:MxN wheel:N petersen unicode[:SEED] powerlaw:SEED
+  file:PATH konect:PATH
+";
+
+fn run() -> Result<bool, Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = std::io::stdout().lock();
+    match args.first().map(String::as_str) {
+        Some("stats") if args.len() >= 4 => {
+            let a = parse_factor(&args[1])?;
+            let b = parse_factor(&args[2])?;
+            commands::stats(&a, &b, parse_mode(&args[3])?, &mut out)?;
+            Ok(true)
+        }
+        Some("factor") if args.len() >= 2 => {
+            let g = parse_factor(&args[1])?;
+            commands::factor_report(&g, &mut out)?;
+            Ok(true)
+        }
+        Some("generate") if args.len() >= 4 => {
+            let a = parse_factor(&args[1])?;
+            let b = parse_factor(&args[2])?;
+            let mode = parse_mode(&args[3])?;
+            let flag_val = |name: &str| {
+                args.iter()
+                    .position(|x| x == name)
+                    .and_then(|i| args.get(i + 1))
+                    .cloned()
+            };
+            let prefix = flag_val("--out").ok_or("generate requires --out PREFIX")?;
+            let parts: usize = flag_val("--parts").map_or(Ok(1), |s| s.parse())?;
+            let annotate = args.iter().any(|x| x == "--annotate");
+            let total =
+                commands::generate(&a, &b, mode, parts, &prefix, annotate, &mut out)?;
+            println!("total: {total} edges");
+            Ok(true)
+        }
+        Some("validate") if args.len() >= 5 => {
+            let a = parse_factor(&args[1])?;
+            let b = parse_factor(&args[2])?;
+            let mode = parse_mode(&args[3])?;
+            let claimed: u64 = args[4].parse()?;
+            commands::validate(&a, &b, mode, claimed, &mut out)
+        }
+        Some("parts") if args.len() >= 4 => {
+            let a = parse_factor(&args[1])?;
+            let b = parse_factor(&args[2])?;
+            commands::parts(&a, &b, parse_mode(&args[3])?, &mut out)?;
+            Ok(true)
+        }
+        Some("verify-file") if args.len() >= 2 => {
+            let tsv = std::fs::read_to_string(&args[1])?;
+            commands::verify_file(&tsv, &mut out)
+        }
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(true)
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            Err("bad arguments".into())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(2), // validation mismatch
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

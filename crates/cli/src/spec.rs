@@ -1,0 +1,197 @@
+//! Factor and mode specification parsing.
+
+use std::fmt;
+use std::fs::File;
+
+use bikron_core::SelfLoopMode;
+use bikron_generators::powerlaw::{bipartite_chung_lu, PowerLawParams};
+use bikron_generators::unicode_like::{unicode_like, unicode_like_seeded};
+use bikron_generators::{
+    complete, complete_bipartite, crown, cycle, grid, hypercube, path, petersen, star, wheel,
+};
+use bikron_graph::Graph;
+
+/// Errors from spec parsing.
+#[derive(Debug)]
+pub enum SpecError {
+    /// Spec string did not match any known form.
+    Unknown(String),
+    /// Numeric argument missing or malformed.
+    BadArgument {
+        /// The spec that failed.
+        spec: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// File loading failed.
+    Io(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Unknown(s) => write!(f, "unknown factor spec '{s}'"),
+            SpecError::BadArgument { spec, expected } => {
+                write!(f, "bad argument in '{spec}': expected {expected}")
+            }
+            SpecError::Io(msg) => write!(f, "io: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn parse_n(spec: &str, arg: Option<&str>, expected: &'static str) -> Result<usize, SpecError> {
+    arg.and_then(|a| a.parse().ok())
+        .ok_or_else(|| SpecError::BadArgument {
+            spec: spec.to_string(),
+            expected,
+        })
+}
+
+fn parse_mxn(spec: &str, arg: Option<&str>) -> Result<(usize, usize), SpecError> {
+    let err = || SpecError::BadArgument {
+        spec: spec.to_string(),
+        expected: "MxN",
+    };
+    let a = arg.ok_or_else(err)?;
+    let (m, n) = a.split_once('x').ok_or_else(err)?;
+    Ok((
+        m.parse().map_err(|_| err())?,
+        n.parse().map_err(|_| err())?,
+    ))
+}
+
+/// Parse a factor spec into a graph (see crate docs for the grammar).
+pub fn parse_factor(spec: &str) -> Result<Graph, SpecError> {
+    let (kind, arg) = match spec.split_once(':') {
+        Some((k, a)) => (k, Some(a)),
+        None => (spec, None),
+    };
+    match kind {
+        "path" => Ok(path(parse_n(spec, arg, "vertex count")?)),
+        "cycle" => Ok(cycle(parse_n(spec, arg, "vertex count >= 3")?)),
+        "star" => Ok(star(parse_n(spec, arg, "leaf count")?)),
+        "complete" => Ok(complete(parse_n(spec, arg, "vertex count")?)),
+        "kmn" => {
+            let (m, n) = parse_mxn(spec, arg)?;
+            Ok(complete_bipartite(m, n))
+        }
+        "crown" => Ok(crown(parse_n(spec, arg, "side size >= 2")?)),
+        "hypercube" => Ok(hypercube(parse_n(spec, arg, "dimension")? as u32)),
+        "grid" => {
+            let (m, n) = parse_mxn(spec, arg)?;
+            Ok(grid(m, n))
+        }
+        "wheel" => Ok(wheel(parse_n(spec, arg, "rim size >= 3")?)),
+        "petersen" => Ok(petersen()),
+        "unicode" => Ok(match arg {
+            None => unicode_like(),
+            Some(s) => unicode_like_seeded(s.parse().map_err(|_| SpecError::BadArgument {
+                spec: spec.to_string(),
+                expected: "seed",
+            })?),
+        }),
+        "powerlaw" => {
+            let seed = parse_n(spec, arg, "seed")? as u64;
+            Ok(bipartite_chung_lu(&PowerLawParams::default(), seed))
+        }
+        "file" => {
+            let p = arg.ok_or_else(|| SpecError::BadArgument {
+                spec: spec.to_string(),
+                expected: "a path",
+            })?;
+            let f = File::open(p).map_err(|e| SpecError::Io(format!("{p}: {e}")))?;
+            bikron_graph::io::read_edge_list(f, false, None)
+                .map_err(|e| SpecError::Io(e.to_string()))
+        }
+        "konect" => {
+            let p = arg.ok_or_else(|| SpecError::BadArgument {
+                spec: spec.to_string(),
+                expected: "a path",
+            })?;
+            let f = File::open(p).map_err(|e| SpecError::Io(format!("{p}: {e}")))?;
+            bikron_graph::io::read_bipartite_edge_list(f, true)
+                .map(|(g, _)| g)
+                .map_err(|e| SpecError::Io(e.to_string()))
+        }
+        _ => Err(SpecError::Unknown(spec.to_string())),
+    }
+}
+
+/// Parse a self-loop mode: `none` (Assump. 1(i)) or `loops-a` /
+/// `factor-a` (Assump. 1(ii)).
+pub fn parse_mode(s: &str) -> Result<SelfLoopMode, SpecError> {
+    match s {
+        "none" => Ok(SelfLoopMode::None),
+        "loops-a" | "factor-a" => Ok(SelfLoopMode::FactorA),
+        other => Err(SpecError::Unknown(format!("mode '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_specs() {
+        assert_eq!(parse_factor("path:5").unwrap().num_vertices(), 5);
+        assert_eq!(parse_factor("cycle:6").unwrap().num_edges(), 6);
+        assert_eq!(parse_factor("kmn:3x4").unwrap().num_edges(), 12);
+        assert_eq!(parse_factor("grid:2x3").unwrap().num_vertices(), 6);
+        assert_eq!(parse_factor("petersen").unwrap().num_vertices(), 10);
+        assert_eq!(parse_factor("hypercube:3").unwrap().num_vertices(), 8);
+        assert_eq!(parse_factor("wheel:5").unwrap().num_vertices(), 6);
+    }
+
+    #[test]
+    fn unicode_specs() {
+        let g1 = parse_factor("unicode").unwrap();
+        assert_eq!(g1.num_edges(), 1256);
+        let g2 = parse_factor("unicode:3").unwrap();
+        assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn powerlaw_is_seeded() {
+        let a = parse_factor("powerlaw:1").unwrap();
+        let b = parse_factor("powerlaw:1").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_specs_error() {
+        assert!(matches!(parse_factor("zorp:3"), Err(SpecError::Unknown(_))));
+        assert!(matches!(
+            parse_factor("path"),
+            Err(SpecError::BadArgument { .. })
+        ));
+        assert!(matches!(
+            parse_factor("kmn:3"),
+            Err(SpecError::BadArgument { .. })
+        ));
+        assert!(matches!(
+            parse_factor("file:/nonexistent/x.el"),
+            Err(SpecError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("bikron_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("tiny.el");
+        std::fs::write(&p, "0 1\n1 2\n").unwrap();
+        let g = parse_factor(&format!("file:{}", p.display())).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn modes() {
+        assert_eq!(parse_mode("none").unwrap(), SelfLoopMode::None);
+        assert_eq!(parse_mode("loops-a").unwrap(), SelfLoopMode::FactorA);
+        assert_eq!(parse_mode("factor-a").unwrap(), SelfLoopMode::FactorA);
+        assert!(parse_mode("both").is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Block index maps (paper §II-A, zero-based).
+//!
+//! The paper defines, for block size `n` and 1-based indices,
+//! `α_n(i) = ⌊(i−1)/n⌋ + 1`, `β_n(i) = ((i−1) mod n) + 1`, and the inverse
+//! `γ_n(x, y) = (x−1)n + y`. This crate is zero-based throughout, so the
+//! maps reduce to division and remainder:
+//!
+//! * `alpha(p) = p / n` — which factor-`A` vertex the product vertex
+//!   belongs to,
+//! * `beta(p) = p % n` — which factor-`B` vertex,
+//! * `gamma(i, k) = i·n + k` — the product vertex for factor pair `(i, k)`.
+
+use bikron_sparse::Ix;
+
+/// Index mapper for a Kronecker product whose *second* factor has `n_b`
+/// vertices (the block size).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct KronIndexer {
+    n_b: Ix,
+}
+
+impl KronIndexer {
+    /// Build for second-factor order `n_b` (must be positive).
+    pub fn new(n_b: Ix) -> Self {
+        assert!(n_b > 0, "block size must be positive");
+        KronIndexer { n_b }
+    }
+
+    /// Block size (order of factor `B`).
+    #[inline]
+    pub fn block_size(&self) -> Ix {
+        self.n_b
+    }
+
+    /// `α`: the factor-`A` vertex of product vertex `p`.
+    #[inline]
+    pub fn alpha(&self, p: Ix) -> Ix {
+        p / self.n_b
+    }
+
+    /// `β`: the factor-`B` vertex of product vertex `p`.
+    #[inline]
+    pub fn beta(&self, p: Ix) -> Ix {
+        p % self.n_b
+    }
+
+    /// `γ`: the product vertex of factor pair `(i, k)`.
+    #[inline]
+    pub fn gamma(&self, i: Ix, k: Ix) -> Ix {
+        i * self.n_b + k
+    }
+
+    /// Split `p` into `(α(p), β(p))`.
+    #[inline]
+    pub fn split(&self, p: Ix) -> (Ix, Ix) {
+        (self.alpha(p), self.beta(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let ix = KronIndexer::new(7);
+        for i in 0..5 {
+            for k in 0..7 {
+                let p = ix.gamma(i, k);
+                assert_eq!(ix.split(p), (i, k));
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_is_dense_and_ordered() {
+        let ix = KronIndexer::new(3);
+        let ps: Vec<_> = (0..4).flat_map(|i| (0..3).map(move |k| (i, k)))
+            .map(|(i, k)| ix.gamma(i, k))
+            .collect();
+        assert_eq!(ps, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn block_boundaries() {
+        let ix = KronIndexer::new(4);
+        assert_eq!(ix.alpha(3), 0);
+        assert_eq!(ix.alpha(4), 1);
+        assert_eq!(ix.beta(4), 0);
+        assert_eq!(ix.beta(7), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_block_rejected() {
+        KronIndexer::new(0);
+    }
+}

@@ -1,0 +1,295 @@
+//! Sampled ground truth without materialisation.
+//!
+//! The generator's economics (paper §I): for an analytic costing
+//! `O(|E_C|^p)` directly, the Kronecker form gives ground truth from a
+//! data structure of size `O(|E_C|^{p/2})` — the factors' statistics.
+//! [`GroundTruth`] packages that: build once in `O(|factor|)` time, then
+//! answer per-vertex, per-edge and global queries about a product that is
+//! never materialised.
+
+use bikron_graph::Graph;
+use bikron_sparse::{Ix, SparseResult};
+
+use crate::product::{KroneckerProduct, SelfLoopMode};
+use crate::truth::distance::ParityTables;
+use crate::truth::squares_edge::edge_squares_at;
+use crate::truth::squares_vertex::{global_squares_with, vertex_squares_at, vertex_squares_with};
+use crate::truth::walks::FactorStats;
+
+/// Precomputed factor statistics bound to a product descriptor.
+///
+/// ```
+/// use bikron_core::{GroundTruth, KroneckerProduct, SelfLoopMode};
+/// use bikron_graph::Graph;
+///
+/// // C = (P3 + I) ⊗ C4: bipartite and connected by Thm. 2.
+/// let a = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+/// let b = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+/// let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::FactorA).unwrap();
+///
+/// let gt = GroundTruth::new(prod).unwrap().with_distances();
+/// let global = gt.global_squares().unwrap();   // exact, sublinear
+/// assert!(global > 0);
+/// assert_eq!(gt.degree(0), 4);                 // (d_A(0)+1)·d_B(0) = 2·2
+/// assert!(gt.diameter().is_some());            // connected (Thm. 2)
+/// assert!(gt.validate_global(global).unwrap().ok);
+/// assert!(!gt.validate_global(global + 1).unwrap().ok);
+/// ```
+pub struct GroundTruth<'a> {
+    prod: KroneckerProduct<'a>,
+    stats_a: FactorStats,
+    stats_b: FactorStats,
+    distances: Option<(ParityTables, ParityTables)>,
+}
+
+impl<'a> GroundTruth<'a> {
+    /// Build the oracle: two factor-stat computations, nothing
+    /// product-sized.
+    pub fn new(prod: KroneckerProduct<'a>) -> SparseResult<Self> {
+        let stats_a = FactorStats::compute(prod.factor_a())?;
+        let stats_b = FactorStats::compute(prod.factor_b())?;
+        Ok(GroundTruth {
+            prod,
+            stats_a,
+            stats_b,
+            distances: None,
+        })
+    }
+
+    /// Additionally precompute the all-pairs factor parity-distance
+    /// tables, enabling [`GroundTruth::hops`], [`GroundTruth::eccentricity`]
+    /// and [`GroundTruth::diameter`]. Costs `O(n_A·(n_A+m_A) + n_B·(n_B+m_B))`.
+    pub fn with_distances(mut self) -> Self {
+        self.distances = Some((
+            ParityTables::compute(self.prod.factor_a()),
+            ParityTables::compute(self.prod.factor_b()),
+        ));
+        self
+    }
+
+    /// The underlying product descriptor.
+    pub fn product(&self) -> &KroneckerProduct<'a> {
+        &self.prod
+    }
+
+    /// Factor-`A` statistics.
+    pub fn stats_a(&self) -> &FactorStats {
+        &self.stats_a
+    }
+
+    /// Factor-`B` statistics.
+    pub fn stats_b(&self) -> &FactorStats {
+        &self.stats_b
+    }
+
+    /// `|V_C|`.
+    pub fn num_vertices(&self) -> Ix {
+        self.prod.num_vertices()
+    }
+
+    /// `|E_C|`.
+    pub fn num_edges(&self) -> u64 {
+        self.prod.num_edges()
+    }
+
+    /// Exact degree of a product vertex — O(1).
+    pub fn degree(&self, p: Ix) -> u64 {
+        self.prod.degree(p)
+    }
+
+    /// Exact 4-cycle count at a product vertex — O(1).
+    pub fn squares_at_vertex(&self, p: Ix) -> u64 {
+        vertex_squares_at(&self.prod, &self.stats_a, &self.stats_b, p)
+    }
+
+    /// Exact 4-cycle count at a product edge — O(log d) lookups; `None`
+    /// for non-edges.
+    pub fn squares_at_edge(&self, p: Ix, q: Ix) -> Option<u64> {
+        edge_squares_at(&self.prod, &self.stats_a, &self.stats_b, p, q)
+    }
+
+    /// Exact global 4-cycle count — `O(n_A + n_B)`, sublinear in `|E_C|`.
+    pub fn global_squares(&self) -> SparseResult<u64> {
+        global_squares_with(&self.prod, &self.stats_a, &self.stats_b)
+    }
+
+    fn distance_tables(&self) -> &(ParityTables, ParityTables) {
+        self.distances
+            .as_ref()
+            .expect("call with_distances() before distance queries")
+    }
+
+    /// Exact hop distance between product vertices (`u64::MAX` when
+    /// unreachable). Requires [`GroundTruth::with_distances`].
+    pub fn hops(&self, p: Ix, q: Ix) -> u64 {
+        let (ta, tb) = self.distance_tables();
+        crate::truth::distance::hops_at(&self.prod, ta, tb, p, q)
+    }
+
+    /// Exact eccentricity of a product vertex (`None` when the product is
+    /// disconnected). Requires [`GroundTruth::with_distances`].
+    pub fn eccentricity(&self, p: Ix) -> Option<u64> {
+        let (ta, tb) = self.distance_tables();
+        crate::truth::distance::eccentricity_at(&self.prod, ta, tb, p)
+    }
+
+    /// Exact product diameter (`None` when disconnected), from factor
+    /// signatures only. Requires [`GroundTruth::with_distances`].
+    pub fn diameter(&self) -> Option<u64> {
+        let (ta, tb) = self.distance_tables();
+        crate::truth::distance::diameter(&self.prod, ta, tb)
+    }
+
+    /// Full per-vertex ground-truth vector — `O(|V_C|)` output time.
+    pub fn all_vertex_squares(&self) -> SparseResult<Vec<u64>> {
+        vertex_squares_with(&self.prod, &self.stats_a, &self.stats_b)
+    }
+
+    /// The `k` product vertices with the most 4-cycles, as
+    /// `(vertex, squares)` sorted descending — `O(|V_C| log k)` time,
+    /// `O(k)` memory, nothing product-sized retained. The Fig.-5 "hot
+    /// vertices" query.
+    pub fn top_k_square_vertices(&self, k: usize) -> Vec<(Ix, u64)> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut heap: BinaryHeap<Reverse<(u64, Ix)>> = BinaryHeap::with_capacity(k + 1);
+        for p in 0..self.prod.num_vertices() {
+            let s = self.squares_at_vertex(p);
+            if heap.len() < k {
+                heap.push(Reverse((s, p)));
+            } else if let Some(&Reverse((min_s, _))) = heap.peek() {
+                if s > min_s {
+                    heap.pop();
+                    heap.push(Reverse((s, p)));
+                }
+            }
+        }
+        let mut out: Vec<(Ix, u64)> = heap.into_iter().map(|Reverse((s, p))| (p, s)).collect();
+        out.sort_unstable_by_key(|&(p, s)| (Reverse(s), p));
+        out
+    }
+
+    /// Validate a claimed global count, reporting the discrepancy. The
+    /// intended workflow for implementation validation: run *your*
+    /// counter on the materialised product, then call this.
+    pub fn validate_global(&self, claimed: u64) -> SparseResult<Validation> {
+        let truth = self.global_squares()?;
+        Ok(Validation {
+            truth,
+            claimed,
+            ok: truth == claimed,
+        })
+    }
+}
+
+/// Outcome of a validation check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Validation {
+    /// Ground-truth value.
+    pub truth: u64,
+    /// The implementation's claim.
+    pub claimed: u64,
+    /// Whether they agree.
+    pub ok: bool,
+}
+
+/// Build the standard Table-I-style product from one bipartite factor:
+/// `C = (A + I_A) ⊗ A` (the paper's experiment uses the same graph for
+/// both factors).
+pub fn self_product(a: &Graph) -> Result<KroneckerProduct<'_>, crate::product::ProductError> {
+    KroneckerProduct::new(a, a, SelfLoopMode::FactorA)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikron_analytics::{butterflies_global, butterflies_per_edge, butterflies_per_vertex};
+    use bikron_generators::{complete_bipartite, crown};
+
+    #[test]
+    fn oracle_matches_direct_everywhere() {
+        let a = crown(3);
+        let b = complete_bipartite(2, 3);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::FactorA).unwrap();
+        let gt = GroundTruth::new(prod.clone()).unwrap();
+        let g = prod.materialize();
+        let direct_v = butterflies_per_vertex(&g);
+        for p in 0..g.num_vertices() {
+            assert_eq!(gt.squares_at_vertex(p), direct_v[p]);
+            assert_eq!(gt.degree(p), g.degree(p) as u64);
+        }
+        let direct_e = butterflies_per_edge(&g);
+        for &(p, q, c) in &direct_e.counts {
+            assert_eq!(gt.squares_at_edge(p, q), Some(c));
+        }
+        assert_eq!(gt.global_squares().unwrap(), butterflies_global(&g));
+        assert_eq!(gt.all_vertex_squares().unwrap(), direct_v);
+    }
+
+    #[test]
+    fn distance_queries_match_bfs() {
+        use bikron_graph::traversal::{bfs_distances, diameter as direct_diameter};
+        let a = crown(3);
+        let b = complete_bipartite(2, 3);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::FactorA).unwrap();
+        let gt = GroundTruth::new(prod.clone()).unwrap().with_distances();
+        let g = prod.materialize();
+        let d0 = bfs_distances(&g, 0);
+        for q in 0..g.num_vertices() {
+            assert_eq!(gt.hops(0, q), d0[q]);
+        }
+        assert_eq!(gt.diameter(), direct_diameter(&g));
+        assert_eq!(
+            gt.eccentricity(0),
+            bikron_graph::traversal::eccentricity(&g, 0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "with_distances")]
+    fn distance_queries_require_opt_in() {
+        let a = crown(3);
+        let prod = self_product(&a).unwrap();
+        let gt = GroundTruth::new(prod).unwrap();
+        let _ = gt.hops(0, 1);
+    }
+
+    #[test]
+    fn top_k_matches_full_sort() {
+        let a = crown(3);
+        let b = complete_bipartite(2, 3);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::FactorA).unwrap();
+        let gt = GroundTruth::new(prod).unwrap();
+        let all = gt.all_vertex_squares().unwrap();
+        let mut ranked: Vec<(usize, u64)> = all.iter().copied().enumerate().collect();
+        ranked.sort_unstable_by_key(|&(p, s)| (std::cmp::Reverse(s), p));
+        for k in [1, 3, 7, all.len() + 5] {
+            let top = gt.top_k_square_vertices(k);
+            assert_eq!(top.len(), k.min(all.len()));
+            assert_eq!(&top[..], &ranked[..top.len()]);
+        }
+        assert!(gt.top_k_square_vertices(0).is_empty());
+    }
+
+    #[test]
+    fn validation_reports() {
+        let a = crown(3);
+        let prod = self_product(&a).unwrap();
+        let gt = GroundTruth::new(prod).unwrap();
+        let truth = gt.global_squares().unwrap();
+        assert!(gt.validate_global(truth).unwrap().ok);
+        let bad = gt.validate_global(truth + 1).unwrap();
+        assert!(!bad.ok);
+        assert_eq!(bad.truth, truth);
+    }
+
+    #[test]
+    fn self_product_shape_matches_table1_formulas() {
+        // |U_C| = n_A·|U_A|, |W_C| = n_A·|W_A| for C = (A+I)⊗A.
+        let a = complete_bipartite(2, 3);
+        let prod = self_product(&a).unwrap();
+        let st = crate::connectivity::predict_structure(&prod);
+        assert_eq!(st.parts, Some((5 * 2, 5 * 3)));
+        assert!(st.connected);
+    }
+}

@@ -1,0 +1,283 @@
+//! Partitioned, annotated edge streaming — generation at scale.
+//!
+//! The paper's conclusion sketches the deployment model: a distributed
+//! generator that "compute\[s\] ground truth values during generation".
+//! This module is the shared-memory version of that pipeline:
+//!
+//! * the product's edge set is split into `num_parts` **balanced,
+//!   disjoint partitions** (by factor-`A` adjacency entries, each of
+//!   which owns exactly `nnz(B)` product entries, so balance is exact up
+//!   to one `A`-entry);
+//! * each partition streams its edges independently (distribute across
+//!   ranks, threads, or files), optionally **annotated with exact
+//!   per-edge ground truth** (`◇_pq`, and the endpoint degrees) computed
+//!   on the fly from factor statistics — no post-processing pass over the
+//!   product is ever needed;
+//! * writers emit plain or annotated edge-list files that the [`bikron_graph::io`]
+//!   readers (and any external tool) can consume.
+
+use std::io::{self, Write};
+
+use bikron_sparse::Ix;
+
+use crate::product::{KroneckerProduct, SelfLoopMode};
+use crate::truth::walks::FactorStats;
+
+/// One product edge with its ground-truth annotations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AnnotatedEdge {
+    /// Product endpoint `p < q`.
+    pub p: Ix,
+    /// Product endpoint.
+    pub q: Ix,
+    /// Degree of `p`.
+    pub degree_p: u64,
+    /// Degree of `q`.
+    pub degree_q: u64,
+    /// Exact 4-cycle participation `◇_pq`.
+    pub squares: u64,
+}
+
+/// A partitioned view of a product's edge set.
+pub struct PartitionedStream<'a> {
+    prod: &'a KroneckerProduct<'a>,
+    stats_a: &'a FactorStats,
+    stats_b: &'a FactorStats,
+    /// All effective `A`-entries `(i, j)` (including the diagonal under
+    /// `FactorA` mode), in a fixed order.
+    a_entries: Vec<(Ix, Ix)>,
+    num_parts: usize,
+}
+
+impl<'a> PartitionedStream<'a> {
+    /// Split the product into `num_parts ≥ 1` partitions.
+    pub fn new(
+        prod: &'a KroneckerProduct<'a>,
+        stats_a: &'a FactorStats,
+        stats_b: &'a FactorStats,
+        num_parts: usize,
+    ) -> Self {
+        assert!(num_parts >= 1, "need at least one partition");
+        // Canonical entries only (`i < j`, plus the diagonal under
+        // `FactorA`): the mirrored entry `(j, i)` regenerates the same
+        // undirected edges, so keeping one orientation makes partitions
+        // exactly balanced — `nnz(B)` edges per off-diagonal entry,
+        // `nnz(B)/2` per diagonal entry.
+        let mut a_entries: Vec<(Ix, Ix)> = prod
+            .factor_a()
+            .adjacency()
+            .iter()
+            .filter(|&(i, j, _)| i < j)
+            .map(|(i, j, _)| (i, j))
+            .collect();
+        if prod.mode() == SelfLoopMode::FactorA {
+            a_entries.extend((0..prod.factor_a().num_vertices()).map(|i| (i, i)));
+        }
+        PartitionedStream {
+            prod,
+            stats_a,
+            stats_b,
+            a_entries,
+            num_parts,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_parts(&self) -> usize {
+        self.num_parts
+    }
+
+    /// The `A`-entry range owned by `part`.
+    fn slice(&self, part: usize) -> &[(Ix, Ix)] {
+        assert!(part < self.num_parts, "partition out of range");
+        let n = self.a_entries.len();
+        let per = n.div_ceil(self.num_parts);
+        let lo = (part * per).min(n);
+        let hi = ((part + 1) * per).min(n);
+        &self.a_entries[lo..hi]
+    }
+
+    /// Stream the undirected edges (`p < q`) owned by `part`.
+    ///
+    /// Partitions are disjoint and their union is exactly the product's
+    /// edge set: each undirected edge `{p, q}` materialises from exactly
+    /// one canonical `A`-entry. An off-diagonal entry `(i, j)` (`i < j`)
+    /// yields `p = γ(i,k) < γ(j,l) = q` for *every* `B`-entry; a diagonal
+    /// entry yields one orientation per undirected `B` edge.
+    pub fn edges(&self, part: usize) -> impl Iterator<Item = (Ix, Ix)> + '_ {
+        let ix = self.prod.indexer();
+        let b = self.prod.factor_b();
+        self.slice(part).iter().flat_map(move |&(i, j)| {
+            b.adjacency()
+                .iter()
+                .map(move |(k, l, _)| (ix.gamma(i, k), ix.gamma(j, l)))
+                .filter(move |&(p, q)| i < j || p < q)
+        })
+    }
+
+    /// Stream annotated edges: ground truth attached during generation.
+    pub fn annotated_edges(&self, part: usize) -> impl Iterator<Item = AnnotatedEdge> + '_ {
+        let prod = self.prod;
+        let sa = self.stats_a;
+        let sb = self.stats_b;
+        self.edges(part).map(move |(p, q)| AnnotatedEdge {
+            p,
+            q,
+            degree_p: prod.degree(p),
+            degree_q: prod.degree(q),
+            squares: crate::truth::squares_edge::edge_squares_at(prod, sa, sb, p, q)
+                .expect("streamed pairs are edges"),
+        })
+    }
+
+    /// Write `part`'s edges as a plain `p q` edge list. Returns the edge
+    /// count written.
+    pub fn write_edges<W: Write>(&self, part: usize, mut w: W) -> io::Result<u64> {
+        let mut count = 0u64;
+        for (p, q) in self.edges(part) {
+            writeln!(w, "{p} {q}")?;
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// Write `part`'s annotated edges as TSV:
+    /// `p  q  degree_p  degree_q  squares`.
+    pub fn write_annotated<W: Write>(&self, part: usize, mut w: W) -> io::Result<u64> {
+        let mut count = 0u64;
+        for e in self.annotated_edges(part) {
+            writeln!(
+                w,
+                "{}\t{}\t{}\t{}\t{}",
+                e.p, e.q, e.degree_p, e.degree_q, e.squares
+            )?;
+            count += 1;
+        }
+        Ok(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::squares_edge::edge_squares_with;
+    use bikron_generators::{complete_bipartite, crown, cycle, path};
+    use std::collections::BTreeSet;
+
+    fn setup<'a>(
+        prod: &'a KroneckerProduct<'a>,
+        sa: &'a FactorStats,
+        sb: &'a FactorStats,
+        parts: usize,
+    ) -> PartitionedStream<'a> {
+        PartitionedStream::new(prod, sa, sb, parts)
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_complete() {
+        let a = cycle(5);
+        let b = complete_bipartite(2, 3);
+        for mode in [SelfLoopMode::None, SelfLoopMode::FactorA] {
+            let prod = KroneckerProduct::new(&a, &b, mode).unwrap();
+            let sa = FactorStats::compute(&a).unwrap();
+            let sb = FactorStats::compute(&b).unwrap();
+            for parts in [1, 2, 3, 7] {
+                let ps = setup(&prod, &sa, &sb, parts);
+                let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+                for part in 0..parts {
+                    for (p, q) in ps.edges(part) {
+                        assert!(seen.insert((p, q)), "duplicate edge ({p},{q})");
+                    }
+                }
+                let expected: BTreeSet<(usize, usize)> = prod.edges().collect();
+                assert_eq!(seen, expected, "parts {parts} mode {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_balance() {
+        let a = crown(4);
+        let b = crown(4);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let sa = FactorStats::compute(&a).unwrap();
+        let sb = FactorStats::compute(&b).unwrap();
+        let parts = 4;
+        let ps = setup(&prod, &sa, &sb, parts);
+        let sizes: Vec<usize> = (0..parts).map(|p| ps.edges(p).count()).collect();
+        let (min, max) = (
+            *sizes.iter().min().unwrap(),
+            *sizes.iter().max().unwrap(),
+        );
+        // Each A-entry yields the same number of product entries, so the
+        // imbalance is at most one A-entry's worth.
+        assert!(max - min <= b.nnz(), "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn annotations_match_batch_ground_truth() {
+        let a = path(3);
+        let b = cycle(4);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::FactorA).unwrap();
+        let sa = FactorStats::compute(&a).unwrap();
+        let sb = FactorStats::compute(&b).unwrap();
+        let batch = edge_squares_with(&prod, &sa, &sb).unwrap();
+        let ps = setup(&prod, &sa, &sb, 3);
+        let mut total = 0usize;
+        for part in 0..3 {
+            for e in ps.annotated_edges(part) {
+                assert_eq!(batch.get(e.p, e.q), Some(e.squares));
+                assert_eq!(e.degree_p, prod.degree(e.p));
+                total += 1;
+            }
+        }
+        assert_eq!(total as u64, prod.num_edges());
+    }
+
+    #[test]
+    fn written_edges_reload_as_the_product() {
+        let a = cycle(3);
+        let b = path(4);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let sa = FactorStats::compute(&a).unwrap();
+        let sb = FactorStats::compute(&b).unwrap();
+        let ps = setup(&prod, &sa, &sb, 2);
+        let mut buf = Vec::new();
+        let mut written = 0;
+        for part in 0..2 {
+            written += ps.write_edges(part, &mut buf).unwrap();
+        }
+        assert_eq!(written, prod.num_edges());
+        let reloaded =
+            bikron_graph::io::read_edge_list(&buf[..], false, Some(prod.num_vertices())).unwrap();
+        assert_eq!(reloaded, prod.materialize());
+    }
+
+    #[test]
+    fn annotated_tsv_shape() {
+        let a = path(3);
+        let b = path(3);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::FactorA).unwrap();
+        let sa = FactorStats::compute(&a).unwrap();
+        let sb = FactorStats::compute(&b).unwrap();
+        let ps = setup(&prod, &sa, &sb, 1);
+        let mut buf = Vec::new();
+        let n = ps.write_annotated(0, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count() as u64, n);
+        for line in text.lines() {
+            assert_eq!(line.split('\t').count(), 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_parts_rejected() {
+        let a = path(3);
+        let b = path(3);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let sa = FactorStats::compute(&a).unwrap();
+        let sb = FactorStats::compute(&b).unwrap();
+        let _ = PartitionedStream::new(&prod, &sa, &sb, 0);
+    }
+}

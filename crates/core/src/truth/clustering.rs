@@ -1,0 +1,193 @@
+//! Bipartite edge clustering coefficients and the Thm. 6 scaling law.
+//!
+//! Def. 10: `Γ(i,j) = ◇_ij / ((d_i − 1)(d_j − 1))`. Thm. 6 (mode `None`,
+//! all four factor degrees ≥ 2):
+//!
+//! `Γ_C(p,q) ≥ ψ(i,j,k,l) · Γ_A(i,j) · Γ_B(k,l)` with
+//! `ψ = (d_i−1)(d_k−1)(d_j−1)(d_l−1) / ((d_i d_k − 1)(d_j d_l − 1))`
+//! and `ψ ∈ [1/9, 1)`.
+//!
+//! The functions here compute both sides of the inequality from factor
+//! statistics so benches and tests can verify the law and measure its
+//! slack.
+
+use bikron_sparse::Ix;
+
+use crate::product::{KroneckerProduct, SelfLoopMode};
+use crate::truth::squares_edge::edge_squares_at;
+use crate::truth::walks::FactorStats;
+
+/// `Γ` for a factor edge, `None` when undefined (a degree-1 endpoint) or
+/// when `(i,j)` is not an edge.
+pub fn factor_gamma(stats: &FactorStats, i: Ix, j: Ix) -> Option<f64> {
+    let diamond = stats.squares_at_edge(i, j)?;
+    let denom = (stats.degrees[i] - 1) * (stats.degrees[j] - 1);
+    (denom > 0).then(|| diamond as f64 / denom as f64)
+}
+
+/// `Γ_C` for a product edge from ground truth, `None` when not an edge or
+/// undefined.
+pub fn product_gamma(
+    prod: &KroneckerProduct<'_>,
+    stats_a: &FactorStats,
+    stats_b: &FactorStats,
+    p: Ix,
+    q: Ix,
+) -> Option<f64> {
+    let diamond = edge_squares_at(prod, stats_a, stats_b, p, q)?;
+    let dp = prod.degree(p) as i128;
+    let dq = prod.degree(q) as i128;
+    let denom = (dp - 1) * (dq - 1);
+    (denom > 0).then(|| diamond as f64 / denom as f64)
+}
+
+/// The Thm. 6 prefactor `ψ(i,j,k,l)`; requires all degrees ≥ 2.
+pub fn psi(di: i128, dj: i128, dk: i128, dl: i128) -> f64 {
+    assert!(
+        di >= 2 && dj >= 2 && dk >= 2 && dl >= 2,
+        "psi requires factor degrees >= 2"
+    );
+    let num = ((di - 1) * (dk - 1) * (dj - 1) * (dl - 1)) as f64;
+    let den = ((di * dk - 1) * (dj * dl - 1)) as f64;
+    num / den
+}
+
+/// One verified instance of the Thm. 6 inequality on a product edge.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingLawSample {
+    /// Left-hand side `Γ_C(p,q)`.
+    pub gamma_c: f64,
+    /// The bound `ψ · Γ_A · Γ_B`.
+    pub bound: f64,
+    /// `ψ` itself.
+    pub psi: f64,
+}
+
+/// Evaluate the Thm. 6 inequality on product edge `(p, q)` (mode `None`
+/// only — the theorem is stated for `C = A ⊗ B`). Returns `None` if the
+/// edge does not exist or any relevant degree is < 2.
+pub fn scaling_law_at(
+    prod: &KroneckerProduct<'_>,
+    stats_a: &FactorStats,
+    stats_b: &FactorStats,
+    p: Ix,
+    q: Ix,
+) -> Option<ScalingLawSample> {
+    if prod.mode() != SelfLoopMode::None {
+        return None;
+    }
+    let ix = prod.indexer();
+    let (i, k) = ix.split(p);
+    let (j, l) = ix.split(q);
+    let (di, dj) = (stats_a.degrees[i], stats_a.degrees[j]);
+    let (dk, dl) = (stats_b.degrees[k], stats_b.degrees[l]);
+    if di < 2 || dj < 2 || dk < 2 || dl < 2 {
+        return None;
+    }
+    let gamma_c = product_gamma(prod, stats_a, stats_b, p, q)?;
+    let ga = factor_gamma(stats_a, i, j)?;
+    let gb = factor_gamma(stats_b, k, l)?;
+    let psi_v = psi(di, dj, dk, dl);
+    Some(ScalingLawSample {
+        gamma_c,
+        bound: psi_v * ga * gb,
+        psi: psi_v,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::product::KroneckerProduct;
+    use bikron_generators::{complete_bipartite, wheel};
+
+    #[test]
+    fn psi_range() {
+        // ψ ∈ [1/9, 1): minimum at all degrees 2.
+        let lo = psi(2, 2, 2, 2);
+        assert!((lo - 1.0 / 9.0).abs() < 1e-12);
+        for degs in [(2, 3, 4, 5), (10, 10, 10, 10), (2, 2, 50, 50)] {
+            let v = psi(degs.0, degs.1, degs.2, degs.3);
+            assert!((1.0 / 9.0..1.0).contains(&v), "psi {v} out of range");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degrees >= 2")]
+    fn psi_rejects_degree_one() {
+        psi(1, 2, 2, 2);
+    }
+
+    #[test]
+    fn thm6_holds_on_every_eligible_edge() {
+        let a = wheel(5); // non-bipartite, degrees ≥ 3
+        let b = complete_bipartite(3, 4);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let sa = FactorStats::compute(&a).unwrap();
+        let sb = FactorStats::compute(&b).unwrap();
+        let mut checked = 0;
+        for (p, q) in prod.edges() {
+            if let Some(s) = scaling_law_at(&prod, &sa, &sb, p, q) {
+                assert!(
+                    s.gamma_c >= s.bound - 1e-12,
+                    "Thm 6 violated at ({p},{q}): {} < {}",
+                    s.gamma_c,
+                    s.bound
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "no eligible edges checked");
+    }
+
+    #[test]
+    fn thm6_strict_when_factor_gammas_positive() {
+        // With both factor Γ > 0, the bound is strictly below Γ_C (the
+        // paper notes the bound is loose). Wheel edges all carry 4-cycles,
+        // so Γ_A > 0 everywhere; K_{3,3} has Γ_B = 1.
+        let a = wheel(5);
+        let b = complete_bipartite(3, 3);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let sa = FactorStats::compute(&a).unwrap();
+        let sb = FactorStats::compute(&b).unwrap();
+        let mut strict = 0;
+        for (p, q) in prod.edges() {
+            if let Some(s) = scaling_law_at(&prod, &sa, &sb, p, q) {
+                if s.bound > 0.0 {
+                    assert!(s.gamma_c > s.bound);
+                    strict += 1;
+                }
+            }
+        }
+        assert!(strict > 0);
+    }
+
+    #[test]
+    fn gamma_matches_direct_measurement() {
+        let a = wheel(4);
+        let b = complete_bipartite(2, 3);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let sa = FactorStats::compute(&a).unwrap();
+        let sb = FactorStats::compute(&b).unwrap();
+        let g = prod.materialize();
+        let direct = bikron_analytics::clustering::edge_clustering(&g);
+        for (u, v, want) in direct {
+            let got = product_gamma(&prod, &sa, &sb, u, v);
+            match want {
+                None => assert_eq!(got, None),
+                Some(x) => assert!((got.unwrap() - x).abs() < 1e-12),
+            }
+        }
+    }
+
+    #[test]
+    fn factor_a_mode_returns_none() {
+        let a = complete_bipartite(2, 2);
+        let b = complete_bipartite(2, 2);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::FactorA).unwrap();
+        let sa = FactorStats::compute(&a).unwrap();
+        let sb = FactorStats::compute(&b).unwrap();
+        let (p, q) = prod.edges().next().unwrap();
+        assert!(scaling_law_at(&prod, &sa, &sb, p, q).is_none());
+    }
+}

@@ -1,0 +1,346 @@
+//! Community structure under Kronecker products (paper §III-C).
+//!
+//! For `C = (A + I_A) ⊗ B` with bipartite factors, a factor community
+//! `S_A ⊂ V_A` and `S_B = R_B ∪ T_B ⊂ V_B` induce the product community
+//! `S_C = S_A ⊗ S_B` (Def. 12) whose internal/external edge counts are
+//! *exact* functions of the factor counts (Thm. 7):
+//!
+//! `m_in(S_C) = 2·m_in(S_A)·m_in(S_B) + |S_A|·m_in(S_B)`
+//! `m_out(S_C) = m_out(S_A)m_out(S_B) + 2m_out(S_A)m_in(S_B)
+//!               + |S_A|m_out(S_B) + 2m_in(S_A)m_out(S_B)`
+//!
+//! with density bounds (Cors. 1–2) that make the community structure
+//! *controllable*: dense factor communities stay dense in the product.
+//!
+//! The mode-`None` counterpart (same derivation, no `+I_A` term — i.e.
+//! `m_in(S_C) = 2·m_in(S_A)·m_in(S_B)`) is implemented alongside, as an
+//! extension beyond the paper's statement.
+
+use bikron_graph::{bipartition, Bipartition, Graph};
+use bikron_sparse::Ix;
+
+use crate::index::KronIndexer;
+use crate::product::{KroneckerProduct, SelfLoopMode};
+
+/// Def. 11 statistics for one factor community.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FactorCommunity {
+    /// The member vertices.
+    pub members: Vec<Ix>,
+    /// `m_in`: internal edge count.
+    pub m_in: u64,
+    /// `m_out`: boundary edge count.
+    pub m_out: u64,
+    /// `|R| = |S ∩ U|` (left-side members).
+    pub r_len: usize,
+    /// `|T| = |S ∩ W|` (right-side members).
+    pub t_len: usize,
+}
+
+impl FactorCommunity {
+    /// Measure Def. 11 counts for `members` in `g` (g must be loop-free).
+    pub fn measure(g: &Graph, bip: &Bipartition, members: &[Ix]) -> Self {
+        let n = g.num_vertices();
+        let mut in_s = vec![false; n];
+        for &v in members {
+            in_s[v] = true;
+        }
+        let (mut m_in, mut m_out) = (0u64, 0u64);
+        for (u, v) in g.edges() {
+            match (in_s[u], in_s[v]) {
+                (true, true) => m_in += 1,
+                (true, false) | (false, true) => m_out += 1,
+                _ => {}
+            }
+        }
+        let r_len = members.iter().filter(|&&v| bip.side_of(v) == 0).count();
+        FactorCommunity {
+            members: members.to_vec(),
+            m_in,
+            m_out,
+            r_len,
+            t_len: members.len() - r_len,
+        }
+    }
+
+    /// `|S|`.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the community is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// `ρ_in = m_in / (|R|·|T|)`, `None` when a part is empty.
+    pub fn rho_in(&self) -> Option<f64> {
+        let denom = (self.r_len * self.t_len) as u64;
+        (denom > 0).then(|| self.m_in as f64 / denom as f64)
+    }
+
+    /// `ρ_out` per Def. 11, relative to the host bipartition sizes.
+    pub fn rho_out(&self, bip: &Bipartition) -> Option<f64> {
+        let (r, t) = (self.r_len as u64, self.t_len as u64);
+        let (u, w) = (bip.u_len() as u64, bip.w_len() as u64);
+        let denom = r * w + u * t - 2 * r * t;
+        (denom > 0).then(|| self.m_out as f64 / denom as f64)
+    }
+}
+
+/// The Thm. 7 prediction for the product community.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProductCommunityTruth {
+    /// Product community members (`S_C = S_A ⊗ S_B` under `γ`).
+    pub members: Vec<Ix>,
+    /// Predicted `m_in(S_C)`.
+    pub m_in: u64,
+    /// Predicted `m_out(S_C)`.
+    pub m_out: u64,
+    /// `|R_C| = |S_A|·|R_B|`.
+    pub r_len: usize,
+    /// `|T_C| = |S_A|·|T_B|`.
+    pub t_len: usize,
+    /// Cor. 1 lower bound on `ρ_in(S_C)` (when defined).
+    pub rho_in_lower_bound: Option<f64>,
+    /// Cor. 2 upper bound on `ρ_out(S_C)` (when defined).
+    pub rho_out_upper_bound: Option<f64>,
+    /// Predicted `ρ_in(S_C)`.
+    pub rho_in: Option<f64>,
+}
+
+/// Predict Thm. 7 statistics for the product of two factor communities.
+///
+/// The paper states Thm. 7 for `C = (A + I_A) ⊗ B`; the same derivation
+/// without the identity term gives the mode-`None` counterpart
+/// (`m_in(S_C) = 2·m_in(S_A)·m_in(S_B)`, etc.), which is implemented too
+/// and validated against measurement in the tests.
+pub fn product_community(
+    prod: &KroneckerProduct<'_>,
+    com_a: &FactorCommunity,
+    com_b: &FactorCommunity,
+    bip_a: &Bipartition,
+    bip_b: &Bipartition,
+) -> Option<ProductCommunityTruth> {
+    let ix = prod.indexer();
+    let members = product_members(&ix, &com_a.members, &com_b.members);
+
+    let sa = com_a.len() as u64;
+    let sb = com_b.len() as u64;
+    // 1ᵗ_{S_A}(A + εI)1_{S_A} = 2·m_in(S_A) + ε·|S_A| with ε ∈ {0, 1}.
+    let eps = match prod.mode() {
+        SelfLoopMode::None => 0u64,
+        SelfLoopMode::FactorA => 1,
+    };
+    let m_in = 2 * com_a.m_in * com_b.m_in + eps * sa * com_b.m_in;
+    let m_out = com_a.m_out * com_b.m_out
+        + 2 * com_a.m_out * com_b.m_in
+        + eps * sa * com_b.m_out
+        + 2 * com_a.m_in * com_b.m_out;
+
+    let r_len = com_a.len() * com_b.r_len;
+    let t_len = com_a.len() * com_b.t_len;
+    let rho_in = {
+        let denom = (r_len * t_len) as u64;
+        (denom > 0).then(|| m_in as f64 / denom as f64)
+    };
+
+    // Cor. 1 (corrected; see DESIGN.md): with Def. 11's
+    // ρ_in = m_in/(|R||T|), the chain in the paper's proof gives
+    // ρ_in(S_C) > 2θ·ρ_in(S_A)·ρ_in(S_B) with θ = |R_A||T_A|/|S_A|², i.e.
+    // ρ_in(S_C) ≥ 2ω(1−ω)·ρ_in(S_A)·ρ_in(S_B) ≥ ω·ρ_in(S_A)·ρ_in(S_B).
+    // (The paper's printed `2ω` constant assumes an extra factor 2 in the
+    // density definition and fails on K_{3,3}-style examples.)
+    let rho_in_lower_bound = match (com_a.rho_in(), com_b.rho_in()) {
+        (Some(ra), Some(rb)) if !com_a.is_empty() => {
+            let omega = com_a.r_len.min(com_a.t_len) as f64 / com_a.len() as f64;
+            Some(2.0 * omega * (1.0 - omega) * ra * rb)
+        }
+        _ => None,
+    };
+
+    // Cor. 2: ρ_out(S_C) ≤ (1+ξ_A)(1+ξ_B) / (1 − ε²) · ρ_out(S_A)·ρ_out(S_B).
+    let rho_out_upper_bound = match (
+        com_a.rho_out(bip_a),
+        com_b.rho_out(bip_b),
+        com_a.m_out,
+        com_b.m_out,
+    ) {
+        (Some(ra), Some(rb), ma, mb) if ma > 0 && mb > 0 => {
+            let xi_a = (2 * com_a.m_in + sa) as f64 / ma as f64;
+            let xi_b = (2 * com_b.m_in + sb) as f64 / mb as f64;
+            let eps = [
+                com_a.len() as f64 / prod.factor_a().num_vertices() as f64,
+                com_b.r_len as f64 / bip_b.u_len().max(1) as f64,
+                com_b.t_len as f64 / bip_b.w_len().max(1) as f64,
+            ]
+            .into_iter()
+            .fold(0.0f64, f64::max);
+            (eps < 1.0).then(|| (1.0 + xi_a) * (1.0 + xi_b) / (1.0 - eps * eps) * ra * rb)
+        }
+        _ => None,
+    };
+
+    Some(ProductCommunityTruth {
+        members,
+        m_in,
+        m_out,
+        r_len,
+        t_len,
+        rho_in_lower_bound,
+        rho_out_upper_bound,
+        rho_in,
+    })
+}
+
+/// `S_C = S_A ⊗ S_B`: all product vertices `γ(i, k)` with `i ∈ S_A`,
+/// `k ∈ S_B`, sorted.
+pub fn product_members(ix: &KronIndexer, s_a: &[Ix], s_b: &[Ix]) -> Vec<Ix> {
+    let mut out = Vec::with_capacity(s_a.len() * s_b.len());
+    for &i in s_a {
+        for &k in s_b {
+            out.push(ix.gamma(i, k));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Convenience: measure both factor communities, predict the product
+/// community, and also measure it on a materialised product for
+/// validation. Returns `(prediction, measured_m_in, measured_m_out)`.
+pub fn predict_and_measure(
+    prod: &KroneckerProduct<'_>,
+    s_a: &[Ix],
+    s_b: &[Ix],
+) -> Option<(ProductCommunityTruth, u64, u64)> {
+    let bip_a = bipartition(prod.factor_a())?;
+    let bip_b = bipartition(prod.factor_b())?;
+    let com_a = FactorCommunity::measure(prod.factor_a(), &bip_a, s_a);
+    let com_b = FactorCommunity::measure(prod.factor_b(), &bip_b, s_b);
+    let truth = product_community(prod, &com_a, &com_b, &bip_a, &bip_b)?;
+    let g = prod.materialize();
+    let n = g.num_vertices();
+    let mut in_s = vec![false; n];
+    for &v in &truth.members {
+        in_s[v] = true;
+    }
+    let (mut m_in, mut m_out) = (0u64, 0u64);
+    for (u, v) in g.edges() {
+        match (in_s[u], in_s[v]) {
+            (true, true) => m_in += 1,
+            (true, false) | (false, true) => m_out += 1,
+            _ => {}
+        }
+    }
+    Some((truth, m_in, m_out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikron_generators::{complete_bipartite, crown, cycle, path};
+
+    #[test]
+    fn thm7_exact_on_biclique_community() {
+        let a = complete_bipartite(2, 3);
+        let b = crown(3);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::FactorA).unwrap();
+        // S_A: all of K_{2,3}; S_B: one biclique-ish corner of the crown.
+        let s_a: Vec<usize> = (0..5).collect();
+        let s_b = vec![0, 1, 4, 5]; // crown(3): left {0,1}, right {3+1, 3+2}
+        let (truth, m_in, m_out) = predict_and_measure(&prod, &s_a, &s_b).unwrap();
+        assert_eq!(truth.m_in, m_in, "Thm 7 m_in");
+        assert_eq!(truth.m_out, m_out, "Thm 7 m_out");
+    }
+
+    #[test]
+    fn thm7_exact_on_many_random_subsets() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let a = path(4);
+        let b = cycle(6);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::FactorA).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let s_a: Vec<usize> = (0..4).filter(|_| rng.gen_bool(0.5)).collect();
+            let s_b: Vec<usize> = (0..6).filter(|_| rng.gen_bool(0.5)).collect();
+            if s_a.is_empty() || s_b.is_empty() {
+                continue;
+            }
+            let (truth, m_in, m_out) = predict_and_measure(&prod, &s_a, &s_b).unwrap();
+            assert_eq!(truth.m_in, m_in);
+            assert_eq!(truth.m_out, m_out);
+        }
+    }
+
+    #[test]
+    fn cor1_lower_bound_holds() {
+        let a = complete_bipartite(3, 3);
+        let b = complete_bipartite(2, 4);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::FactorA).unwrap();
+        let s_a: Vec<usize> = vec![0, 1, 3, 4]; // 2 left + 2 right
+        let s_b: Vec<usize> = vec![0, 1, 2, 3]; // 2 left + 2 right
+        let (truth, _, _) = predict_and_measure(&prod, &s_a, &s_b).unwrap();
+        let (rho_in, bound) = (truth.rho_in.unwrap(), truth.rho_in_lower_bound.unwrap());
+        assert!(
+            rho_in >= bound - 1e-12,
+            "Cor 1 violated: {rho_in} < {bound}"
+        );
+    }
+
+    #[test]
+    fn cor2_upper_bound_holds() {
+        let a = complete_bipartite(3, 3);
+        let b = crown(4);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::FactorA).unwrap();
+        let s_a: Vec<usize> = vec![0, 3]; // small community, m_out > 0
+        let s_b: Vec<usize> = vec![0, 5];
+        let bip_c = crate::connectivity::product_bipartition(&prod).unwrap();
+        let (truth, _, m_out) = predict_and_measure(&prod, &s_a, &s_b).unwrap();
+        if let Some(bound) = truth.rho_out_upper_bound {
+            // Measured ρ_out of the product community:
+            let (r, t) = (truth.r_len as u64, truth.t_len as u64);
+            let (u, w) = (bip_c.u_len() as u64, bip_c.w_len() as u64);
+            let denom = r * w + u * t - 2 * r * t;
+            let rho_out = m_out as f64 / denom as f64;
+            assert!(
+                rho_out <= bound + 1e-12,
+                "Cor 2 violated: {rho_out} > {bound}"
+            );
+        } else {
+            panic!("expected a Cor. 2 bound for this configuration");
+        }
+    }
+
+    #[test]
+    fn mode_none_counts_also_exact() {
+        // The mode-None counterpart (ε = 0) of Thm. 7, on random subsets.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let a = path(4);
+        let b = cycle(6);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut checked = 0;
+        for _ in 0..20 {
+            let s_a: Vec<usize> = (0..4).filter(|_| rng.gen_bool(0.5)).collect();
+            let s_b: Vec<usize> = (0..6).filter(|_| rng.gen_bool(0.5)).collect();
+            if s_a.is_empty() || s_b.is_empty() {
+                continue;
+            }
+            let (truth, m_in, m_out) = predict_and_measure(&prod, &s_a, &s_b).unwrap();
+            assert_eq!(truth.m_in, m_in);
+            assert_eq!(truth.m_out, m_out);
+            checked += 1;
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn product_members_layout() {
+        let ix = KronIndexer::new(4);
+        let m = product_members(&ix, &[1, 0], &[2, 3]);
+        assert_eq!(m, vec![2, 3, 6, 7]);
+    }
+}

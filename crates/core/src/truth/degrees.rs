@@ -1,0 +1,123 @@
+//! Ground-truth degree statistics of the product.
+//!
+//! Degrees multiply — `d_C(γ(i,k)) = d'_A(i)·d_B(k)` with
+//! `d'_A = d_A (+1 under `FactorA`)` — so the product's degree
+//! *distribution* is the multiplicative convolution of the factor
+//! distributions, computable over the **distinct** factor degrees in
+//! `O(|D_A|·|D_B|)`. This is the mechanism behind the paper's remark that
+//! nonstochastic products lack vertices of large *prime* degree: every
+//! product degree factors as `d'_A·d_B`.
+
+use std::collections::BTreeMap;
+
+use crate::product::{KroneckerProduct, SelfLoopMode};
+
+/// Degree histogram of the product, computed from factor histograms —
+/// never touches product-sized data.
+pub fn degree_histogram(prod: &KroneckerProduct<'_>) -> BTreeMap<u64, u64> {
+    let bonus = match prod.mode() {
+        SelfLoopMode::None => 0u64,
+        SelfLoopMode::FactorA => 1,
+    };
+    let hist = |g: &bikron_graph::Graph, add: u64| -> BTreeMap<u64, u64> {
+        let mut h = BTreeMap::new();
+        for v in 0..g.num_vertices() {
+            *h.entry(g.degree(v) as u64 + add).or_insert(0) += 1;
+        }
+        h
+    };
+    let ha = hist(prod.factor_a(), bonus);
+    let hb = hist(prod.factor_b(), 0);
+    let mut out: BTreeMap<u64, u64> = BTreeMap::new();
+    for (&da, &ca) in &ha {
+        for (&db, &cb) in &hb {
+            *out.entry(da * db).or_insert(0) += ca * cb;
+        }
+    }
+    out
+}
+
+/// Exact maximum degree of the product.
+pub fn max_degree(prod: &KroneckerProduct<'_>) -> u64 {
+    let bonus = match prod.mode() {
+        SelfLoopMode::None => 0u64,
+        SelfLoopMode::FactorA => 1,
+    };
+    let da = prod.factor_a().max_degree() as u64 + bonus;
+    let db = prod.factor_b().max_degree() as u64;
+    da * db
+}
+
+/// Count of product vertices whose degree is a prime number — the
+/// paper's "peculiar property": nonzero only when a factor side admits
+/// degree 1 (primes can't factor otherwise).
+pub fn prime_degree_vertices(prod: &KroneckerProduct<'_>) -> u64 {
+    fn is_prime(n: u64) -> bool {
+        if n < 2 {
+            return false;
+        }
+        let mut d = 2;
+        while d * d <= n {
+            if n % d == 0 {
+                return false;
+            }
+            d += 1;
+        }
+        true
+    }
+    degree_histogram(prod)
+        .iter()
+        .filter(|&(&d, _)| is_prime(d))
+        .map(|(_, &c)| c)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikron_generators::{complete_bipartite, crown, cycle, path, star, wheel};
+    use bikron_graph::stats::degree_histogram as direct_histogram;
+
+    fn check(a: &bikron_graph::Graph, b: &bikron_graph::Graph, mode: SelfLoopMode) {
+        let prod = KroneckerProduct::new(a, b, mode).unwrap();
+        let truth = degree_histogram(&prod);
+        let g = prod.materialize();
+        let direct: BTreeMap<u64, u64> = direct_histogram(&g)
+            .into_iter()
+            .map(|(d, c)| (d as u64, c as u64))
+            .collect();
+        assert_eq!(truth, direct, "mode {mode:?}");
+        assert_eq!(max_degree(&prod), g.max_degree() as u64);
+        let total: u64 = truth.values().sum();
+        assert_eq!(total, prod.num_vertices() as u64);
+    }
+
+    #[test]
+    fn histograms_match_direct() {
+        check(&cycle(5), &star(4), SelfLoopMode::None);
+        check(&wheel(4), &complete_bipartite(2, 3), SelfLoopMode::None);
+        check(&path(4), &crown(3), SelfLoopMode::FactorA);
+        check(&star(3), &star(5), SelfLoopMode::FactorA);
+    }
+
+    #[test]
+    fn regular_times_regular_is_regular() {
+        let (a, b) = (cycle(5), crown(3));
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let h = degree_histogram(&prod);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.get(&4), Some(&30u64)); // 2·2 everywhere
+    }
+
+    #[test]
+    fn prime_degrees_need_a_unit_factor() {
+        // Crown(3) is 2-regular; K_{2,3} degrees {2,3}: products {4,6} — no primes.
+        let (a, b) = (crown(3), complete_bipartite(2, 3));
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        assert_eq!(prime_degree_vertices(&prod), 0);
+        // A star's leaves have degree 1, letting B's prime degrees through.
+        let s = star(4);
+        let prod2 = KroneckerProduct::new(&s, &b, SelfLoopMode::None).unwrap();
+        assert!(prime_degree_vertices(&prod2) > 0);
+    }
+}

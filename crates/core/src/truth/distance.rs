@@ -1,0 +1,304 @@
+//! Ground-truth hop distances, eccentricities and diameter of the product.
+//!
+//! The paper notes (§I) that ground truth for degree, diameter and
+//! eccentricity "carry over directly from the general case presented in
+//! previous work"; this module supplies them in the bipartite setting,
+//! built on one observation from the Thm. 1/Thm. 2 proofs:
+//!
+//! `W_C^{(h)}(p,q) = W_A'^{(h)}(i,j) · W_B^{(h)}(k,l)` — so `hops_C(p,q)`
+//! is the smallest `h` at which **both** factors admit a length-`h` walk.
+//! A factor admits a length-`h` walk between two vertices iff `h ≥` the
+//! shortest walk of `h`'s parity (walks pad by +2 by retracing an edge),
+//! which is exactly [`bikron_graph::traversal::parity_distances`] — BFS on
+//! the bipartite double cover. The single exception: the trivial length-0
+//! walk at an **isolated** vertex cannot be padded (there is no edge to
+//! retrace), which the `pad_ok` flag tracks. For the lazy factor
+//! `A + I_A`, a walk of *any* length `h ≥ hops_A(i,j)` exists (waiting on
+//! the loop), isolated or not.
+//!
+//! Eccentricities and the diameter reduce to maxima of the same
+//! expression over the *distinct* factor distance signatures, of which
+//! there are at most `O(diam_A · diam_B)` — so the product diameter costs
+//! factor-sized work.
+
+use std::collections::BTreeSet;
+
+use bikron_graph::traversal::{bfs_distances, parity_distances, UNREACHABLE};
+use bikron_graph::Graph;
+use bikron_sparse::Ix;
+
+use crate::product::{KroneckerProduct, SelfLoopMode};
+
+/// Parity-distance tables for one factor.
+#[derive(Clone, Debug)]
+pub struct ParityTables {
+    even: Vec<Vec<u64>>,
+    odd: Vec<Vec<u64>>,
+    /// Plain hop distances (used for the lazy `A + I_A` factor).
+    hops: Vec<Vec<u64>>,
+    /// Whether each vertex has at least one incident edge (padding a
+    /// trivial walk by +2 requires one).
+    has_edge: Vec<bool>,
+}
+
+/// One pair's walk-availability signature: shortest even walk, shortest
+/// odd walk, plain hop distance, and whether +2 padding is possible from
+/// the trivial walk (only relevant when the even distance is 0).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PairSig {
+    /// Shortest even-length walk (`UNREACHABLE` if none).
+    pub even: u64,
+    /// Shortest odd-length walk.
+    pub odd: u64,
+    /// Plain hop distance.
+    pub hops: u64,
+    /// Whether walks can be lengthened by retracing an edge.
+    pub pad_ok: bool,
+}
+
+impl ParityTables {
+    /// All-pairs parity distances by BFS from every vertex —
+    /// `O(n·(n+m))`, factor-sized.
+    pub fn compute(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        let mut even = Vec::with_capacity(n);
+        let mut odd = Vec::with_capacity(n);
+        let mut hops = Vec::with_capacity(n);
+        for v in 0..n {
+            let (e, o) = parity_distances(g, v);
+            even.push(e);
+            odd.push(o);
+            hops.push(bfs_distances(g, v));
+        }
+        let has_edge = (0..n).map(|v| g.degree(v) > 0).collect();
+        ParityTables {
+            even,
+            odd,
+            hops,
+            has_edge,
+        }
+    }
+
+    /// The signature of pair `(v, w)`.
+    pub fn sig(&self, v: Ix, w: Ix) -> PairSig {
+        PairSig {
+            even: self.even[v][w],
+            odd: self.odd[v][w],
+            hops: self.hops[v][w],
+            // A positive-length walk contains an edge to retrace; only
+            // the trivial walk at an isolated vertex cannot pad.
+            pad_ok: self.has_edge[v] || v != w,
+        }
+    }
+}
+
+/// Round `m` up to parity `par` (0 = even, 1 = odd).
+#[inline]
+fn pad(m: u64, par: u64) -> u64 {
+    if m % 2 == par {
+        m
+    } else {
+        m + 1
+    }
+}
+
+/// Smallest `h ≡ par (mod 2)` admitting walks on *both* sides, or
+/// `UNREACHABLE`. `d_a`/`d_b` are the sides' shortest `par`-parity walks.
+fn meet_parity(d_a: u64, pad_a: bool, d_b: u64, pad_b: bool) -> u64 {
+    if d_a == UNREACHABLE || d_b == UNREACHABLE {
+        return UNREACHABLE;
+    }
+    let h = d_a.max(d_b);
+    if (h > d_a && !pad_a) || (h > d_b && !pad_b) {
+        return UNREACHABLE;
+    }
+    h
+}
+
+fn combine(mode: SelfLoopMode, a: PairSig, b: PairSig) -> u64 {
+    match mode {
+        SelfLoopMode::None => {
+            let via_even = meet_parity(a.even, a.pad_ok, b.even, b.pad_ok);
+            let via_odd = meet_parity(a.odd, a.pad_ok, b.odd, b.pad_ok);
+            via_even.min(via_odd)
+        }
+        SelfLoopMode::FactorA => {
+            // A side: any h ≥ hops_A works (lazy loop), padding always ok.
+            if a.hops == UNREACHABLE {
+                return UNREACHABLE;
+            }
+            let via = |d_b: u64, par: u64| -> u64 {
+                if d_b == UNREACHABLE {
+                    return UNREACHABLE;
+                }
+                let h = pad(a.hops.max(d_b), par);
+                if h > d_b && !b.pad_ok {
+                    return UNREACHABLE;
+                }
+                h
+            };
+            via(b.even, 0).min(via(b.odd, 1))
+        }
+    }
+}
+
+/// Ground-truth hop distance between two product vertices; `UNREACHABLE`
+/// when no walk exists (disconnected product).
+pub fn hops_at(
+    prod: &KroneckerProduct<'_>,
+    ta: &ParityTables,
+    tb: &ParityTables,
+    p: Ix,
+    q: Ix,
+) -> u64 {
+    let ix = prod.indexer();
+    let (i, k) = ix.split(p);
+    let (j, l) = ix.split(q);
+    combine(prod.mode(), ta.sig(i, j), tb.sig(k, l))
+}
+
+/// Ground-truth eccentricity of a product vertex (`None` if some vertex
+/// is unreachable).
+pub fn eccentricity_at(
+    prod: &KroneckerProduct<'_>,
+    ta: &ParityTables,
+    tb: &ParityTables,
+    p: Ix,
+) -> Option<u64> {
+    let ix = prod.indexer();
+    let (i, k) = ix.split(p);
+    let na = prod.factor_a().num_vertices();
+    let nb = prod.factor_b().num_vertices();
+    let mut ecc = 0u64;
+    for j in 0..na {
+        for l in 0..nb {
+            let h = combine(prod.mode(), ta.sig(i, j), tb.sig(k, l));
+            if h == UNREACHABLE {
+                return None;
+            }
+            ecc = ecc.max(h);
+        }
+    }
+    Some(ecc)
+}
+
+/// Ground-truth diameter of the product (`None` when disconnected).
+///
+/// Works over the **distinct** factor pair signatures instead of all
+/// `|V_C|²` vertex pairs, so the cost is
+/// `O(n_A² + n_B² + |distinct_A|·|distinct_B|)`.
+pub fn diameter(prod: &KroneckerProduct<'_>, ta: &ParityTables, tb: &ParityTables) -> Option<u64> {
+    let na = prod.factor_a().num_vertices();
+    let nb = prod.factor_b().num_vertices();
+    let mut sig_a: BTreeSet<PairSig> = BTreeSet::new();
+    for i in 0..na {
+        for j in 0..na {
+            sig_a.insert(ta.sig(i, j));
+        }
+    }
+    let mut sig_b: BTreeSet<PairSig> = BTreeSet::new();
+    for k in 0..nb {
+        for l in 0..nb {
+            sig_b.insert(tb.sig(k, l));
+        }
+    }
+    let mut diam = 0u64;
+    for &sa in &sig_a {
+        for &sb in &sig_b {
+            let h = combine(prod.mode(), sa, sb);
+            if h == UNREACHABLE {
+                return None;
+            }
+            diam = diam.max(h);
+        }
+    }
+    Some(diam)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikron_generators::{complete_bipartite, crown, cycle, path, star, wheel};
+    use bikron_graph::traversal::{
+        bfs_distances as bfs, diameter as direct_diameter, eccentricity as direct_ecc,
+    };
+
+    fn check(a: &Graph, b: &Graph, mode: SelfLoopMode) {
+        let prod = KroneckerProduct::new(a, b, mode).unwrap();
+        let ta = ParityTables::compute(a);
+        let tb = ParityTables::compute(b);
+        let g = prod.materialize();
+        for p in (0..prod.num_vertices()).step_by(1 + prod.num_vertices() / 5) {
+            let direct = bfs(&g, p);
+            for q in 0..prod.num_vertices() {
+                assert_eq!(
+                    hops_at(&prod, &ta, &tb, p, q),
+                    direct[q],
+                    "hops ({p},{q}) mode {mode:?}"
+                );
+            }
+            assert_eq!(
+                eccentricity_at(&prod, &ta, &tb, p),
+                direct_ecc(&g, p),
+                "ecc {p} mode {mode:?}"
+            );
+        }
+        assert_eq!(
+            diameter(&prod, &ta, &tb),
+            direct_diameter(&g),
+            "diameter mode {mode:?}"
+        );
+    }
+
+    #[test]
+    fn thm1_setting_distances() {
+        check(&cycle(5), &path(4), SelfLoopMode::None);
+        check(&wheel(4), &complete_bipartite(2, 3), SelfLoopMode::None);
+        check(&cycle(3), &cycle(4), SelfLoopMode::None);
+    }
+
+    #[test]
+    fn thm2_setting_distances() {
+        check(&path(3), &cycle(4), SelfLoopMode::FactorA);
+        check(&star(3), &crown(3), SelfLoopMode::FactorA);
+        check(&complete_bipartite(2, 2), &path(5), SelfLoopMode::FactorA);
+    }
+
+    #[test]
+    fn disconnected_product_detected() {
+        let a = path(3);
+        let b = cycle(4);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let ta = ParityTables::compute(&a);
+        let tb = ParityTables::compute(&b);
+        assert_eq!(diameter(&prod, &ta, &tb), None);
+        let g = prod.materialize();
+        let bfs0 = bfs(&g, 0);
+        for q in 0..prod.num_vertices() {
+            assert_eq!(hops_at(&prod, &ta, &tb, 0, q), bfs0[q]);
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_cannot_pad() {
+        // Regression (found by proptest): B with no edges at all — the
+        // trivial walk cannot be extended, so distinct-block vertices are
+        // unreachable even though parity distances suggest h = 0 pads up.
+        let a = path(2);
+        let b = Graph::from_edges(2, &[]).unwrap();
+        for mode in [SelfLoopMode::None, SelfLoopMode::FactorA] {
+            check(&a, &b, mode);
+        }
+        // Mixed: one isolated vertex alongside an edge.
+        let b2 = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        for mode in [SelfLoopMode::None, SelfLoopMode::FactorA] {
+            check(&a, &b2, mode);
+            check(&b2, &a, mode);
+        }
+    }
+
+    #[test]
+    fn nonbipartite_b_mode_factor_a() {
+        check(&path(3), &cycle(5), SelfLoopMode::FactorA);
+    }
+}

@@ -1,0 +1,34 @@
+//! Ground-truth formulas (paper §III-B, §III-C).
+//!
+//! Everything in this module computes statistics of the *product* graph
+//! from the *factors* alone:
+//!
+//! * [`walks`] — per-factor walk statistics ([`walks::FactorStats`]): the
+//!   degree vector `d`, two-hop counts `w^{(2)}`, the diagonals of
+//!   `A²..A⁴`, the per-vertex square counts `s` of Def. 8, and the
+//!   per-edge maps `A³∘A` / `A²∘A` / `◇` of Def. 9.
+//! * [`squares_vertex`] — Thm. 3 / Thm. 4: 4-cycles at every product
+//!   vertex.
+//! * [`squares_edge`] — Thm. 5 (with the corrected point-wise form; see
+//!   DESIGN.md) and its self-loop-mode generalisation: 4-cycles at every
+//!   product edge.
+//! * [`clustering`] — Def. 10 and the Thm. 6 scaling law for bipartite
+//!   edge clustering coefficients.
+//! * [`community`] — Def. 11/12, the exact Thm. 7 edge counts and the
+//!   Cor. 1 / Cor. 2 density bounds.
+//!
+//! All arithmetic runs in `i128` and converts to `u64` at the API
+//! boundary, failing loudly (never wrapping) if a formula invariant breaks.
+
+pub mod clustering;
+pub mod community;
+pub mod degrees;
+pub mod distance;
+pub mod spectrum;
+pub mod squares_edge;
+pub mod squares_vertex;
+pub mod triangles;
+pub mod walks;
+pub mod wings;
+
+pub use walks::FactorStats;

@@ -1,0 +1,300 @@
+//! Ground-truth 4-cycles at product edges (Thm. 5 and its self-loop-mode
+//! counterpart).
+//!
+//! Def. 9 applied to the (loop-free) product is
+//! `◇_C = C³∘C − (d_C·1ᵗ + 1·d_Cᵗ)∘C + C`, i.e. point-wise on an edge
+//! `(p, q)`:
+//!
+//! `◇_pq = W³_C(p,q) − d_p − d_q + 1`
+//!
+//! and `W³_C` factors over the construction:
+//!
+//! * `C = A ⊗ B` (Thm. 5): `W³_C(p,q) = W³_A(i,j) · W³_B(k,l)`;
+//! * `C = (A+I_A) ⊗ B`: `W³_C(p,q) = [(A+I_A)³]_{ij} · W³_B(k,l)` with
+//!   `[(A+I)³]_{ij} = W³_A(i,j) + 3·W²_A(i,j) + 3` on off-diagonal edges
+//!   `(i,j) ∈ E_A` and `[(A+I)³]_{ii} = diag(A³)_i + 3·d_i + 1` on the
+//!   diagonal (the paper derives only the vertex version of this case; the
+//!   edge version here is validated against direct counting).
+//!
+//! **Erratum note** (see DESIGN.md): the paper's printed point-wise
+//! expansion of Thm. 5 drops a `+2`. The correct expansion, implemented
+//! and property-tested here, is
+//!
+//! `◇_pq = ◇_ij◇_kl + ◇_ij(d_k+d_l−1) + (d_i+d_j−1)◇_kl
+//!         + (d_i−1)(d_l−1) + (d_j−1)(d_k−1)`.
+
+use rayon::prelude::*;
+
+use bikron_sparse::{Ix, SparseError, SparseResult};
+
+use crate::product::{KroneckerProduct, SelfLoopMode};
+use crate::truth::walks::FactorStats;
+
+/// Per-edge ground-truth counts for the product, keyed `(p, q)` with
+/// `p < q`, sorted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeSquaresTruth {
+    /// `(p, q, ◇_pq)` triples.
+    pub counts: Vec<(Ix, Ix, u64)>,
+}
+
+impl EdgeSquaresTruth {
+    /// Look up `◇` for edge `{p, q}`.
+    pub fn get(&self, p: Ix, q: Ix) -> Option<u64> {
+        let key = (p.min(q), p.max(q));
+        self.counts
+            .binary_search_by_key(&key, |&(a, b, _)| (a, b))
+            .ok()
+            .map(|i| self.counts[i].2)
+    }
+
+    /// `Σ_e ◇_e = 4 · global count`.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|&(_, _, c)| c).sum()
+    }
+}
+
+/// `W³` of the effective `A` factor on the (possibly diagonal) entry
+/// `(i, j)`; `None` if the entry is not in the effective adjacency.
+fn w3_effective_a(
+    stats_a: &FactorStats,
+    mode: SelfLoopMode,
+    i: usize,
+    j: usize,
+) -> Option<i128> {
+    match mode {
+        SelfLoopMode::None => {
+            stats_a.squares_at_edge(i, j)?; // ensures (i,j) ∈ E_A
+            Some(stats_a.w3_at(i, j))
+        }
+        SelfLoopMode::FactorA => {
+            if i == j {
+                Some(stats_a.diag_a3[i] + 3 * stats_a.degrees[i] + 1)
+            } else {
+                stats_a.squares_at_edge(i, j)?;
+                Some(stats_a.w3_at(i, j) + 3 * stats_a.w2_at(i, j) + 3)
+            }
+        }
+    }
+}
+
+/// Point-wise ground truth `◇_pq` for a single product edge; `None` when
+/// `(p, q)` is not an edge of `C`.
+pub fn edge_squares_at(
+    prod: &KroneckerProduct<'_>,
+    stats_a: &FactorStats,
+    stats_b: &FactorStats,
+    p: Ix,
+    q: Ix,
+) -> Option<u64> {
+    let ix = prod.indexer();
+    let (i, k) = ix.split(p);
+    let (j, l) = ix.split(q);
+    let w3a = w3_effective_a(stats_a, prod.mode(), i, j)?;
+    stats_b.squares_at_edge(k, l)?;
+    let w3b = stats_b.w3_at(k, l);
+    let loop_bonus = match prod.mode() {
+        SelfLoopMode::None => 0,
+        SelfLoopMode::FactorA => 1,
+    };
+    let dp = (stats_a.degrees[i] + loop_bonus) * stats_b.degrees[k];
+    let dq = (stats_a.degrees[j] + loop_bonus) * stats_b.degrees[l];
+    let v = w3a * w3b - dp - dq + 1;
+    debug_assert!(v >= 0, "Def. 9 invariant at product edge ({p},{q}): {v}");
+    Some(v as u64)
+}
+
+/// The corrected point-wise Thm. 5 form (mode `None` only), expressed in
+/// factor `◇`s and degrees — used by tests to pin the erratum and offered
+/// for readers following the paper's notation.
+pub fn thm5_pointwise(
+    diamond_ij: i128,
+    diamond_kl: i128,
+    di: i128,
+    dj: i128,
+    dk: i128,
+    dl: i128,
+) -> i128 {
+    diamond_ij * diamond_kl
+        + diamond_ij * (dk + dl - 1)
+        + (di + dj - 1) * diamond_kl
+        + (di - 1) * (dl - 1)
+        + (dj - 1) * (dk - 1)
+}
+
+/// Materialise ground-truth `◇` for every product edge, in parallel over
+/// factor-`A` entries. `O(|E_C|)` work and output — the paper's "local
+/// quantities in linear time" path.
+pub fn edge_squares(prod: &KroneckerProduct<'_>) -> SparseResult<EdgeSquaresTruth> {
+    let stats_a = FactorStats::compute(prod.factor_a())?;
+    let stats_b = FactorStats::compute(prod.factor_b())?;
+    edge_squares_with(prod, &stats_a, &stats_b)
+}
+
+/// As [`edge_squares`] with precomputed factor statistics.
+pub fn edge_squares_with(
+    prod: &KroneckerProduct<'_>,
+    stats_a: &FactorStats,
+    stats_b: &FactorStats,
+) -> SparseResult<EdgeSquaresTruth> {
+    let ix = prod.indexer();
+    let a = prod.factor_a();
+    let b = prod.factor_b();
+    let mut a_entries: Vec<(Ix, Ix)> = a.adjacency().iter().map(|(i, j, _)| (i, j)).collect();
+    if prod.mode() == SelfLoopMode::FactorA {
+        a_entries.extend((0..a.num_vertices()).map(|i| (i, i)));
+    }
+    let loop_bonus = match prod.mode() {
+        SelfLoopMode::None => 0i128,
+        SelfLoopMode::FactorA => 1,
+    };
+    let rows: Vec<Vec<(Ix, Ix, u64)>> = a_entries
+        .par_iter()
+        .map(|&(i, j)| {
+            let w3a = w3_effective_a(stats_a, prod.mode(), i, j)
+                .expect("entry comes from the effective adjacency");
+            let da_i = stats_a.degrees[i] + loop_bonus;
+            let da_j = stats_a.degrees[j] + loop_bonus;
+            let mut out = Vec::with_capacity(b.nnz());
+            for (k, l, _) in b.adjacency().iter() {
+                let (p, q) = (ix.gamma(i, k), ix.gamma(j, l));
+                if p >= q {
+                    continue; // keep each undirected edge once
+                }
+                let w3b = stats_b.w3_at(k, l);
+                let v = w3a * w3b - da_i * stats_b.degrees[k] - da_j * stats_b.degrees[l] + 1;
+                debug_assert!(v >= 0);
+                out.push((p, q, v as u64));
+            }
+            out
+        })
+        .collect();
+    let mut counts: Vec<(Ix, Ix, u64)> = rows.into_iter().flatten().collect();
+    counts.sort_unstable_by_key(|&(p, q, _)| (p, q));
+    // Each undirected product edge arises from exactly one (A-entry,
+    // B-entry) pair, so there are no duplicates to merge.
+    if counts.windows(2).any(|w| (w[0].0, w[0].1) == (w[1].0, w[1].1)) {
+        return Err(SparseError::Malformed(
+            "duplicate product edge in edge_squares".into(),
+        ));
+    }
+    Ok(EdgeSquaresTruth { counts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikron_analytics::butterflies_per_edge;
+    use bikron_generators::{complete, complete_bipartite, crown, cycle, path, star, wheel};
+    use bikron_graph::Graph;
+
+    fn check(a: &Graph, b: &Graph, mode: SelfLoopMode) {
+        let prod = KroneckerProduct::new(a, b, mode).unwrap();
+        let truth = edge_squares(&prod).unwrap();
+        let direct = butterflies_per_edge(&prod.materialize());
+        assert_eq!(
+            truth.counts.len(),
+            direct.counts.len(),
+            "edge count mismatch {mode:?}"
+        );
+        for &(p, q, c) in &truth.counts {
+            assert_eq!(
+                direct.get(p, q),
+                Some(c),
+                "edge ({p},{q}) mode {mode:?}"
+            );
+        }
+        // Point-wise agrees with the batch path.
+        let sa = FactorStats::compute(a).unwrap();
+        let sb = FactorStats::compute(b).unwrap();
+        for &(p, q, c) in truth.counts.iter().take(10) {
+            assert_eq!(edge_squares_at(&prod, &sa, &sb, p, q), Some(c));
+        }
+    }
+
+    #[test]
+    fn thm5_mode_none() {
+        check(&cycle(5), &complete_bipartite(2, 3), SelfLoopMode::None);
+        check(&complete(4), &path(4), SelfLoopMode::None);
+        check(&wheel(4), &crown(3), SelfLoopMode::None);
+    }
+
+    #[test]
+    fn edge_truth_mode_factor_a() {
+        check(&path(3), &cycle(4), SelfLoopMode::FactorA);
+        check(&complete_bipartite(2, 2), &complete_bipartite(2, 3), SelfLoopMode::FactorA);
+        check(&star(3), &crown(3), SelfLoopMode::FactorA);
+        // Non-bipartite A with loops — beyond the paper, still exact.
+        check(&complete(4), &cycle(4), SelfLoopMode::FactorA);
+    }
+
+    #[test]
+    fn erratum_k3_times_k2_is_square_free() {
+        // K3 ⊗ K2 = C6: zero squares on every edge. The paper's printed
+        // point-wise formula gives −2 here; the corrected form gives 0.
+        let a = complete(3);
+        let b = path(2);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let truth = edge_squares(&prod).unwrap();
+        assert!(truth.counts.iter().all(|&(_, _, c)| c == 0));
+        // Corrected point-wise form agrees: ◇=0, d=2 for K3; d=1 for K2.
+        assert_eq!(thm5_pointwise(0, 0, 2, 2, 1, 1), 0);
+        // The paper's printed version (without the (d−1)(d−1) regrouping,
+        // i.e. missing +2) would give −2:
+        let printed = 0 + 0 + 0 + (2 * 1 - 2 - 1) + (2 * 1 - 2 - 1);
+        assert_eq!(printed, -2);
+    }
+
+    #[test]
+    fn thm5_pointwise_equals_w3_form() {
+        // On a product with rich structure, the ◇-based point-wise form
+        // must equal the W³-based one.
+        let a = wheel(5);
+        let b = complete_bipartite(3, 2);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let sa = FactorStats::compute(&a).unwrap();
+        let sb = FactorStats::compute(&b).unwrap();
+        let ix = prod.indexer();
+        for &(p, q, c) in edge_squares(&prod).unwrap().counts.iter() {
+            let (i, k) = ix.split(p);
+            let (j, l) = ix.split(q);
+            let v = thm5_pointwise(
+                sa.squares_at_edge(i, j).unwrap(),
+                sb.squares_at_edge(k, l).unwrap(),
+                sa.degrees[i],
+                sa.degrees[j],
+                sb.degrees[k],
+                sb.degrees[l],
+            );
+            assert_eq!(v as u64, c, "edge ({p},{q})");
+        }
+    }
+
+    #[test]
+    fn non_edges_return_none() {
+        let a = cycle(5);
+        let b = path(3);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let sa = FactorStats::compute(&a).unwrap();
+        let sb = FactorStats::compute(&b).unwrap();
+        assert_eq!(edge_squares_at(&prod, &sa, &sb, 0, 0), None);
+        // (0,0)-(0,2): B path 0-1-2 has no edge (0,2).
+        assert_eq!(edge_squares_at(&prod, &sa, &sb, 0, 2), None);
+    }
+
+    #[test]
+    fn edge_vertex_consistency_on_product() {
+        // Σ_{q∈N(p)} ◇_pq = 2·s_p on the product.
+        use crate::truth::squares_vertex::vertex_squares;
+        let a = cycle(3);
+        let b = complete_bipartite(2, 2);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let s = vertex_squares(&prod).unwrap();
+        let e = edge_squares(&prod).unwrap();
+        let g = prod.materialize();
+        for p in 0..prod.num_vertices() {
+            let sum: u64 = g.neighbors(p).iter().map(|&q| e.get(p, q).unwrap()).sum();
+            assert_eq!(2 * s[p], sum, "vertex {p}");
+        }
+    }
+}

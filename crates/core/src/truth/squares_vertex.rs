@@ -1,0 +1,230 @@
+//! Ground-truth 4-cycles at product vertices (Thm. 3 and Thm. 4).
+//!
+//! With `diag(C⁴)`, `d_C ∘ d_C`, `w_C^{(2)}` and `d_C` all factoring into
+//! Kronecker products of factor vectors, Def. 8 applied to `C` gives
+//!
+//! `s_C = ½( diag(C⁴) − d_C∘d_C − w_C^{(2)} + d_C )`
+//!
+//! where, per mode:
+//!
+//! | term | `C = A ⊗ B` (Thm. 3) | `C = (A+I_A) ⊗ B` (Thm. 4, generalised) |
+//! |------|----------------------|------------------------------------------|
+//! | `diag(C⁴)` | `diag(A⁴) ⊗ diag(B⁴)` | `(diag(A⁴) + 4·diag(A³) + 6d_A + 1) ⊗ diag(B⁴)` |
+//! | `d_C∘d_C`  | `d_A² ⊗ d_B²`          | `(d_A + 1)² ⊗ d_B²` |
+//! | `w_C^{(2)}`| `w_A^{(2)} ⊗ w_B^{(2)}`| `(w_A^{(2)} + 2d_A + 1) ⊗ w_B^{(2)}` |
+//! | `d_C`      | `d_A ⊗ d_B`            | `(d_A + 1) ⊗ d_B` |
+//!
+//! The paper states Thm. 4 for bipartite `A` (where `diag(A³) = 0`); the
+//! implementation keeps the `4·diag(A³)` term so the formula is exact for
+//! *any* loop-free `A` — verified against direct counting in the tests.
+
+use bikron_sparse::dense::{halve_exact, to_u64_counts};
+use bikron_sparse::SparseResult;
+
+use crate::product::{KroneckerProduct, SelfLoopMode};
+use crate::truth::walks::FactorStats;
+
+/// The four per-factor term vectors entering the product formula.
+struct Terms {
+    diag4: Vec<i128>,
+    deg_sq: Vec<i128>,
+    w2: Vec<i128>,
+    deg: Vec<i128>,
+}
+
+fn factor_terms(stats: &FactorStats, add_loops: bool) -> Terms {
+    let n = stats.order();
+    let mut diag4 = Vec::with_capacity(n);
+    let mut deg_sq = Vec::with_capacity(n);
+    let mut w2 = Vec::with_capacity(n);
+    let mut deg = Vec::with_capacity(n);
+    for i in 0..n {
+        let d = stats.degrees[i];
+        if add_loops {
+            diag4.push(stats.diag_a4[i] + 4 * stats.diag_a3[i] + 6 * d + 1);
+            deg_sq.push((d + 1) * (d + 1));
+            w2.push(stats.w2[i] + 2 * d + 1);
+            deg.push(d + 1);
+        } else {
+            diag4.push(stats.diag_a4[i]);
+            deg_sq.push(d * d);
+            w2.push(stats.w2[i]);
+            deg.push(d);
+        }
+    }
+    Terms {
+        diag4,
+        deg_sq,
+        w2,
+        deg,
+    }
+}
+
+/// Ground-truth 4-cycle participation `s_C` at every product vertex,
+/// computed from factor statistics alone — `O(|V_C|)` output work after
+/// `O(|factor|)` preprocessing.
+pub fn vertex_squares(prod: &KroneckerProduct<'_>) -> SparseResult<Vec<u64>> {
+    let stats_a = FactorStats::compute(prod.factor_a())?;
+    let stats_b = FactorStats::compute(prod.factor_b())?;
+    vertex_squares_with(prod, &stats_a, &stats_b)
+}
+
+/// As [`vertex_squares`], reusing precomputed factor statistics.
+pub fn vertex_squares_with(
+    prod: &KroneckerProduct<'_>,
+    stats_a: &FactorStats,
+    stats_b: &FactorStats,
+) -> SparseResult<Vec<u64>> {
+    let ta = factor_terms(stats_a, prod.mode() == SelfLoopMode::FactorA);
+    let tb = factor_terms(stats_b, false);
+    let n = prod.num_vertices();
+    let ix = prod.indexer();
+    let mut out = Vec::with_capacity(n);
+    for p in 0..n {
+        let (i, k) = ix.split(p);
+        let twice = ta.diag4[i] * tb.diag4[k]
+            - ta.deg_sq[i] * tb.deg_sq[k]
+            - ta.w2[i] * tb.w2[k]
+            + ta.deg[i] * tb.deg[k];
+        out.push(twice);
+    }
+    let halved = halve_exact(&out, "vertex_squares")?;
+    to_u64_counts(&halved, "vertex_squares")
+}
+
+/// Point-wise single-vertex query: `s_C(p)` in O(1) given factor stats.
+pub fn vertex_squares_at(
+    prod: &KroneckerProduct<'_>,
+    stats_a: &FactorStats,
+    stats_b: &FactorStats,
+    p: usize,
+) -> u64 {
+    let (i, k) = prod.indexer().split(p);
+    let ta = single_terms(stats_a, i, prod.mode() == SelfLoopMode::FactorA);
+    let tb = single_terms(stats_b, k, false);
+    let twice = ta.0 * tb.0 - ta.1 * tb.1 - ta.2 * tb.2 + ta.3 * tb.3;
+    debug_assert!(twice >= 0 && twice % 2 == 0);
+    (twice / 2) as u64
+}
+
+fn single_terms(stats: &FactorStats, i: usize, add_loops: bool) -> (i128, i128, i128, i128) {
+    let d = stats.degrees[i];
+    if add_loops {
+        (
+            stats.diag_a4[i] + 4 * stats.diag_a3[i] + 6 * d + 1,
+            (d + 1) * (d + 1),
+            stats.w2[i] + 2 * d + 1,
+            d + 1,
+        )
+    } else {
+        (stats.diag_a4[i], d * d, stats.w2[i], d)
+    }
+}
+
+/// Global 4-cycle count of the product in `O(n_A + n_B)` — the paper's
+/// sublinear headline. Uses `Σ_p s_p = ½ Σ(terms)` where every term's sum
+/// factors: `Σ kron(x, y) = (Σx)(Σy)`; then `global = Σ_p s_p / 4`.
+pub fn global_squares_with(
+    prod: &KroneckerProduct<'_>,
+    stats_a: &FactorStats,
+    stats_b: &FactorStats,
+) -> SparseResult<u64> {
+    let ta = factor_terms(stats_a, prod.mode() == SelfLoopMode::FactorA);
+    let tb = factor_terms(stats_b, false);
+    let sum = |v: &[i128]| -> i128 { v.iter().sum() };
+    let twice_total = sum(&ta.diag4) * sum(&tb.diag4)
+        - sum(&ta.deg_sq) * sum(&tb.deg_sq)
+        - sum(&ta.w2) * sum(&tb.w2)
+        + sum(&ta.deg) * sum(&tb.deg);
+    if twice_total < 0 || twice_total % 8 != 0 {
+        return Err(bikron_sparse::SparseError::Malformed(format!(
+            "global_squares: 2·Σs = {twice_total} violates the /8 invariant"
+        )));
+    }
+    u64::try_from(twice_total / 8)
+        .map_err(|_| bikron_sparse::SparseError::Overflow { op: "global_squares" })
+}
+
+/// Convenience: compute factor stats then the global count.
+pub fn global_squares(prod: &KroneckerProduct<'_>) -> SparseResult<u64> {
+    let sa = FactorStats::compute(prod.factor_a())?;
+    let sb = FactorStats::compute(prod.factor_b())?;
+    global_squares_with(prod, &sa, &sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikron_analytics::{butterflies_global, butterflies_per_vertex};
+    use bikron_generators::{complete, complete_bipartite, crown, cycle, path, petersen, star, wheel};
+    use bikron_graph::Graph;
+
+    fn check(a: &Graph, b: &Graph, mode: SelfLoopMode) {
+        let prod = KroneckerProduct::new(a, b, mode).unwrap();
+        let truth = vertex_squares(&prod).unwrap();
+        let direct = butterflies_per_vertex(&prod.materialize());
+        assert_eq!(truth, direct, "mode {mode:?}");
+        // Global agrees through both paths.
+        let sa = FactorStats::compute(a).unwrap();
+        let sb = FactorStats::compute(b).unwrap();
+        let g = global_squares_with(&prod, &sa, &sb).unwrap();
+        assert_eq!(g, butterflies_global(&prod.materialize()));
+        // Point-wise matches the vector.
+        for p in [0, prod.num_vertices() / 2, prod.num_vertices() - 1] {
+            assert_eq!(vertex_squares_at(&prod, &sa, &sb, p), truth[p]);
+        }
+    }
+
+    #[test]
+    fn thm3_nonbipartite_times_bipartite() {
+        check(&cycle(5), &complete_bipartite(2, 3), SelfLoopMode::None);
+        check(&complete(4), &path(4), SelfLoopMode::None);
+        check(&wheel(5), &crown(3), SelfLoopMode::None);
+    }
+
+    #[test]
+    fn thm4_bipartite_with_loops() {
+        check(&path(3), &cycle(4), SelfLoopMode::FactorA);
+        check(&complete_bipartite(2, 2), &complete_bipartite(2, 3), SelfLoopMode::FactorA);
+        check(&star(3), &crown(3), SelfLoopMode::FactorA);
+    }
+
+    #[test]
+    fn thm4_generalised_to_non_bipartite_a() {
+        // The paper restricts Thm. 4 to bipartite A; the diag(A³) term
+        // makes the formula exact for any loop-free A.
+        check(&complete(4), &cycle(4), SelfLoopMode::FactorA);
+        check(&wheel(4), &path(3), SelfLoopMode::FactorA);
+    }
+
+    #[test]
+    fn rem1_products_always_have_squares() {
+        // Petersen (girth 5) ⊗ star: both factors square-free, both have a
+        // vertex of degree ≥ 2 ⇒ the product must contain 4-cycles.
+        let a = petersen();
+        let b = star(3);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let sa = FactorStats::compute(&a).unwrap();
+        let sb = FactorStats::compute(&b).unwrap();
+        assert_eq!(sa.global_squares(), 0);
+        assert_eq!(sb.global_squares(), 0);
+        let g = global_squares_with(&prod, &sa, &sb).unwrap();
+        assert!(g > 0, "Rem. 1: product of square-free factors has squares");
+        check(&a, &b, SelfLoopMode::None);
+    }
+
+    #[test]
+    fn disjoint_edges_product_square_free() {
+        // Rem. 1's only escape: all-degree-1 factors (disjoint edges).
+        let a = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let b = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        assert_eq!(global_squares(&prod).unwrap(), 0);
+    }
+
+    #[test]
+    fn bipartite_times_bipartite_mode_none() {
+        // Disconnected product, but the formulas hold regardless.
+        check(&path(4), &cycle(6), SelfLoopMode::None);
+    }
+}

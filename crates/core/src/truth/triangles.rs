@@ -1,0 +1,186 @@
+//! Ground-truth triangle counts for products — the prior-work formulas
+//! (\[3\], \[12\]) this paper extends, included so one generator covers both
+//! the 3-cycle and 4-cycle validation workflows.
+//!
+//! With `t_i = ½·diag(A³)_i` (no self loops) and the mixed-product
+//! property:
+//!
+//! * `C = A ⊗ B`:        `diag(C³) = diag(A³) ⊗ diag(B³)`;
+//! * `C = (A+I_A) ⊗ B`:  `diag((A+I)³) = diag(A³) + 3·diag(A²) + 1 =
+//!                        diag(A³) + 3d_A + 1` (loop-free `A`), so
+//!                        `diag(C³) = (diag(A³) + 3d_A + 1) ⊗ diag(B³)`.
+//!
+//! Edge triangle counts factor the same way:
+//! `C² ∘ C = (A²∘A) ⊗ (B²∘B)` in mode `None`, and with `A+I` the
+//! left factor becomes `(A+I)²∘(A+I)`, whose off-diagonal entries on
+//! `E_A` are `W²_A(i,j) + 2` and whose diagonal entries are `d_i + 1`.
+//!
+//! A bipartite `B` forces all of these to zero (no odd cycles survive the
+//! product) — that degenerate case is itself a useful test: the paper's
+//! §III setting produces *triangle-free* graphs by construction.
+
+use bikron_sparse::{Ix, SparseResult};
+
+use crate::product::{KroneckerProduct, SelfLoopMode};
+use crate::truth::walks::FactorStats;
+
+/// Ground-truth triangle participation at every product vertex.
+pub fn vertex_triangles_with(
+    prod: &KroneckerProduct<'_>,
+    stats_a: &FactorStats,
+    stats_b: &FactorStats,
+) -> SparseResult<Vec<u64>> {
+    let ix = prod.indexer();
+    let n = prod.num_vertices();
+    let add_loops = prod.mode() == SelfLoopMode::FactorA;
+    let mut out = Vec::with_capacity(n);
+    for p in 0..n {
+        let (i, k) = ix.split(p);
+        let da3 = if add_loops {
+            stats_a.diag_a3[i] + 3 * stats_a.degrees[i] + 1
+        } else {
+            stats_a.diag_a3[i]
+        };
+        let twice = da3 * stats_b.diag_a3[k];
+        debug_assert!(twice >= 0 && twice % 2 == 0);
+        out.push((twice / 2) as u64);
+    }
+    Ok(out)
+}
+
+/// Convenience wrapper computing factor stats internally.
+pub fn vertex_triangles(prod: &KroneckerProduct<'_>) -> SparseResult<Vec<u64>> {
+    let sa = FactorStats::compute(prod.factor_a())?;
+    let sb = FactorStats::compute(prod.factor_b())?;
+    vertex_triangles_with(prod, &sa, &sb)
+}
+
+/// Ground-truth triangle count at a product edge (`Δ_pq = (C²∘C)_pq`);
+/// `None` when `(p, q)` is not an edge of `C`.
+pub fn edge_triangles_at(
+    prod: &KroneckerProduct<'_>,
+    stats_a: &FactorStats,
+    stats_b: &FactorStats,
+    p: Ix,
+    q: Ix,
+) -> Option<u64> {
+    let ix = prod.indexer();
+    let (i, k) = ix.split(p);
+    let (j, l) = ix.split(q);
+    // B-side entry must be an edge.
+    stats_b.squares_at_edge(k, l)?;
+    let wb2 = stats_b.w2_at(k, l);
+    let wa2 = match prod.mode() {
+        SelfLoopMode::None => {
+            stats_a.squares_at_edge(i, j)?;
+            stats_a.w2_at(i, j)
+        }
+        SelfLoopMode::FactorA => {
+            if i == j {
+                // ((A+I)²∘(A+I))_ii = (A² + 2A + I)_ii = d_i + 1.
+                stats_a.degrees[i] + 1
+            } else {
+                stats_a.squares_at_edge(i, j)?;
+                // (A+I)²_ij ∘ (A+I)_ij on an edge: A²_ij + 2·A_ij = W² + 2.
+                stats_a.w2_at(i, j) + 2
+            }
+        }
+    };
+    Some((wa2 * wb2) as u64)
+}
+
+/// Ground-truth global triangle count: `Σ_p t_p / 3`, with the sum
+/// factoring over the two factors (sublinear in `|E_C|`).
+pub fn global_triangles_with(
+    prod: &KroneckerProduct<'_>,
+    stats_a: &FactorStats,
+    stats_b: &FactorStats,
+) -> SparseResult<u64> {
+    let add_loops = prod.mode() == SelfLoopMode::FactorA;
+    let sum_a: i128 = (0..stats_a.order())
+        .map(|i| {
+            if add_loops {
+                stats_a.diag_a3[i] + 3 * stats_a.degrees[i] + 1
+            } else {
+                stats_a.diag_a3[i]
+            }
+        })
+        .sum();
+    let sum_b: i128 = stats_b.diag_a3.iter().sum();
+    let six_t = sum_a * sum_b; // Σ diag(C³) = 2 Σ t_p = 6·global
+    debug_assert!(six_t >= 0 && six_t % 6 == 0);
+    u64::try_from(six_t / 6).map_err(|_| bikron_sparse::SparseError::Overflow {
+        op: "global_triangles",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikron_analytics::triangles::{triangles_global, triangles_per_edge, triangles_per_vertex};
+    use bikron_generators::{complete, complete_bipartite, cycle, path, wheel};
+
+    fn check(a: &bikron_graph::Graph, b: &bikron_graph::Graph, mode: SelfLoopMode) {
+        let prod = KroneckerProduct::new(a, b, mode).unwrap();
+        let sa = FactorStats::compute(a).unwrap();
+        let sb = FactorStats::compute(b).unwrap();
+        let g = prod.materialize();
+        let truth = vertex_triangles_with(&prod, &sa, &sb).unwrap();
+        assert_eq!(truth, triangles_per_vertex(&g), "vertex triangles {mode:?}");
+        assert_eq!(
+            global_triangles_with(&prod, &sa, &sb).unwrap(),
+            triangles_global(&g),
+            "global triangles {mode:?}"
+        );
+        for (u, v, c) in triangles_per_edge(&g) {
+            assert_eq!(
+                edge_triangles_at(&prod, &sa, &sb, u, v),
+                Some(c),
+                "edge ({u},{v}) {mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_bipartite_products_have_triangles() {
+        check(&complete(4), &cycle(3), SelfLoopMode::None);
+        check(&cycle(3), &cycle(5), SelfLoopMode::None);
+        check(&wheel(5), &complete(3), SelfLoopMode::None);
+    }
+
+    #[test]
+    fn mode_factor_a_triangles() {
+        // (A+I) ⊗ B with non-bipartite B.
+        check(&path(3), &cycle(3), SelfLoopMode::FactorA);
+        check(&complete_bipartite(2, 2), &wheel(4), SelfLoopMode::FactorA);
+        // Non-bipartite A with loops, non-bipartite B.
+        check(&cycle(5), &complete(4), SelfLoopMode::FactorA);
+    }
+
+    #[test]
+    fn bipartite_b_kills_all_triangles() {
+        // The paper's §III setting: bipartite products are triangle-free.
+        for mode in [SelfLoopMode::None, SelfLoopMode::FactorA] {
+            let a = complete(4);
+            let b = complete_bipartite(3, 3);
+            let prod = KroneckerProduct::new(&a, &b, mode).unwrap();
+            let t = vertex_triangles(&prod).unwrap();
+            assert!(t.iter().all(|&x| x == 0), "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn triangle_and_square_truth_coexist() {
+        // One oracle pass serves both statistics on the same product.
+        let a = wheel(4);
+        let b = cycle(3);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let sa = FactorStats::compute(&a).unwrap();
+        let sb = FactorStats::compute(&b).unwrap();
+        let g = prod.materialize();
+        let t = vertex_triangles_with(&prod, &sa, &sb).unwrap();
+        let s = crate::truth::squares_vertex::vertex_squares_with(&prod, &sa, &sb).unwrap();
+        assert_eq!(t, triangles_per_vertex(&g));
+        assert_eq!(s, bikron_analytics::butterflies_per_vertex(&g));
+    }
+}

@@ -1,0 +1,110 @@
+//! Ground-truth *bounds* for wing (bitruss) decompositions.
+//!
+//! Rem. 1 argues exact wing ground truth cannot be planted via Kronecker
+//! products; what the generator *can* provide is a per-edge upper bound —
+//! `wing(e) ≤ ◇_e`, since membership in a k-wing requires at least `k`
+//! butterflies through the edge in a subgraph — and that bound is enough
+//! to catch a class of wing-decomposition bugs (any implementation
+//! reporting a wing number above its edge's total butterfly count is
+//! wrong, at any scale). A second necessary condition is global:
+//! a k-wing with any surviving edge needs at least `k` butterflies in the
+//! whole graph, so `max_wing ≤ global count`.
+
+use bikron_sparse::{Ix, SparseResult};
+
+use crate::product::KroneckerProduct;
+use crate::truth::squares_edge::{edge_squares_with, EdgeSquaresTruth};
+use crate::truth::walks::FactorStats;
+
+/// Per-edge wing upper bounds (`= ◇` ground truth) for the product.
+pub fn wing_upper_bounds(prod: &KroneckerProduct<'_>) -> SparseResult<EdgeSquaresTruth> {
+    let sa = FactorStats::compute(prod.factor_a())?;
+    let sb = FactorStats::compute(prod.factor_b())?;
+    edge_squares_with(prod, &sa, &sb)
+}
+
+/// Outcome of validating a claimed wing decomposition against bounds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WingValidation {
+    /// Edges whose claimed wing number exceeds its `◇` bound.
+    pub violations: Vec<(Ix, Ix, u64, u64)>,
+    /// Number of edges checked.
+    pub checked: usize,
+}
+
+impl WingValidation {
+    /// Whether the claim is consistent with ground truth.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Check a claimed decomposition `(u, v, wing)` against the bounds.
+/// Edges not present in the product are reported as violations with
+/// bound 0.
+pub fn validate_wing_claim(
+    bounds: &EdgeSquaresTruth,
+    claimed: &[(Ix, Ix, u64)],
+) -> WingValidation {
+    let mut violations = Vec::new();
+    for &(u, v, wing) in claimed {
+        let bound = bounds.get(u, v).unwrap_or(0);
+        if wing > bound {
+            violations.push((u, v, wing, bound));
+        }
+    }
+    WingValidation {
+        violations,
+        checked: claimed.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::product::SelfLoopMode;
+    use bikron_analytics::wing_decomposition;
+    use bikron_generators::{complete_bipartite, crown, petersen, star};
+
+    #[test]
+    fn real_decomposition_respects_bounds() {
+        let a = petersen();
+        let b = star(3);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let bounds = wing_upper_bounds(&prod).unwrap();
+        let g = prod.materialize();
+        let wings = wing_decomposition(&g);
+        let claimed: Vec<(usize, usize, u64)> = wings
+            .edges
+            .iter()
+            .zip(&wings.wing)
+            .map(|(&(u, v), &w)| (u, v, w))
+            .collect();
+        let v = validate_wing_claim(&bounds, &claimed);
+        assert!(v.ok(), "violations: {:?}", v.violations);
+        assert_eq!(v.checked, wings.edges.len());
+    }
+
+    #[test]
+    fn inflated_claim_detected() {
+        let a = crown(3);
+        let b = complete_bipartite(2, 2);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::FactorA).unwrap();
+        let bounds = wing_upper_bounds(&prod).unwrap();
+        let (p, q, d) = bounds.counts[0];
+        let v = validate_wing_claim(&bounds, &[(p, q, d + 1)]);
+        assert!(!v.ok());
+        assert_eq!(v.violations, vec![(p, q, d + 1, d)]);
+    }
+
+    #[test]
+    fn phantom_edge_detected() {
+        let a = crown(3);
+        let b = complete_bipartite(2, 2);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let bounds = wing_upper_bounds(&prod).unwrap();
+        // (0,0) is never an edge.
+        let v = validate_wing_claim(&bounds, &[(0, 0, 1)]);
+        assert_eq!(v.violations.len(), 1);
+    }
+}

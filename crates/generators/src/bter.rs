@@ -1,0 +1,187 @@
+//! A simplified bipartite BTER-style generator with planted communities.
+//!
+//! BTER (Block Two-Level Erdős–Rényi) builds dense affinity blocks and
+//! sprinkles a Chung–Lu background between them. The paper cites the
+//! bipartite BTER of Aksoy–Kolda–Pinar as the stochastic generator with
+//! community structure; this module provides a deterministic-seeded
+//! miniature with the same two-level shape so the community scaling laws
+//! (Thm. 7, Cors. 1–2) can be exercised on factors with *known planted*
+//! communities.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bikron_graph::Graph;
+
+/// One planted community block: `ru` left and `rw` right vertices wired as
+/// a dense bipartite Erdős–Rényi block with probability `p_in`.
+#[derive(Clone, Copy, Debug)]
+pub struct Block {
+    /// Left-side vertices in this block.
+    pub ru: usize,
+    /// Right-side vertices in this block.
+    pub rw: usize,
+    /// Within-block edge probability.
+    pub p_in: f64,
+}
+
+/// Parameters for [`bipartite_bter`].
+#[derive(Clone, Debug)]
+pub struct BterParams {
+    /// Planted blocks, laid out consecutively on both sides.
+    pub blocks: Vec<Block>,
+    /// Extra unassigned left vertices after the blocks.
+    pub extra_u: usize,
+    /// Extra unassigned right vertices after the blocks.
+    pub extra_w: usize,
+    /// Background edge probability between any `U`–`W` pair (cross-block
+    /// noise; should be ≪ every `p_in`).
+    pub p_background: f64,
+}
+
+/// The vertex ranges of each planted community in the generated graph,
+/// returned so callers know the ground-truth blocks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlantedCommunity {
+    /// Left-side vertex range (global ids).
+    pub u_range: std::ops::Range<usize>,
+    /// Right-side vertex range (global ids).
+    pub w_range: std::ops::Range<usize>,
+}
+
+/// Generate the graph and the planted community ranges. Left vertices come
+/// first (`0..nu`), then right (`nu..nu+nw`).
+pub fn bipartite_bter(params: &BterParams, seed: u64) -> (Graph, Vec<PlantedCommunity>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nu: usize = params.blocks.iter().map(|b| b.ru).sum::<usize>() + params.extra_u;
+    let nw: usize = params.blocks.iter().map(|b| b.rw).sum::<usize>() + params.extra_w;
+
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut communities = Vec::with_capacity(params.blocks.len());
+    let (mut u0, mut w0) = (0usize, 0usize);
+    for b in &params.blocks {
+        for u in u0..u0 + b.ru {
+            for w in w0..w0 + b.rw {
+                if rng.gen::<f64>() < b.p_in {
+                    edges.push((u, nu + w));
+                }
+            }
+        }
+        communities.push(PlantedCommunity {
+            u_range: u0..u0 + b.ru,
+            w_range: nu + w0..nu + w0 + b.rw,
+        });
+        u0 += b.ru;
+        w0 += b.rw;
+    }
+    // Background noise over the full rectangle.
+    if params.p_background > 0.0 {
+        for u in 0..nu {
+            for w in 0..nw {
+                if rng.gen::<f64>() < params.p_background {
+                    edges.push((u, nu + w));
+                }
+            }
+        }
+    }
+    let g = Graph::from_edges(nu + nw, &edges).expect("BTER endpoints in range");
+    (g, communities)
+}
+
+/// A convenient default: three blocks of varying density plus background.
+pub fn default_bter(seed: u64) -> (Graph, Vec<PlantedCommunity>) {
+    let params = BterParams {
+        blocks: vec![
+            Block {
+                ru: 6,
+                rw: 8,
+                p_in: 0.85,
+            },
+            Block {
+                ru: 10,
+                rw: 6,
+                p_in: 0.7,
+            },
+            Block {
+                ru: 4,
+                rw: 4,
+                p_in: 0.95,
+            },
+        ],
+        extra_u: 8,
+        extra_w: 12,
+        p_background: 0.02,
+    };
+    bipartite_bter(&params, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikron_graph::is_bipartite;
+
+    #[test]
+    fn deterministic_and_bipartite() {
+        let (g1, c1) = default_bter(5);
+        let (g2, c2) = default_bter(5);
+        assert_eq!(g1, g2);
+        assert_eq!(c1, c2);
+        assert!(is_bipartite(&g1));
+    }
+
+    #[test]
+    fn planted_blocks_are_dense() {
+        let (g, comms) = default_bter(17);
+        // Block density inside >> background density outside.
+        let c = &comms[0];
+        let mut inside = 0usize;
+        for u in c.u_range.clone() {
+            for w in c.w_range.clone() {
+                inside += usize::from(g.has_edge(u, w));
+            }
+        }
+        let cells = c.u_range.len() * c.w_range.len();
+        let density = inside as f64 / cells as f64;
+        assert!(density > 0.5, "planted block density {density} too low");
+    }
+
+    #[test]
+    fn community_ranges_partition_blocks() {
+        let (_, comms) = default_bter(1);
+        assert_eq!(comms.len(), 3);
+        assert_eq!(comms[0].u_range, 0..6);
+        assert_eq!(comms[1].u_range, 6..16);
+        assert_eq!(comms[2].u_range, 16..20);
+        // W side offsets by nu = 6+10+4+8 = 28.
+        assert_eq!(comms[0].w_range, 28..36);
+    }
+
+    #[test]
+    fn zero_background_keeps_blocks_disconnected() {
+        let params = BterParams {
+            blocks: vec![
+                Block {
+                    ru: 3,
+                    rw: 3,
+                    p_in: 1.0,
+                },
+                Block {
+                    ru: 3,
+                    rw: 3,
+                    p_in: 1.0,
+                },
+            ],
+            extra_u: 0,
+            extra_w: 0,
+            p_background: 0.0,
+        };
+        let (g, comms) = bipartite_bter(&params, 3);
+        assert_eq!(g.num_edges(), 18);
+        // No cross-block edges at all.
+        for u in comms[0].u_range.clone() {
+            for w in comms[1].w_range.clone() {
+                assert!(!g.has_edge(u, w));
+            }
+        }
+    }
+}

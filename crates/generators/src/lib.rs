@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # bikron-generators
+//!
+//! Factor-graph generators for the Kronecker constructions:
+//!
+//! * [`named`] — small deterministic graphs with closed-form square and
+//!   triangle counts (paths, cycles, stars, complete bipartite, crowns,
+//!   hypercubes, …). These are the factor vocabulary of the paper's Fig. 1
+//!   examples and of the test suite.
+//! * [`powerlaw`] — seeded bipartite Chung–Lu graphs with power-law degree
+//!   targets: the "scale-free" factors the paper assumes in its abstract.
+//! * [`rmat`] — a bipartite R-MAT generator, the stochastic comparator the
+//!   paper contrasts against in §I.
+//! * [`bter`] — a simplified bipartite BTER-style generator with planted
+//!   community blocks (Aksoy–Kolda–Pinar comparator), used to test the
+//!   community scaling laws (Thm. 7, Cors. 1–2) on factors with real
+//!   community structure.
+//! * [`unicode_like`](unicode_like()) — the Table-I factor substitute: a deterministic
+//!   bipartite graph with the same part sizes, edge count, skew and
+//!   disconnectedness as the KONECT `unicode` dataset the paper used.
+
+pub mod bter;
+pub mod named;
+pub mod powerlaw;
+pub mod rmat;
+pub mod unicode_like;
+
+pub use named::{
+    complete, complete_bipartite, crown, cycle, grid, hypercube, path, petersen, star, wheel,
+};
+pub use unicode_like::unicode_like;

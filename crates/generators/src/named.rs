@@ -1,0 +1,231 @@
+//! Small deterministic graphs with known structure.
+//!
+//! Each generator documents its square (4-cycle) count so tests can pin
+//! ground-truth formulas against closed forms. Vertices are 0-based.
+
+use bikron_graph::Graph;
+
+/// Path graph `P_n` (n vertices, n−1 edges). Bipartite, connected, no cycles.
+pub fn path(n: usize) -> Graph {
+    let edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+    Graph::from_edges(n, &edges).expect("path edges in range")
+}
+
+/// Cycle graph `C_n` (n ≥ 3). Bipartite iff `n` even. Exactly one 4-cycle
+/// when `n == 4`, none otherwise.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs n >= 3");
+    let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    Graph::from_edges(n, &edges).expect("cycle edges in range")
+}
+
+/// Star `S_n`: one centre (vertex 0) and `n` leaves. Bipartite, no cycles.
+pub fn star(n_leaves: usize) -> Graph {
+    let edges: Vec<(usize, usize)> = (1..=n_leaves).map(|i| (0, i)).collect();
+    Graph::from_edges(n_leaves + 1, &edges).expect("star edges in range")
+}
+
+/// Complete graph `K_n`. Non-bipartite for n ≥ 3. Total 4-cycles: `3·C(n,4)`.
+pub fn complete(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            edges.push((i, j));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("complete edges in range")
+}
+
+/// Complete bipartite `K_{m,n}` with `U = 0..m`, `W = m..m+n`.
+/// Total 4-cycles: `C(m,2)·C(n,2)`. Connected and bipartite.
+pub fn complete_bipartite(m: usize, n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(m * n);
+    for u in 0..m {
+        for w in 0..n {
+            edges.push((u, m + w));
+        }
+    }
+    Graph::from_edges(m + n, &edges).expect("K_{m,n} edges in range")
+}
+
+/// Crown graph `S_n^0`: `K_{n,n}` minus a perfect matching (n ≥ 3 for
+/// connectivity). Bipartite, (n−1)-regular.
+pub fn crown(n: usize) -> Graph {
+    assert!(n >= 2, "crown needs n >= 2");
+    let mut edges = Vec::with_capacity(n * (n - 1));
+    for u in 0..n {
+        for w in 0..n {
+            if u != w {
+                edges.push((u, n + w));
+            }
+        }
+    }
+    Graph::from_edges(2 * n, &edges).expect("crown edges in range")
+}
+
+/// Hypercube `Q_d` on `2^d` vertices. Bipartite, d-regular, connected.
+/// Every vertex lies in `C(d,2)` squares; total squares `2^{d-2}·C(d,2)`.
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1usize << d;
+    let mut edges = Vec::with_capacity(n * d as usize / 2);
+    for v in 0..n {
+        for b in 0..d {
+            let u = v ^ (1 << b);
+            if u > v {
+                edges.push((v, u));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("hypercube edges in range")
+}
+
+/// `m × n` grid graph. Bipartite, connected; total squares `(m−1)(n−1)`.
+pub fn grid(m: usize, n: usize) -> Graph {
+    let id = |r: usize, c: usize| r * n + c;
+    let mut edges = Vec::new();
+    for r in 0..m {
+        for c in 0..n {
+            if c + 1 < n {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < m {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    Graph::from_edges(m * n, &edges).expect("grid edges in range")
+}
+
+/// Wheel `W_n`: cycle `C_n` (vertices 1..=n) plus a hub (vertex 0)
+/// adjacent to all. Non-bipartite for every n ≥ 3 — a convenient
+/// "factor A" for Assump. 1(i).
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 3, "wheel needs rim n >= 3");
+    let mut edges: Vec<(usize, usize)> = (1..=n).map(|i| (0, i)).collect();
+    for i in 0..n {
+        edges.push((1 + i, 1 + (i + 1) % n));
+    }
+    Graph::from_edges(n + 1, &edges).expect("wheel edges in range")
+}
+
+/// The Petersen graph: 3-regular, girth 5 — non-bipartite with **zero**
+/// 4-cycles, the canonical witness for Rem. 1 (squares appear in products
+/// even when both factors have none).
+pub fn petersen() -> Graph {
+    let mut edges = Vec::with_capacity(15);
+    for i in 0..5 {
+        edges.push((i, (i + 1) % 5)); // outer pentagon
+        edges.push((i, i + 5)); // spokes
+        edges.push((5 + i, 5 + (i + 2) % 5)); // inner pentagram
+    }
+    Graph::from_edges(10, &edges).expect("petersen edges in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikron_graph::{is_bipartite, is_connected};
+    use bikron_graph::cycles::{girth, has_odd_cycle};
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert!(is_bipartite(&g));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn cycle_parity() {
+        assert!(is_bipartite(&cycle(6)));
+        assert!(!is_bipartite(&cycle(5)));
+        assert_eq!(cycle(7).num_edges(), 7);
+    }
+
+    #[test]
+    fn star_is_tree() {
+        let g = star(4);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 4);
+        assert!(is_bipartite(&g));
+        assert_eq!(girth(&g), None);
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(5);
+        assert_eq!(g.num_edges(), 10);
+        assert!(has_odd_cycle(&g));
+        assert_eq!(girth(&g), Some(3));
+    }
+
+    #[test]
+    fn complete_bipartite_structure() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 12);
+        assert!(is_bipartite(&g));
+        assert!(is_connected(&g));
+        assert_eq!(girth(&g), Some(4));
+    }
+
+    #[test]
+    fn crown_is_regular_bipartite() {
+        let g = crown(4);
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.num_edges(), 12);
+        assert!(is_bipartite(&g));
+        assert!(is_connected(&g));
+        for v in 0..8 {
+            assert_eq!(g.degree(v), 3);
+        }
+        assert!(!g.has_edge(0, 4)); // matching edge removed
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(3);
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.num_edges(), 12);
+        assert!(is_bipartite(&g));
+        assert!(is_connected(&g));
+        assert_eq!(girth(&g), Some(4));
+        for v in 0..8 {
+            assert_eq!(g.degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // (n-1)m horizontal + (m-1)n vertical
+        assert!(is_bipartite(&g));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn wheel_is_non_bipartite() {
+        for n in 3..8 {
+            let g = wheel(n);
+            assert!(has_odd_cycle(&g), "wheel W_{n} must be non-bipartite");
+            assert!(is_connected(&g));
+            assert_eq!(g.num_edges(), 2 * n);
+        }
+    }
+
+    #[test]
+    fn petersen_properties() {
+        let g = petersen();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 15);
+        assert!(!is_bipartite(&g));
+        assert!(is_connected(&g));
+        assert_eq!(girth(&g), Some(5)); // in particular: zero 4-cycles
+        for v in 0..10 {
+            assert_eq!(g.degree(v), 3);
+        }
+    }
+}

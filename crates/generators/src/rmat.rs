@@ -1,0 +1,156 @@
+//! Bipartite R-MAT — the stochastic comparator (§I).
+//!
+//! Classic R-MAT recursively subdivides the adjacency matrix into four
+//! quadrants with probabilities `(a, b, c, d)` and drops an edge into a
+//! leaf cell. The bipartite variant subdivides the `|U| × |W|` biadjacency
+//! rectangle instead, exactly as proposed in Chakrabarti–Zhan–Faloutsos.
+//! The paper's point stands: exact statistics of the result are unknown
+//! until counted, which is what the nonstochastic generator fixes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bikron_graph::Graph;
+
+/// R-MAT quadrant probabilities. Must sum to 1.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatProbs {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right.
+    pub b: f64,
+    /// Bottom-left.
+    pub c: f64,
+    /// Bottom-right.
+    pub d: f64,
+}
+
+impl RmatProbs {
+    /// The Graph500 parameterisation (a=0.57, b=0.19, c=0.19, d=0.05).
+    pub fn graph500() -> Self {
+        RmatProbs {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
+    }
+
+    fn validate(&self) {
+        let s = self.a + self.b + self.c + self.d;
+        assert!(
+            (s - 1.0).abs() < 1e-9,
+            "R-MAT probabilities must sum to 1 (got {s})"
+        );
+        assert!(self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0);
+    }
+}
+
+/// Generate a bipartite R-MAT graph on `2^scale_u` left and `2^scale_w`
+/// right vertices with `num_edges` sampled cells (duplicates collapse).
+/// Vertices `0..2^scale_u` are `U`; the rest are `W`.
+pub fn bipartite_rmat(
+    scale_u: u32,
+    scale_w: u32,
+    num_edges: usize,
+    probs: RmatProbs,
+    seed: u64,
+) -> Graph {
+    probs.validate();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nu = 1usize << scale_u;
+    let nw = 1usize << scale_w;
+    let depth = scale_u.max(scale_w);
+    let mut edges = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let (mut u, mut w) = (0usize, 0usize);
+        for level in 0..depth {
+            // Only subdivide a dimension while it still has levels left;
+            // rectangular shapes exhaust the shorter side first.
+            let split_u = level < scale_u;
+            let split_w = level < scale_w;
+            let x: f64 = rng.gen();
+            let (right, down) = if x < probs.a {
+                (false, false)
+            } else if x < probs.a + probs.b {
+                (true, false)
+            } else if x < probs.a + probs.b + probs.c {
+                (false, true)
+            } else {
+                (true, true)
+            };
+            if split_u {
+                u = (u << 1) | usize::from(down);
+            }
+            if split_w {
+                w = (w << 1) | usize::from(right);
+            }
+        }
+        edges.push((u, nu + w));
+    }
+    Graph::from_edges(nu + nw, &edges).expect("R-MAT endpoints in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikron_graph::is_bipartite;
+
+    #[test]
+    fn deterministic_and_bipartite() {
+        let p = RmatProbs::graph500();
+        let g1 = bipartite_rmat(6, 7, 500, p, 9);
+        let g2 = bipartite_rmat(6, 7, 500, p, 9);
+        assert_eq!(g1, g2);
+        assert!(is_bipartite(&g1));
+        assert_eq!(g1.num_vertices(), 64 + 128);
+    }
+
+    #[test]
+    fn edges_stay_across_parts() {
+        let g = bipartite_rmat(4, 4, 200, RmatProbs::graph500(), 3);
+        for (u, v) in g.edges() {
+            assert!(u < 16);
+            assert!(v >= 16);
+        }
+    }
+
+    #[test]
+    fn skewed_probs_concentrate_edges() {
+        // With a ≈ 1 every edge lands at (0, 0).
+        let p = RmatProbs {
+            a: 0.999999,
+            b: 0.0000005,
+            c: 0.0000003,
+            d: 0.0000002,
+        };
+        let g = bipartite_rmat(5, 5, 100, p, 1);
+        assert!(g.num_edges() <= 3);
+        assert!(g.has_edge(0, 32));
+    }
+
+    #[test]
+    fn uniform_probs_spread_edges() {
+        let p = RmatProbs {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            d: 0.25,
+        };
+        let g = bipartite_rmat(5, 5, 400, p, 2);
+        // Nearly uniform: most sampled cells distinct.
+        assert!(g.num_edges() > 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum to 1")]
+    fn bad_probs_panic() {
+        let p = RmatProbs {
+            a: 0.5,
+            b: 0.5,
+            c: 0.5,
+            d: 0.5,
+        };
+        bipartite_rmat(3, 3, 10, p, 0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Bipartiteness (paper Def. 7).
+//!
+//! A graph is bipartite iff it 2-colours, iff it has no odd cycle. The
+//! colouring here ignores self loops when asked to (a bipartite graph "with
+//! all self loops added" — the paper's Assump. 1(ii) input `A + I_A` — is
+//! not bipartite in the strict sense, but its loop-free core is; callers
+//! choose the policy explicitly).
+
+use std::collections::VecDeque;
+
+use bikron_sparse::Ix;
+
+use crate::graph::Graph;
+
+/// The two-part vertex split `U ∪ W = V` of a bipartite graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bipartition {
+    /// Vertices coloured 0 ("left"/U side). Sorted ascending.
+    pub u: Vec<Ix>,
+    /// Vertices coloured 1 ("right"/W side). Sorted ascending.
+    pub w: Vec<Ix>,
+    /// `side[v]` is 0 for U, 1 for W.
+    pub side: Vec<u8>,
+}
+
+impl Bipartition {
+    /// Which side vertex `v` is on: `0` = U, `1` = W.
+    #[inline]
+    pub fn side_of(&self, v: Ix) -> u8 {
+        self.side[v]
+    }
+
+    /// `|U|`.
+    pub fn u_len(&self) -> usize {
+        self.u.len()
+    }
+
+    /// `|W|`.
+    pub fn w_len(&self) -> usize {
+        self.w.len()
+    }
+}
+
+/// Attempt to 2-colour the graph by BFS over every component.
+///
+/// Self loops make a graph non-bipartite (a loop is an odd closed walk);
+/// use [`bipartition_ignoring_loops`] for the `A + I_A` case. Isolated
+/// vertices are assigned to U by convention, so the bipartition is
+/// deterministic: the lowest-indexed vertex of each component goes to U.
+///
+/// ```
+/// use bikron_graph::{bipartition, Graph};
+///
+/// let square = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+/// let b = bipartition(&square).unwrap();
+/// assert_eq!((b.u, b.w), (vec![0, 2], vec![1, 3]));
+///
+/// let triangle = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+/// assert!(bipartition(&triangle).is_none());
+/// ```
+pub fn bipartition(g: &Graph) -> Option<Bipartition> {
+    if g.num_self_loops() > 0 {
+        return None;
+    }
+    bipartition_ignoring_loops(g)
+}
+
+/// 2-colour the graph treating self loops as absent.
+pub fn bipartition_ignoring_loops(g: &Graph) -> Option<Bipartition> {
+    let n = g.num_vertices();
+    const UNSET: u8 = u8::MAX;
+    let mut side = vec![UNSET; n];
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if side[start] != UNSET {
+            continue;
+        }
+        side[start] = 0;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            let sv = side[v];
+            for &u in g.neighbors(v) {
+                if u == v {
+                    continue; // ignore loop
+                }
+                if side[u] == UNSET {
+                    side[u] = 1 - sv;
+                    queue.push_back(u);
+                } else if side[u] == sv {
+                    return None; // odd cycle
+                }
+            }
+        }
+    }
+    let u: Vec<Ix> = (0..n).filter(|&v| side[v] == 0).collect();
+    let w: Vec<Ix> = (0..n).filter(|&v| side[v] == 1).collect();
+    Some(Bipartition { u, w, side })
+}
+
+/// Whether the graph is bipartite (strict: self loops disqualify).
+pub fn is_bipartite(g: &Graph) -> bool {
+    bipartition(g).is_some()
+}
+
+/// Relabel a bipartite graph so all of `U` precedes all of `W`, producing
+/// the block anti-diagonal adjacency of Def. 7. Returns the relabelled
+/// graph and the old→new vertex map.
+pub fn to_block_antidiagonal(g: &Graph, bip: &Bipartition) -> (Graph, Vec<Ix>) {
+    let n = g.num_vertices();
+    let mut new_id = vec![0 as Ix; n];
+    let mut next = 0 as Ix;
+    for &v in &bip.u {
+        new_id[v] = next;
+        next += 1;
+    }
+    for &v in &bip.w {
+        new_id[v] = next;
+        next += 1;
+    }
+    let edges: Vec<(Ix, Ix)> = g.edges().map(|(a, b)| (new_id[a], new_id[b])).collect();
+    let h = Graph::from_edges(n, &edges).expect("relabel keeps edges in range");
+    (h, new_id)
+}
+
+/// The bipartite double cover `G × K₂`: vertices `(v, parity)` flattened
+/// as `2v + parity`, with edges `{(u,0),(v,1)}` and `{(u,1),(v,0)}` for
+/// every edge `{u,v}` of `G`. Always bipartite; connected iff `G` is
+/// connected *and* non-bipartite. Walk parity in `G` becomes plain
+/// reachability here — the structure behind
+/// [`crate::traversal::parity_distances`] and Thm. 1's proof.
+pub fn double_cover(g: &Graph) -> Graph {
+    let n = g.num_vertices();
+    let mut edges = Vec::with_capacity(g.nnz());
+    for (u, v) in g.edges() {
+        edges.push((2 * u, 2 * v + 1));
+        edges.push((2 * u + 1, 2 * v));
+    }
+    Graph::from_edges(2 * n, &edges).expect("cover endpoints in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::connected_components;
+    use crate::traversal::{bfs_distances, parity_distances, UNREACHABLE};
+
+    #[test]
+    fn double_cover_of_odd_cycle_is_even_cycle() {
+        // Cover of C5 is C10: connected, bipartite.
+        let edges: Vec<(usize, usize)> = (0..5).map(|i| (i, (i + 1) % 5)).collect();
+        let g = Graph::from_edges(5, &edges).unwrap();
+        let c = double_cover(&g);
+        assert_eq!(c.num_vertices(), 10);
+        assert_eq!(c.num_edges(), 10);
+        assert!(is_bipartite(&c));
+        assert_eq!(connected_components(&c).count, 1);
+    }
+
+    #[test]
+    fn double_cover_of_bipartite_graph_splits() {
+        // Cover of a bipartite graph is two disjoint copies.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let c = double_cover(&g);
+        assert_eq!(connected_components(&c).count, 2);
+        assert!(is_bipartite(&c));
+    }
+
+    #[test]
+    fn cover_distances_equal_parity_distances() {
+        // BFS in the cover from (s, 0) reaches (v, par) at exactly the
+        // shortest walk of that parity in G.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (1, 5)]).unwrap();
+        let c = double_cover(&g);
+        for s in 0..g.num_vertices() {
+            let (even, odd) = parity_distances(&g, s);
+            let cover = bfs_distances(&c, 2 * s);
+            for v in 0..g.num_vertices() {
+                assert_eq!(cover[2 * v], even[v], "even ({s},{v})");
+                assert_eq!(cover[2 * v + 1], odd[v], "odd ({s},{v})");
+            }
+        }
+        let _ = UNREACHABLE;
+    }
+
+    #[test]
+    fn even_cycle_is_bipartite() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let b = bipartition(&g).unwrap();
+        assert_eq!(b.u, vec![0, 2]);
+        assert_eq!(b.w, vec![1, 3]);
+        assert!(is_bipartite(&g));
+    }
+
+    #[test]
+    fn odd_cycle_is_not() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert!(bipartition(&g).is_none());
+    }
+
+    #[test]
+    fn self_loop_breaks_strict_bipartiteness() {
+        let g = Graph::from_edges(2, &[(0, 1), (0, 0)]).unwrap();
+        assert!(!is_bipartite(&g));
+        // ...but the loop-free core 2-colours.
+        let b = bipartition_ignoring_loops(&g).unwrap();
+        assert_eq!(b.side, vec![0, 1]);
+    }
+
+    #[test]
+    fn disconnected_components_coloured_independently() {
+        // Two disjoint edges.
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let b = bipartition(&g).unwrap();
+        assert_eq!(b.side_of(0), 0);
+        assert_eq!(b.side_of(2), 0);
+        assert_eq!(b.u_len(), 2);
+        assert_eq!(b.w_len(), 2);
+    }
+
+    #[test]
+    fn isolated_vertices_go_to_u() {
+        let g = Graph::from_edges(3, &[(1, 2)]).unwrap();
+        let b = bipartition(&g).unwrap();
+        assert_eq!(b.side_of(0), 0);
+    }
+
+    #[test]
+    fn block_antidiagonal_relabel() {
+        // Star with centre 1: U = {1}, W = {0, 2, 3}? BFS from 0: side(0)=0,
+        // side(1)=1, side(2)=side(3)=0. U = {0,2,3}, W = {1}.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (1, 3)]).unwrap();
+        let b = bipartition(&g).unwrap();
+        assert_eq!(b.u, vec![0, 2, 3]);
+        let (h, map) = to_block_antidiagonal(&g, &b);
+        // In h, vertices 0..3 are U first then W: centre must be vertex 3.
+        assert_eq!(map[1], 3);
+        assert_eq!(h.degree(3), 3);
+        let hb = bipartition(&h).unwrap();
+        assert_eq!(hb.u, vec![0, 1, 2]);
+        assert_eq!(hb.w, vec![3]);
+    }
+
+    #[test]
+    fn komplete_bipartite_k23() {
+        let mut edges = Vec::new();
+        for u in 0..2 {
+            for w in 0..3 {
+                edges.push((u, 2 + w));
+            }
+        }
+        let g = Graph::from_edges(5, &edges).unwrap();
+        let b = bipartition(&g).unwrap();
+        assert_eq!(b.u_len(), 2);
+        assert_eq!(b.w_len(), 3);
+    }
+}

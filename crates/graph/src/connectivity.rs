@@ -1,0 +1,118 @@
+//! Connected components via BFS.
+//!
+//! Used both to check the paper's Assump. 1 preconditions (factors must be
+//! connected) and to validate the connectivity *conclusions* of Thms. 1–2
+//! empirically on materialised products.
+
+use std::collections::VecDeque;
+
+use bikron_sparse::Ix;
+
+use crate::graph::Graph;
+
+/// A component labelling of the vertex set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Components {
+    /// `label[v]` is the component id of `v` (ids are dense, 0-based,
+    /// assigned in order of discovery by vertex index).
+    pub label: Vec<Ix>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl Components {
+    /// Sizes of each component, indexed by component id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.label {
+            sizes[l] += 1;
+        }
+        sizes
+    }
+
+    /// Vertices of component `id`.
+    pub fn members(&self, id: Ix) -> Vec<Ix> {
+        self.label
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == id)
+            .map(|(v, _)| v)
+            .collect()
+    }
+}
+
+/// Label connected components by repeated BFS.
+pub fn connected_components(g: &Graph) -> Components {
+    let n = g.num_vertices();
+    const UNSET: Ix = Ix::MAX;
+    let mut label = vec![UNSET; n];
+    let mut count = 0usize;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if label[start] != UNSET {
+            continue;
+        }
+        label[start] = count;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if label[u] == UNSET {
+                    label[u] = count;
+                    queue.push_back(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components { label, count }
+}
+
+/// Whether the graph is connected (the empty graph is vacuously connected;
+/// a graph with ≥2 vertices needs exactly one component).
+pub fn is_connected(g: &Graph) -> bool {
+    g.num_vertices() <= 1 || connected_components(g).count == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_component() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 1);
+        assert!(is_connected(&g));
+        assert_eq!(c.sizes(), vec![4]);
+    }
+
+    #[test]
+    fn two_components_and_isolated() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3);
+        assert_eq!(c.label, vec![0, 0, 1, 1, 2]);
+        assert_eq!(c.members(1), vec![2, 3]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn empty_graph_connected_by_convention() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        assert!(is_connected(&g));
+        assert_eq!(connected_components(&g).count, 0);
+    }
+
+    #[test]
+    fn self_loops_do_not_merge_components() {
+        let g = Graph::from_edges(2, &[(0, 0), (1, 1)]).unwrap();
+        assert_eq!(connected_components(&g).count, 2);
+    }
+
+    #[test]
+    fn sizes_sum_to_order() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (4, 5)]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.sizes().iter().sum::<usize>(), 7);
+    }
+}

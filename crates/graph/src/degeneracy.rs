@@ -1,0 +1,162 @@
+//! Core decomposition and degeneracy ordering.
+//!
+//! §I cites `O(|E|·δ(G))` bounds for 4-cycle detection where `δ(G)` is the
+//! degeneracy; the direct butterfly counters in `bikron-analytics` use the
+//! degeneracy order to bound wedge work, so the decomposition lives here.
+
+use bikron_sparse::Ix;
+
+use crate::graph::Graph;
+
+/// Result of the peeling process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoreDecomposition {
+    /// `core[v]` is the core number of `v`.
+    pub core: Vec<u64>,
+    /// Vertices in peel order (non-decreasing core number).
+    pub order: Vec<Ix>,
+    /// `rank[v]` is the position of `v` in `order`.
+    pub rank: Vec<usize>,
+    /// The degeneracy `δ(G) = max_v core[v]`.
+    pub degeneracy: u64,
+}
+
+/// Matula–Beck bucket peeling: O(|V| + |E|). Self loops are ignored for
+/// degree purposes (a loop never contributes to a k-core in the simple
+/// graph sense).
+pub fn core_decomposition(g: &Graph) -> CoreDecomposition {
+    let n = g.num_vertices();
+    let simple_degree =
+        |v: Ix| -> usize { g.degree(v) - usize::from(g.has_edge(v, v)) };
+    let mut deg: Vec<usize> = (0..n).map(simple_degree).collect();
+    let maxd = deg.iter().copied().max().unwrap_or(0);
+
+    // Bucket sort vertices by degree.
+    let mut bin = vec![0usize; maxd + 2];
+    for &d in &deg {
+        bin[d] += 1;
+    }
+    let mut start = 0usize;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n];
+    let mut vert = vec![0 as Ix; n];
+    {
+        let mut cursor = bin.clone();
+        for v in 0..n {
+            pos[v] = cursor[deg[v]];
+            vert[pos[v]] = v;
+            cursor[deg[v]] += 1;
+        }
+    }
+
+    let mut core = vec![0u64; n];
+    let mut degeneracy = 0u64;
+    for i in 0..n {
+        let v = vert[i];
+        degeneracy = degeneracy.max(deg[v] as u64);
+        core[v] = degeneracy;
+        for &u in g.neighbors(v) {
+            if u == v {
+                continue;
+            }
+            if deg[u] > deg[v] {
+                // Move u one bucket down: swap with the first element of its bucket.
+                let du = deg[u];
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw];
+                if u != w {
+                    vert[pu] = w;
+                    vert[pw] = u;
+                    pos[w] = pu;
+                    pos[u] = pw;
+                }
+                bin[du] += 1;
+                deg[u] -= 1;
+            }
+        }
+    }
+    let order = vert;
+    let mut rank = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        rank[v] = i;
+    }
+    CoreDecomposition {
+        core,
+        order,
+        rank,
+        degeneracy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_is_1_degenerate() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let d = core_decomposition(&g);
+        assert_eq!(d.degeneracy, 1);
+        assert!(d.core.iter().all(|&c| c <= 1));
+    }
+
+    #[test]
+    fn clique_core_numbers() {
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let g = Graph::from_edges(5, &edges).unwrap();
+        let d = core_decomposition(&g);
+        assert_eq!(d.degeneracy, 4);
+        assert_eq!(d.core, vec![4; 5]);
+    }
+
+    #[test]
+    fn clique_with_pendant() {
+        // Triangle 0-1-2 plus pendant 3 attached to 0.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]).unwrap();
+        let d = core_decomposition(&g);
+        assert_eq!(d.core[3], 1);
+        assert_eq!(d.core[0], 2);
+        assert_eq!(d.degeneracy, 2);
+        // Peel order starts with the pendant.
+        assert_eq!(d.order[0], 3);
+    }
+
+    #[test]
+    fn rank_inverts_order() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let d = core_decomposition(&g);
+        for (i, &v) in d.order.iter().enumerate() {
+            assert_eq!(d.rank[v], i);
+        }
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 0)]).unwrap();
+        let d = core_decomposition(&g);
+        assert_eq!(d.degeneracy, 1);
+    }
+
+    #[test]
+    fn complete_bipartite_degeneracy() {
+        // K_{2,3}: degeneracy is 2.
+        let mut edges = Vec::new();
+        for u in 0..2 {
+            for w in 0..3 {
+                edges.push((u, 2 + w));
+            }
+        }
+        let g = Graph::from_edges(5, &edges).unwrap();
+        assert_eq!(core_decomposition(&g).degeneracy, 2);
+    }
+}

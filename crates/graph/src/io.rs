@@ -1,0 +1,244 @@
+//! Graph readers and writers.
+//!
+//! Two formats cover the datasets the paper draws on:
+//! * whitespace-separated **edge lists** (`u v` per line, `%`/`#` comments)
+//!   — the KONECT download format, 1-based or 0-based;
+//! * **MatrixMarket** `coordinate pattern` files — the SuiteSparse / UF
+//!   collection format.
+//!
+//! KONECT bipartite files index the two vertex sets independently
+//! ("bip" format: left vertices `1..m`, right vertices `1..n` in separate
+//! columns); [`read_bipartite_edge_list`] offsets the right column so the
+//! result is a unipartite adjacency over `m + n` vertices, block
+//! anti-diagonal as in Def. 7.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::graph::{Graph, GraphError};
+
+fn parse_line(line: &str) -> Option<(usize, usize)> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('%') || trimmed.starts_with('#') {
+        return None;
+    }
+    let mut it = trimmed.split_whitespace();
+    let u = it.next()?.parse().ok()?;
+    let v = it.next()?.parse().ok()?;
+    Some((u, v))
+}
+
+/// Read a unipartite edge list. `one_based` subtracts 1 from every index.
+/// The vertex count is `max index + 1` unless `n` is given.
+pub fn read_edge_list<R: Read>(
+    reader: R,
+    one_based: bool,
+    n: Option<usize>,
+) -> Result<Graph, GraphError> {
+    let br = BufReader::new(reader);
+    let mut edges = Vec::new();
+    let mut max_v = 0usize;
+    for (lineno, line) in br.lines().enumerate() {
+        let line = line.map_err(|e| GraphError::Io(format!("line {}: {e}", lineno + 1)))?;
+        if let Some((mut u, mut v)) = parse_line(&line) {
+            if one_based {
+                if u == 0 || v == 0 {
+                    return Err(GraphError::Io(format!(
+                        "line {}: zero index in 1-based file",
+                        lineno + 1
+                    )));
+                }
+                u -= 1;
+                v -= 1;
+            }
+            max_v = max_v.max(u).max(v);
+            edges.push((u, v));
+        }
+    }
+    let n = n.unwrap_or(if edges.is_empty() { 0 } else { max_v + 1 });
+    Graph::from_edges(n, &edges)
+}
+
+/// Read a KONECT-style bipartite edge list: left column indexes `U`,
+/// right column indexes `W` independently. Produces a graph on
+/// `|U| + |W|` vertices with `U` first. Returns the graph and `(|U|, |W|)`.
+pub fn read_bipartite_edge_list<R: Read>(
+    reader: R,
+    one_based: bool,
+) -> Result<(Graph, (usize, usize)), GraphError> {
+    let br = BufReader::new(reader);
+    let mut raw = Vec::new();
+    let (mut max_u, mut max_w) = (0usize, 0usize);
+    for (lineno, line) in br.lines().enumerate() {
+        let line = line.map_err(|e| GraphError::Io(format!("line {}: {e}", lineno + 1)))?;
+        if let Some((mut u, mut w)) = parse_line(&line) {
+            if one_based {
+                if u == 0 || w == 0 {
+                    return Err(GraphError::Io(format!(
+                        "line {}: zero index in 1-based file",
+                        lineno + 1
+                    )));
+                }
+                u -= 1;
+                w -= 1;
+            }
+            max_u = max_u.max(u);
+            max_w = max_w.max(w);
+            raw.push((u, w));
+        }
+    }
+    if raw.is_empty() {
+        return Ok((Graph::from_edges(0, &[])?, (0, 0)));
+    }
+    let nu = max_u + 1;
+    let nw = max_w + 1;
+    let edges: Vec<(usize, usize)> = raw.into_iter().map(|(u, w)| (u, nu + w)).collect();
+    let g = Graph::from_edges(nu + nw, &edges)?;
+    Ok((g, (nu, nw)))
+}
+
+/// Write a 0-based edge list (one `u v` line per undirected edge).
+pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> Result<(), GraphError> {
+    for (u, v) in g.edges() {
+        writeln!(writer, "{u} {v}").map_err(|e| GraphError::Io(e.to_string()))?;
+    }
+    Ok(())
+}
+
+/// Read a MatrixMarket `coordinate` file as an undirected graph. Both
+/// `general` and `symmetric` symmetry are accepted; values (if present)
+/// are ignored — only the pattern matters for adjacency.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, GraphError> {
+    let br = BufReader::new(reader);
+    let mut lines = br.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| GraphError::Io("empty MatrixMarket file".into()))?
+        .map_err(|e| GraphError::Io(e.to_string()))?;
+    if !header.starts_with("%%MatrixMarket") {
+        return Err(GraphError::Io("missing %%MatrixMarket header".into()));
+    }
+    let lower = header.to_ascii_lowercase();
+    if !lower.contains("coordinate") {
+        return Err(GraphError::Io("only coordinate format supported".into()));
+    }
+    let mut size_line = None;
+    let mut body = Vec::new();
+    for line in lines {
+        let line = line.map_err(|e| GraphError::Io(e.to_string()))?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        if size_line.is_none() {
+            size_line = Some(t.to_string());
+        } else {
+            body.push(t.to_string());
+        }
+    }
+    let size = size_line.ok_or_else(|| GraphError::Io("missing size line".into()))?;
+    let mut it = size.split_whitespace();
+    let nrows: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| GraphError::Io("bad size line".into()))?;
+    let ncols: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| GraphError::Io("bad size line".into()))?;
+    if nrows != ncols {
+        return Err(GraphError::NotSquare { nrows, ncols });
+    }
+    let mut edges = Vec::with_capacity(body.len());
+    for (i, line) in body.iter().enumerate() {
+        let (u, v) = parse_line(line)
+            .ok_or_else(|| GraphError::Io(format!("bad entry on body line {}", i + 1)))?;
+        if u == 0 || v == 0 {
+            return Err(GraphError::Io(format!(
+                "body line {}: MatrixMarket is 1-based",
+                i + 1
+            )));
+        }
+        edges.push((u - 1, v - 1));
+    }
+    Graph::from_edges(nrows, &edges)
+}
+
+/// Write a graph as MatrixMarket `coordinate pattern symmetric`.
+pub fn write_matrix_market<W: Write>(g: &Graph, mut writer: W) -> Result<(), GraphError> {
+    let n = g.num_vertices();
+    writeln!(writer, "%%MatrixMarket matrix coordinate pattern symmetric")
+        .map_err(|e| GraphError::Io(e.to_string()))?;
+    writeln!(writer, "{n} {n} {}", g.num_edges()).map_err(|e| GraphError::Io(e.to_string()))?;
+    for (u, v) in g.edges() {
+        // symmetric MM stores the lower triangle: row >= col, 1-based.
+        writeln!(writer, "{} {}", v + 1, u + 1).map_err(|e| GraphError::Io(e.to_string()))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..], false, Some(4)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn comments_and_one_based() {
+        let data = "% KONECT header\n# another comment\n1 2\n2 3\n";
+        let g = read_edge_list(data.as_bytes(), true, None).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn one_based_rejects_zero() {
+        assert!(read_edge_list("0 1\n".as_bytes(), true, None).is_err());
+    }
+
+    #[test]
+    fn bipartite_list_offsets_right_column() {
+        // 2 left, 3 right vertices.
+        let data = "1 1\n1 3\n2 2\n";
+        let (g, (nu, nw)) = read_bipartite_edge_list(data.as_bytes(), true).unwrap();
+        assert_eq!((nu, nw), (2, 3));
+        assert_eq!(g.num_vertices(), 5);
+        assert!(g.has_edge(0, 2)); // left 1 ↔ right 1
+        assert!(g.has_edge(0, 4)); // left 1 ↔ right 3
+        assert!(g.has_edge(1, 3)); // left 2 ↔ right 2
+        assert!(crate::bipartite::is_bipartite(&g));
+    }
+
+    #[test]
+    fn matrix_market_round_trip() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4), (2, 2)]).unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&g, &mut buf).unwrap();
+        let g2 = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn matrix_market_rejects_garbage() {
+        assert!(read_matrix_market("not a header\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes()).is_err());
+        assert!(
+            read_matrix_market("%%MatrixMarket matrix coordinate pattern general\n2 3 0\n".as_bytes())
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn empty_bipartite_file() {
+        let (g, (nu, nw)) = read_bipartite_edge_list("".as_bytes(), true).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!((nu, nw), (0, 0));
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # bikron-graph
+//!
+//! Undirected graph layer over [`bikron_sparse`] CSR adjacency matrices,
+//! with the structural predicates and traversals the paper's constructions
+//! depend on:
+//!
+//! * [`Graph`] — simple undirected graphs with an explicit self-loop policy,
+//! * [`bipartite`] — 2-colouring and the `U ∪ W` [`bipartite::Bipartition`] of Def. 7,
+//! * [`connectivity`] — connected components (needed to check Assump. 1 and
+//!   to validate Thms. 1–2 empirically),
+//! * [`traversal`] — BFS, hop distances, eccentricity and diameter,
+//! * [`cycles`] — odd-cycle witnesses (non-bipartiteness certificates) and
+//!   girth for small factors,
+//! * [`degeneracy`] — core decomposition, used by the direct butterfly
+//!   counting baselines,
+//! * [`io`] — edge-list and MatrixMarket readers/writers (KONECT-style
+//!   datasets drop in directly),
+//! * [`stats`] — degree distributions and summaries for the figures.
+
+pub mod bipartite;
+pub mod connectivity;
+pub mod cycles;
+pub mod degeneracy;
+pub mod graph;
+pub mod io;
+pub mod stats;
+pub mod traversal;
+
+pub use bipartite::{bipartition, is_bipartite, Bipartition};
+pub use connectivity::{connected_components, is_connected, Components};
+pub use graph::{Graph, GraphError};
+pub use traversal::{bfs_distances, diameter, eccentricity};

@@ -1,0 +1,122 @@
+//! Degree statistics and distribution summaries used by the figure
+//! harnesses (Fig. 5 plots degree vs 4-cycle count; Table I reports order,
+//! size, and part sizes).
+
+use std::collections::BTreeMap;
+
+use crate::bipartite::Bipartition;
+use crate::graph::Graph;
+
+/// Summary statistics of a graph, in the shape of the paper's Table I row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphSummary {
+    /// Vertex count.
+    pub num_vertices: usize,
+    /// Undirected edge count.
+    pub num_edges: usize,
+    /// Self loop count.
+    pub num_self_loops: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Bipartite part sizes, when the graph is bipartite.
+    pub parts: Option<(usize, usize)>,
+}
+
+/// Compute a [`GraphSummary`], attaching part sizes if a bipartition is given.
+pub fn summarize(g: &Graph, bip: Option<&Bipartition>) -> GraphSummary {
+    GraphSummary {
+        num_vertices: g.num_vertices(),
+        num_edges: g.num_edges(),
+        num_self_loops: g.num_self_loops(),
+        max_degree: g.max_degree(),
+        parts: bip.map(|b| (b.u_len(), b.w_len())),
+    }
+}
+
+/// Degree histogram: degree → number of vertices with that degree.
+pub fn degree_histogram(g: &Graph) -> BTreeMap<usize, usize> {
+    let mut h = BTreeMap::new();
+    for v in 0..g.num_vertices() {
+        *h.entry(g.degree(v)).or_insert(0) += 1;
+    }
+    h
+}
+
+/// Mean degree (0 for the empty graph).
+pub fn mean_degree(g: &Graph) -> f64 {
+    if g.num_vertices() == 0 {
+        return 0.0;
+    }
+    g.nnz() as f64 / g.num_vertices() as f64
+}
+
+/// Pairs `(degree, count)` aggregated over vertices, for log-log plots like
+/// Fig. 5: given a per-vertex statistic, produce `(d_v, stat_v)` points.
+pub fn degree_vs_statistic(g: &Graph, stat: &[u64]) -> Vec<(u64, u64)> {
+    assert_eq!(stat.len(), g.num_vertices(), "statistic length mismatch");
+    (0..g.num_vertices())
+        .map(|v| (g.degree(v) as u64, stat[v]))
+        .collect()
+}
+
+/// Bin `(degree, stat)` pairs by degree and average the statistic within
+/// each bin — the "degree-binned average" presentation used in bipartite
+/// BTER evaluations the paper cites.
+pub fn degree_binned_mean(points: &[(u64, u64)]) -> Vec<(u64, f64)> {
+    let mut sums: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    for &(d, s) in points {
+        let e = sums.entry(d).or_insert((0, 0));
+        e.0 += s;
+        e.1 += 1;
+    }
+    sums.into_iter()
+        .map(|(d, (sum, cnt))| (d, sum as f64 / cnt as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bipartite::bipartition;
+
+    #[test]
+    fn summary_of_star() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let b = bipartition(&g).unwrap();
+        let s = summarize(&g, Some(&b));
+        assert_eq!(s.num_vertices, 4);
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.max_degree, 3);
+        assert_eq!(s.parts, Some((1, 3)));
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let h = degree_histogram(&g);
+        assert_eq!(h.get(&1), Some(&3));
+        assert_eq!(h.get(&3), Some(&1));
+    }
+
+    #[test]
+    fn mean_degree_path() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert!((mean_degree(&g) - 4.0 / 3.0).abs() < 1e-12);
+        let empty = Graph::from_edges(0, &[]).unwrap();
+        assert_eq!(mean_degree(&empty), 0.0);
+    }
+
+    #[test]
+    fn degree_vs_statistic_pairs() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let pts = degree_vs_statistic(&g, &[5, 6, 7]);
+        assert_eq!(pts, vec![(1, 5), (2, 6), (1, 7)]);
+    }
+
+    #[test]
+    fn binned_mean_averages_ties() {
+        let pts = vec![(1u64, 5u64), (2, 6), (1, 7)];
+        let b = degree_binned_mean(&pts);
+        assert_eq!(b, vec![(1, 6.0), (2, 6.0)]);
+    }
+}

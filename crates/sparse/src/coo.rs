@@ -1,0 +1,188 @@
+//! Coordinate-format (triplet) matrix builder.
+//!
+//! COO is the ingestion format: graph loaders and generators push `(row,
+//! col, value)` triplets in arbitrary order, then convert to [`Csr`](crate::Csr) for
+//! compute. Duplicate coordinates are combined with a caller-supplied
+//! reducer at conversion time, matching the GraphBLAS "dup" semantics of
+//! `GrB_Matrix_build`.
+
+use crate::error::{SparseError, SparseResult};
+use crate::semiring::SemiringValue;
+use crate::Ix;
+
+/// A matrix in coordinate (triplet) form.
+#[derive(Clone, Debug)]
+pub struct Coo<T> {
+    nrows: Ix,
+    ncols: Ix,
+    rows: Vec<Ix>,
+    cols: Vec<Ix>,
+    vals: Vec<T>,
+}
+
+impl<T: SemiringValue> Coo<T> {
+    /// Create an empty COO with the given shape.
+    pub fn new(nrows: Ix, ncols: Ix) -> Self {
+        Coo {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Create an empty COO with capacity for `nnz` triplets.
+    pub fn with_capacity(nrows: Ix, ncols: Ix, nnz: usize) -> Self {
+        Coo {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(nnz),
+            cols: Vec::with_capacity(nnz),
+            vals: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> Ix {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Ix {
+        self.ncols
+    }
+
+    /// Number of stored triplets (before duplicate combination).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Push one triplet, validating bounds.
+    pub fn push(&mut self, row: Ix, col: Ix, val: T) -> SparseResult<()> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+        Ok(())
+    }
+
+    /// Push a triplet and its transpose — convenience for undirected graphs.
+    pub fn push_symmetric(&mut self, row: Ix, col: Ix, val: T) -> SparseResult<()> {
+        self.push(row, col, val)?;
+        if row != col {
+            self.push(col, row, val)?;
+        }
+        Ok(())
+    }
+
+    /// Build from parallel triplet slices.
+    pub fn from_triplets(
+        nrows: Ix,
+        ncols: Ix,
+        triplets: impl IntoIterator<Item = (Ix, Ix, T)>,
+    ) -> SparseResult<Self> {
+        let mut coo = Coo::new(nrows, ncols);
+        for (r, c, v) in triplets {
+            coo.push(r, c, v)?;
+        }
+        Ok(coo)
+    }
+
+    /// Iterate stored triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (Ix, Ix, T)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Sort triplets by `(row, col)` and combine duplicates with `dup`.
+    ///
+    /// Returns the compacted, sorted triplet arrays; used by the CSR
+    /// conversion and exposed for tests.
+    pub fn compact(mut self, mut dup: impl FnMut(T, T) -> T) -> (Ix, Ix, Vec<(Ix, Ix, T)>) {
+        let mut order: Vec<usize> = (0..self.vals.len()).collect();
+        order.sort_unstable_by_key(|&i| (self.rows[i], self.cols[i]));
+        let mut out: Vec<(Ix, Ix, T)> = Vec::with_capacity(order.len());
+        for i in order {
+            let key = (self.rows[i], self.cols[i]);
+            // `vals` entries are Copy; take directly.
+            let v = self.vals[i];
+            match out.last_mut() {
+                Some((r, c, acc)) if (*r, *c) == key => *acc = dup(*acc, v),
+                _ => out.push((key.0, key.1, v)),
+            }
+        }
+        self.rows.clear();
+        self.cols.clear();
+        self.vals.clear();
+        (self.nrows, self.ncols, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_bounds() {
+        let mut coo = Coo::<u64>::new(2, 3);
+        coo.push(0, 0, 1).unwrap();
+        coo.push(1, 2, 5).unwrap();
+        assert_eq!(coo.nnz(), 2);
+        assert!(matches!(
+            coo.push(2, 0, 1),
+            Err(SparseError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            coo.push(0, 3, 1),
+            Err(SparseError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn symmetric_push_skips_diagonal_duplicate() {
+        let mut coo = Coo::<u64>::new(3, 3);
+        coo.push_symmetric(0, 1, 1).unwrap();
+        coo.push_symmetric(2, 2, 7).unwrap();
+        assert_eq!(coo.nnz(), 3); // (0,1), (1,0), (2,2)
+    }
+
+    #[test]
+    fn compact_sorts_and_sums_duplicates() {
+        let coo = Coo::from_triplets(
+            2,
+            2,
+            vec![(1usize, 1usize, 4u64), (0, 0, 1), (1, 1, 6), (0, 1, 2)],
+        )
+        .unwrap();
+        let (nr, nc, t) = coo.compact(|a, b| a + b);
+        assert_eq!((nr, nc), (2, 2));
+        assert_eq!(t, vec![(0, 0, 1), (0, 1, 2), (1, 1, 10)]);
+    }
+
+    #[test]
+    fn compact_empty() {
+        let coo = Coo::<u64>::new(4, 4);
+        let (_, _, t) = coo.compact(|a, _| a);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_insertion_order() {
+        let mut coo = Coo::<i64>::new(2, 2);
+        coo.push(1, 0, -3).unwrap();
+        coo.push(0, 1, 9).unwrap();
+        let got: Vec<_> = coo.iter().collect();
+        assert_eq!(got, vec![(1, 0, -3), (0, 1, 9)]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Dense vector helpers used by the ground-truth formulas.
+//!
+//! The paper's vertex-level formulas are algebra over dense vectors
+//! (`d_A`, `w_A^{(2)}`, `s_A`, …) combined with vector Kronecker products.
+//! These helpers keep that code close to the mathematical notation.
+
+use crate::error::{SparseError, SparseResult};
+
+/// Element-wise (Hadamard) product of two equal-length vectors.
+pub fn hadamard_vec(a: &[i128], b: &[i128]) -> SparseResult<Vec<i128>> {
+    if a.len() != b.len() {
+        return Err(SparseError::DimensionMismatch {
+            op: "hadamard_vec",
+            lhs: (a.len(), 1),
+            rhs: (b.len(), 1),
+        });
+    }
+    Ok(a.iter().zip(b).map(|(&x, &y)| x * y).collect())
+}
+
+/// `alpha * x + y` element-wise.
+pub fn axpy(alpha: i128, x: &[i128], y: &[i128]) -> SparseResult<Vec<i128>> {
+    if x.len() != y.len() {
+        return Err(SparseError::DimensionMismatch {
+            op: "axpy",
+            lhs: (x.len(), 1),
+            rhs: (y.len(), 1),
+        });
+    }
+    Ok(x.iter().zip(y).map(|(&a, &b)| alpha * a + b).collect())
+}
+
+/// Element-wise sum of any number of vectors with coefficients:
+/// `sum_k coeffs[k] * vecs[k]`.
+pub fn linear_combination(terms: &[(i128, &[i128])]) -> SparseResult<Vec<i128>> {
+    let n = terms.first().map_or(0, |(_, v)| v.len());
+    for (_, v) in terms {
+        if v.len() != n {
+            return Err(SparseError::DimensionMismatch {
+                op: "linear_combination",
+                lhs: (n, 1),
+                rhs: (v.len(), 1),
+            });
+        }
+    }
+    let mut out = vec![0i128; n];
+    for &(c, v) in terms {
+        for (o, &x) in out.iter_mut().zip(v) {
+            *o += c * x;
+        }
+    }
+    Ok(out)
+}
+
+/// Sum of all entries.
+pub fn vec_sum(a: &[i128]) -> i128 {
+    a.iter().sum()
+}
+
+/// Constant vector of ones.
+pub fn ones(n: usize) -> Vec<i128> {
+    vec![1; n]
+}
+
+/// Halve every entry, erroring if any entry is odd (the paper's `1/2`
+/// prefactors must divide exactly — an odd value indicates a formula bug).
+pub fn halve_exact(a: &[i128], op: &'static str) -> SparseResult<Vec<i128>> {
+    let mut out = Vec::with_capacity(a.len());
+    for &x in a {
+        if x % 2 != 0 {
+            return Err(SparseError::Malformed(format!(
+                "{op}: entry {x} is not even; formula invariant violated"
+            )));
+        }
+        out.push(x / 2);
+    }
+    Ok(out)
+}
+
+/// Convert an `i128` formula result into `u64` counts, verifying
+/// non-negativity and range.
+pub fn to_u64_counts(a: &[i128], op: &'static str) -> SparseResult<Vec<u64>> {
+    let mut out = Vec::with_capacity(a.len());
+    for &x in a {
+        if x < 0 {
+            return Err(SparseError::Malformed(format!(
+                "{op}: negative count {x}; formula invariant violated"
+            )));
+        }
+        out.push(
+            u64::try_from(x).map_err(|_| SparseError::Overflow { op })?,
+        );
+    }
+    Ok(out)
+}
+
+/// Widening conversion from `u64` data to the `i128` formula domain.
+pub fn widen(a: &[u64]) -> Vec<i128> {
+    a.iter().map(|&x| x as i128).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hadamard_and_axpy() {
+        let a = vec![1i128, 2, 3];
+        let b = vec![4i128, 5, 6];
+        assert_eq!(hadamard_vec(&a, &b).unwrap(), vec![4, 10, 18]);
+        assert_eq!(axpy(2, &a, &b).unwrap(), vec![6, 9, 12]);
+        assert!(hadamard_vec(&a, &[1]).is_err());
+    }
+
+    #[test]
+    fn linear_combination_three_terms() {
+        let a = vec![1i128, 0];
+        let b = vec![0i128, 1];
+        let c = vec![1i128, 1];
+        let out = linear_combination(&[(2, &a), (3, &b), (-1, &c)]).unwrap();
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn linear_combination_empty_is_empty() {
+        assert_eq!(linear_combination(&[]).unwrap(), Vec::<i128>::new());
+    }
+
+    #[test]
+    fn halve_exact_detects_odd() {
+        assert_eq!(halve_exact(&[4, 6], "t").unwrap(), vec![2, 3]);
+        assert!(halve_exact(&[3], "t").is_err());
+    }
+
+    #[test]
+    fn to_u64_counts_rejects_negative() {
+        assert_eq!(to_u64_counts(&[0, 5], "t").unwrap(), vec![0, 5]);
+        assert!(to_u64_counts(&[-1], "t").is_err());
+        assert!(to_u64_counts(&[1i128 << 70], "t").is_err());
+    }
+
+    #[test]
+    fn widen_round_trips() {
+        let w = widen(&[u64::MAX, 0]);
+        assert_eq!(w, vec![u64::MAX as i128, 0]);
+    }
+}

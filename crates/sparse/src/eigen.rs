@@ -1,0 +1,173 @@
+//! Dense symmetric eigensolver (cyclic Jacobi) for factor-sized matrices.
+//!
+//! Kronecker products have fully compositional spectra —
+//! `λ(A ⊗ B) = {λ_i(A)·λ_j(B)}` — so exact product eigenvalues only ever
+//! require diagonalising the *factors*. Factors in this workspace are
+//! small by design (10²–10³), where cyclic Jacobi is simple, robust and
+//! accurate; this module provides it without any external linear-algebra
+//! dependency.
+
+use crate::csr::Csr;
+use crate::error::{SparseError, SparseResult};
+
+/// Eigenvalues of a symmetric matrix given as CSR (values converted to
+/// `f64`), sorted ascending. `tol` is the off-diagonal Frobenius-norm
+/// stopping threshold relative to the matrix norm.
+pub fn symmetric_eigenvalues(a: &Csr<u64>, tol: f64) -> SparseResult<Vec<f64>> {
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::DimensionMismatch {
+            op: "symmetric_eigenvalues",
+            lhs: (a.nrows(), a.ncols()),
+            rhs: (a.ncols(), a.nrows()),
+        });
+    }
+    if !a.is_pattern_symmetric() {
+        return Err(SparseError::Malformed(
+            "symmetric_eigenvalues requires a symmetric matrix".into(),
+        ));
+    }
+    let n = a.nrows();
+    let mut m = vec![0f64; n * n];
+    for (r, c, v) in a.iter() {
+        m[r * n + c] = v as f64;
+    }
+    jacobi_eigenvalues(&mut m, n, tol)
+}
+
+/// In-place cyclic Jacobi on a dense row-major symmetric matrix.
+pub fn jacobi_eigenvalues(m: &mut [f64], n: usize, tol: f64) -> SparseResult<Vec<f64>> {
+    assert_eq!(m.len(), n * n);
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let norm: f64 = m.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let threshold = (tol * norm).max(f64::EPSILON);
+    let off = |m: &[f64]| -> f64 {
+        let mut s = 0.0;
+        for r in 0..n {
+            for c in 0..n {
+                if r != c {
+                    s += m[r * n + c] * m[r * n + c];
+                }
+            }
+        }
+        s.sqrt()
+    };
+    let max_sweeps = 64;
+    for _ in 0..max_sweeps {
+        if off(m) <= threshold {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[p * n + q];
+                if apq.abs() <= threshold / (n as f64) {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation J(p, q, θ) on both sides.
+                for k in 0..n {
+                    let akp = m[k * n + p];
+                    let akq = m[k * n + q];
+                    m[k * n + p] = c * akp - s * akq;
+                    m[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = m[p * n + k];
+                    let aqk = m[q * n + k];
+                    m[p * n + k] = c * apk - s * aqk;
+                    m[q * n + k] = s * apk + c * aqk;
+                }
+            }
+        }
+    }
+    let mut eigs: Vec<f64> = (0..n).map(|i| m[i * n + i]).collect();
+    eigs.sort_by(|a, b| a.partial_cmp(b).expect("eigenvalues are finite"));
+    Ok(eigs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn adjacency(n: usize, edges: &[(usize, usize)]) -> Csr<u64> {
+        let mut coo = Coo::new(n, n);
+        for &(u, v) in edges {
+            coo.push(u, v, 1).unwrap();
+            coo.push(v, u, 1).unwrap();
+        }
+        Csr::from_coo(coo, |a, _| a, |v| v == 0)
+    }
+
+    fn assert_close(got: &[f64], want: &[f64]) {
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want) {
+            assert!((g - w).abs() < 1e-8, "{got:?} vs {want:?}");
+        }
+    }
+
+    #[test]
+    fn path_p2_spectrum() {
+        // K2 adjacency: eigenvalues ±1.
+        let a = adjacency(2, &[(0, 1)]);
+        let e = symmetric_eigenvalues(&a, 1e-12).unwrap();
+        assert_close(&e, &[-1.0, 1.0]);
+    }
+
+    #[test]
+    fn cycle_c4_spectrum() {
+        // C4: {−2, 0, 0, 2}.
+        let a = adjacency(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let e = symmetric_eigenvalues(&a, 1e-12).unwrap();
+        assert_close(&e, &[-2.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn complete_k4_spectrum() {
+        // K4: {−1, −1, −1, 3}.
+        let a = adjacency(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let e = symmetric_eigenvalues(&a, 1e-12).unwrap();
+        assert_close(&e, &[-1.0, -1.0, -1.0, 3.0]);
+    }
+
+    #[test]
+    fn star_spectrum() {
+        // Star with 3 leaves: {−√3, 0, 0, √3}.
+        let a = adjacency(4, &[(0, 1), (0, 2), (0, 3)]);
+        let e = symmetric_eigenvalues(&a, 1e-12).unwrap();
+        let r3 = 3f64.sqrt();
+        assert_close(&e, &[-r3, 0.0, 0.0, r3]);
+    }
+
+    #[test]
+    fn trace_preserved() {
+        // Trace of the adjacency (0 without loops) equals the eigensum.
+        let a = adjacency(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        let e = symmetric_eigenvalues(&a, 1e-12).unwrap();
+        let sum: f64 = e.iter().sum();
+        assert!(sum.abs() < 1e-8);
+        // Σλ² = 2|E|.
+        let sq: f64 = e.iter().map(|x| x * x).sum();
+        assert!((sq - 12.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn rejects_nonsymmetric_or_rectangular() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 1, 1u64).unwrap();
+        let m = Csr::from_coo(coo, |a, _| a, |v| v == 0);
+        assert!(symmetric_eigenvalues(&m, 1e-10).is_err());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = Csr::<u64>::zero(0, 0);
+        assert!(symmetric_eigenvalues(&a, 1e-10).unwrap().is_empty());
+    }
+}

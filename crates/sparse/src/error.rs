@@ -1,0 +1,65 @@
+use std::fmt;
+
+/// Errors produced by sparse kernels.
+///
+/// Dimension mismatches are programming errors in most numerical libraries,
+/// but the bikron workspace builds matrices from user-supplied graph files,
+/// so shape problems are reported as values rather than panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// Two operands had incompatible dimensions for the requested operation.
+    DimensionMismatch {
+        /// Operation name, e.g. `"spgemm"`.
+        op: &'static str,
+        /// Dimensions of the left operand.
+        lhs: (usize, usize),
+        /// Dimensions of the right operand.
+        rhs: (usize, usize),
+    },
+    /// A triplet referenced a row or column outside the declared shape.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Declared row count.
+        nrows: usize,
+        /// Declared column count.
+        ncols: usize,
+    },
+    /// An arithmetic result did not fit in the value type.
+    Overflow {
+        /// Operation name where the overflow was detected.
+        op: &'static str,
+    },
+    /// CSR invariants were violated (unsorted row pointers, etc.).
+    Malformed(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "{op}: dimension mismatch {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
+                f,
+                "index ({row},{col}) out of bounds for {nrows}x{ncols} matrix"
+            ),
+            SparseError::Overflow { op } => write!(f, "{op}: arithmetic overflow"),
+            SparseError::Malformed(msg) => write!(f, "malformed matrix: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+/// Convenience alias used across the crate.
+pub type SparseResult<T> = Result<T, SparseError>;

@@ -1,0 +1,197 @@
+//! Element-wise (Hadamard) operations on CSR matrices.
+//!
+//! `ewise_mult` is the Hadamard product of Def. 5 (set intersection of
+//! patterns); `ewise_add` is the GraphBLAS eWiseAdd (set union). Both walk
+//! the two sorted rows with a merge, so cost is linear in the row sizes.
+
+use crate::csr::Csr;
+use crate::error::{SparseError, SparseResult};
+use crate::semiring::SemiringValue;
+use crate::Ix;
+
+fn check_same_shape<T: SemiringValue, U: SemiringValue>(
+    op: &'static str,
+    a: &Csr<T>,
+    b: &Csr<U>,
+) -> SparseResult<()> {
+    if a.nrows() != b.nrows() || a.ncols() != b.ncols() {
+        return Err(SparseError::DimensionMismatch {
+            op,
+            lhs: (a.nrows(), a.ncols()),
+            rhs: (b.nrows(), b.ncols()),
+        });
+    }
+    Ok(())
+}
+
+/// Hadamard product `A ∘ B` with combiner `f` — pattern is the
+/// intersection of the operand patterns; zero results are dropped.
+pub fn ewise_mult<T, U, V>(
+    a: &Csr<T>,
+    b: &Csr<U>,
+    mut f: impl FnMut(T, U) -> V,
+    mut is_zero: impl FnMut(&V) -> bool,
+) -> SparseResult<Csr<V>>
+where
+    T: SemiringValue,
+    U: SemiringValue,
+    V: SemiringValue,
+{
+    check_same_shape("ewise_mult", a, b)?;
+    let nrows = a.nrows();
+    let mut row_ptr = Vec::with_capacity(nrows + 1);
+    row_ptr.push(0usize);
+    let mut col_idx: Vec<Ix> = Vec::new();
+    let mut vals: Vec<V> = Vec::new();
+    for r in 0..nrows {
+        let (ac, av) = a.row(r);
+        let (bc, bv) = b.row(r);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ac.len() && j < bc.len() {
+            match ac[i].cmp(&bc[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let v = f(av[i], bv[j]);
+                    if !is_zero(&v) {
+                        col_idx.push(ac[i]);
+                        vals.push(v);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Csr::from_parts(nrows, a.ncols(), row_ptr, col_idx, vals)
+}
+
+/// Element-wise add `A ⊕ B` — pattern is the union of the operand
+/// patterns; positions present in only one operand keep that value.
+pub fn ewise_add<T>(
+    a: &Csr<T>,
+    b: &Csr<T>,
+    mut f: impl FnMut(T, T) -> T,
+    mut is_zero: impl FnMut(&T) -> bool,
+) -> SparseResult<Csr<T>>
+where
+    T: SemiringValue,
+{
+    check_same_shape("ewise_add", a, b)?;
+    let nrows = a.nrows();
+    let mut row_ptr = Vec::with_capacity(nrows + 1);
+    row_ptr.push(0usize);
+    let mut col_idx: Vec<Ix> = Vec::new();
+    let mut vals: Vec<T> = Vec::new();
+    for r in 0..nrows {
+        let (ac, av) = a.row(r);
+        let (bc, bv) = b.row(r);
+        let (mut i, mut j) = (0usize, 0usize);
+        loop {
+            let take = match (ac.get(i), bc.get(j)) {
+                (None, None) => break,
+                (Some(&c), None) => {
+                    i += 1;
+                    (c, av[i - 1])
+                }
+                (None, Some(&c)) => {
+                    j += 1;
+                    (c, bv[j - 1])
+                }
+                (Some(&ca), Some(&cb)) => match ca.cmp(&cb) {
+                    std::cmp::Ordering::Less => {
+                        i += 1;
+                        (ca, av[i - 1])
+                    }
+                    std::cmp::Ordering::Greater => {
+                        j += 1;
+                        (cb, bv[j - 1])
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let v = f(av[i], bv[j]);
+                        i += 1;
+                        j += 1;
+                        (ca, v)
+                    }
+                },
+            };
+            if !is_zero(&take.1) {
+                col_idx.push(take.0);
+                vals.push(take.1);
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Csr::from_parts(nrows, a.ncols(), row_ptr, col_idx, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn m(nrows: usize, ncols: usize, t: Vec<(usize, usize, i64)>) -> Csr<i64> {
+        Csr::from_coo(
+            Coo::from_triplets(nrows, ncols, t).unwrap(),
+            |a, b| a + b,
+            |v| v == 0,
+        )
+    }
+
+    #[test]
+    fn mult_intersects_patterns() {
+        let a = m(2, 2, vec![(0, 0, 2), (0, 1, 3), (1, 1, 4)]);
+        let b = m(2, 2, vec![(0, 1, 5), (1, 0, 7), (1, 1, 1)]);
+        let c = ewise_mult(&a, &b, |x, y| x * y, |&v| v == 0).unwrap();
+        assert_eq!(c.nnz(), 2);
+        assert_eq!(c.get(0, 1), Some(15));
+        assert_eq!(c.get(1, 1), Some(4));
+        assert_eq!(c.get(0, 0), None);
+    }
+
+    #[test]
+    fn add_unions_patterns() {
+        let a = m(2, 2, vec![(0, 0, 2), (1, 1, 4)]);
+        let b = m(2, 2, vec![(0, 1, 5), (1, 1, -4)]);
+        let c = ewise_add(&a, &b, |x, y| x + y, |&v| v == 0).unwrap();
+        // (1,1) cancels to zero and is dropped.
+        assert_eq!(c.nnz(), 2);
+        assert_eq!(c.get(0, 0), Some(2));
+        assert_eq!(c.get(0, 1), Some(5));
+        assert_eq!(c.get(1, 1), None);
+    }
+
+    #[test]
+    fn hadamard_commutes() {
+        let a = m(3, 3, vec![(0, 0, 2), (1, 2, 3), (2, 2, -1)]);
+        let b = m(3, 3, vec![(0, 0, 4), (1, 2, 5), (2, 0, 6)]);
+        let ab = ewise_mult(&a, &b, |x, y| x * y, |&v| v == 0).unwrap();
+        let ba = ewise_mult(&b, &a, |x, y| x * y, |&v| v == 0).unwrap();
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = m(2, 2, vec![(0, 0, 1)]);
+        let b = m(2, 3, vec![(0, 0, 1)]);
+        assert!(ewise_mult(&a, &b, |x, y| x * y, |&v| v == 0).is_err());
+        assert!(ewise_add(&a, &b, |x, y| x + y, |&v| v == 0).is_err());
+    }
+
+    #[test]
+    fn mixed_value_types() {
+        let a = m(1, 2, vec![(0, 0, 7), (0, 1, 9)]);
+        let flags = a.map(|_| true);
+        let c = ewise_mult(&a, &flags, |x, keep| if keep { x } else { 0 }, |&v| v == 0).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn add_with_disjoint_patterns_is_concatenation() {
+        let a = m(1, 4, vec![(0, 0, 1), (0, 2, 3)]);
+        let b = m(1, 4, vec![(0, 1, 2), (0, 3, 4)]);
+        let c = ewise_add(&a, &b, |x, y| x + y, |&v| v == 0).unwrap();
+        assert_eq!(c.to_dense(), vec![1, 2, 3, 4]);
+    }
+}

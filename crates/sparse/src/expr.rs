@@ -1,0 +1,480 @@
+//! Deferred (non-blocking) expression evaluation — the GraphBLAS
+//! execution model the paper's §I points at: *"a non-blocking execution
+//! policy would allow an implementation … deferred/lazy evaluation,
+//! elimination of temporaries, and fusion of operations. With these
+//! optimizations, a relatively simple GraphBLAS code could be used to
+//! sample 4-cycle counts at edges and vertices without materializing the
+//! full Kronecker products."*
+//!
+//! [`MatExpr`] is an expression DAG over `i128` CSR leaves with the
+//! operators the ground-truth formulas use: Kronecker product, matrix
+//! multiply, Hadamard product, element-wise add, scalar scale, and
+//! identity-plus. Three evaluation strategies are provided:
+//!
+//! * [`MatExpr::eval`] — materialise the whole expression (blocking mode,
+//!   for validation);
+//! * [`MatExpr::row`] — produce one row as a sparse vector *without
+//!   materialising anything*: a `Kron` node combines factor rows, a
+//!   `MatMul` node recursively accumulates child rows, etc. Sampling an
+//!   entry of `C³ ∘ C` for `C = A ⊗ B` therefore touches only
+//!   factor-sized data;
+//! * [`MatExpr::diag`] — the fused diagonal: `diag(X ⊗ Y) =
+//!   diag(X) ⊗ diag(Y)` (Prop. 2(f)) and `diag(X·Y) = Σ_j X_ij·Y_ji`
+//!   evaluated row-by-row, never forming the product matrix.
+
+use std::rc::Rc;
+
+use crate::csr::Csr;
+use crate::error::{SparseError, SparseResult};
+use crate::Ix;
+
+/// A deferred matrix expression over `i128` values.
+#[derive(Clone, Debug)]
+pub enum MatExpr {
+    /// A concrete CSR matrix.
+    Leaf(Rc<Csr<i128>>),
+    /// Kronecker product of two subexpressions.
+    Kron(Rc<MatExpr>, Rc<MatExpr>),
+    /// Matrix–matrix product.
+    MatMul(Rc<MatExpr>, Rc<MatExpr>),
+    /// Hadamard (element-wise) product.
+    Hadamard(Rc<MatExpr>, Rc<MatExpr>),
+    /// Element-wise sum.
+    Add(Rc<MatExpr>, Rc<MatExpr>),
+    /// Scalar multiple.
+    Scale(i128, Rc<MatExpr>),
+    /// `X + I` — the paper's self-loop construction, kept symbolic so
+    /// `(A + I) ⊗ B` never materialises `A + I`.
+    PlusIdentity(Rc<MatExpr>),
+}
+
+/// A sparse row: strictly increasing columns with values.
+pub type SparseRow = Vec<(Ix, i128)>;
+
+fn merge_rows(a: &SparseRow, b: &SparseRow, f: impl Fn(i128, i128) -> i128) -> SparseRow {
+    // Union merge with `f(a, 0)` / `f(0, b)` semantics.
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        let v = match (a.get(i), b.get(j)) {
+            (Some(&(ca, va)), Some(&(cb, vb))) => match ca.cmp(&cb) {
+                std::cmp::Ordering::Less => {
+                    i += 1;
+                    (ca, f(va, 0))
+                }
+                std::cmp::Ordering::Greater => {
+                    j += 1;
+                    (cb, f(0, vb))
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                    (ca, f(va, vb))
+                }
+            },
+            (Some(&(ca, va)), None) => {
+                i += 1;
+                (ca, f(va, 0))
+            }
+            (None, Some(&(cb, vb))) => {
+                j += 1;
+                (cb, f(0, vb))
+            }
+            (None, None) => unreachable!(),
+        };
+        if v.1 != 0 {
+            out.push(v);
+        }
+    }
+    out
+}
+
+impl MatExpr {
+    /// Wrap a concrete matrix.
+    pub fn leaf(m: Csr<i128>) -> Self {
+        MatExpr::Leaf(Rc::new(m))
+    }
+
+    /// `self ⊗ rhs`.
+    pub fn kron(self, rhs: MatExpr) -> Self {
+        MatExpr::Kron(Rc::new(self), Rc::new(rhs))
+    }
+
+    /// `self · rhs`.
+    pub fn matmul(self, rhs: MatExpr) -> Self {
+        MatExpr::MatMul(Rc::new(self), Rc::new(rhs))
+    }
+
+    /// `self ∘ rhs`.
+    pub fn hadamard(self, rhs: MatExpr) -> Self {
+        MatExpr::Hadamard(Rc::new(self), Rc::new(rhs))
+    }
+
+    /// `self + rhs` (element-wise).
+    pub fn add(self, rhs: MatExpr) -> Self {
+        MatExpr::Add(Rc::new(self), Rc::new(rhs))
+    }
+
+    /// `c · self`.
+    pub fn scale(self, c: i128) -> Self {
+        MatExpr::Scale(c, Rc::new(self))
+    }
+
+    /// `self + I`.
+    pub fn plus_identity(self) -> Self {
+        MatExpr::PlusIdentity(Rc::new(self))
+    }
+
+    /// `(rows, cols)` of the expression.
+    pub fn shape(&self) -> (Ix, Ix) {
+        match self {
+            MatExpr::Leaf(m) => (m.nrows(), m.ncols()),
+            MatExpr::Kron(a, b) => {
+                let (ra, ca) = a.shape();
+                let (rb, cb) = b.shape();
+                (ra * rb, ca * cb)
+            }
+            MatExpr::MatMul(a, b) => (a.shape().0, b.shape().1),
+            MatExpr::Hadamard(a, _) | MatExpr::Add(a, _) => a.shape(),
+            MatExpr::Scale(_, a) => a.shape(),
+            MatExpr::PlusIdentity(a) => a.shape(),
+        }
+    }
+
+    /// Validate shapes throughout the DAG.
+    pub fn check(&self) -> SparseResult<()> {
+        match self {
+            MatExpr::Leaf(_) => Ok(()),
+            MatExpr::Kron(a, b) => {
+                a.check()?;
+                b.check()
+            }
+            MatExpr::MatMul(a, b) => {
+                a.check()?;
+                b.check()?;
+                if a.shape().1 != b.shape().0 {
+                    return Err(SparseError::DimensionMismatch {
+                        op: "expr matmul",
+                        lhs: a.shape(),
+                        rhs: b.shape(),
+                    });
+                }
+                Ok(())
+            }
+            MatExpr::Hadamard(a, b) | MatExpr::Add(a, b) => {
+                a.check()?;
+                b.check()?;
+                if a.shape() != b.shape() {
+                    return Err(SparseError::DimensionMismatch {
+                        op: "expr elementwise",
+                        lhs: a.shape(),
+                        rhs: b.shape(),
+                    });
+                }
+                Ok(())
+            }
+            MatExpr::Scale(_, a) => a.check(),
+            MatExpr::PlusIdentity(a) => {
+                a.check()?;
+                let (r, c) = a.shape();
+                if r != c {
+                    return Err(SparseError::DimensionMismatch {
+                        op: "expr plus_identity",
+                        lhs: (r, c),
+                        rhs: (c, r),
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Row `r` as a sparse vector — **no materialisation** of any
+    /// intermediate matrix. This is the paper's sampling path: for
+    /// `C = A ⊗ B`, `C³∘C` entries are reachable through factor rows only.
+    pub fn row(&self, r: Ix) -> SparseRow {
+        match self {
+            MatExpr::Leaf(m) => {
+                let (cols, vals) = m.row(r);
+                cols.iter().copied().zip(vals.iter().copied()).collect()
+            }
+            MatExpr::Kron(a, b) => {
+                let (_, cb) = b.shape();
+                let (rb, _) = b.shape();
+                let (i, k) = (r / rb, r % rb);
+                let ra_row = a.row(i);
+                let rb_row = b.row(k);
+                let mut out = Vec::with_capacity(ra_row.len() * rb_row.len());
+                for &(j, va) in &ra_row {
+                    for &(l, vb) in &rb_row {
+                        out.push((j * cb, l, va * vb));
+                    }
+                }
+                out.into_iter().map(|(base, l, v)| (base + l, v)).collect()
+            }
+            MatExpr::MatMul(a, b) => {
+                let mut acc: SparseRow = Vec::new();
+                for &(c, v) in &a.row(r) {
+                    let scaled: SparseRow =
+                        b.row(c).into_iter().map(|(cc, vv)| (cc, v * vv)).collect();
+                    acc = merge_rows(&acc, &scaled, |x, y| x + y);
+                }
+                acc
+            }
+            MatExpr::Hadamard(a, b) => {
+                merge_rows(&a.row(r), &b.row(r), |x, y| x * y)
+            }
+            MatExpr::Add(a, b) => merge_rows(&a.row(r), &b.row(r), |x, y| x + y),
+            MatExpr::Scale(c, a) => a
+                .row(r)
+                .into_iter()
+                .map(|(col, v)| (col, c * v))
+                .filter(|&(_, v)| v != 0)
+                .collect(),
+            MatExpr::PlusIdentity(a) => {
+                let eye: SparseRow = vec![(r, 1)];
+                merge_rows(&a.row(r), &eye, |x, y| x + y)
+            }
+        }
+    }
+
+    /// Single-entry sample: `self[r, c]`.
+    pub fn entry(&self, r: Ix, c: Ix) -> i128 {
+        self.row(r)
+            .into_iter()
+            .find(|&(col, _)| col == c)
+            .map_or(0, |(_, v)| v)
+    }
+
+    /// Fused diagonal extraction. `Kron` nodes recurse into
+    /// `diag(X) ⊗ diag(Y)` (Prop. 2(f)) without touching rows at all;
+    /// other nodes fall back to per-row evaluation.
+    pub fn diag(&self) -> Vec<i128> {
+        match self {
+            MatExpr::Kron(a, b) => {
+                let da = a.diag();
+                let db = b.diag();
+                crate::kron::kron_vec(&da, &db)
+            }
+            MatExpr::Add(a, b) => a
+                .diag()
+                .into_iter()
+                .zip(b.diag())
+                .map(|(x, y)| x + y)
+                .collect(),
+            MatExpr::Hadamard(a, b) => a
+                .diag()
+                .into_iter()
+                .zip(b.diag())
+                .map(|(x, y)| x * y)
+                .collect(),
+            MatExpr::Scale(c, a) => a.diag().into_iter().map(|x| c * x).collect(),
+            MatExpr::PlusIdentity(a) => a.diag().into_iter().map(|x| x + 1).collect(),
+            _ => {
+                let (n, _) = self.shape();
+                (0..n).map(|r| self.entry(r, r)).collect()
+            }
+        }
+    }
+
+    /// Materialise the expression (blocking evaluation) — used to verify
+    /// the deferred paths.
+    pub fn eval(&self) -> SparseResult<Csr<i128>> {
+        self.check()?;
+        let (nrows, ncols) = self.shape();
+        let mut row_ptr = Vec::with_capacity(nrows + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        for r in 0..nrows {
+            for (c, v) in self.row(r) {
+                col_idx.push(c);
+                vals.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr::from_parts(nrows, ncols, row_ptr, col_idx, vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::ewise::ewise_mult;
+    use crate::kron::kron;
+    use crate::semiring::{i128_plus_times, Times};
+    use crate::spgemm::spgemm;
+
+    fn m(n: usize, t: Vec<(usize, usize, i128)>) -> Csr<i128> {
+        Csr::from_coo(
+            Coo::from_triplets(n, n, t).unwrap(),
+            |a, b| a + b,
+            |v| v == 0,
+        )
+    }
+
+    fn c4() -> Csr<i128> {
+        m(
+            4,
+            vec![
+                (0, 1, 1),
+                (1, 0, 1),
+                (1, 2, 1),
+                (2, 1, 1),
+                (2, 3, 1),
+                (3, 2, 1),
+                (3, 0, 1),
+                (0, 3, 1),
+            ],
+        )
+    }
+
+    fn k3() -> Csr<i128> {
+        m(
+            3,
+            vec![
+                (0, 1, 1),
+                (1, 0, 1),
+                (1, 2, 1),
+                (2, 1, 1),
+                (0, 2, 1),
+                (2, 0, 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn eval_matches_eager_kernels() {
+        let a = k3();
+        let b = c4();
+        let s = i128_plus_times();
+        // (A ⊗ B)·(A ⊗ B) ∘ (A ⊗ B)
+        let expr = MatExpr::leaf(a.clone())
+            .kron(MatExpr::leaf(b.clone()))
+            .matmul(MatExpr::leaf(a.clone()).kron(MatExpr::leaf(b.clone())))
+            .hadamard(MatExpr::leaf(a.clone()).kron(MatExpr::leaf(b.clone())));
+        let lazy = expr.eval().unwrap();
+        let c = kron(&Times, &a, &b).unwrap();
+        let c2 = spgemm(&s, &c, &c).unwrap();
+        let eager = ewise_mult(&c2, &c, |x, y| x * y, |&v| v == 0).unwrap();
+        assert_eq!(lazy.to_dense(), eager.to_dense());
+    }
+
+    #[test]
+    fn entry_sampling_without_materialisation() {
+        // C³ entries for C = A ⊗ B, sampled pointwise.
+        let a = k3();
+        let b = c4();
+        let c_expr = MatExpr::leaf(a.clone()).kron(MatExpr::leaf(b.clone()));
+        let c3_expr = c_expr.clone().matmul(c_expr.clone()).matmul(c_expr.clone());
+        let s = i128_plus_times();
+        let c = kron(&Times, &a, &b).unwrap();
+        let c3 = spgemm(&s, &spgemm(&s, &c, &c).unwrap(), &c).unwrap();
+        for (r, col) in [(0, 1), (3, 7), (11, 2), (5, 5)] {
+            assert_eq!(
+                c3_expr.entry(r, col),
+                c3.get(r, col).unwrap_or(0),
+                "entry ({r},{col})"
+            );
+        }
+    }
+
+    #[test]
+    fn plus_identity_is_symbolic() {
+        // ((A + I) ⊗ B) matches the eager construction.
+        let a = c4();
+        let b = k3();
+        let expr = MatExpr::leaf(a.clone())
+            .plus_identity()
+            .kron(MatExpr::leaf(b.clone()));
+        let eye = Csr::<i128>::diagonal(4, 1);
+        let apl = crate::ewise::ewise_add(&a, &eye, |x, y| x + y, |&v| v == 0).unwrap();
+        let eager = kron(&Times, &apl, &b).unwrap();
+        assert_eq!(expr.eval().unwrap().to_dense(), eager.to_dense());
+    }
+
+    #[test]
+    fn fused_diag_of_kron_power() {
+        // diag((A ⊗ B)⁴) via the fused path equals the materialised one.
+        let a = k3();
+        let b = c4();
+        let c_expr = MatExpr::leaf(a).kron(MatExpr::leaf(b));
+        let c4_expr = c_expr
+            .clone()
+            .matmul(c_expr.clone())
+            .matmul(c_expr.clone())
+            .matmul(c_expr.clone());
+        let diag_fused = c4_expr.diag();
+        let mat = c4_expr.eval().unwrap();
+        let diag_direct = crate::reduce::diag_vector(&mat, 0).unwrap();
+        assert_eq!(diag_fused, diag_direct);
+    }
+
+    #[test]
+    fn kron_fusion_equals_mixed_product_form() {
+        // diag((A⁴) ⊗ (B⁴)) (pure Kron fusion, no row evaluation) equals
+        // diag((A ⊗ B)⁴) — the mixed-product property end to end.
+        let a = k3();
+        let b = c4();
+        let pow4 = |m: &Csr<i128>| {
+            let e = MatExpr::leaf(m.clone());
+            e.clone().matmul(e.clone()).matmul(e.clone()).matmul(e)
+        };
+        let fused = pow4(&a).kron(pow4(&b)).diag();
+        let c_expr = MatExpr::leaf(a).kron(MatExpr::leaf(b));
+        let direct = c_expr
+            .clone()
+            .matmul(c_expr.clone())
+            .matmul(c_expr.clone())
+            .matmul(c_expr)
+            .diag();
+        assert_eq!(fused, direct);
+    }
+
+    #[test]
+    fn scale_and_add() {
+        let a = k3();
+        let expr = MatExpr::leaf(a.clone())
+            .scale(3)
+            .add(MatExpr::leaf(a.clone()).scale(-3));
+        let out = expr.eval().unwrap();
+        assert_eq!(out.nnz(), 0); // exact cancellation drops entries
+    }
+
+    #[test]
+    fn shape_checking() {
+        let a = k3();
+        let b = c4();
+        let bad = MatExpr::leaf(a.clone()).matmul(MatExpr::leaf(b.clone()));
+        assert!(bad.check().is_err());
+        let bad2 = MatExpr::leaf(a.clone()).hadamard(MatExpr::leaf(b));
+        assert!(bad2.check().is_err());
+        let ok = MatExpr::leaf(a.clone()).kron(MatExpr::leaf(a));
+        ok.check().unwrap();
+        assert_eq!(ok.shape(), (9, 9));
+    }
+
+    #[test]
+    fn row_cost_touches_factors_only() {
+        // Structural check: a single row of (A ⊗ B)³ on moderately sized
+        // factors evaluates quickly even though the cube would have ~n⁶
+        // work if materialised. We settle for correctness plus a sanity
+        // bound on the returned row length.
+        let n = 20;
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, (i + 1) % n, 1i128).unwrap();
+            coo.push((i + 1) % n, i, 1i128).unwrap();
+        }
+        let ring = Csr::from_coo(coo, |a, b| a + b, |v| v == 0);
+        let c = MatExpr::leaf(ring.clone()).kron(MatExpr::leaf(ring));
+        let c3 = c.clone().matmul(c.clone()).matmul(c);
+        let row = c3.row(123);
+        assert!(!row.is_empty());
+        assert!(row.len() <= 36); // ≤ (2·3)² reachable columns in a torus
+        for w in row.windows(2) {
+            assert!(w[0].0 < w[1].0, "row columns must be sorted");
+        }
+    }
+}

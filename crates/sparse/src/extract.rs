@@ -1,0 +1,124 @@
+//! Submatrix extraction (`GrB_extract`) — pulling the adjacency of a
+//! vertex subset out of a larger matrix, used by the community analytics
+//! to work on induced subgraphs.
+
+use crate::csr::Csr;
+use crate::error::{SparseError, SparseResult};
+use crate::semiring::SemiringValue;
+use crate::Ix;
+
+/// Extract the submatrix `A[rows, cols]`, relabelling indices to
+/// `0..rows.len()` × `0..cols.len()`. Index lists must be strictly
+/// increasing (checked).
+pub fn extract<T: SemiringValue>(a: &Csr<T>, rows: &[Ix], cols: &[Ix]) -> SparseResult<Csr<T>> {
+    for w in rows.windows(2) {
+        if w[0] >= w[1] {
+            return Err(SparseError::Malformed(
+                "extract: row list must be strictly increasing".into(),
+            ));
+        }
+    }
+    for w in cols.windows(2) {
+        if w[0] >= w[1] {
+            return Err(SparseError::Malformed(
+                "extract: col list must be strictly increasing".into(),
+            ));
+        }
+    }
+    if let Some(&r) = rows.last() {
+        if r >= a.nrows() {
+            return Err(SparseError::IndexOutOfBounds {
+                row: r,
+                col: 0,
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
+        }
+    }
+    if let Some(&c) = cols.last() {
+        if c >= a.ncols() {
+            return Err(SparseError::IndexOutOfBounds {
+                row: 0,
+                col: c,
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
+        }
+    }
+    // Column old→new map.
+    let mut col_map = vec![usize::MAX; a.ncols()];
+    for (new, &old) in cols.iter().enumerate() {
+        col_map[old] = new;
+    }
+    let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    for &r in rows {
+        let (rc, rv) = a.row(r);
+        for (&c, &v) in rc.iter().zip(rv) {
+            let nc = col_map[c];
+            if nc != usize::MAX {
+                col_idx.push(nc);
+                vals.push(v);
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Csr::from_parts(rows.len(), cols.len(), row_ptr, col_idx, vals)
+}
+
+/// Extract the principal (symmetric) submatrix `A[s, s]`.
+pub fn extract_principal<T: SemiringValue>(a: &Csr<T>, s: &[Ix]) -> SparseResult<Csr<T>> {
+    extract(a, s, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn m(n: usize, t: Vec<(usize, usize, i64)>) -> Csr<i64> {
+        Csr::from_coo(
+            Coo::from_triplets(n, n, t).unwrap(),
+            |a, b| a + b,
+            |v| v == 0,
+        )
+    }
+
+    #[test]
+    fn extract_rectangle() {
+        let a = m(4, vec![(0, 0, 1), (0, 3, 2), (2, 1, 3), (3, 3, 4)]);
+        let s = extract(&a, &[0, 2], &[1, 3]).unwrap();
+        assert_eq!(s.nrows(), 2);
+        assert_eq!(s.ncols(), 2);
+        assert_eq!(s.get(0, 1), Some(2)); // old (0,3)
+        assert_eq!(s.get(1, 0), Some(3)); // old (2,1)
+        assert_eq!(s.nnz(), 2);
+    }
+
+    #[test]
+    fn principal_submatrix_keeps_symmetry() {
+        let a = m(4, vec![(0, 1, 1), (1, 0, 1), (1, 3, 2), (3, 1, 2), (2, 2, 9)]);
+        let s = extract_principal(&a, &[0, 1, 3]).unwrap();
+        assert!(s.is_pattern_symmetric());
+        assert_eq!(s.get(1, 2), Some(2)); // old (1,3)
+        assert_eq!(s.get(2, 1), Some(2));
+    }
+
+    #[test]
+    fn unsorted_or_out_of_range_rejected() {
+        let a = m(3, vec![(0, 0, 1)]);
+        assert!(extract(&a, &[1, 0], &[0]).is_err());
+        assert!(extract(&a, &[0, 0], &[0]).is_err());
+        assert!(extract(&a, &[0, 5], &[0]).is_err());
+        assert!(extract(&a, &[0], &[7]).is_err());
+    }
+
+    #[test]
+    fn empty_selection() {
+        let a = m(3, vec![(0, 0, 1)]);
+        let s = extract(&a, &[], &[]).unwrap();
+        assert_eq!((s.nrows(), s.ncols(), s.nnz()), (0, 0, 0));
+    }
+}

@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! # bikron-sparse
+//!
+//! A GraphBLAS-style sparse linear-algebra substrate purpose-built for the
+//! bikron workspace. It implements the subset of the GraphBLAS operation set
+//! that the paper's ground-truth derivations are written in:
+//!
+//! * sparse matrix storage ([`Coo`] triplets, [`Csr`] compressed rows),
+//! * semiring-generic SpMV ([`spmv()`]) and SpGEMM ([`spgemm()`]),
+//! * the Kronecker product ([`kron()`], [`kron_vec`]) of Def. 4,
+//! * the Hadamard (element-wise multiply, Def. 5) and element-wise add
+//!   operations ([`ewise_mult`], [`ewise_add`]),
+//! * diagonal extraction/injection (Def. 6) and reductions in [`reduce`],
+//! * structural transforms (transpose, apply, select) in [`ops`].
+//!
+//! All value-generic kernels take a [`Semiring`] so combinatorial counting
+//! (plus-times over `u64`/`i128`), reachability (or-and over `bool`) and
+//! distance (min-plus) reuse one implementation, exactly as GraphBLAS
+//! intends. Row-parallel kernels use rayon and are deterministic: parallel
+//! results are bit-identical to sequential ones because each output row is
+//! owned by a single task.
+//!
+//! The algebra identities from the paper's Appendix A are covered by
+//! property tests in this crate.
+
+pub mod coo;
+pub mod csr;
+pub mod dense;
+pub mod eigen;
+pub mod ewise;
+pub mod expr;
+pub mod extract;
+pub mod kron;
+pub mod mask;
+pub mod ops;
+pub mod reduce;
+pub mod semiring;
+pub mod spgemm;
+pub mod spmv;
+
+mod error;
+
+pub use coo::Coo;
+pub use csr::Csr;
+pub use error::{SparseError, SparseResult};
+pub use ewise::{ewise_add, ewise_mult};
+pub use expr::MatExpr;
+pub use extract::{extract, extract_principal};
+pub use mask::{spmv_masked, VecMask};
+pub use kron::{kron, kron_vec};
+pub use ops::{apply, select, transpose, Select};
+pub use reduce::{diag_matrix, diag_vector, reduce_rows, reduce_scalar};
+pub use semiring::{
+    bool_or_and, f64_plus_times, i128_plus_times, i64_plus_times, u64_min_plus, u64_plus_pair,
+    u64_plus_times, AddMonoid, MulOp, Semiring, SemiringValue,
+};
+pub use spgemm::{spgemm, spgemm_masked};
+pub use spmv::{spmv, spmv_transpose};
+
+/// Index type used across the workspace. Graph orders in this project stay
+/// well under `u32::MAX` per factor, but Kronecker products multiply factor
+/// orders, so indices are machine-word sized end-to-end.
+pub type Ix = usize;

@@ -1,0 +1,187 @@
+//! Vector masks and masked matrix–vector kernels.
+//!
+//! GraphBLAS masks let a traversal write only where the mask permits —
+//! the idiom behind frontier-based BFS (`q' = A·q  masked by ¬visited`)
+//! and behind sampling ground truth at a *subset* of vertices without
+//! touching the rest. Masks here are dense boolean vectors with an
+//! optional complement flag, matching `GrB_DESC_C` semantics.
+
+use crate::csr::Csr;
+use crate::error::{SparseError, SparseResult};
+use crate::semiring::{AddMonoid, MulOp, Semiring, SemiringValue};
+
+/// A dense boolean vector mask, optionally complemented.
+#[derive(Clone, Debug)]
+pub struct VecMask {
+    bits: Vec<bool>,
+    complement: bool,
+}
+
+impl VecMask {
+    /// Mask permitting exactly the `true` positions of `bits`.
+    pub fn new(bits: Vec<bool>) -> Self {
+        VecMask {
+            bits,
+            complement: false,
+        }
+    }
+
+    /// Mask from the set of permitted indices.
+    pub fn from_indices(len: usize, idx: &[usize]) -> Self {
+        let mut bits = vec![false; len];
+        for &i in idx {
+            bits[i] = true;
+        }
+        Self::new(bits)
+    }
+
+    /// Flip the mask (`¬mask` semantics).
+    pub fn complement(mut self) -> Self {
+        self.complement = !self.complement;
+        self
+    }
+
+    /// Length.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True when no position is permitted... i.e. empty *underlying*
+    /// vector (mask semantics still apply to zero-length operands).
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Whether writing at `i` is permitted.
+    #[inline]
+    pub fn permits(&self, i: usize) -> bool {
+        self.bits[i] ^ self.complement
+    }
+}
+
+/// Masked SpMV: `y[i] = (A ⊕.⊗ x)[i]` where the mask permits, `zero`
+/// elsewhere. Rows the mask blocks are skipped entirely (the GraphBLAS
+/// performance contract).
+pub fn spmv_masked<T, A, M>(
+    semiring: &Semiring<T, A, M>,
+    mat: &Csr<T>,
+    x: &[T],
+    mask: &VecMask,
+) -> SparseResult<Vec<T>>
+where
+    T: SemiringValue,
+    A: AddMonoid<T>,
+    M: MulOp<T>,
+{
+    if mat.ncols() != x.len() {
+        return Err(SparseError::DimensionMismatch {
+            op: "spmv_masked",
+            lhs: (mat.nrows(), mat.ncols()),
+            rhs: (x.len(), 1),
+        });
+    }
+    if mask.len() != mat.nrows() {
+        return Err(SparseError::DimensionMismatch {
+            op: "spmv_masked(mask)",
+            lhs: (mat.nrows(), 1),
+            rhs: (mask.len(), 1),
+        });
+    }
+    let mut y = vec![semiring.zero(); mat.nrows()];
+    for (r, out) in y.iter_mut().enumerate() {
+        if !mask.permits(r) {
+            continue;
+        }
+        let (cols, vals) = mat.row(r);
+        let mut acc = semiring.zero();
+        for (&c, &v) in cols.iter().zip(vals) {
+            acc = semiring.plus(acc, semiring.times(v, x[c]));
+        }
+        *out = acc;
+    }
+    Ok(y)
+}
+
+/// One masked BFS expansion step over the boolean semiring:
+/// `next = (A ∨.∧ frontier) ∧ ¬visited`, returning the next frontier and
+/// updating `visited`. Returns the number of newly visited vertices.
+pub fn bfs_step(a: &Csr<u64>, frontier: &[bool], visited: &mut [bool]) -> SparseResult<Vec<bool>> {
+    if a.ncols() != frontier.len() || a.nrows() != visited.len() {
+        return Err(SparseError::DimensionMismatch {
+            op: "bfs_step",
+            lhs: (a.nrows(), a.ncols()),
+            rhs: (frontier.len(), visited.len()),
+        });
+    }
+    let mut next = vec![false; a.nrows()];
+    for r in 0..a.nrows() {
+        if visited[r] {
+            continue;
+        }
+        let (cols, _) = a.row(r);
+        if cols.iter().any(|&c| frontier[c]) {
+            next[r] = true;
+        }
+    }
+    for (v, &n) in visited.iter_mut().zip(&next) {
+        *v |= n;
+    }
+    Ok(next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::semiring::u64_plus_times;
+
+    fn path3() -> Csr<u64> {
+        let coo = Coo::from_triplets(
+            3,
+            3,
+            vec![(0usize, 1usize, 1u64), (1, 0, 1), (1, 2, 1), (2, 1, 1)],
+        )
+        .unwrap();
+        Csr::from_coo(coo, |a, b| a + b, |v| v == 0)
+    }
+
+    #[test]
+    fn mask_permits_and_complements() {
+        let m = VecMask::from_indices(4, &[1, 3]);
+        assert!(m.permits(1) && m.permits(3));
+        assert!(!m.permits(0) && !m.permits(2));
+        let c = m.complement();
+        assert!(c.permits(0) && !c.permits(1));
+    }
+
+    #[test]
+    fn masked_spmv_blocks_rows() {
+        let a = path3();
+        let s = u64_plus_times();
+        let x = vec![1u64, 1, 1];
+        let mask = VecMask::from_indices(3, &[1]);
+        let y = spmv_masked(&s, &a, &x, &mask).unwrap();
+        assert_eq!(y, vec![0, 2, 0]);
+    }
+
+    #[test]
+    fn masked_spmv_dimension_checks() {
+        let a = path3();
+        let s = u64_plus_times();
+        assert!(spmv_masked(&s, &a, &[1, 1], &VecMask::new(vec![true; 3])).is_err());
+        assert!(spmv_masked(&s, &a, &[1, 1, 1], &VecMask::new(vec![true; 2])).is_err());
+    }
+
+    #[test]
+    fn bfs_steps_cover_path() {
+        let a = path3();
+        let mut visited = vec![true, false, false];
+        let f1 = bfs_step(&a, &[true, false, false], &mut visited).unwrap();
+        assert_eq!(f1, vec![false, true, false]);
+        let f2 = bfs_step(&a, &f1, &mut visited).unwrap();
+        assert_eq!(f2, vec![false, false, true]);
+        assert_eq!(visited, vec![true, true, true]);
+        let f3 = bfs_step(&a, &f2, &mut visited).unwrap();
+        assert!(f3.iter().all(|&b| !b));
+    }
+}

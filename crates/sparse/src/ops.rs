@@ -1,0 +1,178 @@
+//! Structural transforms: transpose, apply, select.
+
+use crate::csr::Csr;
+use crate::error::SparseResult;
+use crate::semiring::SemiringValue;
+use crate::Ix;
+
+/// Transpose a CSR matrix (counting sort over columns; O(nnz + n)).
+pub fn transpose<T: SemiringValue>(a: &Csr<T>) -> Csr<T> {
+    let nrows = a.nrows();
+    let ncols = a.ncols();
+    let nnz = a.nnz();
+    let mut counts = vec![0usize; ncols + 1];
+    for &c in a.col_idx() {
+        counts[c + 1] += 1;
+    }
+    for i in 0..ncols {
+        counts[i + 1] += counts[i];
+    }
+    let mut row_ptr = counts.clone();
+    let mut col_idx = vec![0 as Ix; nnz];
+    let mut vals: Vec<T> = Vec::with_capacity(nnz);
+    // SAFETY-free approach: initialise with any value then overwrite.
+    if let Some(&first) = a.values().first() {
+        vals.resize(nnz, first);
+        let mut cursor = counts;
+        for r in 0..nrows {
+            let (cols, rv) = a.row(r);
+            for (&c, &v) in cols.iter().zip(rv) {
+                let dst = cursor[c];
+                col_idx[dst] = r;
+                vals[dst] = v;
+                cursor[c] += 1;
+            }
+        }
+    }
+    row_ptr.truncate(ncols + 1);
+    Csr::from_parts(ncols, nrows, row_ptr, col_idx, vals)
+        .expect("transpose preserves CSR invariants")
+}
+
+/// Apply a unary function to every stored value, dropping results for
+/// which `is_zero` holds (GraphBLAS `apply` + implicit prune).
+pub fn apply<T, U>(
+    a: &Csr<T>,
+    mut f: impl FnMut(T) -> U,
+    mut is_zero: impl FnMut(&U) -> bool,
+) -> SparseResult<Csr<U>>
+where
+    T: SemiringValue,
+    U: SemiringValue,
+{
+    let mut row_ptr = Vec::with_capacity(a.nrows() + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    for r in 0..a.nrows() {
+        let (cols, rv) = a.row(r);
+        for (&c, &v) in cols.iter().zip(rv) {
+            let u = f(v);
+            if !is_zero(&u) {
+                col_idx.push(c);
+                vals.push(u);
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Csr::from_parts(a.nrows(), a.ncols(), row_ptr, col_idx, vals)
+}
+
+/// Structural selectors for [`select`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Select {
+    /// Keep only diagonal entries (`I ∘ A`, Def. 6).
+    Diagonal,
+    /// Keep only off-diagonal entries (`A − I ∘ A`).
+    OffDiagonal,
+    /// Keep the strictly lower triangle (`r > c`).
+    StrictLower,
+    /// Keep the strictly upper triangle (`r < c`).
+    StrictUpper,
+}
+
+/// Keep entries whose position satisfies the selector.
+pub fn select<T: SemiringValue>(a: &Csr<T>, which: Select) -> Csr<T> {
+    let keep = |r: Ix, c: Ix| match which {
+        Select::Diagonal => r == c,
+        Select::OffDiagonal => r != c,
+        Select::StrictLower => r > c,
+        Select::StrictUpper => r < c,
+    };
+    let mut row_ptr = Vec::with_capacity(a.nrows() + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    for r in 0..a.nrows() {
+        let (cols, rv) = a.row(r);
+        for (&c, &v) in cols.iter().zip(rv) {
+            if keep(r, c) {
+                col_idx.push(c);
+                vals.push(v);
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Csr::from_parts(a.nrows(), a.ncols(), row_ptr, col_idx, vals)
+        .expect("select preserves CSR invariants")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn m(nrows: usize, ncols: usize, t: Vec<(usize, usize, i64)>) -> Csr<i64> {
+        Csr::from_coo(
+            Coo::from_triplets(nrows, ncols, t).unwrap(),
+            |a, b| a + b,
+            |v| v == 0,
+        )
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = m(2, 3, vec![(0, 0, 1), (0, 2, 2), (1, 1, 3)]);
+        let t = transpose(&a);
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 2);
+        assert_eq!(t.get(2, 0), Some(2));
+        assert_eq!(transpose(&t), a);
+    }
+
+    #[test]
+    fn transpose_empty() {
+        let a = m(3, 2, vec![]);
+        let t = transpose(&a);
+        assert_eq!(t.nnz(), 0);
+        assert_eq!((t.nrows(), t.ncols()), (2, 3));
+    }
+
+    #[test]
+    fn apply_prunes_zeros() {
+        let a = m(2, 2, vec![(0, 0, 1), (0, 1, 2), (1, 0, 3)]);
+        let b = apply(&a, |v| v - 2, |&v| v == 0).unwrap();
+        assert_eq!(b.nnz(), 2);
+        assert_eq!(b.get(0, 0), Some(-1));
+        assert_eq!(b.get(0, 1), None);
+        assert_eq!(b.get(1, 0), Some(1));
+    }
+
+    #[test]
+    fn select_diagonal_vs_offdiagonal_partition() {
+        let a = m(3, 3, vec![(0, 0, 1), (0, 1, 2), (1, 1, 3), (2, 0, 4)]);
+        let d = select(&a, Select::Diagonal);
+        let o = select(&a, Select::OffDiagonal);
+        assert_eq!(d.nnz() + o.nnz(), a.nnz());
+        assert_eq!(d.get(0, 0), Some(1));
+        assert_eq!(d.get(0, 1), None);
+        assert_eq!(o.get(2, 0), Some(4));
+    }
+
+    #[test]
+    fn select_triangles() {
+        let a = m(3, 3, vec![(0, 1, 1), (1, 0, 1), (2, 2, 5), (0, 2, 7)]);
+        let lo = select(&a, Select::StrictLower);
+        let up = select(&a, Select::StrictUpper);
+        assert_eq!(lo.nnz(), 1);
+        assert_eq!(lo.get(1, 0), Some(1));
+        assert_eq!(up.nnz(), 2);
+        assert_eq!(up.get(0, 2), Some(7));
+    }
+
+    #[test]
+    fn transpose_symmetric_is_identity() {
+        let a = m(3, 3, vec![(0, 1, 1), (1, 0, 1), (1, 2, 2), (2, 1, 2)]);
+        assert_eq!(transpose(&a), a);
+    }
+}

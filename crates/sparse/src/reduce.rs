@@ -1,0 +1,124 @@
+//! Reductions and diagonal plumbing (paper Def. 6).
+
+use crate::csr::Csr;
+use crate::error::{SparseError, SparseResult};
+use crate::semiring::{AddMonoid, SemiringValue};
+
+/// Row-wise reduction: `out[r] = ⊕_{c} A_{rc}` (GraphBLAS `reduce` to vector).
+///
+/// With plus over integers this is `A·1`, i.e. the degree vector of an
+/// adjacency matrix.
+pub fn reduce_rows<T, A>(monoid: &A, a: &Csr<T>) -> Vec<T>
+where
+    T: SemiringValue,
+    A: AddMonoid<T>,
+{
+    (0..a.nrows())
+        .map(|r| {
+            let (_, vals) = a.row(r);
+            vals.iter()
+                .fold(monoid.identity(), |acc, &v| monoid.combine(acc, v))
+        })
+        .collect()
+}
+
+/// Full reduction to a scalar: `⊕_{r,c} A_{rc}`.
+pub fn reduce_scalar<T, A>(monoid: &A, a: &Csr<T>) -> T
+where
+    T: SemiringValue,
+    A: AddMonoid<T>,
+{
+    a.values()
+        .iter()
+        .fold(monoid.identity(), |acc, &v| monoid.combine(acc, v))
+}
+
+/// Extract the diagonal as a dense vector: `diag(A) = (I ∘ A)·1` (Def. 6).
+/// Missing diagonal entries yield `zero`.
+pub fn diag_vector<T: SemiringValue>(a: &Csr<T>, zero: T) -> SparseResult<Vec<T>> {
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::DimensionMismatch {
+            op: "diag_vector",
+            lhs: (a.nrows(), a.ncols()),
+            rhs: (a.ncols(), a.nrows()),
+        });
+    }
+    Ok((0..a.nrows())
+        .map(|i| a.get(i, i).unwrap_or(zero))
+        .collect())
+}
+
+/// Build a diagonal matrix from a dense vector, skipping entries for which
+/// `is_zero` holds.
+pub fn diag_matrix<T: SemiringValue>(d: &[T], mut is_zero: impl FnMut(&T) -> bool) -> Csr<T> {
+    let n = d.len();
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    for (i, &v) in d.iter().enumerate() {
+        if !is_zero(&v) {
+            col_idx.push(i);
+            vals.push(v);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Csr::from_parts(n, n, row_ptr, col_idx, vals).expect("diag_matrix builds valid CSR")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::semiring::Plus;
+
+    fn m(n: usize, t: Vec<(usize, usize, u64)>) -> Csr<u64> {
+        Csr::from_coo(
+            Coo::from_triplets(n, n, t).unwrap(),
+            |a, b| a + b,
+            |v| v == 0,
+        )
+    }
+
+    #[test]
+    fn reduce_rows_is_degree_for_binary_adjacency() {
+        // Path 0-1-2 as binary adjacency.
+        let a = m(3, vec![(0, 1, 1), (1, 0, 1), (1, 2, 1), (2, 1, 1)]);
+        assert_eq!(reduce_rows(&Plus, &a), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn reduce_scalar_totals() {
+        let a = m(2, vec![(0, 0, 3), (1, 0, 4)]);
+        assert_eq!(reduce_scalar(&Plus, &a), 7);
+    }
+
+    #[test]
+    fn diag_vector_defaults_missing() {
+        let a = m(3, vec![(0, 0, 9), (1, 2, 4)]);
+        assert_eq!(diag_vector(&a, 0).unwrap(), vec![9, 0, 0]);
+    }
+
+    #[test]
+    fn diag_vector_requires_square() {
+        let coo = Coo::from_triplets(2, 3, vec![(0usize, 0usize, 1u64)]).unwrap();
+        let a = Csr::from_coo(coo, |x, _| x, |v| v == 0);
+        assert!(diag_vector(&a, 0).is_err());
+    }
+
+    #[test]
+    fn diag_matrix_round_trip() {
+        let d = vec![1u64, 0, 5];
+        let m = diag_matrix(&d, |&v| v == 0);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(diag_vector(&m, 0).unwrap(), d);
+    }
+
+    #[test]
+    fn empty_matrix_reductions() {
+        let a = Csr::<u64>::zero(3, 3);
+        assert_eq!(reduce_rows(&Plus, &a), vec![0, 0, 0]);
+        assert_eq!(reduce_scalar(&Plus, &a), 0);
+        assert_eq!(diag_vector(&a, 0).unwrap(), vec![0, 0, 0]);
+    }
+}

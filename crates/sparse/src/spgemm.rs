@@ -1,0 +1,363 @@
+//! Row-parallel Gustavson SpGEMM over an arbitrary semiring.
+//!
+//! The ground-truth formulas need small powers of factor adjacency matrices
+//! (`A²`, `A³`, `A⁴` appear in Defs. 8–9 and Thms. 3–5). Factors are small
+//! by design — that is the entire point of the nonstochastic Kronecker
+//! method — but `unicode`-scale factors (10³ vertices) still profit from
+//! parallelism, and the benches also exercise SpGEMM on product-sized
+//! matrices as a baseline.
+//!
+//! Each output row is computed independently with a dense accumulator
+//! ("sparse accumulator" / SPA variant), then compacted. Rows are processed
+//! by rayon; results are deterministic because each row is owned by one
+//! task and column output is emitted in sorted order.
+
+use rayon::prelude::*;
+
+use crate::csr::Csr;
+use crate::error::{SparseError, SparseResult};
+use crate::semiring::{AddMonoid, MulOp, Semiring, SemiringValue};
+use crate::Ix;
+
+/// Threshold below which rows are processed sequentially; tiny matrices
+/// are common (factor graphs), and rayon dispatch costs more than the work.
+const PARALLEL_ROW_THRESHOLD: usize = 256;
+
+/// `C = A ⊕.⊗ B` over the given semiring.
+pub fn spgemm<T, A, M>(
+    semiring: &Semiring<T, A, M>,
+    a: &Csr<T>,
+    b: &Csr<T>,
+) -> SparseResult<Csr<T>>
+where
+    T: SemiringValue,
+    A: AddMonoid<T>,
+    M: MulOp<T>,
+{
+    spgemm_inner(semiring, a, b, None)
+}
+
+/// `C = (A ⊕.⊗ B) ∘ mask` — only positions present in `mask` are kept.
+///
+/// This mirrors the GraphBLAS structural mask and is the natural way to
+/// compute `A³ ∘ A` (Def. 9) without materialising the dense-ish `A³`.
+pub fn spgemm_masked<T, U, A, M>(
+    semiring: &Semiring<T, A, M>,
+    a: &Csr<T>,
+    b: &Csr<T>,
+    mask: &Csr<U>,
+) -> SparseResult<Csr<T>>
+where
+    T: SemiringValue,
+    U: SemiringValue,
+    A: AddMonoid<T>,
+    M: MulOp<T>,
+{
+    if mask.nrows() != a.nrows() || mask.ncols() != b.ncols() {
+        return Err(SparseError::DimensionMismatch {
+            op: "spgemm_masked",
+            lhs: (a.nrows(), b.ncols()),
+            rhs: (mask.nrows(), mask.ncols()),
+        });
+    }
+    let pattern = mask.map(|_| ());
+    spgemm_inner(semiring, a, b, Some(&pattern))
+}
+
+fn spgemm_inner<T, A, M>(
+    semiring: &Semiring<T, A, M>,
+    a: &Csr<T>,
+    b: &Csr<T>,
+    mask: Option<&Csr<()>>,
+) -> SparseResult<Csr<T>>
+where
+    T: SemiringValue,
+    A: AddMonoid<T>,
+    M: MulOp<T>,
+{
+    if a.ncols() != b.nrows() {
+        return Err(SparseError::DimensionMismatch {
+            op: "spgemm",
+            lhs: (a.nrows(), a.ncols()),
+            rhs: (b.nrows(), b.ncols()),
+        });
+    }
+    let nrows = a.nrows();
+    let ncols = b.ncols();
+
+    let compute_row = |r: usize| -> (Vec<Ix>, Vec<T>) {
+        // SPA: dense value buffer + touched-column list per row. The
+        // explicit `seen` bitmap (rather than testing `dense[c]` against
+        // zero) matters for non-idempotent semirings: a partial sum can
+        // *cancel back to zero* mid-row, and a zero test would then
+        // re-push the column, corrupting the output order.
+        let mut dense = vec![semiring.zero(); ncols];
+        let mut seen = vec![false; ncols];
+        let mut touched: Vec<Ix> = Vec::new();
+        let (a_cols, a_vals) = a.row(r);
+        for (&k, &av) in a_cols.iter().zip(a_vals) {
+            let (b_cols, b_vals) = b.row(k);
+            for (&c, &bv) in b_cols.iter().zip(b_vals) {
+                if !seen[c] {
+                    seen[c] = true;
+                    touched.push(c);
+                }
+                dense[c] = semiring.plus(dense[c], semiring.times(av, bv));
+            }
+        }
+        touched.sort_unstable();
+        let mut cols = Vec::with_capacity(touched.len());
+        let mut vals = Vec::with_capacity(touched.len());
+        match mask {
+            None => {
+                for &c in &touched {
+                    if !semiring.is_zero(dense[c]) {
+                        cols.push(c);
+                        vals.push(dense[c]);
+                    }
+                }
+            }
+            Some(m) => {
+                let (m_cols, _) = m.row(r);
+                for &c in m_cols {
+                    if !semiring.is_zero(dense[c]) {
+                        cols.push(c);
+                        vals.push(dense[c]);
+                    }
+                }
+            }
+        }
+        (cols, vals)
+    };
+
+    let rows: Vec<(Vec<Ix>, Vec<T>)> = if nrows >= PARALLEL_ROW_THRESHOLD {
+        (0..nrows).into_par_iter().map(compute_row).collect()
+    } else {
+        (0..nrows).map(compute_row).collect()
+    };
+
+    let mut row_ptr = Vec::with_capacity(nrows + 1);
+    row_ptr.push(0usize);
+    let mut total = 0usize;
+    for (cols, _) in &rows {
+        total += cols.len();
+        row_ptr.push(total);
+    }
+    let mut col_idx = Vec::with_capacity(total);
+    let mut vals = Vec::with_capacity(total);
+    for (cols, v) in rows {
+        col_idx.extend(cols);
+        vals.extend(v);
+    }
+    Csr::from_parts(nrows, ncols, row_ptr, col_idx, vals)
+}
+
+/// Repeated squaring is wrong for semirings in general, so matrix powers
+/// are computed by iterated multiplication: `A^h` for small `h`.
+pub fn matrix_power<T, A, M>(
+    semiring: &Semiring<T, A, M>,
+    a: &Csr<T>,
+    h: u32,
+) -> SparseResult<Csr<T>>
+where
+    T: SemiringValue,
+    A: AddMonoid<T>,
+    M: MulOp<T>,
+{
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::DimensionMismatch {
+            op: "matrix_power",
+            lhs: (a.nrows(), a.ncols()),
+            rhs: (a.nrows(), a.ncols()),
+        });
+    }
+    if h == 0 {
+        // Identity requires a multiplicative one, which a general semiring
+        // does not expose; powers start at 1 in this workspace.
+        return Err(SparseError::Malformed(
+            "matrix_power: h must be >= 1".into(),
+        ));
+    }
+    let mut acc = a.clone();
+    for _ in 1..h {
+        acc = spgemm(semiring, &acc, a)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::semiring::u64_plus_times;
+
+    fn from_dense(nrows: usize, ncols: usize, d: &[u64]) -> Csr<u64> {
+        let mut coo = Coo::new(nrows, ncols);
+        for r in 0..nrows {
+            for c in 0..ncols {
+                let v = d[r * ncols + c];
+                if v != 0 {
+                    coo.push(r, c, v).unwrap();
+                }
+            }
+        }
+        Csr::from_coo(coo, |a, b| a + b, |v| v == 0)
+    }
+
+    fn dense_mul(n: usize, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut c = vec![0u64; n * n];
+        for i in 0..n {
+            for k in 0..n {
+                for j in 0..n {
+                    c[i * n + j] += a[i * n + k] * b[k * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matches_dense_reference() {
+        let a = [1, 2, 0, 0, 3, 4, 5, 0, 6];
+        let b = [0, 1, 0, 2, 0, 3, 0, 4, 0];
+        let ca = from_dense(3, 3, &a);
+        let cb = from_dense(3, 3, &b);
+        let s = u64_plus_times();
+        let c = spgemm(&s, &ca, &cb).unwrap();
+        assert_eq!(c.to_dense(), dense_mul(3, &a, &b));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        // (2x3) * (3x2)
+        let a = from_dense(2, 3, &[1, 0, 2, 0, 3, 0]);
+        let b = from_dense(3, 2, &[1, 1, 0, 2, 3, 0]);
+        let s = u64_plus_times();
+        let c = spgemm(&s, &a, &b).unwrap();
+        assert_eq!(c.to_dense(), vec![7, 1, 0, 6]);
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let a = from_dense(2, 3, &[1, 0, 2, 0, 3, 0]);
+        let s = u64_plus_times();
+        assert!(spgemm(&s, &a, &a).is_err());
+    }
+
+    #[test]
+    fn mask_restricts_output_pattern() {
+        // A² of the path 0-1-2 has (0,2) entry; masking by A removes it.
+        let a = from_dense(3, 3, &[0, 1, 0, 1, 0, 1, 0, 1, 0]);
+        let s = u64_plus_times();
+        let a2 = spgemm(&s, &a, &a).unwrap();
+        assert_eq!(a2.get(0, 2), Some(1));
+        let masked = spgemm_masked(&s, &a, &a, &a).unwrap();
+        assert_eq!(masked.nnz(), 0); // path: A² lives entirely off A's pattern
+    }
+
+    #[test]
+    fn masked_matches_post_hadamard() {
+        // Random-ish small check: mask(A*B, M) == (A*B) ∘ pattern(M).
+        let a = from_dense(3, 3, &[1, 2, 0, 0, 1, 1, 1, 0, 1]);
+        let b = from_dense(3, 3, &[0, 1, 1, 1, 0, 0, 0, 1, 1]);
+        let m = from_dense(3, 3, &[1, 0, 1, 0, 1, 0, 1, 1, 0]);
+        let s = u64_plus_times();
+        let full = spgemm(&s, &a, &b).unwrap();
+        let masked = spgemm_masked(&s, &a, &b, &m).unwrap();
+        for (r, c, v) in masked.iter() {
+            assert_eq!(full.get(r, c), Some(v));
+            assert!(m.get(r, c).is_some());
+        }
+        for (r, c, v) in full.iter() {
+            if m.get(r, c).is_some() && v != 0 {
+                assert_eq!(masked.get(r, c), Some(v));
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_power_path_graph() {
+        // Path P3: A² diag = degrees [1, 2, 1].
+        let a = from_dense(3, 3, &[0, 1, 0, 1, 0, 1, 0, 1, 0]);
+        let s = u64_plus_times();
+        let a2 = matrix_power(&s, &a, 2).unwrap();
+        assert_eq!(a2.get(0, 0), Some(1));
+        assert_eq!(a2.get(1, 1), Some(2));
+        let a4 = matrix_power(&s, &a, 4).unwrap();
+        let a2sq = spgemm(&s, &a2, &a2).unwrap();
+        assert_eq!(a4, a2sq);
+    }
+
+    #[test]
+    fn matrix_power_rejects_zero() {
+        let a = from_dense(2, 2, &[0, 1, 1, 0]);
+        let s = u64_plus_times();
+        assert!(matrix_power(&s, &a, 0).is_err());
+    }
+
+    #[test]
+    fn cancellation_mid_row_does_not_duplicate_columns() {
+        // Regression: with signed values, a partial dot product can hit
+        // zero and then become nonzero again; the touched-column tracking
+        // must not re-register the column. Here row 0 of A·B accumulates
+        // +1 then −1 (back to zero) then +1 at column 0.
+        use crate::coo::Coo;
+        use crate::semiring::i64_plus_times;
+        let a = Csr::from_coo(
+            Coo::from_triplets(1, 3, vec![(0usize, 0usize, 1i64), (0, 1, 1), (0, 2, 1)])
+                .unwrap(),
+            |x, y| x + y,
+            |v| v == 0,
+        );
+        let b = Csr::from_coo(
+            Coo::from_triplets(3, 1, vec![(0usize, 0usize, 1i64), (1, 0, -1), (2, 0, 1)])
+                .unwrap(),
+            |x, y| x + y,
+            |v| v == 0,
+        );
+        let s = i64_plus_times();
+        let c = spgemm(&s, &a, &b).unwrap();
+        c.validate().unwrap();
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(0, 0), Some(1));
+    }
+
+    #[test]
+    fn full_cancellation_drops_entry() {
+        use crate::coo::Coo;
+        use crate::semiring::i64_plus_times;
+        let a = Csr::from_coo(
+            Coo::from_triplets(1, 2, vec![(0usize, 0usize, 1i64), (0, 1, 1)]).unwrap(),
+            |x, y| x + y,
+            |v| v == 0,
+        );
+        let b = Csr::from_coo(
+            Coo::from_triplets(2, 1, vec![(0usize, 0usize, 5i64), (1, 0, -5)]).unwrap(),
+            |x, y| x + y,
+            |v| v == 0,
+        );
+        let s = i64_plus_times();
+        let c = spgemm(&s, &a, &b).unwrap();
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn parallel_path_same_as_sequential() {
+        // Big enough to cross PARALLEL_ROW_THRESHOLD: ring of 600 vertices.
+        let n = 600;
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, (i + 1) % n, 1u64).unwrap();
+            coo.push((i + 1) % n, i, 1u64).unwrap();
+        }
+        let a = Csr::from_coo(coo, |x, y| x + y, |v| v == 0);
+        let s = u64_plus_times();
+        let a2 = spgemm(&s, &a, &a).unwrap();
+        // Ring: A² has 2 on the diagonal and 1 at distance-2 neighbours.
+        assert_eq!(a2.get(0, 0), Some(2));
+        assert_eq!(a2.get(0, 2), Some(1));
+        assert_eq!(a2.get(5, 3), Some(1));
+        assert_eq!(a2.nnz(), 3 * n);
+    }
+}

@@ -1,0 +1,137 @@
+//! Semiring sparse matrix–dense vector products.
+
+use crate::csr::Csr;
+use crate::error::{SparseError, SparseResult};
+use crate::semiring::{AddMonoid, MulOp, Semiring, SemiringValue};
+
+/// `y = A ⊕.⊗ x` over the given semiring (row-major CSR traversal).
+///
+/// This is the kernel behind the paper's walk-count vectors: with
+/// plus-times over integers, `spmv(A, 1)` is the degree vector `d_A` and
+/// `spmv(A, spmv(A, 1))` is `w_A^{(2)} = A²·1`.
+pub fn spmv<T, A, M>(
+    semiring: &Semiring<T, A, M>,
+    mat: &Csr<T>,
+    x: &[T],
+) -> SparseResult<Vec<T>>
+where
+    T: SemiringValue,
+    A: AddMonoid<T>,
+    M: MulOp<T>,
+{
+    if mat.ncols() != x.len() {
+        return Err(SparseError::DimensionMismatch {
+            op: "spmv",
+            lhs: (mat.nrows(), mat.ncols()),
+            rhs: (x.len(), 1),
+        });
+    }
+    let mut y = vec![semiring.zero(); mat.nrows()];
+    for (r, out) in y.iter_mut().enumerate() {
+        let (cols, vals) = mat.row(r);
+        let mut acc = semiring.zero();
+        for (&c, &v) in cols.iter().zip(vals) {
+            acc = semiring.plus(acc, semiring.times(v, x[c]));
+        }
+        *out = acc;
+    }
+    Ok(y)
+}
+
+/// `y = Aᵗ ⊕.⊗ x` without materialising the transpose (scatter traversal).
+pub fn spmv_transpose<T, A, M>(
+    semiring: &Semiring<T, A, M>,
+    mat: &Csr<T>,
+    x: &[T],
+) -> SparseResult<Vec<T>>
+where
+    T: SemiringValue,
+    A: AddMonoid<T>,
+    M: MulOp<T>,
+{
+    if mat.nrows() != x.len() {
+        return Err(SparseError::DimensionMismatch {
+            op: "spmv_transpose",
+            lhs: (mat.ncols(), mat.nrows()),
+            rhs: (x.len(), 1),
+        });
+    }
+    let mut y = vec![semiring.zero(); mat.ncols()];
+    for r in 0..mat.nrows() {
+        let (cols, vals) = mat.row(r);
+        let xv = x[r];
+        for (&c, &v) in cols.iter().zip(vals) {
+            y[c] = semiring.plus(y[c], semiring.times(v, xv));
+        }
+    }
+    Ok(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::semiring::{bool_or_and, u64_min_plus, u64_plus_times};
+
+    fn matrix() -> Csr<u64> {
+        // [1 2]
+        // [0 3]
+        let coo =
+            Coo::from_triplets(2, 2, vec![(0usize, 0usize, 1u64), (0, 1, 2), (1, 1, 3)]).unwrap();
+        Csr::from_coo(coo, |a, b| a + b, |v| v == 0)
+    }
+
+    #[test]
+    fn plus_times_spmv() {
+        let s = u64_plus_times();
+        let y = spmv(&s, &matrix(), &[10, 100]).unwrap();
+        assert_eq!(y, vec![210, 300]);
+    }
+
+    #[test]
+    fn transpose_spmv_matches_explicit() {
+        let s = u64_plus_times();
+        let y = spmv_transpose(&s, &matrix(), &[10, 100]).unwrap();
+        // Aᵗ = [1 0; 2 3] → [10, 320]
+        assert_eq!(y, vec![10, 320]);
+    }
+
+    #[test]
+    fn dimension_checked() {
+        let s = u64_plus_times();
+        assert!(spmv(&s, &matrix(), &[1]).is_err());
+        assert!(spmv_transpose(&s, &matrix(), &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn boolean_reachability_step() {
+        // Path 0 - 1 - 2: one step from {0} reaches {1}.
+        let coo = Coo::from_triplets(
+            3,
+            3,
+            vec![
+                (0usize, 1usize, true),
+                (1, 0, true),
+                (1, 2, true),
+                (2, 1, true),
+            ],
+        )
+        .unwrap();
+        let a = Csr::from_coo(coo, |x, _| x, |v| !v);
+        let s = bool_or_and();
+        let frontier = vec![true, false, false];
+        let next = spmv(&s, &a, &frontier).unwrap();
+        assert_eq!(next, vec![false, true, false]);
+    }
+
+    #[test]
+    fn min_plus_one_hop() {
+        // weighted edge 0->1 cost 4.
+        let coo = Coo::from_triplets(2, 2, vec![(0usize, 1usize, 4u64)]).unwrap();
+        let a = Csr::from_coo(coo, |x, _| x, |_| false);
+        let s = u64_min_plus();
+        let dist = vec![u64::MAX, 0];
+        let relaxed = spmv(&s, &a, &dist).unwrap();
+        assert_eq!(relaxed, vec![4, u64::MAX]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Community scaling laws (§III-C): plant dense bipartite communities in
+//! both factors, form `C = (A+I_A) ⊗ B`, and verify that
+//!
+//! * Thm. 7 predicts the product community's internal/external edge
+//!   counts **exactly**, and
+//! * the density bounds (Cor. 1 lower, Cor. 2 upper) hold — dense factor
+//!   communities stay dense in the product, which is how the generator
+//!   controls community structure at scale.
+//!
+//! Run with: `cargo run --release --example community_structure`
+
+use bikron::analytics::community::community_stats;
+use bikron::core::truth::community::predict_and_measure;
+use bikron::core::{connectivity::product_bipartition, KroneckerProduct, SelfLoopMode};
+use bikron::generators::bter::{bipartite_bter, Block, BterParams};
+
+fn main() {
+    // Factors with planted communities of very different densities.
+    let params_a = BterParams {
+        blocks: vec![
+            Block { ru: 5, rw: 7, p_in: 0.9 },
+            Block { ru: 8, rw: 5, p_in: 0.6 },
+        ],
+        extra_u: 6,
+        extra_w: 10,
+        p_background: 0.03,
+    };
+    let params_b = BterParams {
+        blocks: vec![
+            Block { ru: 4, rw: 4, p_in: 0.95 },
+            Block { ru: 6, rw: 9, p_in: 0.5 },
+        ],
+        extra_u: 5,
+        extra_w: 8,
+        p_background: 0.02,
+    };
+    let (a, comms_a) = bipartite_bter(&params_a, 101);
+    let (b, comms_b) = bipartite_bter(&params_b, 202);
+    let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::FactorA).expect("valid factors");
+    let bip_c = product_bipartition(&prod).expect("B bipartite");
+    println!(
+        "product: {} vertices, {} edges; {}x{} planted community pairs\n",
+        prod.num_vertices(),
+        prod.num_edges(),
+        comms_a.len(),
+        comms_b.len()
+    );
+
+    let g = prod.materialize(); // for independent measurement only
+
+    for (ia, ca) in comms_a.iter().enumerate() {
+        for (ib, cb) in comms_b.iter().enumerate() {
+            let s_a: Vec<usize> = ca.u_range.clone().chain(ca.w_range.clone()).collect();
+            let s_b: Vec<usize> = cb.u_range.clone().chain(cb.w_range.clone()).collect();
+            let (truth, m_in, m_out) =
+                predict_and_measure(&prod, &s_a, &s_b).expect("FactorA mode");
+
+            // Thm. 7 must be exact.
+            assert_eq!(truth.m_in, m_in, "Thm 7 internal count");
+            assert_eq!(truth.m_out, m_out, "Thm 7 external count");
+
+            // Independent measurement through the analytics crate agrees.
+            let st = community_stats(&g, &bip_c, &truth.members);
+            assert_eq!(st.m_in, m_in);
+            assert_eq!(st.m_out, m_out);
+
+            let rho_in = truth.rho_in.unwrap_or(0.0);
+            let lb = truth.rho_in_lower_bound.unwrap_or(0.0);
+            assert!(rho_in >= lb - 1e-12, "Cor 1");
+            println!(
+                "A#{ia} (x) B#{ib}: |S_C|={:>5}  m_in={m_in:>6}  m_out={m_out:>6}  \
+                 rho_in={rho_in:.3} >= Cor1 {lb:.3}",
+                truth.members.len()
+            );
+            if let (Some(ub), Some(ro)) = (truth.rho_out_upper_bound, st.rho_out) {
+                assert!(ro <= ub + 1e-12, "Cor 2");
+                println!("           rho_out={ro:.5} <= Cor2 {ub:.5}");
+            }
+        }
+    }
+    println!("\nThm 7 exact on every block pair; Cor 1/Cor 2 bounds all hold.");
+    println!("Dense factor communities stayed dense in the product — community");
+    println!("structure is controllable, as §III-C claims.");
+}

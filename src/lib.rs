@@ -1,0 +1,9 @@
+#![warn(missing_docs)]
+
+//! Facade crate re-exporting the bikron workspace.
+pub use bikron_analytics as analytics;
+pub use bikron_core as core;
+pub use bikron_distsim as distsim;
+pub use bikron_generators as generators;
+pub use bikron_graph as graph;
+pub use bikron_sparse as sparse;

@@ -1,0 +1,127 @@
+//! Cross-crate integration: every ground-truth formula in `bikron-core`
+//! must agree with the independent direct algorithms in
+//! `bikron-analytics` on materialised products, across a grid of factor
+//! shapes, sizes and both self-loop modes.
+
+use bikron::analytics::{butterflies_global, butterflies_per_edge, butterflies_per_vertex};
+use bikron::core::truth::squares_edge::edge_squares;
+use bikron::core::truth::squares_vertex::{global_squares, vertex_squares};
+use bikron::core::{predict_structure, KroneckerProduct, SelfLoopMode};
+use bikron::generators::powerlaw::{bipartite_chung_lu, PowerLawParams};
+use bikron::generators::rmat::{bipartite_rmat, RmatProbs};
+use bikron::generators::{
+    complete, complete_bipartite, crown, cycle, grid, hypercube, path, petersen, star, wheel,
+};
+use bikron::graph::{connected_components, is_bipartite, Graph};
+
+fn verify_product(a: &Graph, b: &Graph, mode: SelfLoopMode) {
+    let prod = KroneckerProduct::new(a, b, mode).unwrap();
+    let g = prod.materialize();
+
+    // Structure prediction.
+    let pred = predict_structure(&prod);
+    assert_eq!(pred.bipartite, is_bipartite(&g));
+    assert_eq!(pred.connected, connected_components(&g).count == 1);
+
+    // Vertex ground truth.
+    let truth_v = vertex_squares(&prod).unwrap();
+    assert_eq!(truth_v, butterflies_per_vertex(&g));
+
+    // Edge ground truth.
+    let truth_e = edge_squares(&prod).unwrap();
+    let direct_e = butterflies_per_edge(&g);
+    assert_eq!(truth_e.counts.len(), direct_e.counts.len());
+    for &(p, q, c) in &truth_e.counts {
+        assert_eq!(direct_e.get(p, q), Some(c), "edge ({p},{q})");
+    }
+
+    // Global through three paths.
+    let global = global_squares(&prod).unwrap();
+    assert_eq!(global, butterflies_global(&g));
+    assert_eq!(global * 4, truth_e.total());
+    assert_eq!(global * 4, truth_v.iter().sum::<u64>());
+}
+
+#[test]
+fn named_factor_grid_mode_none() {
+    let pairs: Vec<(Graph, Graph)> = vec![
+        (cycle(3), path(5)),
+        (cycle(5), complete_bipartite(2, 3)),
+        (complete(4), crown(3)),
+        (wheel(5), hypercube(3)),
+        (petersen(), star(4)),
+        (cycle(7), grid(2, 3)),
+    ];
+    for (a, b) in &pairs {
+        verify_product(a, b, SelfLoopMode::None);
+    }
+}
+
+#[test]
+fn named_factor_grid_mode_factor_a() {
+    let pairs: Vec<(Graph, Graph)> = vec![
+        (path(4), cycle(6)),
+        (complete_bipartite(2, 3), complete_bipartite(3, 2)),
+        (crown(3), hypercube(3)),
+        (star(4), crown(4)),
+        (grid(2, 3), path(5)),
+    ];
+    for (a, b) in &pairs {
+        verify_product(a, b, SelfLoopMode::FactorA);
+    }
+}
+
+#[test]
+fn random_powerlaw_factors() {
+    for seed in 0..4 {
+        let params = PowerLawParams {
+            nu: 12,
+            nw: 18,
+            gamma_u: 2.2,
+            gamma_w: 2.4,
+            max_degree_u: 9,
+            max_degree_w: 7,
+            target_edges: 40,
+        };
+        let a = bipartite_chung_lu(&params, seed);
+        let b = bipartite_chung_lu(&params, seed + 100);
+        verify_product(&a, &b, SelfLoopMode::FactorA);
+        verify_product(&a, &b, SelfLoopMode::None);
+    }
+}
+
+#[test]
+fn random_rmat_factors() {
+    for seed in 0..3 {
+        let a = bipartite_rmat(3, 4, 60, RmatProbs::graph500(), seed);
+        let b = cycle(5); // non-bipartite partner
+        verify_product(&b, &a, SelfLoopMode::None);
+        verify_product(&a, &b, SelfLoopMode::FactorA);
+    }
+}
+
+#[test]
+fn self_product_table1_shape() {
+    // C = (A+I) ⊗ A with a random bipartite A: the Table-I construction.
+    let params = PowerLawParams {
+        nu: 10,
+        nw: 14,
+        gamma_u: 2.0,
+        gamma_w: 2.1,
+        max_degree_u: 8,
+        max_degree_w: 6,
+        target_edges: 36,
+    };
+    let a = bipartite_chung_lu(&params, 9);
+    verify_product(&a, &a, SelfLoopMode::FactorA);
+}
+
+#[test]
+fn disconnected_factors_formulas_still_exact() {
+    // The 4-cycle formulas never needed connectivity — only the
+    // connectivity theorems do. Verify on disconnected factors.
+    let a = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5), (3, 5)]).unwrap();
+    let b = Graph::from_edges(5, &[(0, 1), (2, 3), (3, 4)]).unwrap();
+    verify_product(&a, &b, SelfLoopMode::None);
+    verify_product(&b, &a, SelfLoopMode::FactorA);
+}

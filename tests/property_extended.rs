@@ -1,0 +1,127 @@
+//! Property tests for the extended ground-truth surfaces: distances,
+//! triangles, degree histograms, component counts, streaming partitions
+//! and Kronecker-power composition — all against direct computation on
+//! materialised products, with proptest shrinking.
+
+use std::collections::BTreeMap;
+
+use bikron::analytics::triangles::triangles_per_vertex;
+use bikron::core::stream::PartitionedStream;
+use bikron::core::truth::degrees::{degree_histogram, max_degree};
+use bikron::core::truth::distance::{diameter, hops_at, ParityTables};
+use bikron::core::truth::triangles::vertex_triangles;
+use bikron::core::truth::FactorStats;
+use bikron::core::{predict_structure, KroneckerProduct, SelfLoopMode};
+use bikron::graph::traversal::bfs_distances;
+use bikron::graph::{connected_components, Graph};
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..=n * 2).prop_map(move |pairs| {
+            let edges: Vec<(usize, usize)> =
+                pairs.into_iter().filter(|&(u, v)| u != v).collect();
+            Graph::from_edges(n, &edges).unwrap()
+        })
+    })
+}
+
+fn arb_mode() -> impl Strategy<Value = SelfLoopMode> {
+    prop_oneof![Just(SelfLoopMode::None), Just(SelfLoopMode::FactorA)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn hop_distances_match_bfs(a in arb_graph(6), b in arb_graph(6), mode in arb_mode()) {
+        let prod = KroneckerProduct::new(&a, &b, mode).unwrap();
+        let ta = ParityTables::compute(&a);
+        let tb = ParityTables::compute(&b);
+        let g = prod.materialize();
+        let sources = [0, prod.num_vertices() / 2];
+        for &p in &sources {
+            let direct = bfs_distances(&g, p);
+            for q in 0..prod.num_vertices() {
+                prop_assert_eq!(hops_at(&prod, &ta, &tb, p, q), direct[q]);
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_matches_bfs(a in arb_graph(5), b in arb_graph(5), mode in arb_mode()) {
+        let prod = KroneckerProduct::new(&a, &b, mode).unwrap();
+        let ta = ParityTables::compute(&a);
+        let tb = ParityTables::compute(&b);
+        let g = prod.materialize();
+        prop_assert_eq!(diameter(&prod, &ta, &tb), bikron::graph::diameter(&g));
+    }
+
+    #[test]
+    fn triangles_match_direct(a in arb_graph(6), b in arb_graph(6), mode in arb_mode()) {
+        let prod = KroneckerProduct::new(&a, &b, mode).unwrap();
+        let g = prod.materialize();
+        prop_assert_eq!(vertex_triangles(&prod).unwrap(), triangles_per_vertex(&g));
+    }
+
+    #[test]
+    fn degree_histogram_matches(a in arb_graph(7), b in arb_graph(7), mode in arb_mode()) {
+        let prod = KroneckerProduct::new(&a, &b, mode).unwrap();
+        let g = prod.materialize();
+        let truth = degree_histogram(&prod);
+        let mut direct: BTreeMap<u64, u64> = BTreeMap::new();
+        for v in 0..g.num_vertices() {
+            *direct.entry(g.degree(v) as u64).or_insert(0) += 1;
+        }
+        prop_assert_eq!(truth, direct);
+        prop_assert_eq!(max_degree(&prod), g.max_degree() as u64);
+    }
+
+    #[test]
+    fn component_count_exact(a in arb_graph(6), b in arb_graph(6), mode in arb_mode()) {
+        let prod = KroneckerProduct::new(&a, &b, mode).unwrap();
+        let pred = predict_structure(&prod);
+        let real = connected_components(&prod.materialize()).count;
+        prop_assert_eq!(pred.num_components, Some(real));
+    }
+
+    #[test]
+    fn stream_partitions_cover_exactly(
+        a in arb_graph(5),
+        b in arb_graph(5),
+        mode in arb_mode(),
+        parts in 1usize..=5,
+    ) {
+        let prod = KroneckerProduct::new(&a, &b, mode).unwrap();
+        let sa = FactorStats::compute(&a).unwrap();
+        let sb = FactorStats::compute(&b).unwrap();
+        let ps = PartitionedStream::new(&prod, &sa, &sb, parts);
+        let mut all: Vec<(usize, usize)> = Vec::new();
+        for part in 0..parts {
+            all.extend(ps.edges(part));
+        }
+        all.sort_unstable();
+        let before = all.len();
+        all.dedup();
+        prop_assert_eq!(all.len(), before, "duplicate edges across partitions");
+        let mut expected: Vec<(usize, usize)> = prod.edges().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn kron_compose_matches_product_stats(a in arb_graph(5), b in arb_graph(5)) {
+        let fa = FactorStats::compute(&a).unwrap();
+        let fb = FactorStats::compute(&b).unwrap();
+        let composed = fa.kron_compose(&fb).unwrap();
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let direct = FactorStats::compute(&prod.materialize()).unwrap();
+        prop_assert_eq!(composed.squares, direct.squares);
+        prop_assert_eq!(composed.degrees, direct.degrees);
+        prop_assert_eq!(composed.diag_a3, direct.diag_a3);
+        prop_assert_eq!(
+            composed.edge_squares.to_dense(),
+            direct.edge_squares.to_dense()
+        );
+    }
+}

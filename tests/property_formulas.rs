@@ -1,0 +1,102 @@
+//! Property-based integration tests: random factor graphs, every formula
+//! checked against direct computation. These are the adversarial version
+//! of the named-graph grid — proptest shrinks any counterexample to a
+//! minimal factor pair.
+
+use bikron::analytics::{butterflies_global, butterflies_per_edge, butterflies_per_vertex};
+use bikron::core::truth::squares_edge::edge_squares;
+use bikron::core::truth::squares_vertex::{global_squares, vertex_squares};
+use bikron::core::{predict_structure, KroneckerProduct, SelfLoopMode};
+use bikron::graph::{connected_components, is_bipartite, Graph};
+use proptest::prelude::*;
+
+/// Random simple loop-free graph on `n ∈ [2, 8]` vertices.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..=8).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..=(n * (n - 1) / 2).max(1)).prop_map(
+            move |pairs| {
+                let edges: Vec<(usize, usize)> =
+                    pairs.into_iter().filter(|&(u, v)| u != v).collect();
+                Graph::from_edges(n, &edges).unwrap()
+            },
+        )
+    })
+}
+
+/// Random bipartite loop-free graph with parts `[1,4] × [1,4]`.
+fn arb_bipartite() -> impl Strategy<Value = Graph> {
+    ((1usize..=4), (1usize..=4)).prop_flat_map(|(m, n)| {
+        proptest::collection::vec((0..m, 0..n), 0..=m * n).prop_map(move |pairs| {
+            let edges: Vec<(usize, usize)> =
+                pairs.into_iter().map(|(u, w)| (u, m + w)).collect();
+            Graph::from_edges(m + n, &edges).unwrap()
+        })
+    })
+}
+
+fn all_checks(a: &Graph, b: &Graph, mode: SelfLoopMode) -> Result<(), TestCaseError> {
+    let prod = KroneckerProduct::new(a, b, mode).unwrap();
+    let g = prod.materialize();
+
+    let truth_v = vertex_squares(&prod).unwrap();
+    prop_assert_eq!(&truth_v, &butterflies_per_vertex(&g));
+
+    let truth_e = edge_squares(&prod).unwrap();
+    let direct_e = butterflies_per_edge(&g);
+    prop_assert_eq!(truth_e.counts.len(), direct_e.counts.len());
+    for &(p, q, c) in &truth_e.counts {
+        prop_assert_eq!(direct_e.get(p, q), Some(c));
+    }
+
+    let global = global_squares(&prod).unwrap();
+    prop_assert_eq!(global, butterflies_global(&g));
+
+    let pred = predict_structure(&prod);
+    prop_assert_eq!(pred.bipartite, is_bipartite(&g));
+    prop_assert_eq!(pred.connected, connected_components(&g).count == 1);
+    if let Some(nc) = pred.num_components {
+        prop_assert_eq!(nc, connected_components(&g).count);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_factors_mode_none(a in arb_graph(), b in arb_graph()) {
+        all_checks(&a, &b, SelfLoopMode::None)?;
+    }
+
+    #[test]
+    fn any_factors_mode_factor_a(a in arb_graph(), b in arb_graph()) {
+        all_checks(&a, &b, SelfLoopMode::FactorA)?;
+    }
+
+    #[test]
+    fn bipartite_factors_both_modes(a in arb_bipartite(), b in arb_bipartite()) {
+        all_checks(&a, &b, SelfLoopMode::None)?;
+        all_checks(&a, &b, SelfLoopMode::FactorA)?;
+    }
+
+    // Degrees of the product match the d_A ⊗ d_B law everywhere.
+    #[test]
+    fn degree_kronecker_law(a in arb_graph(), b in arb_bipartite()) {
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::FactorA).unwrap();
+        let g = prod.materialize();
+        for p in 0..g.num_vertices() {
+            prop_assert_eq!(g.degree(p) as u64, prod.degree(p));
+        }
+    }
+
+    // Streaming edges equal materialised edges.
+    #[test]
+    fn edge_stream_equals_materialisation(a in arb_graph(), b in arb_graph()) {
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let mut streamed: Vec<_> = prod.edges().collect();
+        streamed.sort_unstable();
+        let mut direct: Vec<_> = prod.materialize().edges().collect();
+        direct.sort_unstable();
+        prop_assert_eq!(streamed, direct);
+    }
+}

@@ -1,0 +1,53 @@
+//! Pins the repository's Table-I reproduction numbers so a regression in
+//! any layer (generator seed, formula, product arithmetic) fails loudly.
+//! All assertions run from factor-sized state — no product materialised —
+//! so this stays fast enough for the default test profile.
+
+use bikron::analytics::butterflies_global;
+use bikron::core::{GroundTruth, KroneckerProduct, SelfLoopMode};
+use bikron::generators::unicode_like::{unicode_like, UNICODE_EDGES, UNICODE_NU, UNICODE_NW};
+
+#[test]
+fn factor_matches_paper_scale() {
+    let a = unicode_like();
+    assert_eq!(a.num_vertices(), UNICODE_NU + UNICODE_NW);
+    assert_eq!(a.num_edges(), UNICODE_EDGES); // paper: 1,256 exactly
+    // Paper: 1,662 global 4-cycles; our calibrated factor: 1,664.
+    assert_eq!(butterflies_global(&a), 1664);
+}
+
+#[test]
+fn product_row_shape() {
+    let a = unicode_like();
+    let n_a = a.num_vertices();
+
+    // (A+I) ⊗ A — the construction named in the paper's text.
+    let with_loops = KroneckerProduct::new(&a, &a, SelfLoopMode::FactorA).unwrap();
+    assert_eq!(with_loops.num_vertices(), n_a * n_a);
+    // Parts |U_C| = n_A·|U_A|, |W_C| = n_A·|W_A| — matches the printed row.
+    assert_eq!(n_a * UNICODE_NU, 220_472);
+    assert_eq!(n_a * UNICODE_NW, 532_952);
+    assert_eq!(with_loops.num_edges(), 4_245_280);
+
+    // A ⊗ A — the construction the printed |E_C| actually matches.
+    let plain = KroneckerProduct::new(&a, &a, SelfLoopMode::None).unwrap();
+    assert_eq!(plain.num_edges(), 3_155_072); // paper's figure, exactly
+
+    // Ground-truth global 4-cycle counts (sublinear path), pinned.
+    let gt_loops = GroundTruth::new(with_loops).unwrap();
+    assert_eq!(gt_loops.global_squares().unwrap(), 468_866_865);
+    let gt_plain = GroundTruth::new(plain).unwrap();
+    assert_eq!(gt_plain.global_squares().unwrap(), 375_126_609);
+}
+
+#[test]
+fn product_structure_predictions() {
+    let a = unicode_like();
+    let prod = KroneckerProduct::new(&a, &a, SelfLoopMode::FactorA).unwrap();
+    let st = bikron::core::predict_structure(&prod);
+    assert!(st.bipartite);
+    // The factor is disconnected (like the real dataset), so the product
+    // is too — with an exactly predicted component count.
+    assert!(!st.connected);
+    assert_eq!(st.num_components, Some(252_322));
+}

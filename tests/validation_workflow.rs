@@ -1,0 +1,100 @@
+//! The end-to-end validation workflow the paper proposes: generator
+//! ground truth must *detect* buggy analytics implementations that pass
+//! naive testing, and must *confirm* correct ones, at a scale where no
+//! competing implementation exists.
+
+use bikron::analytics::buggy::{center_not_excluded_global, off_by_one_global, overflowing_global};
+use bikron::analytics::approx::{edge_sampling_estimate, wedge_sampling_estimate};
+use bikron::analytics::butterflies_global;
+use bikron::core::{GroundTruth, KroneckerProduct, SelfLoopMode};
+use bikron::generators::unicode_like::unicode_like_seeded;
+use bikron::generators::{complete_bipartite, crown};
+
+#[test]
+fn correct_implementation_validates() {
+    let a = crown(4);
+    let b = complete_bipartite(2, 4);
+    let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::FactorA).unwrap();
+    let gt = GroundTruth::new(prod.clone()).unwrap();
+    let claimed = butterflies_global(&prod.materialize());
+    assert!(gt.validate_global(claimed).unwrap().ok);
+}
+
+#[test]
+fn off_by_one_detected() {
+    let a = crown(3);
+    let prod = KroneckerProduct::new(&a, &a, SelfLoopMode::FactorA).unwrap();
+    let gt = GroundTruth::new(prod.clone()).unwrap();
+    let claimed = off_by_one_global(&prod.materialize());
+    assert!(!gt.validate_global(claimed).unwrap().ok);
+}
+
+#[test]
+fn wedge_accounting_bug_detected() {
+    let a = complete_bipartite(2, 3);
+    let b = crown(3);
+    let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::FactorA).unwrap();
+    let gt = GroundTruth::new(prod.clone()).unwrap();
+    let claimed = center_not_excluded_global(&prod.materialize());
+    assert!(!gt.validate_global(claimed).unwrap().ok);
+}
+
+#[test]
+#[ignore = "scale test: seconds in release, minutes in debug; run with --ignored --release"]
+fn overflow_bug_detected_only_at_magnitude() {
+    // Small scale: the u32-overflow bug is invisible.
+    let small = crown(3);
+    let sp = KroneckerProduct::new(&small, &small, SelfLoopMode::FactorA).unwrap();
+    let sgt = GroundTruth::new(sp.clone()).unwrap();
+    let sg = sp.materialize();
+    assert!(sgt.validate_global(overflowing_global(&sg)).unwrap().ok);
+
+    // Even the 4.2M-edge unicode product's count fits in u32 — the bug
+    // STILL passes there, which is the hazard.
+    let a = unicode_like_seeded(8);
+    let prod = KroneckerProduct::new(&a, &a, SelfLoopMode::FactorA).unwrap();
+    let gt = GroundTruth::new(prod.clone()).unwrap();
+    assert!(4 * gt.global_squares().unwrap() < u32::MAX as u64);
+
+    // A dense biclique factor dials the magnitude past the wrap point on
+    // a small (139k edge) product, and the bug surfaces.
+    let dense = complete_bipartite(16, 16);
+    let dp = KroneckerProduct::new(&dense, &dense, SelfLoopMode::FactorA).unwrap();
+    let dgt = GroundTruth::new(dp.clone()).unwrap();
+    let truth = dgt.global_squares().unwrap();
+    assert!(4 * truth > u32::MAX as u64);
+    let dg = dp.materialize();
+    assert!(!dgt.validate_global(overflowing_global(&dg)).unwrap().ok);
+}
+
+#[test]
+fn approximate_counters_land_near_truth() {
+    // Estimators should be within 15% on a structured product — and the
+    // error is *measurable* because truth is exact.
+    let a = crown(4);
+    let b = complete_bipartite(3, 3);
+    let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::FactorA).unwrap();
+    let gt = GroundTruth::new(prod.clone()).unwrap();
+    let truth = gt.global_squares().unwrap() as f64;
+    let g = prod.materialize();
+    let w = wedge_sampling_estimate(&g, 50_000, 1);
+    let e = edge_sampling_estimate(&g, 20_000, 2);
+    assert!((w - truth).abs() / truth < 0.15, "wedge estimate {w} vs {truth}");
+    assert!((e - truth).abs() / truth < 0.15, "edge estimate {e} vs {truth}");
+}
+
+#[test]
+fn ground_truth_is_cheap_at_factor_scale() {
+    // Building the oracle must not require anything product-sized: the
+    // factor for a ~4M-edge product preprocesses in well under a second.
+    let a = unicode_like_seeded(8);
+    let prod = KroneckerProduct::new(&a, &a, SelfLoopMode::FactorA).unwrap();
+    let t = std::time::Instant::now();
+    let gt = GroundTruth::new(prod).unwrap();
+    let _ = gt.global_squares().unwrap();
+    assert!(
+        t.elapsed() < std::time::Duration::from_secs(5),
+        "oracle took {:?}",
+        t.elapsed()
+    );
+}
