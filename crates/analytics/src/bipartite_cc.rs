@@ -90,7 +90,16 @@ mod tests {
         // The documented equivalence, on an irregular bipartite graph.
         let g = Graph::from_edges(
             7,
-            &[(0, 3), (0, 4), (0, 5), (1, 3), (1, 4), (2, 5), (2, 6), (1, 6)],
+            &[
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (1, 3),
+                (1, 4),
+                (2, 5),
+                (2, 6),
+                (1, 6),
+            ],
         )
         .unwrap();
         let ra = robins_alexander(&g).unwrap();

@@ -56,11 +56,14 @@ fn assert_simple(g: &Graph) {
 /// Cost `O(Σ_a d_a²)` time, `O(|V|)` working memory.
 pub fn butterflies_per_vertex(g: &Graph) -> Vec<u64> {
     assert_simple(g);
+    let obs = bikron_obs::global();
+    let _phase = obs.phase("analytics.butterflies_per_vertex");
     let n = g.num_vertices();
     let mut counts = vec![0u64; n];
     let mut codeg = vec![0u64; n];
     let mut touched: Vec<Ix> = Vec::new();
-    for i in 0..n {
+    let mut wedges = 0u64;
+    for (i, count) in counts.iter_mut().enumerate() {
         for &a in g.neighbors(i) {
             for &v in g.neighbors(a) {
                 if v == i {
@@ -70,6 +73,7 @@ pub fn butterflies_per_vertex(g: &Graph) -> Vec<u64> {
                     touched.push(v);
                 }
                 codeg[v] += 1;
+                wedges += 1;
             }
         }
         let mut s = 0u64;
@@ -79,20 +83,27 @@ pub fn butterflies_per_vertex(g: &Graph) -> Vec<u64> {
             codeg[v] = 0;
         }
         touched.clear();
-        counts[i] = s;
+        *count = s;
     }
+    obs.counter("analytics.wedges_visited").add(wedges);
+    obs.counter("analytics.wedges_closed")
+        .add(counts.iter().sum::<u64>());
     counts
 }
 
 /// Rayon-parallel version of [`butterflies_per_vertex`]; deterministic.
 pub fn butterflies_per_vertex_parallel(g: &Graph) -> Vec<u64> {
     assert_simple(g);
+    let obs = bikron_obs::global();
+    let _phase = obs.phase("analytics.butterflies_per_vertex");
+    let wedge_counter = obs.counter("analytics.wedges_visited");
     let n = g.num_vertices();
-    (0..n)
+    let counts: Vec<u64> = (0..n)
         .into_par_iter()
         .map_init(
             || (vec![0u64; n], Vec::<Ix>::new()),
             |(codeg, touched), i| {
+                let mut wedges = 0u64;
                 for &a in g.neighbors(i) {
                     for &v in g.neighbors(a) {
                         if v == i {
@@ -102,6 +113,7 @@ pub fn butterflies_per_vertex_parallel(g: &Graph) -> Vec<u64> {
                             touched.push(v);
                         }
                         codeg[v] += 1;
+                        wedges += 1;
                     }
                 }
                 let mut s = 0u64;
@@ -111,10 +123,15 @@ pub fn butterflies_per_vertex_parallel(g: &Graph) -> Vec<u64> {
                     codeg[v] = 0;
                 }
                 touched.clear();
+                // One relaxed add per vertex, amortised over its d² sweep.
+                wedge_counter.add(wedges);
                 s
             },
         )
-        .collect()
+        .collect();
+    obs.counter("analytics.wedges_closed")
+        .add(counts.iter().sum::<u64>());
+    counts
 }
 
 /// Global 4-cycle count: `Σ_i s_i / 4`.
@@ -128,6 +145,9 @@ pub fn butterflies_per_vertex_parallel(g: &Graph) -> Vec<u64> {
 /// assert_eq!(butterflies_global(&g), 3);
 /// ```
 pub fn butterflies_global(g: &Graph) -> u64 {
+    let obs = bikron_obs::global();
+    let _phase = obs.phase("analytics.butterflies_global");
+    obs.counter("analytics.butterfly_calls").inc();
     let per_vertex = if g.num_vertices() >= 2048 {
         butterflies_per_vertex_parallel(g)
     } else {
@@ -162,6 +182,9 @@ fn intersection_size(a: &[Ix], b: &[Ix]) -> u64 {
 /// `Σ_{a∈N_i∖{j}} (|N_a ∩ N_j| − 1)`. Edges are processed in parallel.
 pub fn butterflies_per_edge(g: &Graph) -> EdgeButterflies {
     assert_simple(g);
+    let obs = bikron_obs::global();
+    let _phase = obs.phase("analytics.butterflies_per_edge");
+    let closed_counter = obs.counter("analytics.wedges_closed");
     let edges: Vec<(Ix, Ix)> = g.edges().collect();
     let counts: Vec<(Ix, Ix, u64)> = edges
         .into_par_iter()
@@ -175,6 +198,7 @@ pub fn butterflies_per_edge(g: &Graph) -> EdgeButterflies {
                 // i is always in N_a ∩ N_j (a ~ i and j ~ i), hence −1.
                 total += intersection_size(g.neighbors(a), nj) - 1;
             }
+            closed_counter.add(total);
             (i, j, total)
         })
         .collect();
@@ -237,11 +261,11 @@ mod tests {
         let g = complete_bipartite(m, n);
         let s = butterflies_per_vertex(&g);
         let c2 = |x: usize| (x * (x - 1) / 2) as u64;
-        for u in 0..m {
-            assert_eq!(s[u], (m as u64 - 1) * c2(n));
+        for &su in &s[..m] {
+            assert_eq!(su, (m as u64 - 1) * c2(n));
         }
-        for w in 0..n {
-            assert_eq!(s[m + w], (n as u64 - 1) * c2(m));
+        for &sw in &s[m..] {
+            assert_eq!(sw, (n as u64 - 1) * c2(m));
         }
     }
 
@@ -300,9 +324,9 @@ mod tests {
         let g = complete_bipartite(3, 4);
         let s = butterflies_per_vertex(&g);
         let e = butterflies_per_edge(&g);
-        for i in 0..g.num_vertices() {
+        for (i, &si) in s.iter().enumerate() {
             let sum: u64 = g.neighbors(i).iter().map(|&j| e.get(i, j).unwrap()).sum();
-            assert_eq!(2 * s[i], sum);
+            assert_eq!(2 * si, sum);
         }
     }
 

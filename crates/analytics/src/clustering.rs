@@ -88,8 +88,8 @@ mod tests {
     fn partial_clustering() {
         // K_{2,3} minus one edge: coefficients drop below 1 on edges that
         // lost candidate closures.
-        let mut edges = vec![(0, 2), (0, 3), (0, 4), (1, 2), (1, 3)];
-        let g = Graph::from_edges(5, &edges.drain(..).collect::<Vec<_>>()).unwrap();
+        let edges = vec![(0, 2), (0, 3), (0, 4), (1, 2), (1, 3)];
+        let g = Graph::from_edges(5, &edges).unwrap();
         let cc = edge_clustering(&g);
         // Edge (0,4): candidates (d0−1)(d4−1) = 2·0 = 0 → None.
         let e04 = cc.iter().find(|&&(u, v, _)| (u, v) == (0, 4)).unwrap();

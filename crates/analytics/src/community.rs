@@ -76,11 +76,8 @@ mod tests {
 
     fn k23_plus_tail() -> (Graph, Bipartition) {
         // K_{2,3} on {0,1}×{2,3,4} plus tail 4-5.
-        let g = Graph::from_edges(
-            6,
-            &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4), (4, 5)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(6, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4), (4, 5)])
+            .unwrap();
         let b = bipartition(&g).unwrap();
         (g, b)
     }

@@ -123,7 +123,15 @@ mod tests {
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
         let (cycles, total) = enumerate_four_cycles(&g, 10);
         assert_eq!(total, 1);
-        assert_eq!(cycles, vec![FourCycle { a: 0, b: 1, c: 2, d: 3 }]);
+        assert_eq!(
+            cycles,
+            vec![FourCycle {
+                a: 0,
+                b: 1,
+                c: 2,
+                d: 3
+            }]
+        );
         assert!(cycles[0].validate(&g));
     }
 
@@ -132,8 +140,20 @@ mod tests {
         for g in [
             complete_bipartite(3, 4),
             complete_bipartite(4, 4),
-            Graph::from_edges(8, &[(0, 4), (0, 5), (1, 4), (1, 5), (2, 6), (3, 6), (2, 7), (3, 7)])
-                .unwrap(),
+            Graph::from_edges(
+                8,
+                &[
+                    (0, 4),
+                    (0, 5),
+                    (1, 4),
+                    (1, 5),
+                    (2, 6),
+                    (3, 6),
+                    (2, 7),
+                    (3, 7),
+                ],
+            )
+            .unwrap(),
         ] {
             let (cycles, total) = enumerate_four_cycles(&g, usize::MAX);
             assert_eq!(total, butterflies_global(&g));

@@ -41,10 +41,7 @@ impl Projection {
     /// `Σ C(w, 2)` over the projection's edges — equals the bipartite
     /// graph's global butterfly count.
     pub fn butterfly_mass(&self) -> u64 {
-        self.edges
-            .iter()
-            .map(|&(_, _, w)| w * (w - 1) / 2)
-            .sum()
+        self.edges.iter().map(|&(_, _, w)| w * (w - 1) / 2).sum()
     }
 }
 
@@ -110,7 +107,17 @@ mod tests {
             complete_bipartite(3, 4),
             Graph::from_edges(
                 8,
-                &[(0, 4), (0, 5), (1, 4), (1, 5), (2, 6), (3, 6), (2, 7), (3, 7), (1, 6)],
+                &[
+                    (0, 4),
+                    (0, 5),
+                    (1, 4),
+                    (1, 5),
+                    (2, 6),
+                    (3, 6),
+                    (2, 7),
+                    (3, 7),
+                    (1, 6),
+                ],
             )
             .unwrap(),
         ] {

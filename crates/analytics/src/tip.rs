@@ -33,10 +33,7 @@ pub struct TipDecomposition {
 impl TipDecomposition {
     /// Tip number of vertex `v` (must be on the peeled side).
     pub fn get(&self, v: Ix) -> Option<u64> {
-        self.vertices
-            .binary_search(&v)
-            .ok()
-            .map(|i| self.tip[i])
+        self.vertices.binary_search(&v).ok().map(|i| self.tip[i])
     }
 }
 
@@ -71,8 +68,12 @@ fn partner_butterflies(
 /// Peel `side` (0 = U, 1 = W) of a bipartite graph. Opposite-side
 /// vertices are never removed (standard tip semantics).
 pub fn tip_decomposition(g: &Graph, bip: &Bipartition, side: u8) -> TipDecomposition {
+    let obs = bikron_obs::global();
+    let _phase = obs.phase("analytics.tip_decomposition");
     let n = g.num_vertices();
     let vertices: Vec<Ix> = (0..n).filter(|&v| bip.side_of(v) == side).collect();
+    obs.counter("analytics.tip.vertices_peeled")
+        .add(vertices.len() as u64);
     let mut alive_same = vec![false; n];
     let mut alive_opp = vec![false; n];
     for v in 0..n {

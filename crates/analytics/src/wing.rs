@@ -15,8 +15,8 @@
 //! butterfly through it decrement the supports of the other three edges.
 //! A lazy binary heap handles the decrease-key.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use bikron_graph::Graph;
 use bikron_sparse::Ix;
@@ -38,19 +38,20 @@ impl WingDecomposition {
     /// Wing number of edge `{u, v}`.
     pub fn get(&self, u: Ix, v: Ix) -> Option<u64> {
         let key = (u.min(v), u.max(v));
-        self.edges
-            .binary_search(&key)
-            .ok()
-            .map(|i| self.wing[i])
+        self.edges.binary_search(&key).ok().map(|i| self.wing[i])
     }
 }
 
 /// Compute the wing (bitruss) decomposition. Requires no self loops.
 pub fn wing_decomposition(g: &Graph) -> WingDecomposition {
+    let obs = bikron_obs::global();
+    let _phase = obs.phase("analytics.wing_decomposition");
     let per_edge = butterflies_per_edge(g);
     let edges: Vec<(Ix, Ix)> = per_edge.counts.iter().map(|&(u, v, _)| (u, v)).collect();
     let mut support: Vec<u64> = per_edge.counts.iter().map(|&(_, _, c)| c).collect();
     let m = edges.len();
+    obs.counter("analytics.wing.edges_peeled").add(m as u64);
+    let mut support_updates = 0u64;
 
     let edge_id = |u: Ix, v: Ix| -> Option<usize> {
         let key = (u.min(v), u.max(v));
@@ -59,9 +60,8 @@ pub fn wing_decomposition(g: &Graph) -> WingDecomposition {
 
     let mut alive = vec![true; m];
     let mut wing = vec![0u64; m];
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..m)
-        .map(|e| Reverse((support[e], e)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..m).map(|e| Reverse((support[e], e))).collect();
 
     let mut k = 0u64;
     let mut removed = 0usize;
@@ -82,7 +82,9 @@ pub fn wing_decomposition(g: &Graph) -> WingDecomposition {
             if wp == w {
                 continue;
             }
-            let Some(e_uwp) = edge_id(u, wp) else { continue };
+            let Some(e_uwp) = edge_id(u, wp) else {
+                continue;
+            };
             if !alive[e_uwp] {
                 continue;
             }
@@ -90,11 +92,15 @@ pub fn wing_decomposition(g: &Graph) -> WingDecomposition {
                 if up == u || up == wp {
                     continue;
                 }
-                let Some(e_upw) = edge_id(up, w) else { continue };
+                let Some(e_upw) = edge_id(up, w) else {
+                    continue;
+                };
                 if !alive[e_upw] {
                     continue;
                 }
-                let Some(e_upwp) = edge_id(up, wp) else { continue };
+                let Some(e_upwp) = edge_id(up, wp) else {
+                    continue;
+                };
                 if !alive[e_upwp] {
                     continue;
                 }
@@ -103,12 +109,15 @@ pub fn wing_decomposition(g: &Graph) -> WingDecomposition {
                 for other in [e_uwp, e_upw, e_upwp] {
                     if support[other] > 0 {
                         support[other] -= 1;
+                        support_updates += 1;
                         heap.push(Reverse((support[other], other)));
                     }
                 }
             }
         }
     }
+    obs.counter("analytics.wing.support_updates")
+        .add(support_updates);
     let max_wing = wing.iter().copied().max().unwrap_or(0);
     WingDecomposition {
         edges,
@@ -206,7 +215,11 @@ mod tests {
         let per_edge = butterflies_per_edge(&g);
         let d = wing_decomposition(&g);
         for (i, &(u, v, s)) in per_edge.counts.iter().enumerate() {
-            assert!(d.wing[i] <= s, "edge ({u},{v}) wing {} > support {s}", d.wing[i]);
+            assert!(
+                d.wing[i] <= s,
+                "edge ({u},{v}) wing {} > support {s}",
+                d.wing[i]
+            );
         }
     }
 }

@@ -45,11 +45,9 @@ fn bench_truth_vs_direct(c: &mut Criterion) {
         );
 
         let g = prod.materialize();
-        group.bench_with_input(
-            BenchmarkId::new("direct_global", edges),
-            &g,
-            |bch, g| bch.iter(|| black_box(butterflies_global(g))),
-        );
+        group.bench_with_input(BenchmarkId::new("direct_global", edges), &g, |bch, g| {
+            bch.iter(|| black_box(butterflies_global(g)))
+        });
     }
     group.finish();
 }

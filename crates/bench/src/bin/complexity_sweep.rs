@@ -35,7 +35,9 @@ fn main() {
 
     println!("Ground truth vs direct counting — scale sweep (C = (A+I) (x) A)");
     println!();
-    println!("| scale | |V_C| | |E_C| | truth (ms) | materialise (ms) | direct (ms) | direct/truth |");
+    println!(
+        "| scale | |V_C| | |E_C| | truth (ms) | materialise (ms) | direct (ms) | direct/truth |"
+    );
     println!("|---|---|---|---|---|---|---|");
 
     for scale in 0..=max_scale {

@@ -53,11 +53,17 @@ fn main() {
     // Lower-left: C3 (non-bipartite) ⊗ C4 ⇒ connected (Thm. 1).
     let a_odd = cycle(3);
     let left = KroneckerProduct::new(&a_odd, &b, SelfLoopMode::None).unwrap();
-    report("(lower-left) non-bipartite ⊗ bipartite = connected (Thm. 1)", &left);
+    report(
+        "(lower-left) non-bipartite ⊗ bipartite = connected (Thm. 1)",
+        &left,
+    );
 
     // Lower-right: (P3 + I) ⊗ C4 ⇒ connected (Thm. 2).
     let right = KroneckerProduct::new(&a_bip, &b, SelfLoopMode::FactorA).unwrap();
-    report("(lower-right) (bipartite + I) ⊗ bipartite = connected (Thm. 2)", &right);
+    report(
+        "(lower-right) (bipartite + I) ⊗ bipartite = connected (Thm. 2)",
+        &right,
+    );
 
     println!("All three Fig. 1 panels reproduced.");
 }

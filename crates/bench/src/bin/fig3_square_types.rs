@@ -60,9 +60,11 @@ fn report(name: &str, a: &Graph, b: &Graph) {
     let t = split(&prod, &sa, &sb);
     let total = t.square_square + t.square_wedge + t.wedge_wedge;
     // Cross-check against the closed-form global count.
-    let global =
-        bikron_core::truth::squares_vertex::global_squares_with(&prod, &sa, &sb).unwrap();
-    assert_eq!(total as u64, global, "type split must sum to the global count");
+    let global = bikron_core::truth::squares_vertex::global_squares_with(&prod, &sa, &sb).unwrap();
+    assert_eq!(
+        total as u64, global,
+        "type split must sum to the global count"
+    );
     println!(
         "{name:<28} total={total:<8} square x square={:<8} square x wedge={:<8} wedge x wedge={}",
         t.square_square, t.square_wedge, t.wedge_wedge

@@ -37,8 +37,8 @@ fn main() {
     // Product series: both statistics from ground truth, no product built.
     let s_c = gt.all_vertex_squares().expect("vertex squares");
     let mut product_points = Vec::with_capacity(prod.num_vertices());
-    for p in 0..prod.num_vertices() {
-        product_points.push((gt.degree(p), s_c[p]));
+    for (p, &sp) in s_c.iter().enumerate() {
+        product_points.push((gt.degree(p), sp));
     }
 
     if !summary_only {

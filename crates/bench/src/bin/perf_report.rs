@@ -1,0 +1,97 @@
+//! `perf_report` — run the Table-I-scale workload and write a
+//! machine-readable `bikron-obs/1` performance report.
+//!
+//! The workload is the paper's headline construction, `(A + I_A) ⊗ A` on
+//! the unicode-like factor (4.2M-edge product), exercised end to end:
+//! ground-truth formulas (SpGEMM on the factor), parallel edge streaming,
+//! full materialisation (CSR Kronecker kernel), direct butterfly counting
+//! on the factor, and a 4-rank distributed-generation simulation. Every
+//! instrumented hot path in the workspace contributes counters and phase
+//! timers to the single JSON artefact.
+//!
+//! ```sh
+//! cargo run --release -p bikron-bench --bin perf_report            # BENCH_kron.json
+//! cargo run --release -p bikron-bench --bin perf_report -- out.json
+//! ```
+//!
+//! The output schema is stable (`bikron-obs/1`), so successive PRs can be
+//! diffed: wall-clock per phase (`timers`), edge/wedge/row counters
+//! (`counters`), and peak worker concurrency (`gauges.*.peak`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bikron_analytics::butterflies_global;
+use bikron_core::truth::walks::FactorStats;
+use bikron_core::{GroundTruth, KroneckerProduct, SelfLoopMode};
+use bikron_generators::unicode_like::{unicode_like, DEFAULT_SEED};
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kron.json".to_string());
+    let obs = bikron_obs::global();
+
+    // Factor construction (seeded, deterministic).
+    let a = obs.time("factor_build", unicode_like);
+    let factor_butterflies = obs.time("factor_butterflies", || butterflies_global(&a));
+
+    let prod = KroneckerProduct::new(&a, &a, SelfLoopMode::FactorA).unwrap();
+    let expected_entries = prod.nnz();
+
+    // Ground truth from factor-sized state (drives the SpGEMM kernels).
+    let global_squares = obs.time("ground_truth", || {
+        GroundTruth::new(prod.clone())
+            .unwrap()
+            .global_squares()
+            .unwrap()
+    });
+
+    // Parallel streaming over the full product (drives product.par_stream
+    // and the worker-concurrency gauge).
+    let streamed = AtomicU64::new(0);
+    obs.time("stream_parallel", || {
+        prod.par_for_each_edge(|_, _| {
+            streamed.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(streamed.load(Ordering::Relaxed), expected_entries);
+
+    // Materialisation (drives the CSR Kronecker kernel).
+    let edges = obs.time("materialize", || prod.materialize().num_edges() as u64);
+    assert_eq!(edges, prod.num_edges());
+
+    // Distributed-generation simulation, 4 ranks (drives the per-rank
+    // counters and tree-reduction timers).
+    let sa = FactorStats::compute(&a).unwrap();
+    let reduced = bikron_distsim::distributed_generate(&prod, &sa, &sa, 4);
+    assert_eq!(reduced.edges, prod.num_edges());
+    assert_eq!(reduced.square_mass, 4 * global_squares);
+
+    let mut report = obs.snapshot();
+    report.set_meta("workload", "table1-kron");
+    report.set_meta("construction", "(A+I_A) (x) A");
+    report.set_meta("factor", format!("unicode-like(seed={DEFAULT_SEED})"));
+    report.set_meta("product_edges", edges.to_string());
+    report.set_meta("global_squares", global_squares.to_string());
+    report.set_meta("factor_butterflies", factor_butterflies.to_string());
+    report.set_meta("threads", rayon::current_num_threads().to_string());
+    report
+        .write_to_file(std::path::Path::new(&out_path))
+        .expect("write perf report");
+
+    // Human-readable recap on stderr; the JSON is the artefact.
+    eprintln!("perf report written to {out_path}");
+    for (name, t) in report.timers() {
+        if !name.contains('/') {
+            eprintln!(
+                "  {name:<28} {:>10.3} ms  (x{})",
+                t.total_ns as f64 / 1e6,
+                t.count
+            );
+        }
+    }
+    eprintln!(
+        "  edges={edges} squares={global_squares} peak_stream_workers={}",
+        report.gauge("product.workers").map(|(_, p)| p).unwrap_or(0)
+    );
+}

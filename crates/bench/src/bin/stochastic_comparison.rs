@@ -10,8 +10,8 @@
 //! stochastic rows requires *counting*, while the nonstochastic family's
 //! products come with closed forms.
 
-use bikron_analytics::clustering::global_edge_clustering;
 use bikron_analytics::butterflies_global;
+use bikron_analytics::clustering::global_edge_clustering;
 use bikron_generators::bter::{bipartite_bter, Block, BterParams};
 use bikron_generators::rmat::{bipartite_rmat, RmatProbs};
 use bikron_generators::unicode_like::unicode_like;
@@ -49,9 +49,21 @@ fn main() {
     // BTER-style with planted blocks, roughly size-matched.
     let params = BterParams {
         blocks: vec![
-            Block { ru: 12, rw: 20, p_in: 0.5 },
-            Block { ru: 20, rw: 30, p_in: 0.25 },
-            Block { ru: 30, rw: 60, p_in: 0.1 },
+            Block {
+                ru: 12,
+                rw: 20,
+                p_in: 0.5,
+            },
+            Block {
+                ru: 20,
+                rw: 30,
+                p_in: 0.25,
+            },
+            Block {
+                ru: 30,
+                rw: 60,
+                p_in: 0.1,
+            },
         ],
         extra_u: 192,
         extra_w: 504,

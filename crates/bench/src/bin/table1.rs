@@ -16,9 +16,7 @@ use std::time::Instant;
 
 use bikron_analytics::butterflies_global;
 use bikron_core::{GroundTruth, KroneckerProduct, SelfLoopMode};
-use bikron_generators::unicode_like::{
-    unicode_like_seeded, DEFAULT_SEED, UNICODE_NU, UNICODE_NW,
-};
+use bikron_generators::unicode_like::{unicode_like_seeded, DEFAULT_SEED, UNICODE_NU, UNICODE_NW};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -60,18 +58,13 @@ fn main() {
             "| {label} | |U|={uc}, |W|={wc} | {} | {global} |",
             prod.num_edges()
         );
-        eprintln!(
-            "  [{label}] ground truth in {truth_time:?} (factors only, product never built)"
-        );
+        eprintln!("  [{label}] ground truth in {truth_time:?} (factors only, product never built)");
         if verify {
             let t1 = Instant::now();
             let g = prod.materialize();
             let direct = butterflies_global(&g);
             let direct_time = t1.elapsed();
-            assert_eq!(
-                direct, global,
-                "direct count disagrees with ground truth!"
-            );
+            assert_eq!(direct, global, "direct count disagrees with ground truth!");
             eprintln!(
                 "  [{label}] direct count {direct} verified in {direct_time:?} \
                  (materialised {} edges)",

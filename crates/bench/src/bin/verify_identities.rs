@@ -87,7 +87,10 @@ fn main() {
                 let g = prod.materialize();
                 let truth_v = vertex_squares(&prod).unwrap();
                 let direct_v = butterflies_per_vertex(&g);
-                assert_eq!(truth_v, direct_v, "vertex truth failed: {an} (x) {bn} {mode:?}");
+                assert_eq!(
+                    truth_v, direct_v,
+                    "vertex truth failed: {an} (x) {bn} {mode:?}"
+                );
                 let truth_e = edge_squares(&prod).unwrap();
                 let direct_e = butterflies_per_edge(&g);
                 for &(p, q, c) in &truth_e.counts {

@@ -17,9 +17,21 @@ pub type CmdResult = Result<(), Box<dyn std::error::Error>>;
 pub fn stats(a: &Graph, b: &Graph, mode: SelfLoopMode, out: &mut dyn Write) -> CmdResult {
     let prod = KroneckerProduct::new(a, b, mode)?;
     let st = predict_structure(&prod);
-    writeln!(out, "factors: A({} v, {} e)  B({} v, {} e)  mode {:?}",
-        a.num_vertices(), a.num_edges(), b.num_vertices(), b.num_edges(), mode)?;
-    writeln!(out, "product: {} vertices, {} edges", prod.num_vertices(), prod.num_edges())?;
+    writeln!(
+        out,
+        "factors: A({} v, {} e)  B({} v, {} e)  mode {:?}",
+        a.num_vertices(),
+        a.num_edges(),
+        b.num_vertices(),
+        b.num_edges(),
+        mode
+    )?;
+    writeln!(
+        out,
+        "product: {} vertices, {} edges",
+        prod.num_vertices(),
+        prod.num_edges()
+    )?;
     writeln!(
         out,
         "structure: bipartite={} connected={} components={:?} parts={:?} theorem={:?}",
@@ -148,10 +160,7 @@ pub fn parts(a: &Graph, b: &Graph, mode: SelfLoopMode, out: &mut dyn Write) -> C
 /// Note: the file must contain the *complete* product (all partitions) —
 /// per-edge counts on a partial subgraph are lower, and the mismatch
 /// report will say so.
-pub fn verify_file(
-    tsv: &str,
-    out: &mut dyn Write,
-) -> Result<bool, Box<dyn std::error::Error>> {
+pub fn verify_file(tsv: &str, out: &mut dyn Write) -> Result<bool, Box<dyn std::error::Error>> {
     let mut edges: Vec<(usize, usize)> = Vec::new();
     let mut annotated: Vec<(usize, usize, u64)> = Vec::new();
     let mut max_v = 0usize;
@@ -240,15 +249,11 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let prefix = dir.join("prod").display().to_string();
         let mut log = Vec::new();
-        let total =
-            generate(&a, &b, SelfLoopMode::None, 2, &prefix, false, &mut log).unwrap();
+        let total = generate(&a, &b, SelfLoopMode::None, 2, &prefix, false, &mut log).unwrap();
         assert_eq!(total, 24); // nnz(C3)=6, nnz(K22)=8 → 48/2
         let p0 = std::fs::read_to_string(format!("{prefix}.part0.el")).unwrap();
         let p1 = std::fs::read_to_string(format!("{prefix}.part1.el")).unwrap();
-        assert_eq!(
-            p0.lines().count() + p1.lines().count(),
-            24
-        );
+        assert_eq!(p0.lines().count() + p1.lines().count(), 24);
     }
 
     #[test]
@@ -282,8 +287,7 @@ mod tests {
         // Corrupt one annotation → detected.
         let corrupted = {
             let mut lines: Vec<String> = tsv.lines().map(String::from).collect();
-            let mut cols: Vec<String> =
-                lines[0].split('\t').map(String::from).collect();
+            let mut cols: Vec<String> = lines[0].split('\t').map(String::from).collect();
             let bumped: u64 = cols[4].parse::<u64>().unwrap() + 1;
             cols[4] = bumped.to_string();
             lines[0] = cols.join("\t");

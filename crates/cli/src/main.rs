@@ -27,6 +27,11 @@ USAGE:
   bikron parts    A_SPEC B_SPEC MODE
   bikron verify-file FILE.tsv
 
+GLOBAL OPTIONS (after the positional arguments):
+  --metrics-out FILE   write a bikron-obs/1 JSON metrics report (phase
+                       timers, counters, peak worker gauges) after the
+                       command completes
+
 MODE: none | loops-a
 
 FACTOR SPECS:
@@ -37,6 +42,35 @@ FACTOR SPECS:
 
 fn run() -> Result<bool, Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_out = match args.iter().position(|x| x == "--metrics-out") {
+        Some(i) => Some(
+            args.get(i + 1)
+                .ok_or("--metrics-out requires a FILE argument")?
+                .clone(),
+        ),
+        None => None,
+    };
+    let result = dispatch(&args);
+    if let Some(path) = metrics_out {
+        if result.is_ok() {
+            write_metrics(&path, &args)?;
+        }
+    }
+    result
+}
+
+/// Snapshot the global metrics registry and write the `bikron-obs/1`
+/// report to `path`, stamping the invoking command line as metadata.
+fn write_metrics(path: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut report = bikron_obs::global().snapshot();
+    report.set_meta("tool", "bikron-cli");
+    report.set_meta("command", args.join(" "));
+    report.write_to_file(std::path::Path::new(path))?;
+    eprintln!("metrics written to {path}");
+    Ok(())
+}
+
+fn dispatch(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
     let mut out = std::io::stdout().lock();
     match args.first().map(String::as_str) {
         Some("stats") if args.len() >= 4 => {
@@ -63,8 +97,7 @@ fn run() -> Result<bool, Box<dyn std::error::Error>> {
             let prefix = flag_val("--out").ok_or("generate requires --out PREFIX")?;
             let parts: usize = flag_val("--parts").map_or(Ok(1), |s| s.parse())?;
             let annotate = args.iter().any(|x| x == "--annotate");
-            let total =
-                commands::generate(&a, &b, mode, parts, &prefix, annotate, &mut out)?;
+            let total = commands::generate(&a, &b, mode, parts, &prefix, annotate, &mut out)?;
             println!("total: {total} edges");
             Ok(true)
         }

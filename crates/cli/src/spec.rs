@@ -56,10 +56,7 @@ fn parse_mxn(spec: &str, arg: Option<&str>) -> Result<(usize, usize), SpecError>
     };
     let a = arg.ok_or_else(err)?;
     let (m, n) = a.split_once('x').ok_or_else(err)?;
-    Ok((
-        m.parse().map_err(|_| err())?,
-        n.parse().map_err(|_| err())?,
-    ))
+    Ok((m.parse().map_err(|_| err())?, n.parse().map_err(|_| err())?))
 }
 
 /// Parse a factor spec into a graph (see crate docs for the grammar).

@@ -82,14 +82,10 @@ pub fn predict_structure(prod: &KroneckerProduct<'_>) -> ProductStructure {
     let connected = num_components == Some(1);
 
     let theorem = match prod.mode() {
-        SelfLoopMode::None => {
-            (bip_a.is_none() && conn_a && bip_b.is_some() && conn_b)
-                .then_some(Theorem::NonBipartiteFactor)
-        }
-        SelfLoopMode::FactorA => {
-            (bip_a.is_some() && conn_a && bip_b.is_some() && conn_b)
-                .then_some(Theorem::SelfLoopsInA)
-        }
+        SelfLoopMode::None => (bip_a.is_none() && conn_a && bip_b.is_some() && conn_b)
+            .then_some(Theorem::NonBipartiteFactor),
+        SelfLoopMode::FactorA => (bip_a.is_some() && conn_a && bip_b.is_some() && conn_b)
+            .then_some(Theorem::SelfLoopsInA),
     };
 
     ProductStructure {
@@ -135,7 +131,7 @@ pub fn predicted_components(prod: &KroneckerProduct<'_>) -> usize {
             None => {
                 // Find which components are non-bipartite by colouring
                 // each component independently.
-                for c in 0..comps.count {
+                for (c, odd_c) in odd.iter_mut().enumerate() {
                     let members = comps.members(c);
                     let sub_edges: Vec<(usize, usize)> = g
                         .edges()
@@ -146,9 +142,8 @@ pub fn predicted_components(prod: &KroneckerProduct<'_>) -> usize {
                             (iu, iv)
                         })
                         .collect();
-                    let sub =
-                        bikron_graph::Graph::from_edges(members.len(), &sub_edges).unwrap();
-                    odd[c] = bikron_graph::bipartition(&sub).is_none();
+                    let sub = bikron_graph::Graph::from_edges(members.len(), &sub_edges).unwrap();
+                    *odd_c = bikron_graph::bipartition(&sub).is_none();
                 }
             }
         }

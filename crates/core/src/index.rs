@@ -75,7 +75,8 @@ mod tests {
     #[test]
     fn gamma_is_dense_and_ordered() {
         let ix = KronIndexer::new(3);
-        let ps: Vec<_> = (0..4).flat_map(|i| (0..3).map(move |k| (i, k)))
+        let ps: Vec<_> = (0..4)
+            .flat_map(|i| (0..3).map(move |k| (i, k)))
             .map(|(i, k)| ix.gamma(i, k))
             .collect();
         assert_eq!(ps, (0..12).collect::<Vec<_>>());

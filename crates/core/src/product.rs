@@ -185,8 +185,7 @@ impl<'a> KroneckerProduct<'a> {
     pub fn has_edge(&self, p: Ix, q: Ix) -> bool {
         let (i, k) = self.indexer.split(p);
         let (j, l) = self.indexer.split(q);
-        let a_hit = self.a.has_edge(i, j)
-            || (self.mode == SelfLoopMode::FactorA && i == j);
+        let a_hit = self.a.has_edge(i, j) || (self.mode == SelfLoopMode::FactorA && i == j);
         a_hit && self.b.has_edge(k, l)
     }
 
@@ -198,15 +197,13 @@ impl<'a> KroneckerProduct<'a> {
         let mode = self.mode;
         let a = self.a;
         let b = self.b;
-        let a_entries = a
-            .adjacency()
-            .iter()
-            .map(|(i, j, _)| (i, j))
-            .chain(match mode {
+        let a_entries = a.adjacency().iter().map(|(i, j, _)| (i, j)).chain(
+            match mode {
                 SelfLoopMode::None => 0..0,
                 SelfLoopMode::FactorA => 0..a.num_vertices(),
             }
-            .map(|i| (i, i)));
+            .map(|i| (i, i)),
+        );
         a_entries.flat_map(move |(i, j)| {
             b.adjacency()
                 .iter()
@@ -235,10 +232,21 @@ impl<'a> KroneckerProduct<'a> {
             a_entries.extend((0..self.a.num_vertices()).map(|i| (i, i)));
         }
         let b = self.b;
+        // Metrics at per-A-entry granularity: each A entry streams
+        // nnz(B) product entries, so the three atomics below are amortised
+        // over an entire B sweep. The worker gauge's high-water mark is the
+        // measured peak thread concurrency of the streaming phase.
+        let obs = bikron_obs::global();
+        let _phase = obs.phase("product.par_stream");
+        let streamed = obs.counter("product.edges_streamed");
+        let workers = obs.gauge("product.workers");
+        let b_nnz = b.nnz() as u64;
         a_entries.par_iter().for_each(|&(i, j)| {
+            let _live = workers.enter();
             for (k, l, _) in b.adjacency().iter() {
                 f(ix.gamma(i, k), ix.gamma(j, l));
             }
+            streamed.add(b_nnz);
         });
     }
 
@@ -249,8 +257,7 @@ impl<'a> KroneckerProduct<'a> {
             SelfLoopMode::None => self.a.adjacency().clone(),
             SelfLoopMode::FactorA => {
                 let eye = Csr::diagonal(self.a.num_vertices(), 1u64);
-                ewise_add(self.a.adjacency(), &eye, |x, y| x + y, |&v| v == 0)
-                    .expect("same shape")
+                ewise_add(self.a.adjacency(), &eye, |x, y| x + y, |&v| v == 0).expect("same shape")
             }
         }
     }
@@ -258,6 +265,7 @@ impl<'a> KroneckerProduct<'a> {
     /// Materialise `C` as a [`Graph`]. Memory: `O(nnz(C))` — intended for
     /// validation at moderate scale, not for the massive-graph use case.
     pub fn materialize(&self) -> Graph {
+        let _phase = bikron_obs::global().phase("product.materialize");
         let ea = self.effective_a();
         let c = kron(&Times, &ea, self.b.adjacency()).expect("factor shapes are compatible");
         Graph::from_adjacency(c).expect("kron of symmetric factors is symmetric")

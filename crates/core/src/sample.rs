@@ -214,8 +214,8 @@ mod tests {
         let gt = GroundTruth::new(prod.clone()).unwrap();
         let g = prod.materialize();
         let direct_v = butterflies_per_vertex(&g);
-        for p in 0..g.num_vertices() {
-            assert_eq!(gt.squares_at_vertex(p), direct_v[p]);
+        for (p, &dv) in direct_v.iter().enumerate() {
+            assert_eq!(gt.squares_at_vertex(p), dv);
             assert_eq!(gt.degree(p), g.degree(p) as u64);
         }
         let direct_e = butterflies_per_edge(&g);
@@ -235,8 +235,8 @@ mod tests {
         let gt = GroundTruth::new(prod.clone()).unwrap().with_distances();
         let g = prod.materialize();
         let d0 = bfs_distances(&g, 0);
-        for q in 0..g.num_vertices() {
-            assert_eq!(gt.hops(0, q), d0[q]);
+        for (q, &dq) in d0.iter().enumerate() {
+            assert_eq!(gt.hops(0, q), dq);
         }
         assert_eq!(gt.diameter(), direct_diameter(&g));
         assert_eq!(

@@ -133,17 +133,22 @@ impl<'a> PartitionedStream<'a> {
     /// Write `part`'s edges as a plain `p q` edge list. Returns the edge
     /// count written.
     pub fn write_edges<W: Write>(&self, part: usize, mut w: W) -> io::Result<u64> {
+        let obs = bikron_obs::global();
+        let _phase = obs.phase("stream.write_edges");
         let mut count = 0u64;
         for (p, q) in self.edges(part) {
             writeln!(w, "{p} {q}")?;
             count += 1;
         }
+        obs.counter("product.edges_streamed").add(count);
         Ok(count)
     }
 
     /// Write `part`'s annotated edges as TSV:
     /// `p  q  degree_p  degree_q  squares`.
     pub fn write_annotated<W: Write>(&self, part: usize, mut w: W) -> io::Result<u64> {
+        let obs = bikron_obs::global();
+        let _phase = obs.phase("stream.write_annotated");
         let mut count = 0u64;
         for e in self.annotated_edges(part) {
             writeln!(
@@ -153,6 +158,7 @@ impl<'a> PartitionedStream<'a> {
             )?;
             count += 1;
         }
+        obs.counter("product.edges_streamed").add(count);
         Ok(count)
     }
 }
@@ -205,10 +211,7 @@ mod tests {
         let parts = 4;
         let ps = setup(&prod, &sa, &sb, parts);
         let sizes: Vec<usize> = (0..parts).map(|p| ps.edges(p).count()).collect();
-        let (min, max) = (
-            *sizes.iter().min().unwrap(),
-            *sizes.iter().max().unwrap(),
-        );
+        let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
         // Each A-entry yields the same number of product entries, so the
         // imbalance is at most one A-entry's worth.
         assert!(max - min <= b.nnz(), "sizes {sizes:?}");

@@ -58,7 +58,7 @@ pub fn prime_degree_vertices(prod: &KroneckerProduct<'_>) -> u64 {
         }
         let mut d = 2;
         while d * d <= n {
-            if n % d == 0 {
+            if n.is_multiple_of(d) {
                 return false;
             }
             d += 1;

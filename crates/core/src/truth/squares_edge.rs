@@ -56,12 +56,7 @@ impl EdgeSquaresTruth {
 
 /// `W³` of the effective `A` factor on the (possibly diagonal) entry
 /// `(i, j)`; `None` if the entry is not in the effective adjacency.
-fn w3_effective_a(
-    stats_a: &FactorStats,
-    mode: SelfLoopMode,
-    i: usize,
-    j: usize,
-) -> Option<i128> {
+fn w3_effective_a(stats_a: &FactorStats, mode: SelfLoopMode, i: usize, j: usize) -> Option<i128> {
     match mode {
         SelfLoopMode::None => {
             stats_a.squares_at_edge(i, j)?; // ensures (i,j) ∈ E_A
@@ -173,7 +168,10 @@ pub fn edge_squares_with(
     counts.sort_unstable_by_key(|&(p, q, _)| (p, q));
     // Each undirected product edge arises from exactly one (A-entry,
     // B-entry) pair, so there are no duplicates to merge.
-    if counts.windows(2).any(|w| (w[0].0, w[0].1) == (w[1].0, w[1].1)) {
+    if counts
+        .windows(2)
+        .any(|w| (w[0].0, w[0].1) == (w[1].0, w[1].1))
+    {
         return Err(SparseError::Malformed(
             "duplicate product edge in edge_squares".into(),
         ));
@@ -198,11 +196,7 @@ mod tests {
             "edge count mismatch {mode:?}"
         );
         for &(p, q, c) in &truth.counts {
-            assert_eq!(
-                direct.get(p, q),
-                Some(c),
-                "edge ({p},{q}) mode {mode:?}"
-            );
+            assert_eq!(direct.get(p, q), Some(c), "edge ({p},{q}) mode {mode:?}");
         }
         // Point-wise agrees with the batch path.
         let sa = FactorStats::compute(a).unwrap();
@@ -222,7 +216,11 @@ mod tests {
     #[test]
     fn edge_truth_mode_factor_a() {
         check(&path(3), &cycle(4), SelfLoopMode::FactorA);
-        check(&complete_bipartite(2, 2), &complete_bipartite(2, 3), SelfLoopMode::FactorA);
+        check(
+            &complete_bipartite(2, 2),
+            &complete_bipartite(2, 3),
+            SelfLoopMode::FactorA,
+        );
         check(&star(3), &crown(3), SelfLoopMode::FactorA);
         // Non-bipartite A with loops — beyond the paper, still exact.
         check(&complete(4), &cycle(4), SelfLoopMode::FactorA);
@@ -240,8 +238,10 @@ mod tests {
         // Corrected point-wise form agrees: ◇=0, d=2 for K3; d=1 for K2.
         assert_eq!(thm5_pointwise(0, 0, 2, 2, 1, 1), 0);
         // The paper's printed version (without the (d−1)(d−1) regrouping,
-        // i.e. missing +2) would give −2:
-        let printed = 0 + 0 + 0 + (2 * 1 - 2 - 1) + (2 * 1 - 2 - 1);
+        // i.e. missing the two +1s) would give −2: the ◇ terms vanish and
+        // the degree terms are d_i·d_l − d_i − d_l (per side).
+        let (d_i, d_j, d_k, d_l): (i64, i64, i64, i64) = (2, 2, 1, 1);
+        let printed = (d_i * d_l - d_i - d_l) + (d_j * d_k - d_j - d_k);
         assert_eq!(printed, -2);
     }
 
@@ -292,9 +292,9 @@ mod tests {
         let s = vertex_squares(&prod).unwrap();
         let e = edge_squares(&prod).unwrap();
         let g = prod.materialize();
-        for p in 0..prod.num_vertices() {
+        for (p, &sp) in s.iter().enumerate() {
             let sum: u64 = g.neighbors(p).iter().map(|&q| e.get(p, q).unwrap()).sum();
-            assert_eq!(2 * s[p], sum, "vertex {p}");
+            assert_eq!(2 * sp, sum, "vertex {p}");
         }
     }
 }

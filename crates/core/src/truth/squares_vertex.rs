@@ -82,9 +82,7 @@ pub fn vertex_squares_with(
     let mut out = Vec::with_capacity(n);
     for p in 0..n {
         let (i, k) = ix.split(p);
-        let twice = ta.diag4[i] * tb.diag4[k]
-            - ta.deg_sq[i] * tb.deg_sq[k]
-            - ta.w2[i] * tb.w2[k]
+        let twice = ta.diag4[i] * tb.diag4[k] - ta.deg_sq[i] * tb.deg_sq[k] - ta.w2[i] * tb.w2[k]
             + ta.deg[i] * tb.deg[k];
         out.push(twice);
     }
@@ -141,8 +139,9 @@ pub fn global_squares_with(
             "global_squares: 2·Σs = {twice_total} violates the /8 invariant"
         )));
     }
-    u64::try_from(twice_total / 8)
-        .map_err(|_| bikron_sparse::SparseError::Overflow { op: "global_squares" })
+    u64::try_from(twice_total / 8).map_err(|_| bikron_sparse::SparseError::Overflow {
+        op: "global_squares",
+    })
 }
 
 /// Convenience: compute factor stats then the global count.
@@ -156,7 +155,9 @@ pub fn global_squares(prod: &KroneckerProduct<'_>) -> SparseResult<u64> {
 mod tests {
     use super::*;
     use bikron_analytics::{butterflies_global, butterflies_per_vertex};
-    use bikron_generators::{complete, complete_bipartite, crown, cycle, path, petersen, star, wheel};
+    use bikron_generators::{
+        complete, complete_bipartite, crown, cycle, path, petersen, star, wheel,
+    };
     use bikron_graph::Graph;
 
     fn check(a: &Graph, b: &Graph, mode: SelfLoopMode) {
@@ -185,7 +186,11 @@ mod tests {
     #[test]
     fn thm4_bipartite_with_loops() {
         check(&path(3), &cycle(4), SelfLoopMode::FactorA);
-        check(&complete_bipartite(2, 2), &complete_bipartite(2, 3), SelfLoopMode::FactorA);
+        check(
+            &complete_bipartite(2, 2),
+            &complete_bipartite(2, 3),
+            SelfLoopMode::FactorA,
+        );
         check(&star(3), &crown(3), SelfLoopMode::FactorA);
     }
 

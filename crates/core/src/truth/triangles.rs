@@ -5,10 +5,10 @@
 //! With `t_i = ½·diag(A³)_i` (no self loops) and the mixed-product
 //! property:
 //!
-//! * `C = A ⊗ B`:        `diag(C³) = diag(A³) ⊗ diag(B³)`;
-//! * `C = (A+I_A) ⊗ B`:  `diag((A+I)³) = diag(A³) + 3·diag(A²) + 1 =
-//!                        diag(A³) + 3d_A + 1` (loop-free `A`), so
-//!                        `diag(C³) = (diag(A³) + 3d_A + 1) ⊗ diag(B³)`.
+//! * `C = A ⊗ B`: `diag(C³) = diag(A³) ⊗ diag(B³)`;
+//! * `C = (A+I_A) ⊗ B`: `diag((A+I)³) = diag(A³) + 3·diag(A²) + 1 =
+//!   diag(A³) + 3d_A + 1` (loop-free `A`), so
+//!   `diag(C³) = (diag(A³) + 3d_A + 1) ⊗ diag(B³)`.
 //!
 //! Edge triangle counts factor the same way:
 //! `C² ∘ C = (A²∘A) ⊗ (B²∘B)` in mode `None`, and with `A+I` the

@@ -199,7 +199,9 @@ impl FactorStats {
 mod tests {
     use super::*;
     use bikron_analytics::{butterflies_global, butterflies_per_edge, butterflies_per_vertex};
-    use bikron_generators::{complete, complete_bipartite, crown, cycle, hypercube, path, petersen};
+    use bikron_generators::{
+        complete, complete_bipartite, crown, cycle, hypercube, path, petersen,
+    };
 
     fn check_against_direct(g: &Graph) {
         let fs = FactorStats::compute(g).unwrap();
@@ -274,8 +276,8 @@ mod tests {
         let g = complete(4);
         let fs = FactorStats::compute(&g).unwrap();
         let t = bikron_analytics::triangles::triangles_per_vertex(&g);
-        for i in 0..4 {
-            assert_eq!(fs.diag_a3[i], 2 * t[i] as i128);
+        for (&da3, &ti) in fs.diag_a3.iter().zip(&t) {
+            assert_eq!(da3, 2 * ti as i128);
         }
         let bip = complete_bipartite(2, 3);
         let fs = FactorStats::compute(&bip).unwrap();
@@ -291,8 +293,9 @@ mod tests {
         let fb = FactorStats::compute(&b).unwrap();
         let composed = fa.kron_compose(&fb).unwrap();
         // Reference: materialise A ⊗ B and compute stats directly.
-        let prod = crate::product::KroneckerProduct::new(&a, &b, crate::product::SelfLoopMode::None)
-            .unwrap();
+        let prod =
+            crate::product::KroneckerProduct::new(&a, &b, crate::product::SelfLoopMode::None)
+                .unwrap();
         let g = prod.materialize();
         let direct = FactorStats::compute(&g).unwrap();
         assert_eq!(composed.degrees, direct.degrees);

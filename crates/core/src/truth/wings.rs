@@ -42,10 +42,7 @@ impl WingValidation {
 /// Check a claimed decomposition `(u, v, wing)` against the bounds.
 /// Edges not present in the product are reported as violations with
 /// bound 0.
-pub fn validate_wing_claim(
-    bounds: &EdgeSquaresTruth,
-    claimed: &[(Ix, Ix, u64)],
-) -> WingValidation {
+pub fn validate_wing_claim(bounds: &EdgeSquaresTruth, claimed: &[(Ix, Ix, u64)]) -> WingValidation {
     let mut violations = Vec::new();
     for &(u, v, wing) in claimed {
         let bound = bounds.get(u, v).unwrap_or(0);

@@ -124,8 +124,8 @@ pub fn petersen() -> Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bikron_graph::{is_bipartite, is_connected};
     use bikron_graph::cycles::{girth, has_odd_cycle};
+    use bikron_graph::{is_bipartite, is_connected};
 
     #[test]
     fn path_shape() {

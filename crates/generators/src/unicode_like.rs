@@ -35,9 +35,10 @@ pub const UNICODE_NW: usize = 614;
 pub const UNICODE_EDGES: usize = 1256;
 
 /// Default seed — fixed so the whole workspace reproduces one graph.
-/// Chosen by a calibration sweep: the default factor has 1,664 global
-/// 4-cycles vs the real dataset's 1,662.
-pub const DEFAULT_SEED: u64 = 8;
+/// Chosen by a calibration sweep (`cargo run --release --example
+/// calibrate_seed`): the default factor has exactly 1,662 global
+/// 4-cycles, matching the real dataset's count.
+pub const DEFAULT_SEED: u64 = 50;
 
 /// Build the unicode-like factor with the default seed.
 pub fn unicode_like() -> Graph {
@@ -53,8 +54,12 @@ pub fn unicode_like_seeded(seed: u64) -> Graph {
 
     // Heavy-tail target weights: Zipf-ish on both sides. Territory-language
     // data has a few hub languages and many singleton territories.
-    let wu: Vec<f64> = (0..nu).map(|i| 38.0 / ((i + 1) as f64).powf(0.63)).collect();
-    let ww: Vec<f64> = (0..nw).map(|i| 14.0 / ((i + 1) as f64).powf(0.68)).collect();
+    let wu: Vec<f64> = (0..nu)
+        .map(|i| 38.0 / ((i + 1) as f64).powf(0.63))
+        .collect();
+    let ww: Vec<f64> = (0..nw)
+        .map(|i| 14.0 / ((i + 1) as f64).powf(0.68))
+        .collect();
     let cum = |ws: &[f64]| -> Vec<f64> {
         let mut acc = 0.0;
         ws.iter()

@@ -26,8 +26,7 @@ pub struct CoreDecomposition {
 /// graph sense).
 pub fn core_decomposition(g: &Graph) -> CoreDecomposition {
     let n = g.num_vertices();
-    let simple_degree =
-        |v: Ix| -> usize { g.degree(v) - usize::from(g.has_edge(v, v)) };
+    let simple_degree = |v: Ix| -> usize { g.degree(v) - usize::from(g.has_edge(v, v)) };
     let mut deg: Vec<usize> = (0..n).map(simple_degree).collect();
     let maxd = deg.iter().copied().max().unwrap_or(0);
 

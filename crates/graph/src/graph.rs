@@ -111,7 +111,9 @@ impl Graph {
     }
 
     fn from_adjacency_unchecked(adj: Csr<u64>) -> Self {
-        let num_loops = (0..adj.nrows()).filter(|&i| adj.get(i, i).is_some()).count();
+        let num_loops = (0..adj.nrows())
+            .filter(|&i| adj.get(i, i).is_some())
+            .count();
         Graph { adj, num_loops }
     }
 
@@ -193,7 +195,10 @@ impl Graph {
 
     /// Iterate undirected edges once each as `(u, v)` with `u <= v`.
     pub fn edges(&self) -> impl Iterator<Item = (Ix, Ix)> + '_ {
-        self.adj.iter().filter(|&(r, c, _)| r <= c).map(|(r, c, _)| (r, c))
+        self.adj
+            .iter()
+            .filter(|&(r, c, _)| r <= c)
+            .map(|(r, c, _)| (r, c))
     }
 
     /// A copy with all self loops added (`A + I_A`, used by Assump. 1(ii)).

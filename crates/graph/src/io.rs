@@ -228,11 +228,13 @@ mod tests {
     #[test]
     fn matrix_market_rejects_garbage() {
         assert!(read_matrix_market("not a header\n1 1 0\n".as_bytes()).is_err());
-        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes()).is_err());
         assert!(
-            read_matrix_market("%%MatrixMarket matrix coordinate pattern general\n2 3 0\n".as_bytes())
-                .is_err()
+            read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes()).is_err()
         );
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate pattern general\n2 3 0\n".as_bytes()
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! A ~50-line hand-rolled JSON emitter — the whole reason `bikron-obs`
+//! needs no `serde`: the schema only ever nests objects of string and
+//! integer fields, so a comma-and-indent tracker suffices.
+
+/// Streaming writer for pretty-printed JSON objects.
+pub(crate) struct JsonWriter {
+    out: String,
+    depth: usize,
+    /// Whether the current container already has a member (comma needed).
+    has_member: Vec<bool>,
+}
+
+impl JsonWriter {
+    pub(crate) fn new() -> Self {
+        JsonWriter {
+            out: String::new(),
+            depth: 0,
+            has_member: Vec::new(),
+        }
+    }
+
+    fn newline_indent(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.depth {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn begin_member(&mut self) {
+        if let Some(last) = self.has_member.last_mut() {
+            if *last {
+                self.out.push(',');
+            }
+            *last = true;
+        }
+        if self.depth > 0 {
+            self.newline_indent();
+        }
+    }
+
+    pub(crate) fn open_object(&mut self) {
+        self.out.push('{');
+        self.depth += 1;
+        self.has_member.push(false);
+    }
+
+    pub(crate) fn close_object(&mut self) {
+        let had = self.has_member.pop().unwrap_or(false);
+        self.depth -= 1;
+        if had {
+            self.newline_indent();
+        }
+        self.out.push('}');
+    }
+
+    pub(crate) fn key(&mut self, key: &str) {
+        self.begin_member();
+        self.push_string(key);
+        self.out.push_str(": ");
+    }
+
+    pub(crate) fn string_field(&mut self, key: &str, value: &str) {
+        self.key(key);
+        self.push_string(value);
+    }
+
+    pub(crate) fn u64_field(&mut self, key: &str, value: u64) {
+        self.key(key);
+        self.out.push_str(&value.to_string());
+    }
+
+    fn push_string(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    pub(crate) fn finish(mut self) -> String {
+        self.out.push('\n');
+        self.out
+    }
+}

@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! # bikron-obs
+//!
+//! Zero-dependency, thread-safe instrumentation for the bikron workspace:
+//! scoped **phase timers** (monotonic, nestable), atomic **counters** and
+//! **gauges**, and a [`Report`] snapshot that serialises to a stable JSON
+//! schema (`bikron-obs/1`). The paper's lineage validated a quadrillion
+//! triangles by instrumenting the generation pipeline itself; this crate
+//! is that discipline for bikron — every hot path (SpGEMM, Kronecker
+//! fill, edge streaming, butterfly counting, distributed reduction)
+//! reports what it did and how long it took, so each PR's perf is
+//! diffable (`BENCH_kron.json`) and formula drift shows up as a counter
+//! mismatch rather than silence.
+//!
+//! Everything is hand-rolled on [`std::sync::atomic`] and
+//! [`std::time::Instant`] — no `tracing`, no `serde` — so release-mode
+//! overhead is a handful of relaxed atomic adds per *kernel invocation*
+//! (never per element) and the offline build keeps working.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bikron_obs::{global, Registry};
+//!
+//! // Hot path: bump counters / time phases against the global registry.
+//! let _t = global().phase("demo.compute");
+//! global().counter("demo.items").add(42);
+//! drop(_t);
+//!
+//! // Edge of the program: snapshot and serialise.
+//! let mut report = global().snapshot();
+//! report.set_meta("workload", "demo");
+//! let json = report.to_json();
+//! assert!(json.contains("\"demo.items\": 42"));
+//! ```
+//!
+//! Scoped registries (`Registry::new()`) serve tests and embedded use;
+//! the process-wide [`global()`] registry serves the CLI's
+//! `--metrics-out` flag and the `perf_report` binary.
+
+mod json;
+mod metrics;
+mod registry;
+mod report;
+
+pub use metrics::{Counter, Gauge, GaugeGuard, TimerStats};
+pub use registry::{PhaseGuard, Registry};
+pub use report::Report;
+
+use std::sync::OnceLock;
+
+/// The process-wide registry. Hot paths in `bikron-sparse`, `bikron-core`,
+/// `bikron-analytics`, and `bikron-distsim` record here; the CLI's
+/// `--metrics-out` and the `perf_report` binary snapshot it.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Schema identifier emitted in every JSON report.
+pub const SCHEMA: &str = "bikron-obs/1";

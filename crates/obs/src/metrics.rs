@@ -1,0 +1,259 @@
+//! The atomic metric primitives: [`Counter`], [`Gauge`], [`TimerStats`].
+//!
+//! All operations are lock-free relaxed atomics. Relaxed ordering is
+//! enough because metrics are *monotone summaries* — readers only ever
+//! snapshot after the writers they care about have been joined (end of a
+//! kernel call, end of a thread scope), and the `thread::scope` /
+//! `Mutex` joins in the kernels provide the happens-before edges.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event count (edges streamed, rows
+/// multiplied, wedges closed, bytes allocated…).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (tests and per-run baselines).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A level with a high-water mark: current value plus the maximum ever
+/// observed (peak live threads, peak resident CSR bytes).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Gauge {
+    /// New gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Set the level, updating the high-water mark.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Raise the level by `n`, updating the high-water mark; returns the
+    /// new level.
+    pub fn raise(&self, n: u64) -> u64 {
+        let now = self.value.fetch_add(n, Ordering::Relaxed) + n;
+        self.max.fetch_max(now, Ordering::Relaxed);
+        now
+    }
+
+    /// Lower the level by `n` (saturating in debug terms: callers pair
+    /// `raise`/`lower`, and [`GaugeGuard`] does so automatically).
+    pub fn lower(&self, n: u64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// RAII +1/−1: returns a guard that lowers the gauge on drop. The
+    /// concurrency probe used by parallel kernels to record peak live
+    /// workers:
+    ///
+    /// ```
+    /// let g = bikron_obs::Gauge::new();
+    /// {
+    ///     let _in_flight = g.enter();
+    ///     assert_eq!(g.get(), 1);
+    /// }
+    /// assert_eq!(g.get(), 0);
+    /// assert_eq!(g.peak(), 1);
+    /// ```
+    pub fn enter(&self) -> GaugeGuard<'_> {
+        self.raise(1);
+        GaugeGuard { gauge: self }
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark.
+    #[inline]
+    pub fn peak(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Reset level and high-water mark to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Lowers its gauge by one on drop. Created by [`Gauge::enter`].
+#[must_use = "dropping the guard immediately lowers the gauge again"]
+pub struct GaugeGuard<'a> {
+    gauge: &'a Gauge,
+}
+
+impl Drop for GaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.gauge.lower(1);
+    }
+}
+
+/// Accumulated wall-clock for one named phase: invocation count, total,
+/// min and max nanoseconds. Populated by [`crate::Registry::phase`] /
+/// [`crate::Registry::time`], or directly via [`TimerStats::record_ns`].
+#[derive(Debug)]
+pub struct TimerStats {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for TimerStats {
+    fn default() -> Self {
+        TimerStats {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl TimerStats {
+    /// New, empty timer.
+    pub fn new() -> Self {
+        TimerStats::default()
+    }
+
+    /// Record one observation of `ns` nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        let v = self.min_ns.load(Ordering::Relaxed);
+        if v == u64::MAX {
+            0
+        } else {
+            v
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation, nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Reset all fields.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.min_ns.store(u64::MAX, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_tracks_peak() {
+        let g = Gauge::new();
+        g.raise(3);
+        g.lower(1);
+        g.raise(1);
+        assert_eq!(g.get(), 3);
+        assert_eq!(g.peak(), 3);
+        g.set(1);
+        assert_eq!(g.peak(), 3);
+    }
+
+    #[test]
+    fn gauge_guard_is_balanced() {
+        let g = Gauge::new();
+        {
+            let _a = g.enter();
+            let _b = g.enter();
+            assert_eq!(g.get(), 2);
+        }
+        assert_eq!(g.get(), 0);
+        assert_eq!(g.peak(), 2);
+    }
+
+    #[test]
+    fn timer_min_max_mean() {
+        let t = TimerStats::new();
+        assert_eq!(
+            (t.count(), t.min_ns(), t.max_ns(), t.mean_ns()),
+            (0, 0, 0, 0)
+        );
+        t.record_ns(10);
+        t.record_ns(30);
+        assert_eq!(t.count(), 2);
+        assert_eq!(t.total_ns(), 40);
+        assert_eq!(t.min_ns(), 10);
+        assert_eq!(t.max_ns(), 30);
+        assert_eq!(t.mean_ns(), 20);
+    }
+}

@@ -1,0 +1,206 @@
+//! The [`Report`] snapshot and its stable JSON serialisation.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+
+use crate::json::JsonWriter;
+
+/// Frozen view of one timer taken at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerSnapshot {
+    /// Number of recorded phase executions.
+    pub count: u64,
+    /// Sum of wall-clock across executions, nanoseconds.
+    pub total_ns: u64,
+    /// Fastest execution (0 when `count == 0`).
+    pub min_ns: u64,
+    /// Slowest execution.
+    pub max_ns: u64,
+    /// Mean execution (0 when `count == 0`).
+    pub mean_ns: u64,
+}
+
+/// An immutable metrics snapshot with optional metadata, serialisable to
+/// the `bikron-obs/1` JSON schema.
+///
+/// The schema is **stable and sorted**: top-level keys are `schema`,
+/// `meta`, `counters`, `gauges`, `timers`; every map is emitted in
+/// lexicographic key order; all values are strings (meta) or exact
+/// integers (everything else — nanoseconds, never floats). Golden tests
+/// and cross-PR diffs rely on this.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    meta: BTreeMap<String, String>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, (u64, u64)>,
+    timers: BTreeMap<String, TimerSnapshot>,
+}
+
+impl Report {
+    /// Assemble from raw parts (used by [`crate::Registry::snapshot`]).
+    pub fn from_parts(
+        counters: BTreeMap<String, u64>,
+        gauges: BTreeMap<String, (u64, u64)>,
+        timers: BTreeMap<String, TimerSnapshot>,
+    ) -> Self {
+        Report {
+            meta: BTreeMap::new(),
+            counters,
+            gauges,
+            timers,
+        }
+    }
+
+    /// Attach a metadata string (workload name, factor spec, commit…).
+    pub fn set_meta(&mut self, key: &str, value: impl Into<String>) {
+        self.meta.insert(key.to_string(), value.into());
+    }
+
+    /// Counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Gauge `(value, peak)` by name.
+    pub fn gauge(&self, name: &str) -> Option<(u64, u64)> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Timer snapshot by name.
+    pub fn timer(&self, name: &str) -> Option<&TimerSnapshot> {
+        self.timers.get(name)
+    }
+
+    /// Iterate counters in sorted order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterate timers in sorted order.
+    pub fn timers(&self) -> impl Iterator<Item = (&str, &TimerSnapshot)> {
+        self.timers.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Serialise to the `bikron-obs/1` JSON schema (pretty-printed,
+    /// two-space indent, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open_object();
+        w.string_field("schema", crate::SCHEMA);
+
+        w.key("meta");
+        w.open_object();
+        for (k, v) in &self.meta {
+            w.string_field(k, v);
+        }
+        w.close_object();
+
+        w.key("counters");
+        w.open_object();
+        for (k, &v) in &self.counters {
+            w.u64_field(k, v);
+        }
+        w.close_object();
+
+        w.key("gauges");
+        w.open_object();
+        for (k, &(value, peak)) in &self.gauges {
+            w.key(k);
+            w.open_object();
+            w.u64_field("value", value);
+            w.u64_field("peak", peak);
+            w.close_object();
+        }
+        w.close_object();
+
+        w.key("timers");
+        w.open_object();
+        for (k, t) in &self.timers {
+            w.key(k);
+            w.open_object();
+            w.u64_field("count", t.count);
+            w.u64_field("total_ns", t.total_ns);
+            w.u64_field("min_ns", t.min_ns);
+            w.u64_field("max_ns", t.max_ns);
+            w.u64_field("mean_ns", t.mean_ns);
+            w.close_object();
+        }
+        w.close_object();
+
+        w.close_object();
+        w.finish()
+    }
+
+    /// Write the JSON report to `path` (atomic enough for perf artefacts:
+    /// full buffer, single `write_all`).
+    pub fn write_to_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut counters = BTreeMap::new();
+        counters.insert("edges".to_string(), 12u64);
+        let mut gauges = BTreeMap::new();
+        gauges.insert("threads".to_string(), (0u64, 4u64));
+        let mut timers = BTreeMap::new();
+        timers.insert(
+            "kron".to_string(),
+            TimerSnapshot {
+                count: 2,
+                total_ns: 100,
+                min_ns: 40,
+                max_ns: 60,
+                mean_ns: 50,
+            },
+        );
+        let mut r = Report::from_parts(counters, gauges, timers);
+        r.set_meta("workload", "unit \"quoted\" ✓");
+        r
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let expect = concat!(
+            "{\n",
+            "  \"schema\": \"bikron-obs/1\",\n",
+            "  \"meta\": {\n",
+            "    \"workload\": \"unit \\\"quoted\\\" ✓\"\n",
+            "  },\n",
+            "  \"counters\": {\n",
+            "    \"edges\": 12\n",
+            "  },\n",
+            "  \"gauges\": {\n",
+            "    \"threads\": {\n",
+            "      \"value\": 0,\n",
+            "      \"peak\": 4\n",
+            "    }\n",
+            "  },\n",
+            "  \"timers\": {\n",
+            "    \"kron\": {\n",
+            "      \"count\": 2,\n",
+            "      \"total_ns\": 100,\n",
+            "      \"min_ns\": 40,\n",
+            "      \"max_ns\": 60,\n",
+            "      \"mean_ns\": 50\n",
+            "    }\n",
+            "  }\n",
+            "}\n",
+        );
+        assert_eq!(sample().to_json(), expect);
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let r = sample();
+        assert_eq!(r.counter("edges"), Some(12));
+        assert_eq!(r.gauge("threads"), Some((0, 4)));
+        assert_eq!(r.timer("kron").unwrap().mean_ns, 50);
+        assert_eq!(r.counters().count(), 1);
+    }
+}

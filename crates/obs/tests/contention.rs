@@ -1,0 +1,142 @@
+//! Metric correctness under thread contention: many OS threads hammering
+//! the same counters, gauges, timers, and phase stack must lose no
+//! updates (relaxed atomics are still atomic read-modify-writes) and must
+//! keep per-thread phase nesting independent.
+
+use std::sync::Arc;
+use std::thread;
+
+use bikron_obs::{Counter, Gauge, Registry, TimerStats};
+
+const THREADS: usize = 8;
+const OPS: u64 = 10_000;
+
+#[test]
+fn counter_loses_no_increments_across_threads() {
+    let c = Arc::new(Counter::new());
+    thread::scope(|s| {
+        for _ in 0..THREADS {
+            let c = Arc::clone(&c);
+            s.spawn(move || {
+                for _ in 0..OPS {
+                    c.inc();
+                }
+                c.add(5);
+            });
+        }
+    });
+    assert_eq!(c.get(), THREADS as u64 * (OPS + 5));
+}
+
+#[test]
+fn gauge_balances_and_peak_is_sane() {
+    let g = Arc::new(Gauge::new());
+    thread::scope(|s| {
+        for _ in 0..THREADS {
+            let g = Arc::clone(&g);
+            s.spawn(move || {
+                for _ in 0..OPS {
+                    let _in_flight = g.enter();
+                }
+            });
+        }
+    });
+    // Every enter was paired with a drop: the level must return to zero.
+    assert_eq!(g.get(), 0);
+    // At least one thread was live at some point, never more than all.
+    assert!(g.peak() >= 1);
+    assert!(g.peak() <= THREADS as u64);
+}
+
+#[test]
+fn timer_aggregates_all_observations() {
+    let t = Arc::new(TimerStats::new());
+    thread::scope(|s| {
+        for i in 0..THREADS as u64 {
+            let t = Arc::clone(&t);
+            s.spawn(move || {
+                for k in 0..OPS {
+                    t.record_ns(i * OPS + k + 1);
+                }
+            });
+        }
+    });
+    assert_eq!(t.count(), THREADS as u64 * OPS);
+    // Total = sum of 1..=THREADS*OPS (each observation distinct by design).
+    let n = THREADS as u64 * OPS;
+    assert_eq!(t.total_ns(), n * (n + 1) / 2);
+    assert_eq!(t.min_ns(), 1);
+    assert_eq!(t.max_ns(), n);
+    assert_eq!(t.mean_ns(), n.div_ceil(2));
+}
+
+#[test]
+fn registry_counters_shared_across_threads() {
+    let r = Registry::new();
+    thread::scope(|s| {
+        for _ in 0..THREADS {
+            let r = &r;
+            s.spawn(move || {
+                // Handle hoisted once (the documented hot-loop pattern).
+                let c = r.counter("shared.events");
+                for _ in 0..OPS {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(
+        r.snapshot().counter("shared.events"),
+        Some(THREADS as u64 * OPS)
+    );
+}
+
+#[test]
+fn phase_stacks_are_per_thread() {
+    // Concurrent nested phases on different threads must not interleave
+    // their hierarchical names: each thread sees only its own stack.
+    let r = Registry::new();
+    thread::scope(|s| {
+        for i in 0..THREADS {
+            let r = &r;
+            s.spawn(move || {
+                for _ in 0..200 {
+                    let _outer = r.phase(&format!("t{i}"));
+                    let _inner = r.phase("work");
+                }
+            });
+        }
+    });
+    let report = r.snapshot();
+    for i in 0..THREADS {
+        assert_eq!(report.timer(&format!("t{i}")).map(|t| t.count), Some(200));
+        assert_eq!(
+            report.timer(&format!("t{i}/work")).map(|t| t.count),
+            Some(200),
+            "inner phase must nest under its own thread's outer phase"
+        );
+    }
+    // No cross-thread contamination like "t0/t1" may exist.
+    for i in 0..THREADS {
+        for j in 0..THREADS {
+            assert!(report.timer(&format!("t{i}/t{j}")).is_none());
+        }
+    }
+}
+
+#[test]
+fn report_json_round_trips_through_file() {
+    let r = Registry::new();
+    r.counter("x").add(3);
+    r.time("p", || ());
+    let mut report = r.snapshot();
+    report.set_meta("workload", "contention-test");
+    let dir = std::env::temp_dir().join("bikron_obs_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("report.json");
+    report.write_to_file(&path).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(text, report.to_json());
+    assert!(text.starts_with("{\n  \"schema\": \"bikron-obs/1\""));
+    assert!(text.ends_with("}\n"));
+}

@@ -302,8 +302,7 @@ mod tests {
 
     #[test]
     fn duplicate_summing_can_cancel() {
-        let coo =
-            Coo::from_triplets(1, 1, vec![(0usize, 0usize, 3i64), (0, 0, -3)]).unwrap();
+        let coo = Coo::from_triplets(1, 1, vec![(0usize, 0usize, 3i64), (0, 0, -3)]).unwrap();
         let m = Csr::from_coo(coo, |a, b| a + b, |v| v == 0);
         assert_eq!(m.nnz(), 0);
     }

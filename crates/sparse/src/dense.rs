@@ -87,9 +87,7 @@ pub fn to_u64_counts(a: &[i128], op: &'static str) -> SparseResult<Vec<u64>> {
                 "{op}: negative count {x}; formula invariant violated"
             )));
         }
-        out.push(
-            u64::try_from(x).map_err(|_| SparseError::Overflow { op })?,
-        );
+        out.push(u64::try_from(x).map_err(|_| SparseError::Overflow { op })?);
     }
     Ok(out)
 }

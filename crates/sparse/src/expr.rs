@@ -110,11 +110,6 @@ impl MatExpr {
         MatExpr::Hadamard(Rc::new(self), Rc::new(rhs))
     }
 
-    /// `self + rhs` (element-wise).
-    pub fn add(self, rhs: MatExpr) -> Self {
-        MatExpr::Add(Rc::new(self), Rc::new(rhs))
-    }
-
     /// `c · self`.
     pub fn scale(self, c: i128) -> Self {
         MatExpr::Scale(c, Rc::new(self))
@@ -221,9 +216,7 @@ impl MatExpr {
                 }
                 acc
             }
-            MatExpr::Hadamard(a, b) => {
-                merge_rows(&a.row(r), &b.row(r), |x, y| x * y)
-            }
+            MatExpr::Hadamard(a, b) => merge_rows(&a.row(r), &b.row(r), |x, y| x * y),
             MatExpr::Add(a, b) => merge_rows(&a.row(r), &b.row(r), |x, y| x + y),
             MatExpr::Scale(c, a) => a
                 .row(r)
@@ -294,6 +287,15 @@ impl MatExpr {
             row_ptr.push(col_idx.len());
         }
         Csr::from_parts(nrows, ncols, row_ptr, col_idx, vals)
+    }
+}
+
+impl std::ops::Add for MatExpr {
+    type Output = MatExpr;
+
+    /// `self + rhs` (element-wise).
+    fn add(self, rhs: MatExpr) -> MatExpr {
+        MatExpr::Add(Rc::new(self), Rc::new(rhs))
     }
 }
 
@@ -435,9 +437,7 @@ mod tests {
     #[test]
     fn scale_and_add() {
         let a = k3();
-        let expr = MatExpr::leaf(a.clone())
-            .scale(3)
-            .add(MatExpr::leaf(a.clone()).scale(-3));
+        let expr = MatExpr::leaf(a.clone()).scale(3) + MatExpr::leaf(a.clone()).scale(-3);
         let out = expr.eval().unwrap();
         assert_eq!(out.nnz(), 0); // exact cancellation drops entries
     }

@@ -99,7 +99,10 @@ mod tests {
 
     #[test]
     fn principal_submatrix_keeps_symmetry() {
-        let a = m(4, vec![(0, 1, 1), (1, 0, 1), (1, 3, 2), (3, 1, 2), (2, 2, 9)]);
+        let a = m(
+            4,
+            vec![(0, 1, 1), (1, 0, 1), (1, 3, 2), (3, 1, 2), (2, 2, 9)],
+        );
         let s = extract_principal(&a, &[0, 1, 3]).unwrap();
         assert!(s.is_pattern_symmetric());
         assert_eq!(s.get(1, 2), Some(2)); // old (1,3)

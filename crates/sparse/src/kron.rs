@@ -44,6 +44,13 @@ where
     let nrows = ma * mb;
     let ncols = a.ncols() * nb;
 
+    // Metrics are per kernel call only — product rows are tiny (a few
+    // entries each), so even per-row atomics would be measurable here.
+    let obs = bikron_obs::global();
+    let _phase = obs.phase("sparse.kron");
+    obs.counter("kron.invocations").inc();
+    obs.counter("kron.rows_filled").add(nrows as u64);
+
     // Row pointer: product row (i,k) has nnz(A row i) * nnz(B row k).
     let mut row_ptr = Vec::with_capacity(nrows + 1);
     row_ptr.push(0usize);
@@ -82,8 +89,15 @@ where
     };
     let mut col_idx = vec![0 as Ix; total];
     let mut vals = vec![zero_val; total];
+    obs.counter("kron.output_nnz").add(total as u64);
+    obs.counter("kron.csr_bytes").add(
+        ((nrows + 1) * std::mem::size_of::<usize>()
+            + total * (std::mem::size_of::<Ix>() + std::mem::size_of::<T>())) as u64,
+    );
 
     if nrows >= PARALLEL_ROW_THRESHOLD {
+        obs.gauge("kron.workers")
+            .set(rayon::current_num_threads() as u64);
         // Split output buffers into per-row slices for safe parallel fill.
         let mut col_slices: Vec<&mut [Ix]> = Vec::with_capacity(nrows);
         let mut val_slices: Vec<&mut [T]> = Vec::with_capacity(nrows);

@@ -47,8 +47,8 @@ pub use error::{SparseError, SparseResult};
 pub use ewise::{ewise_add, ewise_mult};
 pub use expr::MatExpr;
 pub use extract::{extract, extract_principal};
-pub use mask::{spmv_masked, VecMask};
 pub use kron::{kron, kron_vec};
+pub use mask::{spmv_masked, VecMask};
 pub use ops::{apply, select, transpose, Select};
 pub use reduce::{diag_matrix, diag_vector, reduce_rows, reduce_scalar};
 pub use semiring::{

@@ -24,11 +24,7 @@ use crate::Ix;
 const PARALLEL_ROW_THRESHOLD: usize = 256;
 
 /// `C = A ⊕.⊗ B` over the given semiring.
-pub fn spgemm<T, A, M>(
-    semiring: &Semiring<T, A, M>,
-    a: &Csr<T>,
-    b: &Csr<T>,
-) -> SparseResult<Csr<T>>
+pub fn spgemm<T, A, M>(semiring: &Semiring<T, A, M>, a: &Csr<T>, b: &Csr<T>) -> SparseResult<Csr<T>>
 where
     T: SemiringValue,
     A: AddMonoid<T>,
@@ -85,6 +81,15 @@ where
     let nrows = a.nrows();
     let ncols = b.ncols();
 
+    // Metrics: one registry lookup per kernel call, lock-free handles in
+    // the loops; the worker gauge is probed once per *row*, amortised over
+    // that row's full dot-product work.
+    let obs = bikron_obs::global();
+    let _phase = obs.phase("sparse.spgemm");
+    obs.counter("spgemm.invocations").inc();
+    obs.counter("spgemm.rows_multiplied").add(nrows as u64);
+    let workers = obs.gauge("spgemm.workers");
+
     let compute_row = |r: usize| -> (Vec<Ix>, Vec<T>) {
         // SPA: dense value buffer + touched-column list per row. The
         // explicit `seen` bitmap (rather than testing `dense[c]` against
@@ -131,7 +136,13 @@ where
     };
 
     let rows: Vec<(Vec<Ix>, Vec<T>)> = if nrows >= PARALLEL_ROW_THRESHOLD {
-        (0..nrows).into_par_iter().map(compute_row).collect()
+        (0..nrows)
+            .into_par_iter()
+            .map(|r| {
+                let _live = workers.enter();
+                compute_row(r)
+            })
+            .collect()
     } else {
         (0..nrows).map(compute_row).collect()
     };
@@ -149,6 +160,11 @@ where
         col_idx.extend(cols);
         vals.extend(v);
     }
+    obs.counter("spgemm.output_nnz").add(total as u64);
+    obs.counter("spgemm.csr_bytes").add(
+        ((nrows + 1) * std::mem::size_of::<usize>()
+            + total * (std::mem::size_of::<Ix>() + std::mem::size_of::<T>())) as u64,
+    );
     Csr::from_parts(nrows, ncols, row_ptr, col_idx, vals)
 }
 
@@ -305,14 +321,12 @@ mod tests {
         use crate::coo::Coo;
         use crate::semiring::i64_plus_times;
         let a = Csr::from_coo(
-            Coo::from_triplets(1, 3, vec![(0usize, 0usize, 1i64), (0, 1, 1), (0, 2, 1)])
-                .unwrap(),
+            Coo::from_triplets(1, 3, vec![(0usize, 0usize, 1i64), (0, 1, 1), (0, 2, 1)]).unwrap(),
             |x, y| x + y,
             |v| v == 0,
         );
         let b = Csr::from_coo(
-            Coo::from_triplets(3, 1, vec![(0usize, 0usize, 1i64), (1, 0, -1), (2, 0, 1)])
-                .unwrap(),
+            Coo::from_triplets(3, 1, vec![(0usize, 0usize, 1i64), (1, 0, -1), (2, 0, 1)]).unwrap(),
             |x, y| x + y,
             |v| v == 0,
         );

@@ -9,11 +9,7 @@ use crate::semiring::{AddMonoid, MulOp, Semiring, SemiringValue};
 /// This is the kernel behind the paper's walk-count vectors: with
 /// plus-times over integers, `spmv(A, 1)` is the degree vector `d_A` and
 /// `spmv(A, spmv(A, 1))` is `w_A^{(2)} = A²·1`.
-pub fn spmv<T, A, M>(
-    semiring: &Semiring<T, A, M>,
-    mat: &Csr<T>,
-    x: &[T],
-) -> SparseResult<Vec<T>>
+pub fn spmv<T, A, M>(semiring: &Semiring<T, A, M>, mat: &Csr<T>, x: &[T]) -> SparseResult<Vec<T>>
 where
     T: SemiringValue,
     A: AddMonoid<T>,
@@ -57,9 +53,8 @@ where
         });
     }
     let mut y = vec![semiring.zero(); mat.ncols()];
-    for r in 0..mat.nrows() {
+    for (r, &xv) in x.iter().enumerate() {
         let (cols, vals) = mat.row(r);
-        let xv = x[r];
         for (&c, &v) in cols.iter().zip(vals) {
             y[c] = semiring.plus(y[c], semiring.times(v, xv));
         }

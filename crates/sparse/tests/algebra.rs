@@ -14,14 +14,12 @@ use proptest::prelude::*;
 /// values (so products of four matrices stay well inside i64).
 fn sparse_matrix(nrows: usize, ncols: usize) -> impl Strategy<Value = Csr<i64>> {
     let max_nnz = (nrows * ncols).min(24);
-    proptest::collection::vec(
-        (0..nrows, 0..ncols, -3i64..=3),
-        0..=max_nnz,
+    proptest::collection::vec((0..nrows, 0..ncols, -3i64..=3), 0..=max_nnz).prop_map(
+        move |triplets| {
+            let coo = Coo::from_triplets(nrows, ncols, triplets).unwrap();
+            Csr::from_coo(coo, |a, b| a + b, |v| v == 0)
+        },
     )
-    .prop_map(move |triplets| {
-        let coo = Coo::from_triplets(nrows, ncols, triplets).unwrap();
-        Csr::from_coo(coo, |a, b| a + b, |v| v == 0)
-    })
 }
 
 /// Dense equality modulo explicit zeros: compares materialised values, so

@@ -1,0 +1,65 @@
+//! Calibration sweep for the unicode-like factor seed.
+//!
+//! The Table-I stand-in (`bikron::generators::unicode_like`) pins a seed so
+//! the synthetic factor's global 4-cycle count lands near the real KONECT
+//! dataset's 1,662. Whenever the RNG stream changes (e.g. swapping the RNG
+//! backend), re-run this sweep and update `DEFAULT_SEED` plus the pinned
+//! constants in `tests/table1_reproduction.rs` and EXPERIMENTS.md:
+//!
+//! ```sh
+//! cargo run --release --example calibrate_seed          # sweep 0..1000
+//! cargo run --release --example calibrate_seed -- 42    # details for one seed
+//! ```
+
+use bikron::analytics::butterflies_global;
+use bikron::core::{GroundTruth, KroneckerProduct, SelfLoopMode};
+use bikron::generators::unicode_like::unicode_like_seeded;
+use bikron::graph::connected_components;
+
+fn main() {
+    let arg: Option<u64> = std::env::args().nth(1).and_then(|s| s.parse().ok());
+
+    if let Some(seed) = arg {
+        let a = unicode_like_seeded(seed);
+        let bf = butterflies_global(&a);
+        let comps = connected_components(&a).count;
+        let mean = a.nnz() as f64 / a.num_vertices() as f64;
+        println!("seed {seed}: butterflies={bf} components={comps}");
+        println!("  max_degree={} mean_degree={mean:.3}", a.max_degree());
+
+        let with_loops = KroneckerProduct::new(&a, &a, SelfLoopMode::FactorA).unwrap();
+        let plain = KroneckerProduct::new(&a, &a, SelfLoopMode::None).unwrap();
+        println!("  (A+I)⊗A edges = {}", with_loops.num_edges());
+        println!("  A⊗A edges     = {}", plain.num_edges());
+        let st = bikron::core::predict_structure(&with_loops);
+        println!("  (A+I)⊗A components = {:?}", st.num_components);
+        let gt_loops = GroundTruth::new(with_loops).unwrap();
+        println!("  (A+I)⊗A squares = {:?}", gt_loops.global_squares());
+        let gt_plain = GroundTruth::new(plain).unwrap();
+        println!("  A⊗A squares     = {:?}", gt_plain.global_squares());
+        return;
+    }
+
+    // Sweep: print every seed whose butterfly count is within 2% of the
+    // paper's 1,662 and which keeps the dataset-like shape (disconnected,
+    // heavy tail).
+    let target = 1662i64;
+    let mut best: Option<(u64, i64)> = None;
+    for seed in 0..1000u64 {
+        let a = unicode_like_seeded(seed);
+        let bf = butterflies_global(&a) as i64;
+        let diff = (bf - target).abs();
+        let comps = connected_components(&a).count;
+        let mean = a.nnz() as f64 / a.num_vertices() as f64;
+        let heavy = a.max_degree() as f64 > 10.0 * mean;
+        if comps > 1 && heavy && diff <= 33 {
+            println!("candidate seed {seed}: butterflies={bf} (off by {diff}), components={comps}");
+        }
+        if comps > 1 && heavy && best.map(|(_, d)| diff < d).unwrap_or(true) {
+            best = Some((seed, diff));
+        }
+    }
+    if let Some((seed, diff)) = best {
+        println!("best: seed {seed} (off by {diff})");
+    }
+}

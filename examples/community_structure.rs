@@ -18,8 +18,16 @@ fn main() {
     // Factors with planted communities of very different densities.
     let params_a = BterParams {
         blocks: vec![
-            Block { ru: 5, rw: 7, p_in: 0.9 },
-            Block { ru: 8, rw: 5, p_in: 0.6 },
+            Block {
+                ru: 5,
+                rw: 7,
+                p_in: 0.9,
+            },
+            Block {
+                ru: 8,
+                rw: 5,
+                p_in: 0.6,
+            },
         ],
         extra_u: 6,
         extra_w: 10,
@@ -27,8 +35,16 @@ fn main() {
     };
     let params_b = BterParams {
         blocks: vec![
-            Block { ru: 4, rw: 4, p_in: 0.95 },
-            Block { ru: 6, rw: 9, p_in: 0.5 },
+            Block {
+                ru: 4,
+                rw: 4,
+                p_in: 0.95,
+            },
+            Block {
+                ru: 6,
+                rw: 9,
+                p_in: 0.5,
+            },
         ],
         extra_u: 5,
         extra_w: 8,

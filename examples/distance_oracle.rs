@@ -26,7 +26,10 @@ fn main() {
     let gt = GroundTruth::new(prod.clone())
         .expect("factor stats")
         .with_distances();
-    println!("distance oracle built in {:?} (factor BFS only)", t0.elapsed());
+    println!(
+        "distance oracle built in {:?} (factor BFS only)",
+        t0.elapsed()
+    );
 
     let t1 = Instant::now();
     let diam = gt.diameter().expect("connected by Thm. 2");

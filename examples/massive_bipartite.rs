@@ -26,7 +26,10 @@ fn main() {
 
     let t0 = Instant::now();
     let gt = GroundTruth::new(prod.clone()).expect("factor stats");
-    println!("oracle built in {:?} (factor-sized state only)", t0.elapsed());
+    println!(
+        "oracle built in {:?} (factor-sized state only)",
+        t0.elapsed()
+    );
 
     let t1 = Instant::now();
     let global = gt.global_squares().expect("global");

@@ -47,8 +47,8 @@ fn main() {
     assert_eq!(connected_components(&g).count, 1);
     assert_eq!(butterflies_global(&g), global);
     let direct = butterflies_per_vertex(&g);
-    for p in 0..g.num_vertices() {
-        assert_eq!(gt.squares_at_vertex(p), direct[p]);
+    for (p, &dp) in direct.iter().enumerate() {
+        assert_eq!(gt.squares_at_vertex(p), dp);
     }
     println!("verified: direct counting agrees at every vertex and globally.");
 }

@@ -19,13 +19,15 @@
 use bikron::analytics::buggy::{center_not_excluded_global, off_by_one_global, overflowing_global};
 use bikron::analytics::butterflies_global;
 use bikron::core::{GroundTruth, KroneckerProduct, SelfLoopMode};
-use bikron::generators::unicode_like::unicode_like;
 use bikron::generators::path;
+use bikron::generators::unicode_like::unicode_like;
 use bikron::graph::Graph;
+
+type NamedCounter = (&'static str, fn(&Graph) -> u64);
 
 fn run_suite(name: &str, g: &Graph, truth: u64) {
     println!("--- {name} (ground truth: {truth}) ---");
-    let counters: Vec<(&str, fn(&Graph) -> u64)> = vec![
+    let counters: Vec<NamedCounter> = vec![
         ("correct wedge counter", butterflies_global),
         ("off-by-one bug", off_by_one_global),
         ("centre-not-excluded bug", center_not_excluded_global),
@@ -80,7 +82,10 @@ fn main() {
 
     // The validation API wraps the comparison:
     let verdict = gt2.validate_global(overflowing_global(&g2)).expect("check");
-    assert!(!verdict.ok, "overflow bug must be detected at this magnitude");
+    assert!(
+        !verdict.ok,
+        "overflow bug must be detected at this magnitude"
+    );
     println!(
         "validate_global: claimed {} vs truth {} -> detected={}",
         verdict.claimed, verdict.truth, !verdict.ok

@@ -53,7 +53,10 @@ fn main() {
         *hist.entry(w).or_insert(0) += 1;
     }
     println!("wing (bitruss) number histogram: {hist:?}");
-    assert!(wings.max_wing > 0, "Rem. 1: the product cannot be wing-free");
+    assert!(
+        wings.max_wing > 0,
+        "Rem. 1: the product cannot be wing-free"
+    );
 
     // Ground truth bounds the decomposition: wing(e) ≤ ◇_e for every edge.
     for (idx, &(u, v)) in wings.edges.iter().enumerate() {
@@ -64,7 +67,10 @@ fn main() {
             wings.wing[idx]
         );
     }
-    println!("verified: wing(e) <= ◇_e on all {} edges (usable as a validation bound)", wings.edges.len());
+    println!(
+        "verified: wing(e) <= ◇_e on all {} edges (usable as a validation bound)",
+        wings.edges.len()
+    );
 
     // The only way out: factors with max degree 1.
     let matching = Graph::from_edges(6, &[(0, 1), (2, 3), (4, 5)]).unwrap();

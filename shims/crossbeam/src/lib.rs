@@ -1,0 +1,100 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the subset of
+//! [crossbeam](https://docs.rs/crossbeam) this workspace uses: bounded
+//! MPSC channels (`crossbeam::channel::{bounded, Sender, Receiver}`),
+//! backed by [`std::sync::mpsc::sync_channel`].
+//!
+//! Semantics match for the workspace's usage pattern (single consumer per
+//! receiver, clonable senders, blocking `send`/`recv`). Crossbeam's
+//! multi-consumer receivers and `select!` are not provided.
+
+/// Bounded channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned when the receiving side has disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when all senders have disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Sending half of a bounded channel. Clonable.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is enqueued (or the channel is closed).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Receiving half of a bounded channel. Single-consumer.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives (or all senders disconnect).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive; `None` when the queue is currently empty
+        /// or the channel is closed.
+        pub fn try_recv(&self) -> Option<T> {
+            self.0.try_recv().ok()
+        }
+    }
+
+    /// Create a bounded channel with the given capacity (0 = rendezvous).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::bounded;
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = bounded::<u64>(1);
+        let tx2 = tx.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || tx.send(7).unwrap());
+            s.spawn(move || tx2.send(8).unwrap());
+            let a = rx.recv().unwrap();
+            let b = rx.recv().unwrap();
+            assert_eq!(a + b, 15);
+        });
+    }
+
+    #[test]
+    fn recv_errors_after_disconnect() {
+        let (tx, rx) = bounded::<u64>(1);
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,594 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the subset of [rayon](https://docs.rs/rayon) this
+//! workspace uses.
+//!
+//! The build container has no crates.io access, so the workspace maps the
+//! `rayon` dependency name onto this path crate (see `[workspace.dependencies]`
+//! in the root manifest). It reimplements — with **real OS-thread
+//! parallelism** via [`std::thread::scope`] — exactly the combinator chains
+//! the kernels in `bikron-sparse`, `bikron-core`, `bikron-graph`, and
+//! `bikron-analytics` rely on:
+//!
+//! * `(range).into_par_iter().map(f).collect()` / `.try_reduce(..)`
+//! * `(range).into_par_iter().map_init(init, f).collect()`
+//! * `vec.into_par_iter().map(f).collect()` (element type must be `Copy`)
+//! * `slice.par_iter().map(f).collect()` / `.for_each(f)`
+//! * `a.par_iter_mut().zip(b.par_iter_mut()).enumerate().for_each(f)`
+//! * [`join`], [`current_num_threads`]
+//!
+//! Work is split into one contiguous chunk per available hardware thread
+//! and each chunk runs on a fresh scoped thread. That trades rayon's
+//! work-stealing pool for zero dependencies; call sites already gate
+//! parallel dispatch behind size thresholds, so the extra spawn cost is
+//! amortised over large inputs only. `collect` preserves input order, so
+//! results are deterministic exactly as with rayon's indexed iterators.
+
+use std::ops::Range;
+
+/// Re-exports that mirror `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+/// Number of worker threads a parallel region may use (rayon API parity).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run two closures, potentially in parallel, and return both results
+/// (rayon's binary fork-join primitive).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-shim: join worker panicked"))
+    })
+}
+
+/// Split `0..len` into at most [`current_num_threads`] contiguous chunks
+/// and run `work(lo, hi)` for each on its own scoped thread. Returns the
+/// per-chunk results in chunk order.
+fn run_chunked<R, W>(len: usize, work: W) -> Vec<R>
+where
+    R: Send,
+    W: Fn(usize, usize) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().min(len);
+    if threads <= 1 {
+        return vec![work(0, len)];
+    }
+    let chunk = len.div_ceil(threads);
+    let mut bounds = Vec::new();
+    let mut lo = 0;
+    while lo < len {
+        let hi = (lo + chunk).min(len);
+        bounds.push((lo, hi));
+        lo = hi;
+    }
+    let work = &work;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = bounds
+            .into_iter()
+            .map(|(lo, hi)| s.spawn(move || work(lo, hi)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon-shim: worker panicked"))
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits (the names call sites import from the prelude).
+// ---------------------------------------------------------------------------
+
+/// Types convertible into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The parallel iterator produced.
+    type Iter;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Types whose shared references yield a parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The parallel iterator produced.
+    type Iter;
+    /// Borrowing parallel iterator over `&self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Types whose mutable references yield a parallel iterator (`par_iter_mut`).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The parallel iterator produced.
+    type Iter;
+    /// Borrowing parallel iterator over `&mut self`.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+impl<T: Copy + Send + Sync> IntoParallelIterator for Vec<T> {
+    type Iter = ParVec<T>;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = ParSliceMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParSliceMut<'a, T> {
+        ParSliceMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Iter = ParSliceMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParSliceMut<'a, T> {
+        ParSliceMut { slice: self }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources.
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Map each index through `f` in parallel.
+    pub fn map<F, R>(self, f: F) -> MapRange<F>
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+    {
+        MapRange {
+            range: self.range,
+            f,
+        }
+    }
+
+    /// Map with per-thread scratch state created by `init` (rayon's
+    /// `map_init`).
+    pub fn map_init<INIT, S, F, R>(self, init: INIT, f: F) -> MapInitRange<INIT, F>
+    where
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> R + Sync,
+        R: Send,
+    {
+        MapInitRange {
+            range: self.range,
+            init,
+            f,
+        }
+    }
+
+    /// Apply `f` to each index in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let start = self.range.start;
+        let len = self.range.len();
+        run_chunked(len, |lo, hi| {
+            for i in lo..hi {
+                f(start + i);
+            }
+        });
+    }
+}
+
+/// `ParRange::map` adapter.
+pub struct MapRange<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> MapRange<F> {
+    /// Collect the mapped results, preserving index order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let start = self.range.start;
+        let len = self.range.len();
+        let f = &self.f;
+        run_chunked(len, |lo, hi| {
+            (lo..hi).map(|i| f(start + i)).collect::<Vec<R>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Fold `Option`-valued items, short-circuiting on `None` (the one
+    /// `try_reduce` shape used in this workspace: `Item = Option<T>`).
+    pub fn try_reduce<T, ID, OP>(self, identity: ID, op: OP) -> Option<T>
+    where
+        F: Fn(usize) -> Option<T> + Sync,
+        T: Send,
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> Option<T> + Sync,
+    {
+        let start = self.range.start;
+        let len = self.range.len();
+        let f = &self.f;
+        let op = &op;
+        let identity = &identity;
+        let partials = run_chunked(len, |lo, hi| -> Option<T> {
+            let mut acc = identity();
+            for i in lo..hi {
+                acc = op(acc, f(start + i)?)?;
+            }
+            Some(acc)
+        });
+        let mut acc = identity();
+        for p in partials {
+            acc = op(acc, p?)?;
+        }
+        Some(acc)
+    }
+}
+
+/// `ParRange::map_init` adapter.
+pub struct MapInitRange<INIT, F> {
+    range: Range<usize>,
+    init: INIT,
+    f: F,
+}
+
+impl<INIT, F> MapInitRange<INIT, F> {
+    /// Collect the mapped results, preserving index order. `init` runs
+    /// once per worker chunk.
+    pub fn collect<C, S, R>(self) -> C
+    where
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let start = self.range.start;
+        let len = self.range.len();
+        let f = &self.f;
+        let init = &self.init;
+        run_chunked(len, |lo, hi| {
+            let mut state = init();
+            (lo..hi)
+                .map(|i| f(&mut state, start + i))
+                .collect::<Vec<R>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+/// Parallel iterator over an owned `Vec` of `Copy` items.
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Copy + Send + Sync> ParVec<T> {
+    /// Map each element through `f` in parallel.
+    pub fn map<F, R>(self, f: F) -> MapVec<T, F>
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+    {
+        MapVec {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Apply `f` to each element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let items = &self.items;
+        run_chunked(items.len(), |lo, hi| {
+            for &x in &items[lo..hi] {
+                f(x);
+            }
+        });
+    }
+}
+
+/// `ParVec::map` adapter.
+pub struct MapVec<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Copy + Send + Sync, F> MapVec<T, F> {
+    /// Collect the mapped results, preserving element order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let items = &self.items;
+        let f = &self.f;
+        run_chunked(items.len(), |lo, hi| {
+            items[lo..hi].iter().map(|&x| f(x)).collect::<Vec<R>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParSlice<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParSlice<'a, T> {
+    /// Map each `&T` through `f` in parallel.
+    pub fn map<F, R>(self, f: F) -> MapSlice<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        MapSlice {
+            slice: self.slice,
+            f,
+        }
+    }
+
+    /// Apply `f` to each `&T` in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let slice = self.slice;
+        run_chunked(slice.len(), |lo, hi| {
+            for x in &slice[lo..hi] {
+                f(x);
+            }
+        });
+    }
+}
+
+/// `ParSlice::map` adapter.
+pub struct MapSlice<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> MapSlice<'a, T, F> {
+    /// Collect the mapped results, preserving element order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let slice = self.slice;
+        let f = &self.f;
+        run_chunked(slice.len(), |lo, hi| {
+            slice[lo..hi].iter().map(f).collect::<Vec<R>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+/// Borrowing parallel iterator over a mutable slice.
+pub struct ParSliceMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParSliceMut<'a, T> {
+    /// Pair up with a second mutable parallel iterator of the same length.
+    pub fn zip<U: Send>(self, other: ParSliceMut<'a, U>) -> ZipMut<'a, T, U> {
+        assert_eq!(
+            self.slice.len(),
+            other.slice.len(),
+            "rayon-shim: zip of unequal lengths"
+        );
+        ZipMut {
+            a: self.slice,
+            b: other.slice,
+        }
+    }
+
+    /// Apply `f` to each `&mut T` in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let len = self.slice.len();
+        let chunk = len.div_ceil(current_num_threads().max(1)).max(1);
+        let f = &f;
+        std::thread::scope(|s| {
+            for part in self.slice.chunks_mut(chunk) {
+                s.spawn(move || {
+                    for x in part {
+                        f(x);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Zip of two mutable-slice parallel iterators.
+pub struct ZipMut<'a, T, U> {
+    a: &'a mut [T],
+    b: &'a mut [U],
+}
+
+impl<'a, T: Send, U: Send> ZipMut<'a, T, U> {
+    /// Attach the element index to each pair.
+    pub fn enumerate(self) -> EnumerateZipMut<'a, T, U> {
+        EnumerateZipMut {
+            a: self.a,
+            b: self.b,
+        }
+    }
+
+    /// Apply `f` to each `(&mut T, &mut U)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((&mut T, &mut U)) + Sync,
+    {
+        self.enumerate().for_each(|(_, pair)| f(pair));
+    }
+}
+
+/// Enumerated zip of two mutable-slice parallel iterators.
+pub struct EnumerateZipMut<'a, T, U> {
+    a: &'a mut [T],
+    b: &'a mut [U],
+}
+
+impl<'a, T: Send, U: Send> EnumerateZipMut<'a, T, U> {
+    /// Apply `f` to each `(index, (&mut T, &mut U))` in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, (&mut T, &mut U))) + Sync,
+    {
+        let len = self.a.len();
+        let chunk = len.div_ceil(current_num_threads().max(1)).max(1);
+        let f = &f;
+        std::thread::scope(|s| {
+            let mut base = 0usize;
+            let mut ra = self.a;
+            let mut rb = self.b;
+            while !ra.is_empty() {
+                let take = chunk.min(ra.len());
+                let (ha, ta) = ra.split_at_mut(take);
+                let (hb, tb) = rb.split_at_mut(take);
+                ra = ta;
+                rb = tb;
+                let lo = base;
+                base += take;
+                s.spawn(move || {
+                    for (off, (x, y)) in ha.iter_mut().zip(hb.iter_mut()).enumerate() {
+                        f((lo + off, (x, y)));
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn range_map_collect_ordered() {
+        let v: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn range_map_init_collect_ordered() {
+        let v: Vec<usize> = (0..5_000)
+            .into_par_iter()
+            .map_init(|| 7usize, |s, i| i + *s)
+            .collect();
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i + 7));
+    }
+
+    #[test]
+    fn vec_into_par_iter_map() {
+        let items: Vec<(usize, usize)> = (0..1000).map(|i| (i, i + 1)).collect();
+        let out: Vec<usize> = items.into_par_iter().map(|(a, b)| a + b).collect();
+        assert!(out.iter().enumerate().all(|(i, &x)| x == 2 * i + 1));
+    }
+
+    #[test]
+    fn slice_for_each_visits_all() {
+        let items: Vec<usize> = (0..4096).collect();
+        let sum = AtomicUsize::new(0);
+        items.par_iter().for_each(|&x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4096 * 4095 / 2);
+    }
+
+    #[test]
+    fn zip_enumerate_for_each_disjoint() {
+        let mut a = vec![0usize; 2048];
+        let mut b = vec![0usize; 2048];
+        {
+            let mut sa: Vec<&mut [usize]> = a.chunks_mut(1).collect();
+            let mut sb: Vec<&mut [usize]> = b.chunks_mut(1).collect();
+            sa.par_iter_mut()
+                .zip(sb.par_iter_mut())
+                .enumerate()
+                .for_each(|(p, (x, y))| {
+                    x[0] = p;
+                    y[0] = 2 * p;
+                });
+        }
+        assert!(a.iter().enumerate().all(|(i, &x)| x == i));
+        assert!(b.iter().enumerate().all(|(i, &x)| x == 2 * i));
+    }
+
+    #[test]
+    fn try_reduce_short_circuits_none() {
+        let all: Option<usize> = (0..100)
+            .into_par_iter()
+            .map(Some)
+            .try_reduce(|| 0, |a, b| Some(a.max(b)));
+        assert_eq!(all, Some(99));
+        let none: Option<usize> = (0..100)
+            .into_par_iter()
+            .map(|i| if i == 50 { None } else { Some(i) })
+            .try_reduce(|| 0, |a, b| Some(a.max(b)));
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+}

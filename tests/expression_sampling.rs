@@ -9,8 +9,8 @@ use bikron::core::truth::squares_vertex::vertex_squares_at;
 use bikron::core::truth::FactorStats;
 use bikron::core::{KroneckerProduct, SelfLoopMode};
 use bikron::generators::{complete_bipartite, crown, cycle, path};
-use bikron::sparse::MatExpr;
 use bikron::graph::Graph;
+use bikron::sparse::MatExpr;
 
 /// Build the deferred expression for the product adjacency `C`.
 fn c_expr(a: &Graph, b: &Graph, mode: SelfLoopMode) -> MatExpr {
@@ -79,7 +79,7 @@ fn deferred_vertex_samples_match_ground_truth() {
         e.clone().matmul(e.clone()).matmul(e.clone()).matmul(e)
     };
     let diag_c4 = pow4(&a).kron(pow4(&b)).diag();
-    for p in 0..prod.num_vertices() {
+    for (p, &dc4) in diag_c4.iter().enumerate() {
         // Def. 8: s_p = ½(diag(C⁴) − d² − w² + d).
         let d = prod.degree(p) as i128;
         let w2: i128 = c
@@ -87,7 +87,7 @@ fn deferred_vertex_samples_match_ground_truth() {
             .into_iter()
             .map(|(q, v)| v * prod.degree(q) as i128)
             .sum();
-        let s = (diag_c4[p] - d * d - w2 + d) / 2;
+        let s = (dc4 - d * d - w2 + d) / 2;
         assert_eq!(
             s as u64,
             vertex_squares_at(&prod, &sa, &sb, p),

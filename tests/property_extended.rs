@@ -19,8 +19,7 @@ use proptest::prelude::*;
 fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
     (2usize..=max_n).prop_flat_map(|n| {
         proptest::collection::vec((0..n, 0..n), 0..=n * 2).prop_map(move |pairs| {
-            let edges: Vec<(usize, usize)> =
-                pairs.into_iter().filter(|&(u, v)| u != v).collect();
+            let edges: Vec<(usize, usize)> = pairs.into_iter().filter(|&(u, v)| u != v).collect();
             Graph::from_edges(n, &edges).unwrap()
         })
     })
@@ -42,8 +41,8 @@ proptest! {
         let sources = [0, prod.num_vertices() / 2];
         for &p in &sources {
             let direct = bfs_distances(&g, p);
-            for q in 0..prod.num_vertices() {
-                prop_assert_eq!(hops_at(&prod, &ta, &tb, p, q), direct[q]);
+            for (q, &dq) in direct.iter().enumerate() {
+                prop_assert_eq!(hops_at(&prod, &ta, &tb, p, q), dq);
             }
         }
     }

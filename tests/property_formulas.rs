@@ -27,8 +27,7 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
 fn arb_bipartite() -> impl Strategy<Value = Graph> {
     ((1usize..=4), (1usize..=4)).prop_flat_map(|(m, n)| {
         proptest::collection::vec((0..m, 0..n), 0..=m * n).prop_map(move |pairs| {
-            let edges: Vec<(usize, usize)> =
-                pairs.into_iter().map(|(u, w)| (u, m + w)).collect();
+            let edges: Vec<(usize, usize)> = pairs.into_iter().map(|(u, w)| (u, m + w)).collect();
             Graph::from_edges(m + n, &edges).unwrap()
         })
     })

@@ -3,8 +3,8 @@
 //! naive testing, and must *confirm* correct ones, at a scale where no
 //! competing implementation exists.
 
-use bikron::analytics::buggy::{center_not_excluded_global, off_by_one_global, overflowing_global};
 use bikron::analytics::approx::{edge_sampling_estimate, wedge_sampling_estimate};
+use bikron::analytics::buggy::{center_not_excluded_global, off_by_one_global, overflowing_global};
 use bikron::analytics::butterflies_global;
 use bikron::core::{GroundTruth, KroneckerProduct, SelfLoopMode};
 use bikron::generators::unicode_like::unicode_like_seeded;
@@ -79,8 +79,14 @@ fn approximate_counters_land_near_truth() {
     let g = prod.materialize();
     let w = wedge_sampling_estimate(&g, 50_000, 1);
     let e = edge_sampling_estimate(&g, 20_000, 2);
-    assert!((w - truth).abs() / truth < 0.15, "wedge estimate {w} vs {truth}");
-    assert!((e - truth).abs() / truth < 0.15, "edge estimate {e} vs {truth}");
+    assert!(
+        (w - truth).abs() / truth < 0.15,
+        "wedge estimate {w} vs {truth}"
+    );
+    assert!(
+        (e - truth).abs() / truth < 0.15,
+        "edge estimate {e} vs {truth}"
+    );
 }
 
 #[test]
