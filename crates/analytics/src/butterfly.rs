@@ -88,7 +88,24 @@ pub fn butterflies_per_vertex(g: &Graph) -> Vec<u64> {
     obs.counter("analytics.wedges_visited").add(wedges);
     obs.counter("analytics.wedges_closed")
         .add(counts.iter().sum::<u64>());
+    record_vertex_butterfly_distribution(&counts);
     counts
+}
+
+/// Feed per-vertex butterfly counts into the
+/// `analytics.vertex_butterflies` histogram — the distribution whose
+/// p99/max tail is the paper's dense-structure signal (a few vertices
+/// carry most of the 4-cycle mass in skewed Kronecker products).
+fn record_vertex_butterfly_distribution(counts: &[u64]) {
+    let hist = bikron_obs::global().histogram("analytics.vertex_butterflies");
+    // Fold into a local histogram first: one pass of private increments,
+    // then a single 65-bucket merge, so the shared atomics see O(1)
+    // traffic regardless of |V|.
+    let local = bikron_obs::Histogram::new();
+    for &c in counts {
+        local.record(c);
+    }
+    hist.merge_from(&local);
 }
 
 /// Rayon-parallel version of [`butterflies_per_vertex`]; deterministic.
@@ -131,6 +148,7 @@ pub fn butterflies_per_vertex_parallel(g: &Graph) -> Vec<u64> {
         .collect();
     obs.counter("analytics.wedges_closed")
         .add(counts.iter().sum::<u64>());
+    record_vertex_butterfly_distribution(&counts);
     counts
 }
 

@@ -1,5 +1,5 @@
 //! `perf_report` — run the Table-I-scale workload and write a
-//! machine-readable `bikron-obs/1` performance report.
+//! machine-readable `bikron-obs/2` performance report.
 //!
 //! The workload is the paper's headline construction, `(A + I_A) ⊗ A` on
 //! the unicode-like factor (4.2M-edge product), exercised end to end:
@@ -12,11 +12,17 @@
 //! ```sh
 //! cargo run --release -p bikron-bench --bin perf_report            # BENCH_kron.json
 //! cargo run --release -p bikron-bench --bin perf_report -- out.json
+//! cargo run --release -p bikron-bench --bin perf_report -- out.json --trace-out trace.json
 //! ```
 //!
-//! The output schema is stable (`bikron-obs/1`), so successive PRs can be
-//! diffed: wall-clock per phase (`timers`), edge/wedge/row counters
-//! (`counters`), and peak worker concurrency (`gauges.*.peak`).
+//! The output schema is stable (`bikron-obs/2`), so successive PRs can be
+//! diffed — by eye or by `bikron perfdiff`: wall-clock per phase
+//! (`timers`), edge/wedge/row counters (`counters`), peak worker
+//! concurrency (`gauges.*.peak`), and work-shape distributions
+//! (`histograms`: per-row SpGEMM output, Kronecker fill blocks,
+//! per-vertex butterflies, per-rank edge/square mass). With
+//! `--trace-out FILE`, phase spans are additionally exported as Chrome
+//! `trace_event` JSON for chrome://tracing / Perfetto.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -26,9 +32,21 @@ use bikron_core::{GroundTruth, KroneckerProduct, SelfLoopMode};
 use bikron_generators::unicode_like::{unicode_like, DEFAULT_SEED};
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .map(|i| args.get(i + 1).expect("--trace-out requires FILE").clone());
+    let out_path = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| a != "--trace-out" && !(i > 0 && args[i - 1] == "--trace-out"))
+        .map(|(_, a)| a.clone())
+        .next()
         .unwrap_or_else(|| "BENCH_kron.json".to_string());
+    if trace_path.is_some() {
+        bikron_obs::trace::tracer().enable();
+    }
     let obs = bikron_obs::global();
 
     // Factor construction (seeded, deterministic).
@@ -79,6 +97,13 @@ fn main() {
         .write_to_file(std::path::Path::new(&out_path))
         .expect("write perf report");
 
+    if let Some(path) = &trace_path {
+        bikron_obs::trace::tracer()
+            .write_chrome_trace(std::path::Path::new(path))
+            .expect("write chrome trace");
+        eprintln!("trace written to {path} — open in chrome://tracing or ui.perfetto.dev");
+    }
+
     // Human-readable recap on stderr; the JSON is the artefact.
     eprintln!("perf report written to {out_path}");
     for (name, t) in report.timers() {
@@ -90,8 +115,21 @@ fn main() {
             );
         }
     }
+    for (name, h) in report.histograms() {
+        eprintln!(
+            "  {name:<28} n={} p50={} p99={} max={}",
+            h.count,
+            h.percentile(50),
+            h.percentile(99),
+            h.max
+        );
+    }
     eprintln!(
-        "  edges={edges} squares={global_squares} peak_stream_workers={}",
-        report.gauge("product.workers").map(|(_, p)| p).unwrap_or(0)
+        "  edges={edges} squares={global_squares} peak_stream_workers={} rank_imbalance={}%",
+        report.gauge("product.workers").map(|(_, p)| p).unwrap_or(0),
+        report
+            .gauge("distsim.load_imbalance")
+            .map(|(v, _)| v)
+            .unwrap_or(0),
     );
 }

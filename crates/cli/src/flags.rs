@@ -1,0 +1,188 @@
+//! Global CLI flag extraction, shared by every subcommand.
+//!
+//! `--metrics-out FILE` and `--trace-out FILE` may appear anywhere on
+//! the command line (before or after the positionals), in either
+//! `--flag FILE` or `--flag=FILE` form. Duplicates are allowed — the
+//! **last occurrence wins**, matching the usual Unix convention so
+//! wrapper scripts can append overrides. A flag with no FILE (end of
+//! line, or followed by another `--` option) is a clear error, not a
+//! silently swallowed argument. Extraction removes the flags from the
+//! argument list, so subcommand positional parsing never sees them and
+//! is therefore order-robust.
+
+/// Parsed global options, extracted before subcommand dispatch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GlobalOpts {
+    /// Write a `bikron-obs/2` metrics report here after the command.
+    pub metrics_out: Option<String>,
+    /// Collect spans and write a Chrome `trace_event` JSON file here.
+    pub trace_out: Option<String>,
+}
+
+/// The global flags every subcommand accepts.
+const FILE_FLAGS: [&str; 2] = ["--metrics-out", "--trace-out"];
+
+/// Split `args` into (remaining arguments, global options).
+///
+/// ```
+/// use bikron_cli::flags::split_global_flags;
+/// let args: Vec<String> = ["--trace-out", "t.json", "stats", "path:3", "path:3", "none"]
+///     .iter().map(|s| s.to_string()).collect();
+/// let (rest, opts) = split_global_flags(&args).unwrap();
+/// assert_eq!(rest[0], "stats");
+/// assert_eq!(opts.trace_out.as_deref(), Some("t.json"));
+/// ```
+pub fn split_global_flags(args: &[String]) -> Result<(Vec<String>, GlobalOpts), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut opts = GlobalOpts::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let matched = FILE_FLAGS.iter().find_map(|flag| {
+            if arg == flag {
+                Some((*flag, None))
+            } else {
+                arg.strip_prefix(flag)
+                    .and_then(|rem| rem.strip_prefix('='))
+                    .map(|v| (*flag, Some(v.to_string())))
+            }
+        });
+        match matched {
+            Some((flag, Some(value))) => {
+                // --flag=FILE form; empty value is an error.
+                if value.is_empty() {
+                    return Err(format!("{flag}= requires a FILE argument"));
+                }
+                set_flag(&mut opts, flag, value);
+                i += 1;
+            }
+            Some((flag, None)) => {
+                // --flag FILE form; the next argument must exist and not
+                // itself look like an option.
+                match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        set_flag(&mut opts, flag, v.clone());
+                        i += 2;
+                    }
+                    Some(v) => {
+                        return Err(format!(
+                            "{flag} requires a FILE argument, found option {v:?}"
+                        ))
+                    }
+                    None => return Err(format!("{flag} requires a FILE argument")),
+                }
+            }
+            None => {
+                rest.push(arg.clone());
+                i += 1;
+            }
+        }
+    }
+    Ok((rest, opts))
+}
+
+fn set_flag(opts: &mut GlobalOpts, flag: &str, value: String) {
+    match flag {
+        "--metrics-out" => opts.metrics_out = Some(value),
+        "--trace-out" => opts.trace_out = Some(value),
+        _ => unreachable!("unknown global flag {flag}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_flags_passes_through() {
+        let input = args(&["stats", "path:3", "cycle:4", "none"]);
+        let (rest, opts) = split_global_flags(&input).unwrap();
+        assert_eq!(rest, input);
+        assert_eq!(opts, GlobalOpts::default());
+    }
+
+    #[test]
+    fn flags_are_position_independent() {
+        for permuted in [
+            args(&["--metrics-out", "m.json", "stats", "a", "b", "none"]),
+            args(&["stats", "--metrics-out", "m.json", "a", "b", "none"]),
+            args(&["stats", "a", "b", "none", "--metrics-out", "m.json"]),
+        ] {
+            let (rest, opts) = split_global_flags(&permuted).unwrap();
+            assert_eq!(rest, args(&["stats", "a", "b", "none"]));
+            assert_eq!(opts.metrics_out.as_deref(), Some("m.json"));
+        }
+    }
+
+    #[test]
+    fn equals_form_works() {
+        let (rest, opts) = split_global_flags(&args(&[
+            "generate",
+            "--trace-out=t.json",
+            "--metrics-out=m.json",
+        ]))
+        .unwrap();
+        assert_eq!(rest, args(&["generate"]));
+        assert_eq!(opts.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(opts.metrics_out.as_deref(), Some("m.json"));
+    }
+
+    #[test]
+    fn duplicate_flags_last_wins() {
+        let (_, opts) = split_global_flags(&args(&[
+            "--metrics-out",
+            "first.json",
+            "stats",
+            "--metrics-out=second.json",
+            "--metrics-out",
+            "third.json",
+        ]))
+        .unwrap();
+        assert_eq!(opts.metrics_out.as_deref(), Some("third.json"));
+    }
+
+    #[test]
+    fn both_flags_together() {
+        let (rest, opts) = split_global_flags(&args(&[
+            "generate",
+            "a",
+            "b",
+            "none",
+            "--trace-out",
+            "t.json",
+            "--out",
+            "p",
+            "--metrics-out",
+            "m.json",
+        ]))
+        .unwrap();
+        // Subcommand-local flags like --out survive untouched.
+        assert_eq!(rest, args(&["generate", "a", "b", "none", "--out", "p"]));
+        assert_eq!(opts.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(opts.metrics_out.as_deref(), Some("m.json"));
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let err = split_global_flags(&args(&["stats", "--metrics-out"])).unwrap_err();
+        assert!(err.contains("--metrics-out requires a FILE"), "{err}");
+        let err =
+            split_global_flags(&args(&["--trace-out", "--metrics-out", "m.json"])).unwrap_err();
+        assert!(err.contains("--trace-out requires a FILE"), "{err}");
+        let err = split_global_flags(&args(&["--metrics-out="])).unwrap_err();
+        assert!(err.contains("requires a FILE"), "{err}");
+    }
+
+    #[test]
+    fn similar_prefixes_are_not_confused() {
+        // "--metrics-outfile" is not "--metrics-out" — unknown flags are
+        // left for the subcommand to reject.
+        let (rest, opts) = split_global_flags(&args(&["--metrics-outfile", "x", "stats"])).unwrap();
+        assert_eq!(rest, args(&["--metrics-outfile", "x", "stats"]));
+        assert_eq!(opts, GlobalOpts::default());
+    }
+}

@@ -29,6 +29,10 @@
 //! | `konect:PATH` | 1-based KONECT bipartite edge list |
 
 pub mod commands;
+pub mod flags;
+pub mod perfdiff;
 pub mod spec;
 
+pub use flags::{split_global_flags, GlobalOpts};
+pub use perfdiff::{perfdiff_files, PerfDiffConfig};
 pub use spec::{parse_factor, parse_mode, SpecError};

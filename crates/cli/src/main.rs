@@ -6,6 +6,7 @@
 //! bikron generate A_SPEC B_SPEC MODE --out PREFIX [--parts N] [--annotate]
 //! bikron validate A_SPEC B_SPEC MODE CLAIMED_GLOBAL_4CYCLES
 //! bikron parts    A_SPEC B_SPEC MODE
+//! bikron perfdiff BASELINE.json CANDIDATE.json [--threshold PCT] [--warn-only] [--watch P1,P2]
 //! ```
 //!
 //! `MODE` is `none` (`C = A ⊗ B`, Assump. 1(i)) or `loops-a`
@@ -13,8 +14,8 @@
 
 use std::process::ExitCode;
 
-use bikron_cli::commands;
-use bikron_cli::{parse_factor, parse_mode};
+use bikron_cli::{commands, split_global_flags, GlobalOpts, PerfDiffConfig};
+use bikron_cli::{parse_factor, parse_mode, perfdiff_files};
 
 const USAGE: &str = "\
 bikron — bipartite Kronecker graphs with ground truth
@@ -26,11 +27,21 @@ USAGE:
   bikron validate A_SPEC B_SPEC MODE CLAIMED_COUNT
   bikron parts    A_SPEC B_SPEC MODE
   bikron verify-file FILE.tsv
+  bikron perfdiff BASELINE.json CANDIDATE.json
+                  [--threshold PCT] [--warn-only] [--watch PHASE[,PHASE...]]
 
-GLOBAL OPTIONS (after the positional arguments):
-  --metrics-out FILE   write a bikron-obs/1 JSON metrics report (phase
-                       timers, counters, peak worker gauges) after the
+GLOBAL OPTIONS (any position, --flag FILE or --flag=FILE, last wins):
+  --metrics-out FILE   write a bikron-obs/2 JSON metrics report (phase
+                       timers, counters, gauges, histograms) after the
                        command completes
+  --trace-out FILE     record phase spans and write a Chrome trace_event
+                       JSON file, viewable in chrome://tracing or
+                       https://ui.perfetto.dev
+
+PERFDIFF:
+  Compares two metrics reports (schema v1 or v2) and exits non-zero when
+  a watched phase's total wall-clock regressed beyond the threshold
+  (default 25%). Counters and histogram tails are shown as context.
 
 MODE: none | loops-a
 
@@ -41,33 +52,72 @@ FACTOR SPECS:
 ";
 
 fn run() -> Result<bool, Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let metrics_out = match args.iter().position(|x| x == "--metrics-out") {
-        Some(i) => Some(
-            args.get(i + 1)
-                .ok_or("--metrics-out requires a FILE argument")?
-                .clone(),
-        ),
-        None => None,
-    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (args, opts) = split_global_flags(&raw)?;
+    if opts.trace_out.is_some() {
+        bikron_obs::trace::tracer().enable();
+    }
     let result = dispatch(&args);
-    if let Some(path) = metrics_out {
-        if result.is_ok() {
-            write_metrics(&path, &args)?;
-        }
+    if result.is_ok() {
+        write_observability(&opts, &raw)?;
     }
     result
 }
 
-/// Snapshot the global metrics registry and write the `bikron-obs/1`
-/// report to `path`, stamping the invoking command line as metadata.
-fn write_metrics(path: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let mut report = bikron_obs::global().snapshot();
-    report.set_meta("tool", "bikron-cli");
-    report.set_meta("command", args.join(" "));
-    report.write_to_file(std::path::Path::new(path))?;
-    eprintln!("metrics written to {path}");
+/// Write the metrics report and/or Chrome trace the global flags asked
+/// for, stamping the invoking command line as metadata.
+fn write_observability(
+    opts: &GlobalOpts,
+    raw_args: &[String],
+) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(path) = &opts.metrics_out {
+        let mut report = bikron_obs::global().snapshot();
+        report.set_meta("tool", "bikron-cli");
+        report.set_meta("command", raw_args.join(" "));
+        report.write_to_file(std::path::Path::new(path))?;
+        eprintln!("metrics written to {path}");
+    }
+    if let Some(path) = &opts.trace_out {
+        let tracer = bikron_obs::trace::tracer();
+        tracer.write_chrome_trace(std::path::Path::new(path))?;
+        eprintln!(
+            "trace written to {path} ({} span(s), {} dropped) — open in chrome://tracing or ui.perfetto.dev",
+            tracer.spans().len(),
+            tracer.dropped(),
+        );
+    }
     Ok(())
+}
+
+/// Parse `perfdiff`'s own flags from its argument tail.
+fn parse_perfdiff_config(args: &[String]) -> Result<PerfDiffConfig, Box<dyn std::error::Error>> {
+    let mut cfg = PerfDiffConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--warn-only" => i += 1,
+            "--threshold" | "--watch" => i += 2,
+            other => return Err(format!("perfdiff: unknown argument {other:?}").into()),
+        }
+    }
+    if args.iter().any(|a| a == "--warn-only") {
+        cfg.warn_only = true;
+    }
+    let flag_val = |name: &str| {
+        args.iter()
+            .rposition(|x| x == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    if let Some(t) = flag_val("--threshold") {
+        cfg.threshold_pct = t
+            .parse()
+            .map_err(|e| format!("perfdiff: bad --threshold {t:?}: {e}"))?;
+    }
+    if let Some(w) = flag_val("--watch") {
+        cfg.watch = Some(w.split(',').map(|s| s.trim().to_string()).collect());
+    }
+    Ok(cfg)
 }
 
 fn dispatch(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
@@ -118,6 +168,10 @@ fn dispatch(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
             let tsv = std::fs::read_to_string(&args[1])?;
             commands::verify_file(&tsv, &mut out)
         }
+        Some("perfdiff") if args.len() >= 3 => {
+            let cfg = parse_perfdiff_config(&args[3..])?;
+            perfdiff_files(&args[1], &args[2], &cfg, &mut out)
+        }
         Some("help") | None => {
             println!("{USAGE}");
             Ok(true)
@@ -132,7 +186,7 @@ fn dispatch(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
 fn main() -> ExitCode {
     match run() {
         Ok(true) => ExitCode::SUCCESS,
-        Ok(false) => ExitCode::from(2), // validation mismatch
+        Ok(false) => ExitCode::from(2), // validation mismatch / perf regression
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

@@ -67,4 +67,25 @@ fn per_rank_counters_sum_to_closed_form() {
         report.timer("distsim.generate").map(|t| t.count),
         Some(num_ranks as u64)
     );
+
+    // Per-rank distribution histograms: one sample per rank, and their
+    // sums agree with the counter cross-checks above.
+    let h_edges = report
+        .histogram("distsim.rank_edges")
+        .expect("rank edge histogram");
+    assert_eq!(h_edges.count, num_ranks as u64);
+    assert_eq!(h_edges.sum, edge_sum);
+    let h_mass = report
+        .histogram("distsim.rank_square_mass")
+        .expect("rank square-mass histogram");
+    assert_eq!(h_mass.count, num_ranks as u64);
+    assert_eq!(h_mass.sum, mass_sum);
+
+    // Load imbalance gauge: max/mean of rank square mass in percent —
+    // at least 100 by construction, and exactly max·ranks·100/total.
+    let (imbalance, _) = report
+        .gauge("distsim.load_imbalance")
+        .expect("load imbalance gauge");
+    assert!(imbalance >= 100, "max/mean is at least 1: {imbalance}");
+    assert_eq!(imbalance, h_mass.max * 100 / (mass_sum / num_ranks as u64));
 }

@@ -1,8 +1,33 @@
-//! A ~50-line hand-rolled JSON emitter — the whole reason `bikron-obs`
-//! needs no `serde`: the schema only ever nests objects of string and
-//! integer fields, so a comma-and-indent tracker suffices.
+//! A hand-rolled JSON emitter — the whole reason `bikron-obs` needs no
+//! `serde`: the schema only ever nests objects/arrays of string and
+//! integer fields, so a comma-and-indent tracker suffices. String
+//! escaping lives in [`escape_into`], shared with the Chrome-trace
+//! exporter so both writers emit identical, spec-valid JSON strings.
 
-/// Streaming writer for pretty-printed JSON objects.
+/// Append `s` to `out` with JSON string escaping: `"` and `\` are
+/// backslash-escaped, the common control characters get their two-byte
+/// forms (`\n`, `\r`, `\t`, `\u{8}` → `\b`, `\u{c}` → `\f`), every other
+/// control character below U+0020 becomes `\u00XX`, and all other
+/// characters (including non-ASCII) pass through verbatim as UTF-8.
+pub(crate) fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Streaming writer for pretty-printed JSON objects and arrays.
 pub(crate) struct JsonWriter {
     out: String,
     depth: usize,
@@ -53,6 +78,26 @@ impl JsonWriter {
         self.out.push('}');
     }
 
+    pub(crate) fn open_array(&mut self) {
+        self.out.push('[');
+        self.depth += 1;
+        self.has_member.push(false);
+    }
+
+    pub(crate) fn close_array(&mut self) {
+        let had = self.has_member.pop().unwrap_or(false);
+        self.depth -= 1;
+        if had {
+            self.newline_indent();
+        }
+        self.out.push(']');
+    }
+
+    /// Begin an array element (objects call `open_object` right after).
+    pub(crate) fn array_element(&mut self) {
+        self.begin_member();
+    }
+
     pub(crate) fn key(&mut self, key: &str) {
         self.begin_member();
         self.push_string(key);
@@ -71,24 +116,105 @@ impl JsonWriter {
 
     fn push_string(&mut self, s: &str) {
         self.out.push('"');
-        for c in s.chars() {
-            match c {
-                '"' => self.out.push_str("\\\""),
-                '\\' => self.out.push_str("\\\\"),
-                '\n' => self.out.push_str("\\n"),
-                '\r' => self.out.push_str("\\r"),
-                '\t' => self.out.push_str("\\t"),
-                c if (c as u32) < 0x20 => {
-                    self.out.push_str(&format!("\\u{:04x}", c as u32));
-                }
-                c => self.out.push(c),
-            }
-        }
+        escape_into(&mut self.out, s);
         self.out.push('"');
     }
 
     pub(crate) fn finish(mut self) -> String {
         self.out.push('\n');
         self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn escape(s: &str) -> String {
+        let mut out = String::new();
+        escape_into(&mut out, s);
+        out
+    }
+
+    /// Golden escaping table: every class the writer must handle —
+    /// quotes, backslashes, named control escapes, arbitrary control
+    /// characters, and pass-through non-ASCII.
+    #[test]
+    fn escape_golden() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape(r#"say "hi""#), r#"say \"hi\""#);
+        assert_eq!(escape(r"C:\dir\file"), r"C:\\dir\\file");
+        assert_eq!(escape("a\nb\rc\td"), r"a\nb\rc\td");
+        assert_eq!(escape("\u{8}\u{c}"), r"\b\f");
+        assert_eq!(escape("\u{0}\u{1}\u{1f}"), r"\u0000\u0001\u001f");
+        assert_eq!(escape("naïve ✓ 🦋"), "naïve ✓ 🦋");
+        // The classic trap: a backslash before a quote must yield four
+        // characters (`\\\"`), not an escaped-quote-eating `\\"`.
+        assert_eq!(escape(r#"\""#), r#"\\\""#);
+        // U+007F (DEL) is not a JSON control character; pass through.
+        assert_eq!(escape("\u{7f}"), "\u{7f}");
+    }
+
+    #[test]
+    fn writer_escapes_keys_and_values() {
+        let mut w = JsonWriter::new();
+        w.open_object();
+        w.string_field("path\\key", "line1\nline2 \"q\"");
+        w.close_object();
+        let json = w.finish();
+        assert_eq!(
+            json,
+            "{\n  \"path\\\\key\": \"line1\\nline2 \\\"q\\\"\"\n}\n"
+        );
+    }
+
+    #[test]
+    fn arrays_nest_in_objects() {
+        let mut w = JsonWriter::new();
+        w.open_object();
+        w.key("buckets");
+        w.open_array();
+        for (le, n) in [(1u64, 2u64), (3, 4)] {
+            w.array_element();
+            w.open_object();
+            w.u64_field("le", le);
+            w.u64_field("count", n);
+            w.close_object();
+        }
+        w.close_array();
+        w.close_object();
+        let json = w.finish();
+        let expect = concat!(
+            "{\n",
+            "  \"buckets\": [\n",
+            "    {\n",
+            "      \"le\": 1,\n",
+            "      \"count\": 2\n",
+            "    },\n",
+            "    {\n",
+            "      \"le\": 3,\n",
+            "      \"count\": 4\n",
+            "    }\n",
+            "  ]\n",
+            "}\n",
+        );
+        assert_eq!(json, expect);
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new();
+        w.open_object();
+        w.key("empty_obj");
+        w.open_object();
+        w.close_object();
+        w.key("empty_arr");
+        w.open_array();
+        w.close_array();
+        w.close_object();
+        assert_eq!(
+            w.finish(),
+            "{\n  \"empty_obj\": {},\n  \"empty_arr\": []\n}\n"
+        );
     }
 }

@@ -3,15 +3,19 @@
 //! # bikron-obs
 //!
 //! Zero-dependency, thread-safe instrumentation for the bikron workspace:
-//! scoped **phase timers** (monotonic, nestable), atomic **counters** and
-//! **gauges**, and a [`Report`] snapshot that serialises to a stable JSON
-//! schema (`bikron-obs/1`). The paper's lineage validated a quadrillion
+//! scoped **phase timers** (monotonic, nestable), atomic **counters**,
+//! **gauges**, and log2-bucketed **histograms**, a bounded **span
+//! collector** with Chrome `trace_event` export ([`trace`]), and a
+//! [`Report`] snapshot that serialises to a stable JSON schema
+//! (`bikron-obs/2`) and parses back ([`Report::from_json`], which also
+//! reads v1 reports). The paper's lineage validated a quadrillion
 //! triangles by instrumenting the generation pipeline itself; this crate
 //! is that discipline for bikron — every hot path (SpGEMM, Kronecker
 //! fill, edge streaming, butterfly counting, distributed reduction)
-//! reports what it did and how long it took, so each PR's perf is
-//! diffable (`BENCH_kron.json`) and formula drift shows up as a counter
-//! mismatch rather than silence.
+//! reports what it did, how long it took, and how the work was
+//! *distributed* across rows/blocks/vertices/ranks, so each PR's perf is
+//! diffable (`BENCH_kron.json`), enforceable (`bikron perfdiff`), and
+//! formula drift shows up as a counter mismatch rather than silence.
 //!
 //! Everything is hand-rolled on [`std::sync::atomic`] and
 //! [`std::time::Instant`] — no `tracing`, no `serde` — so release-mode
@@ -39,14 +43,20 @@
 //! the process-wide [`global()`] registry serves the CLI's
 //! `--metrics-out` flag and the `perf_report` binary.
 
+mod histogram;
 mod json;
 mod metrics;
+mod parse;
 mod registry;
 mod report;
+pub mod trace;
 
+pub use histogram::{Histogram, HistogramSnapshot, NUM_BUCKETS};
 pub use metrics::{Counter, Gauge, GaugeGuard, TimerStats};
+pub use parse::ParseError;
 pub use registry::{PhaseGuard, Registry};
-pub use report::Report;
+pub use report::{Report, TimerSnapshot};
+pub use trace::{SpanEvent, TraceCollector};
 
 use std::sync::OnceLock;
 
@@ -58,5 +68,9 @@ pub fn global() -> &'static Registry {
     GLOBAL.get_or_init(Registry::new)
 }
 
-/// Schema identifier emitted in every JSON report.
-pub const SCHEMA: &str = "bikron-obs/1";
+/// Schema identifier emitted in every JSON report. [`Report::from_json`]
+/// additionally accepts [`SCHEMA_V1`] reports (which predate histograms).
+pub const SCHEMA: &str = "bikron-obs/2";
+
+/// The previous schema identifier, still accepted on input.
+pub const SCHEMA_V1: &str = "bikron-obs/1";

@@ -1,0 +1,395 @@
+//! Parsing `bikron-obs` JSON reports back into [`Report`] — the read
+//! half that turns `BENCH_kron.json` from a file we write into a
+//! contract we can enforce (`bikron perfdiff`).
+//!
+//! The parser is a minimal recursive-descent JSON reader (objects,
+//! arrays, strings with full escape handling, unsigned integers — the
+//! only value kinds the schema emits), then a schema mapper that accepts
+//! both `bikron-obs/1` and `bikron-obs/2` reports. A v1 report simply
+//! has no `histograms` section; see DESIGN.md §"Schema versioning".
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::histogram::HistogramSnapshot;
+use crate::report::{Report, TimerSnapshot};
+
+/// Error from [`Report::from_json`]: byte offset plus message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where parsing failed.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "report parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed JSON value restricted to what the schema emits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Value {
+    Str(String),
+    Num(u64),
+    Arr(Vec<Value>),
+    Obj(BTreeMap<String, Value>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.pos,
+            message: msg.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'0'..=b'9') => Ok(Value::Num(self.number()?)),
+            Some(c) => self.err(format!("unexpected character '{}'", c as char)),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return self.err("expected ',' or '}' in object"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']' in array"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.') | Some(b'e') | Some(b'E')) {
+            return self.err("schema numbers are unsigned integers, found a float");
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        text.parse::<u64>().map_err(|e| ParseError {
+            offset: start,
+            message: format!("bad integer {text:?}: {e}"),
+        })
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| ParseError {
+                                    offset: self.pos,
+                                    message: "truncated \\u escape".into(),
+                                })?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| ParseError {
+                                offset: self.pos,
+                                message: format!("bad \\u escape {hex:?}"),
+                            })?;
+                            // The writer never emits surrogate pairs (it
+                            // only \u-escapes control characters), so a
+                            // lone code point is the whole story here.
+                            out.push(char::from_u32(code).ok_or_else(|| ParseError {
+                                offset: self.pos,
+                                message: format!("\\u{hex} is not a scalar value"),
+                            })?);
+                            self.pos += 4;
+                        }
+                        _ => return self.err("bad escape sequence"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| ParseError {
+                            offset: self.pos,
+                            message: "invalid UTF-8 in string".into(),
+                        })?;
+                    let c = rest.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+fn as_obj(v: &Value, what: &str) -> Result<BTreeMap<String, Value>, ParseError> {
+    match v {
+        Value::Obj(m) => Ok(m.clone()),
+        _ => Err(ParseError {
+            offset: 0,
+            message: format!("{what} must be a JSON object"),
+        }),
+    }
+}
+
+fn num_field(obj: &BTreeMap<String, Value>, key: &str, what: &str) -> Result<u64, ParseError> {
+    match obj.get(key) {
+        Some(Value::Num(n)) => Ok(*n),
+        _ => Err(ParseError {
+            offset: 0,
+            message: format!("{what} is missing integer field {key:?}"),
+        }),
+    }
+}
+
+impl Report {
+    /// Parse a JSON report produced by [`Report::to_json`] (either
+    /// `bikron-obs/1` or `bikron-obs/2`). The parsed report remembers its
+    /// source schema version ([`Report::schema_version`]).
+    pub fn from_json(input: &str) -> Result<Report, ParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        let root = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return p.err("trailing data after report");
+        }
+        let root = as_obj(&root, "report")?;
+
+        let version = match root.get("schema") {
+            Some(Value::Str(s)) if s == "bikron-obs/1" => 1,
+            Some(Value::Str(s)) if s == "bikron-obs/2" => 2,
+            Some(Value::Str(s)) => {
+                return Err(ParseError {
+                    offset: 0,
+                    message: format!("unknown schema {s:?} (expected bikron-obs/1 or /2)"),
+                })
+            }
+            _ => {
+                return Err(ParseError {
+                    offset: 0,
+                    message: "report has no \"schema\" string field".into(),
+                })
+            }
+        };
+
+        let mut report = Report::default();
+        report.set_schema_version(version);
+
+        if let Some(v) = root.get("meta") {
+            for (k, v) in as_obj(v, "meta")? {
+                match v {
+                    Value::Str(s) => report.set_meta(&k, s),
+                    _ => {
+                        return Err(ParseError {
+                            offset: 0,
+                            message: format!("meta.{k} must be a string"),
+                        })
+                    }
+                }
+            }
+        }
+        if let Some(v) = root.get("counters") {
+            for (k, v) in as_obj(v, "counters")? {
+                match v {
+                    Value::Num(n) => report.insert_counter(k, n),
+                    _ => {
+                        return Err(ParseError {
+                            offset: 0,
+                            message: format!("counters.{k} must be an integer"),
+                        })
+                    }
+                }
+            }
+        }
+        if let Some(v) = root.get("gauges") {
+            for (k, v) in as_obj(v, "gauges")? {
+                let g = as_obj(&v, &format!("gauges.{k}"))?;
+                report.insert_gauge(
+                    k.clone(),
+                    num_field(&g, "value", &format!("gauges.{k}"))?,
+                    num_field(&g, "peak", &format!("gauges.{k}"))?,
+                );
+            }
+        }
+        if let Some(v) = root.get("timers") {
+            for (k, v) in as_obj(v, "timers")? {
+                let t = as_obj(&v, &format!("timers.{k}"))?;
+                let what = format!("timers.{k}");
+                report.insert_timer(
+                    k.clone(),
+                    TimerSnapshot {
+                        count: num_field(&t, "count", &what)?,
+                        total_ns: num_field(&t, "total_ns", &what)?,
+                        min_ns: num_field(&t, "min_ns", &what)?,
+                        max_ns: num_field(&t, "max_ns", &what)?,
+                        mean_ns: num_field(&t, "mean_ns", &what)?,
+                    },
+                );
+            }
+        }
+        if let Some(v) = root.get("histograms") {
+            for (k, v) in as_obj(v, "histograms")? {
+                let h = as_obj(&v, &format!("histograms.{k}"))?;
+                let what = format!("histograms.{k}");
+                let mut buckets = Vec::new();
+                if let Some(Value::Arr(items)) = h.get("buckets") {
+                    for item in items {
+                        let b = as_obj(item, &format!("{what}.buckets[]"))?;
+                        buckets.push((num_field(&b, "le", &what)?, num_field(&b, "count", &what)?));
+                    }
+                }
+                report.insert_histogram(
+                    k.clone(),
+                    HistogramSnapshot {
+                        count: num_field(&h, "count", &what)?,
+                        sum: num_field(&h, "sum", &what)?,
+                        min: num_field(&h, "min", &what)?,
+                        max: num_field(&h, "max", &what)?,
+                        buckets,
+                    },
+                );
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Report::from_json("not json").is_err());
+        assert!(Report::from_json("{}").is_err()); // no schema
+        assert!(Report::from_json("{\"schema\": \"bikron-obs/99\"}").is_err());
+        assert!(Report::from_json("{\"schema\": \"bikron-obs/2\"} trailing").is_err());
+    }
+
+    #[test]
+    fn parses_v1_without_histograms() {
+        let json = concat!(
+            "{\n",
+            "  \"schema\": \"bikron-obs/1\",\n",
+            "  \"meta\": {\"workload\": \"t \\\"q\\\" \\u0001\"},\n",
+            "  \"counters\": {\"edges\": 12},\n",
+            "  \"gauges\": {\"w\": {\"value\": 1, \"peak\": 3}},\n",
+            "  \"timers\": {\"p\": {\"count\": 1, \"total_ns\": 5, ",
+            "\"min_ns\": 5, \"max_ns\": 5, \"mean_ns\": 5}}\n",
+            "}\n",
+        );
+        let r = Report::from_json(json).unwrap();
+        assert_eq!(r.schema_version(), 1);
+        assert_eq!(r.counter("edges"), Some(12));
+        assert_eq!(r.gauge("w"), Some((1, 3)));
+        assert_eq!(r.timer("p").unwrap().total_ns, 5);
+        assert_eq!(r.meta("workload"), Some("t \"q\" \u{1}"));
+        assert_eq!(r.histograms().count(), 0);
+    }
+
+    #[test]
+    fn float_numbers_are_rejected() {
+        let json = "{\"schema\": \"bikron-obs/2\", \"counters\": {\"x\": 1.5}}";
+        assert!(Report::from_json(json).is_err());
+    }
+}

@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use crate::histogram::Histogram;
 use crate::metrics::{Counter, Gauge, TimerStats};
 use crate::report::Report;
 
@@ -23,6 +24,7 @@ pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     timers: Mutex<BTreeMap<String, Arc<TimerStats>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
 impl Registry {
@@ -47,6 +49,13 @@ impl Registry {
     /// Get or create the timer `name`.
     pub fn timer(&self, name: &str) -> Arc<TimerStats> {
         let mut map = self.timers.lock().expect("obs timer map poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the histogram `name`. Hot loops hoist the handle
+    /// (one lock here, lock-free `record` thereafter).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("obs histogram map poisoned");
         Arc::clone(map.entry(name.to_string()).or_default())
     }
 
@@ -113,7 +122,14 @@ impl Registry {
                 )
             })
             .collect();
-        Report::from_parts(counters, gauges, timers)
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("obs histogram map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        Report::from_parts(counters, gauges, timers, histograms)
     }
 
     /// Zero every metric, keeping the names registered. Used between
@@ -133,6 +149,14 @@ impl Registry {
         for t in self.timers.lock().expect("obs timer map poisoned").values() {
             t.reset();
         }
+        for h in self
+            .histograms
+            .lock()
+            .expect("obs histogram map poisoned")
+            .values()
+        {
+            h.reset();
+        }
     }
 }
 
@@ -149,6 +173,10 @@ impl Drop for PhaseGuard<'_> {
     fn drop(&mut self) {
         let ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         self.registry.timer(&self.name).record_ns(ns);
+        // Feed the span collector too (one relaxed load when tracing is
+        // off). Spans go to the process-wide tracer regardless of which
+        // registry timed the phase — a trace is a per-process timeline.
+        crate::trace::tracer().record_span(&self.name, self.start, ns);
         PHASE_STACK.with(|s| {
             let mut s = s.borrow_mut();
             // Pop our own entry; tolerate out-of-order drops from
@@ -206,11 +234,25 @@ mod tests {
         let r = Registry::new();
         r.counter("edges").add(7);
         r.gauge("threads").raise(2);
+        r.histogram("sizes").record(9);
         r.time("p", || ());
         r.reset();
         let report = r.snapshot();
         assert_eq!(report.counter("edges"), Some(0));
         assert_eq!(report.gauge("threads"), Some((0, 0)));
         assert_eq!(report.timer("p").map(|t| t.count), Some(0));
+        assert_eq!(report.histogram("sizes").map(|h| h.count), Some(0));
+    }
+
+    #[test]
+    fn histograms_are_shared_by_name_and_snapshot() {
+        let r = Registry::new();
+        r.histogram("nnz").record(2);
+        r.histogram("nnz").record(70);
+        let report = r.snapshot();
+        let h = report.histogram("nnz").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 72);
+        assert_eq!((h.min, h.max), (2, 70));
     }
 }

@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use std::io::Write;
 
+use crate::histogram::HistogramSnapshot;
 use crate::json::JsonWriter;
 
 /// Frozen view of one timer taken at snapshot time.
@@ -21,19 +22,40 @@ pub struct TimerSnapshot {
 }
 
 /// An immutable metrics snapshot with optional metadata, serialisable to
-/// the `bikron-obs/1` JSON schema.
+/// the `bikron-obs/2` JSON schema.
 ///
 /// The schema is **stable and sorted**: top-level keys are `schema`,
-/// `meta`, `counters`, `gauges`, `timers`; every map is emitted in
-/// lexicographic key order; all values are strings (meta) or exact
-/// integers (everything else — nanoseconds, never floats). Golden tests
-/// and cross-PR diffs rely on this.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// `meta`, `counters`, `gauges`, `timers`, `histograms`; every map is
+/// emitted in lexicographic key order; all values are strings (meta) or
+/// exact integers (everything else — nanoseconds, never floats). Golden
+/// tests and cross-PR diffs rely on this. Histogram percentiles (`p50`,
+/// `p90`, `p99`) are resolved at serialisation time from the buckets, so
+/// they are plain derived fields, not extra state.
+///
+/// Reports parse back via [`Report::from_json`], which also accepts the
+/// v1 schema (no `histograms` section) — see DESIGN.md §"Schema
+/// versioning".
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Report {
+    schema_version: u32,
     meta: BTreeMap<String, String>,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, (u64, u64)>,
     timers: BTreeMap<String, TimerSnapshot>,
+    histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Default for Report {
+    fn default() -> Self {
+        Report {
+            schema_version: 2,
+            meta: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            timers: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        }
+    }
 }
 
 impl Report {
@@ -42,18 +64,51 @@ impl Report {
         counters: BTreeMap<String, u64>,
         gauges: BTreeMap<String, (u64, u64)>,
         timers: BTreeMap<String, TimerSnapshot>,
+        histograms: BTreeMap<String, HistogramSnapshot>,
     ) -> Self {
         Report {
-            meta: BTreeMap::new(),
             counters,
             gauges,
             timers,
+            histograms,
+            ..Report::default()
         }
     }
 
     /// Attach a metadata string (workload name, factor spec, commit…).
     pub fn set_meta(&mut self, key: &str, value: impl Into<String>) {
         self.meta.insert(key.to_string(), value.into());
+    }
+
+    /// Metadata value by key.
+    pub fn meta(&self, key: &str) -> Option<&str> {
+        self.meta.get(key).map(String::as_str)
+    }
+
+    /// Schema version this report was built with (2) or parsed from
+    /// (1 or 2).
+    pub fn schema_version(&self) -> u32 {
+        self.schema_version
+    }
+
+    pub(crate) fn set_schema_version(&mut self, v: u32) {
+        self.schema_version = v;
+    }
+
+    pub(crate) fn insert_counter(&mut self, name: String, value: u64) {
+        self.counters.insert(name, value);
+    }
+
+    pub(crate) fn insert_gauge(&mut self, name: String, value: u64, peak: u64) {
+        self.gauges.insert(name, (value, peak));
+    }
+
+    pub(crate) fn insert_timer(&mut self, name: String, t: TimerSnapshot) {
+        self.timers.insert(name, t);
+    }
+
+    pub(crate) fn insert_histogram(&mut self, name: String, h: HistogramSnapshot) {
+        self.histograms.insert(name, h);
     }
 
     /// Counter value by name.
@@ -71,9 +126,19 @@ impl Report {
         self.timers.get(name)
     }
 
+    /// Histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
     /// Iterate counters in sorted order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterate gauges in sorted order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, (u64, u64))> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
     /// Iterate timers in sorted order.
@@ -81,7 +146,12 @@ impl Report {
         self.timers.iter().map(|(k, v)| (k.as_str(), v))
     }
 
-    /// Serialise to the `bikron-obs/1` JSON schema (pretty-printed,
+    /// Iterate histograms in sorted order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &HistogramSnapshot)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Serialise to the `bikron-obs/2` JSON schema (pretty-printed,
     /// two-space indent, trailing newline).
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
@@ -127,6 +197,32 @@ impl Report {
         }
         w.close_object();
 
+        w.key("histograms");
+        w.open_object();
+        for (k, h) in &self.histograms {
+            w.key(k);
+            w.open_object();
+            w.u64_field("count", h.count);
+            w.u64_field("sum", h.sum);
+            w.u64_field("min", h.min);
+            w.u64_field("max", h.max);
+            w.u64_field("p50", h.percentile(50));
+            w.u64_field("p90", h.percentile(90));
+            w.u64_field("p99", h.percentile(99));
+            w.key("buckets");
+            w.open_array();
+            for &(le, count) in &h.buckets {
+                w.array_element();
+                w.open_object();
+                w.u64_field("le", le);
+                w.u64_field("count", count);
+                w.close_object();
+            }
+            w.close_array();
+            w.close_object();
+        }
+        w.close_object();
+
         w.close_object();
         w.finish()
     }
@@ -159,7 +255,18 @@ mod tests {
                 mean_ns: 50,
             },
         );
-        let mut r = Report::from_parts(counters, gauges, timers);
+        let mut histograms = BTreeMap::new();
+        histograms.insert(
+            "row_nnz".to_string(),
+            HistogramSnapshot {
+                count: 4,
+                sum: 16,
+                min: 1,
+                max: 9,
+                buckets: vec![(1, 1), (3, 2), (15, 1)],
+            },
+        );
+        let mut r = Report::from_parts(counters, gauges, timers, histograms);
         r.set_meta("workload", "unit \"quoted\" ✓");
         r
     }
@@ -168,7 +275,7 @@ mod tests {
     fn json_is_stable_and_escaped() {
         let expect = concat!(
             "{\n",
-            "  \"schema\": \"bikron-obs/1\",\n",
+            "  \"schema\": \"bikron-obs/2\",\n",
             "  \"meta\": {\n",
             "    \"workload\": \"unit \\\"quoted\\\" ✓\"\n",
             "  },\n",
@@ -189,6 +296,31 @@ mod tests {
             "      \"max_ns\": 60,\n",
             "      \"mean_ns\": 50\n",
             "    }\n",
+            "  },\n",
+            "  \"histograms\": {\n",
+            "    \"row_nnz\": {\n",
+            "      \"count\": 4,\n",
+            "      \"sum\": 16,\n",
+            "      \"min\": 1,\n",
+            "      \"max\": 9,\n",
+            "      \"p50\": 3,\n",
+            "      \"p90\": 9,\n",
+            "      \"p99\": 9,\n",
+            "      \"buckets\": [\n",
+            "        {\n",
+            "          \"le\": 1,\n",
+            "          \"count\": 1\n",
+            "        },\n",
+            "        {\n",
+            "          \"le\": 3,\n",
+            "          \"count\": 2\n",
+            "        },\n",
+            "        {\n",
+            "          \"le\": 15,\n",
+            "          \"count\": 1\n",
+            "        }\n",
+            "      ]\n",
+            "    }\n",
             "  }\n",
             "}\n",
         );
@@ -202,5 +334,15 @@ mod tests {
         assert_eq!(r.gauge("threads"), Some((0, 4)));
         assert_eq!(r.timer("kron").unwrap().mean_ns, 50);
         assert_eq!(r.counters().count(), 1);
+        assert_eq!(r.histogram("row_nnz").unwrap().count, 4);
+    }
+
+    #[test]
+    fn json_roundtrips_through_parser() {
+        let r = sample();
+        let parsed = Report::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+        // And the re-serialisation is byte-identical.
+        assert_eq!(parsed.to_json(), r.to_json());
     }
 }

@@ -1,0 +1,150 @@
+//! Histogram edge cases and concurrency: empty/single-sample percentile
+//! behaviour, saturating sums, cross-thread merge, and snapshot
+//! determinism once recorders are joined.
+
+use std::thread;
+
+use bikron_obs::{Histogram, HistogramSnapshot};
+
+#[test]
+fn empty_histogram_percentiles_are_zero() {
+    let h = Histogram::new();
+    let s = h.snapshot();
+    assert_eq!(s.count, 0);
+    assert_eq!((s.min, s.max, s.sum), (0, 0, 0));
+    for p in [1, 50, 90, 99, 100] {
+        assert_eq!(s.percentile(p), 0);
+    }
+    assert_eq!(s.mean(), 0);
+}
+
+#[test]
+fn single_sample_percentiles_collapse_to_it() {
+    for v in [0u64, 1, 7, 1 << 33, u64::MAX] {
+        let h = Histogram::new();
+        h.record(v);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!((s.min, s.max), (v, v));
+        for p in [1, 50, 90, 99, 100] {
+            assert_eq!(s.percentile(p), v, "p{p} of single sample {v}");
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "percentile out of range")]
+fn percentile_zero_is_rejected() {
+    Histogram::new().snapshot().percentile(0);
+}
+
+#[test]
+fn percentiles_are_monotone_and_bucket_bounded() {
+    let h = Histogram::new();
+    // Heavy skew: many small, few huge — the Kronecker shape.
+    for _ in 0..900 {
+        h.record(3);
+    }
+    for _ in 0..90 {
+        h.record(1_000);
+    }
+    for _ in 0..10 {
+        h.record(1_000_000);
+    }
+    let s = h.snapshot();
+    let (p50, p90, p99) = (s.percentile(50), s.percentile(90), s.percentile(99));
+    assert!(p50 <= p90 && p90 <= p99 && p99 <= s.max);
+    // The 500th and 900th smallest of 900×3 are both 3 (exact bucket).
+    assert_eq!(p50, 3);
+    assert_eq!(p90, 3);
+    // The 990th smallest is 1000: reported as its bucket's upper bound.
+    assert_eq!(p99, 1023);
+    assert_eq!(s.percentile(100), 1_000_000); // clamped to observed max
+}
+
+#[test]
+fn sum_saturates_instead_of_wrapping() {
+    let h = Histogram::new();
+    h.record(u64::MAX);
+    h.record(u64::MAX);
+    h.record(5);
+    let s = h.snapshot();
+    assert_eq!(s.sum, u64::MAX, "sum must pin at MAX, not wrap");
+    assert_eq!(s.count, 3);
+    assert_eq!(s.max, u64::MAX);
+    assert_eq!(s.min, 5);
+}
+
+#[test]
+fn cross_thread_merge_equals_single_threaded() {
+    const THREADS: u64 = 8;
+    const PER: u64 = 5_000;
+    // Workers record into private histograms, then merge into a shared
+    // one — the pattern for kernels that want zero shared-cacheline
+    // traffic in the loop.
+    let merged = Histogram::new();
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let merged = &merged;
+            s.spawn(move || {
+                let local = Histogram::new();
+                for k in 0..PER {
+                    local.record(t * PER + k);
+                }
+                merged.merge_from(&local);
+            });
+        }
+    });
+    let reference = Histogram::new();
+    for v in 0..THREADS * PER {
+        reference.record(v);
+    }
+    assert_eq!(merged.snapshot(), reference.snapshot());
+}
+
+#[test]
+fn concurrent_recording_snapshot_is_deterministic_after_join() {
+    const THREADS: u64 = 8;
+    const PER: u64 = 10_000;
+    let h = Histogram::new();
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let h = &h;
+            s.spawn(move || {
+                for k in 0..PER {
+                    h.record((t * PER + k) % 4096);
+                }
+            });
+        }
+    });
+    // All recorders joined: every snapshot from here on is identical and
+    // accounts for every observation.
+    let a = h.snapshot();
+    let b = h.snapshot();
+    assert_eq!(a, b);
+    assert_eq!(a.count, THREADS * PER);
+    let bucket_total: u64 = a.buckets.iter().map(|&(_, n)| n).sum();
+    assert_eq!(bucket_total, THREADS * PER);
+}
+
+#[test]
+fn snapshot_merge_matches_online_merge() {
+    let h1 = Histogram::new();
+    let h2 = Histogram::new();
+    for v in [1u64, 5, 9] {
+        h1.record(v);
+    }
+    for v in [0u64, 100] {
+        h2.record(v);
+    }
+    let mut s = h1.snapshot();
+    s.merge(&h2.snapshot());
+    h1.merge_from(&h2);
+    assert_eq!(s, h1.snapshot());
+
+    // Merging into an empty snapshot adopts the other side's min.
+    let mut empty = HistogramSnapshot::default();
+    empty.merge(&h2.snapshot());
+    assert_eq!(empty.min, 0);
+    assert_eq!(empty.count, 2);
+}

@@ -89,6 +89,10 @@ where
     obs.counter("spgemm.invocations").inc();
     obs.counter("spgemm.rows_multiplied").add(nrows as u64);
     let workers = obs.gauge("spgemm.workers");
+    // Output-size distribution: one lock-free record per row, amortised
+    // over that row's full dot-product work. The p99/max of this
+    // histogram is what a "balanced" row partition has to answer to.
+    let row_nnz_hist = obs.histogram("spgemm.row_nnz");
 
     let compute_row = |r: usize| -> (Vec<Ix>, Vec<T>) {
         // SPA: dense value buffer + touched-column list per row. The
@@ -132,6 +136,7 @@ where
                 }
             }
         }
+        row_nnz_hist.record(cols.len() as u64);
         (cols, vals)
     };
 
