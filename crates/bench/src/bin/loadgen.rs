@@ -1,0 +1,352 @@
+//! `loadgen` — closed-loop load generator and correctness checker for
+//! `bikron serve`.
+//!
+//! Spawns `--threads` clients, each with one keep-alive connection,
+//! issuing a mixed workload (vertex / known-edge / random-pair /
+//! neighbors / stats queries) against a running server. Every response is
+//! verified against the same closed-form ground truth the server computes
+//! from — a mismatch is a correctness bug, not noise — and latencies are
+//! aggregated into RPS + percentiles written as a `bikron-obs/2` report.
+//!
+//! ```sh
+//! bikron serve unicode unicode loops-a --addr 127.0.0.1:7474 &
+//! cargo run --release -p bikron-bench --bin loadgen -- \
+//!     unicode unicode loops-a --addr 127.0.0.1:7474 \
+//!     --requests 2000 --threads 4 --out BENCH_serve.json
+//! ```
+//!
+//! Exits non-zero if any response mismatched the local truth.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bikron_cli::{parse_factor, parse_mode};
+use bikron_core::truth::squares_edge::edge_squares_at;
+use bikron_core::truth::squares_vertex::vertex_squares_at;
+use bikron_core::truth::FactorStats;
+use bikron_core::{KroneckerProduct, SelfLoopMode};
+use bikron_graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Args {
+    a_spec: String,
+    b_spec: String,
+    mode: SelfLoopMode,
+    addr: String,
+    requests: u64,
+    threads: usize,
+    out: String,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.len() < 3 {
+        eprintln!(
+            "usage: loadgen A_SPEC B_SPEC MODE [--addr HOST:PORT] [--requests N] \
+             [--threads N] [--out FILE] [--seed S]"
+        );
+        std::process::exit(2);
+    }
+    let flag = |name: &str, default: &str| {
+        raw.iter()
+            .position(|x| x == name)
+            .and_then(|i| raw.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+    Args {
+        a_spec: raw[0].clone(),
+        b_spec: raw[1].clone(),
+        mode: parse_mode(&raw[2]).expect("bad MODE"),
+        addr: flag("--addr", "127.0.0.1:7474"),
+        requests: flag("--requests", "2000").parse().expect("bad --requests"),
+        threads: flag("--threads", "4").parse().expect("bad --threads"),
+        out: flag("--out", "BENCH_serve.json"),
+        seed: flag("--seed", "42").parse().expect("bad --seed"),
+    }
+}
+
+/// Local replica of the truth the server answers from.
+struct Truth {
+    a: Graph,
+    b: Graph,
+    mode: SelfLoopMode,
+    stats_a: FactorStats,
+    stats_b: FactorStats,
+}
+
+impl Truth {
+    fn product(&self) -> KroneckerProduct<'_> {
+        KroneckerProduct::new(&self.a, &self.b, self.mode).expect("valid product")
+    }
+}
+
+/// Minimal keep-alive HTTP/1.1 client.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        write!(self.writer, "GET {path} HTTP/1.1\r\nHost: lg\r\n\r\n")?;
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::other(format!("bad status line {line:?}")))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut h = String::new();
+            self.reader.read_line(&mut h)?;
+            let h = h.trim_end();
+            if h.is_empty() {
+                break;
+            }
+            if let Some(v) = h.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v
+                    .trim()
+                    .parse()
+                    .map_err(|e| std::io::Error::other(format!("bad content-length: {e}")))?;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok((
+            status,
+            String::from_utf8(body).map_err(|e| std::io::Error::other(e.to_string()))?,
+        ))
+    }
+}
+
+/// Extract `"key": N` from a flat JSON body (the service emits only
+/// unnested numerics for the fields checked here).
+fn field_u64(body: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\": ");
+    let rest = &body[body.find(&needle)? + needle.len()..];
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Like [`field_u64`] but takes the *last* occurrence — for `/v1/stats`,
+/// where `vertices`/`edges` also appear inside the nested factor
+/// objects and the product-level fields come after them.
+fn field_u64_last(body: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\": ");
+    let rest = &body[body.rfind(&needle)? + needle.len()..];
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// One worker: `count` requests of the mixed workload on a single
+/// keep-alive connection. Returns (latencies_ns, mismatches).
+fn worker(truth: &Truth, addr: &str, count: u64, seed: u64) -> (Vec<u64>, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut client = Client::connect(addr).expect("connect to server");
+    let prod = truth.product();
+    let n = prod.num_vertices();
+    let mut latencies = Vec::with_capacity(count as usize);
+    let mut mismatches = 0u64;
+    let mut check = |ok: bool, what: &str, path: &str, body: &str| {
+        if !ok {
+            mismatches += 1;
+            eprintln!("MISMATCH {what} at {path}: {body}");
+        }
+    };
+    for _ in 0..count {
+        let dice = rng.gen_range(0u32..100);
+        let started = Instant::now();
+        if dice < 40 {
+            // Vertex query: byte-exact against Thm 3/4.
+            let p = rng.gen_range(0..n);
+            let path = format!("/v1/vertex/{p}");
+            let (status, body) = client.get(&path).expect("vertex request");
+            let (i, k) = prod.indexer().split(p);
+            let expect = format!(
+                "{{\n  \"vertex\": {p},\n  \"alpha\": {i},\n  \"beta\": {k},\n  \
+                 \"degree\": {},\n  \"squares\": {}\n}}\n",
+                prod.degree(p),
+                vertex_squares_at(&prod, &truth.stats_a, &truth.stats_b, p),
+            );
+            check(status == 200 && body == expect, "vertex", &path, &body);
+        } else if dice < 65 {
+            // Known edge: pick a random neighbor of a random non-isolated
+            // vertex, so the server must answer `edge: true` + Thm 5.
+            let mut p = rng.gen_range(0..n);
+            for _ in 0..64 {
+                if prod.degree(p) > 0 {
+                    break;
+                }
+                p = rng.gen_range(0..n);
+            }
+            let d = prod.degree(p);
+            if d == 0 {
+                continue;
+            }
+            let off = rng.gen_range(0..d);
+            let q = prod.neighbors_page(p, off, 1)[0];
+            let s = edge_squares_at(&prod, &truth.stats_a, &truth.stats_b, p, q)
+                .expect("sampled pair is an edge");
+            let path = format!("/v1/edge/{p}/{q}");
+            let (status, body) = client.get(&path).expect("edge request");
+            let ok = status == 200
+                && body.contains("\"edge\": true")
+                && field_u64(&body, "squares") == Some(s);
+            check(ok, "edge", &path, &body);
+        } else if dice < 75 {
+            // Random pair: usually a non-edge; existence must agree.
+            let p = rng.gen_range(0..n);
+            let q = rng.gen_range(0..n);
+            let expected = edge_squares_at(&prod, &truth.stats_a, &truth.stats_b, p, q);
+            let path = format!("/v1/edge/{p}/{q}");
+            let (status, body) = client.get(&path).expect("pair request");
+            let ok = status == 200
+                && match expected {
+                    Some(s) => {
+                        body.contains("\"edge\": true") && field_u64(&body, "squares") == Some(s)
+                    }
+                    None => body.contains("\"edge\": false") && body.contains("\"squares\": null"),
+                };
+            check(ok, "pair", &path, &body);
+        } else if dice < 95 {
+            // Neighbors page: contents must equal the local enumeration.
+            let p = rng.gen_range(0..n);
+            let d = prod.degree(p);
+            let offset = if d == 0 { 0 } else { rng.gen_range(0..d) };
+            let limit = rng.gen_range(1usize..=64);
+            let path = format!("/v1/neighbors/{p}?offset={offset}&limit={limit}");
+            let (status, body) = client.get(&path).expect("neighbors request");
+            let expect = prod.neighbors_page(p, offset, limit);
+            let got: Vec<usize> = body
+                .split("\"neighbors\": [")
+                .nth(1)
+                .map(|tail| {
+                    tail.split(']')
+                        .next()
+                        .unwrap_or("")
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .filter_map(|s| s.parse().ok())
+                        .collect()
+                })
+                .unwrap_or_default();
+            let ok = status == 200
+                && got == expect
+                && field_u64(&body, "degree") == Some(d)
+                && field_u64(&body, "count") == Some(expect.len() as u64);
+            check(ok, "neighbors", &path, &body);
+        } else {
+            // Table-I stats: totals must match the product descriptor.
+            let (status, body) = client.get("/v1/stats").expect("stats request");
+            let ok = status == 200
+                && field_u64_last(&body, "vertices") == Some(n as u64)
+                && field_u64_last(&body, "edges") == Some(prod.num_edges());
+            check(ok, "stats", "/v1/stats", &body);
+        }
+        let ns = started.elapsed().as_nanos() as u64;
+        latencies.push(ns);
+    }
+    (latencies, mismatches)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args = parse_args();
+    let a = parse_factor(&args.a_spec).expect("bad A_SPEC");
+    let b = parse_factor(&args.b_spec).expect("bad B_SPEC");
+    let truth = Arc::new(Truth {
+        stats_a: FactorStats::compute(&a).expect("factor stats A"),
+        stats_b: FactorStats::compute(&b).expect("factor stats B"),
+        a,
+        b,
+        mode: args.mode,
+    });
+
+    let per_thread = args.requests / args.threads.max(1) as u64;
+    let started = Instant::now();
+    let handles: Vec<_> = (0..args.threads.max(1))
+        .map(|t| {
+            let truth = Arc::clone(&truth);
+            let addr = args.addr.clone();
+            let seed = args.seed.wrapping_add(t as u64);
+            std::thread::spawn(move || worker(&truth, &addr, per_thread, seed))
+        })
+        .collect();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut mismatches = 0u64;
+    for h in handles {
+        let (l, m) = h.join().expect("worker thread");
+        latencies.extend(l);
+        mismatches += m;
+    }
+    let elapsed = started.elapsed();
+    let total = latencies.len() as u64;
+    let rps = total as f64 / elapsed.as_secs_f64();
+    latencies.sort_unstable();
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+
+    let obs = bikron_obs::global();
+    obs.counter("loadgen.requests").add(total);
+    obs.counter("loadgen.mismatches").add(mismatches);
+    obs.counter("loadgen.rps").add(rps.round() as u64);
+    obs.counter("loadgen.p50_ns").add(p50);
+    obs.counter("loadgen.p99_ns").add(p99);
+    obs.counter("loadgen.elapsed_ms")
+        .add(elapsed.as_millis() as u64);
+    let hist = obs.histogram("loadgen.request_ns");
+    for &ns in &latencies {
+        hist.record(ns);
+    }
+
+    let mut report = obs.snapshot();
+    report.set_meta("tool", "bikron-loadgen");
+    report.set_meta(
+        "workload",
+        format!("{} {} {:?}", args.a_spec, args.b_spec, args.mode),
+    );
+    report.set_meta("addr", args.addr.clone());
+    report.set_meta("threads", args.threads.to_string());
+    report
+        .write_to_file(std::path::Path::new(&args.out))
+        .expect("write report");
+
+    println!(
+        "loadgen: {total} requests in {:.2}s → {rps:.0} req/s (p50 {:.1}µs, p99 {:.1}µs), \
+         {mismatches} mismatch(es); report: {}",
+        elapsed.as_secs_f64(),
+        p50 as f64 / 1e3,
+        p99 as f64 / 1e3,
+        args.out,
+    );
+    if mismatches > 0 {
+        eprintln!("loadgen: FAILED — {mismatches} response(s) disagreed with closed-form truth");
+        std::process::exit(1);
+    }
+}

@@ -8,6 +8,7 @@ use bikron_core::stream::PartitionedStream;
 use bikron_core::truth::FactorStats;
 use bikron_core::{predict_structure, GroundTruth, KroneckerProduct, SelfLoopMode};
 use bikron_graph::{bipartition, connected_components, Graph};
+use bikron_serve::{ServeState, Server, ServerConfig};
 
 /// Generic error type for command plumbing.
 pub type CmdResult = Result<(), Box<dyn std::error::Error>>;
@@ -210,6 +211,33 @@ pub fn verify_file(tsv: &str, out: &mut dyn Write) -> Result<bool, Box<dyn std::
         )?;
         Ok(false)
     }
+}
+
+/// `bikron serve A B MODE` — run the ground-truth query service until a
+/// signal or the token-gated `/v1/shutdown` endpoint stops it. Takes the
+/// factors by value: the server owns them for its whole lifetime.
+pub fn serve(
+    a: Graph,
+    b: Graph,
+    mode: SelfLoopMode,
+    config: ServerConfig,
+    admin_token: Option<String>,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let state = std::sync::Arc::new(ServeState::build(a, b, mode, admin_token)?);
+    bikron_serve::signal::install();
+    let server = Server::bind(config.clone(), std::sync::Arc::clone(&state))?;
+    writeln!(
+        out,
+        "listening on http://{} ({} worker(s), queue {}) — stop with ctrl-c",
+        server.local_addr()?,
+        config.threads.max(1),
+        config.queue_capacity.max(1),
+    )?;
+    out.flush()?;
+    server.run()?;
+    writeln!(out, "shutdown complete")?;
+    Ok(())
 }
 
 #[cfg(test)]

@@ -6,7 +6,9 @@
 //! bikron generate A_SPEC B_SPEC MODE --out PREFIX [--parts N] [--annotate]
 //! bikron validate A_SPEC B_SPEC MODE CLAIMED_GLOBAL_4CYCLES
 //! bikron parts    A_SPEC B_SPEC MODE
+//! bikron serve    A_SPEC B_SPEC MODE [--addr HOST:PORT] [--threads N] [--queue N] [--admin-token TOK]
 //! bikron perfdiff BASELINE.json CANDIDATE.json [--threshold PCT] [--warn-only] [--watch P1,P2]
+//! bikron --version
 //! ```
 //!
 //! `MODE` is `none` (`C = A ⊗ B`, Assump. 1(i)) or `loops-a`
@@ -14,8 +16,8 @@
 
 use std::process::ExitCode;
 
-use bikron_cli::{commands, split_global_flags, GlobalOpts, PerfDiffConfig};
-use bikron_cli::{parse_factor, parse_mode, perfdiff_files};
+use bikron_cli::{commands, split_global_flags, Outcome, PerfDiffConfig};
+use bikron_cli::{parse_factor, parse_mode, perfdiff_files, write_observability};
 
 const USAGE: &str = "\
 bikron — bipartite Kronecker graphs with ground truth
@@ -27,8 +29,11 @@ USAGE:
   bikron validate A_SPEC B_SPEC MODE CLAIMED_COUNT
   bikron parts    A_SPEC B_SPEC MODE
   bikron verify-file FILE.tsv
+  bikron serve    A_SPEC B_SPEC MODE [--addr HOST:PORT] [--threads N]
+                  [--queue N] [--admin-token TOKEN]
   bikron perfdiff BASELINE.json CANDIDATE.json
                   [--threshold PCT] [--warn-only] [--watch PHASE[,PHASE...]]
+  bikron --version | -V
 
 GLOBAL OPTIONS (any position, --flag FILE or --flag=FILE, last wins):
   --metrics-out FILE   write a bikron-obs/2 JSON metrics report (phase
@@ -37,6 +42,13 @@ GLOBAL OPTIONS (any position, --flag FILE or --flag=FILE, last wins):
   --trace-out FILE     record phase spans and write a Chrome trace_event
                        JSON file, viewable in chrome://tracing or
                        https://ui.perfetto.dev
+
+SERVE:
+  Runs a long-lived HTTP/1.1 ground-truth query service over the factor
+  graphs (default 127.0.0.1:7474). Endpoints: /v1/vertex/{p},
+  /v1/edge/{p}/{q}, /v1/neighbors/{p}, /v1/stats,
+  /v1/edges/{part}/{parts}, /metrics, and /v1/shutdown (requires
+  --admin-token). Stop with ctrl-c.
 
 PERFDIFF:
   Compares two metrics reports (schema v1 or v2) and exits non-zero when
@@ -58,35 +70,61 @@ fn run() -> Result<bool, Box<dyn std::error::Error>> {
         bikron_obs::trace::tracer().enable();
     }
     let result = dispatch(&args);
-    if result.is_ok() {
-        write_observability(&opts, &raw)?;
+    // Write the report on the error path too (stamped `outcome: error`):
+    // a failed run's timers and counters are debugging evidence, not
+    // something to discard. An observability write failure must not mask
+    // the command's own error.
+    let outcome = if result.is_ok() {
+        Outcome::Ok
+    } else {
+        Outcome::Error
+    };
+    match write_observability(&opts, &raw, outcome) {
+        Ok(()) => result,
+        Err(obs_err) => match result {
+            Ok(_) => Err(obs_err),
+            Err(e) => {
+                eprintln!("warning: observability output failed: {obs_err}");
+                Err(e)
+            }
+        },
     }
-    result
 }
 
-/// Write the metrics report and/or Chrome trace the global flags asked
-/// for, stamping the invoking command line as metadata.
-fn write_observability(
-    opts: &GlobalOpts,
-    raw_args: &[String],
-) -> Result<(), Box<dyn std::error::Error>> {
-    if let Some(path) = &opts.metrics_out {
-        let mut report = bikron_obs::global().snapshot();
-        report.set_meta("tool", "bikron-cli");
-        report.set_meta("command", raw_args.join(" "));
-        report.write_to_file(std::path::Path::new(path))?;
-        eprintln!("metrics written to {path}");
+/// Parse `serve`'s flags from its argument tail.
+fn parse_serve_config(
+    args: &[String],
+) -> Result<(bikron_serve::ServerConfig, Option<String>), Box<dyn std::error::Error>> {
+    let mut config = bikron_serve::ServerConfig {
+        addr: "127.0.0.1:7474".to_string(),
+        ..bikron_serve::ServerConfig::default()
+    };
+    let mut admin_token = None;
+    let mut i = 0;
+    while i < args.len() {
+        let need_value = |i: usize| {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("serve: {} requires a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--addr" => config.addr = need_value(i)?,
+            "--threads" => {
+                config.threads = need_value(i)?
+                    .parse()
+                    .map_err(|e| format!("serve: bad --threads: {e}"))?
+            }
+            "--queue" => {
+                config.queue_capacity = need_value(i)?
+                    .parse()
+                    .map_err(|e| format!("serve: bad --queue: {e}"))?
+            }
+            "--admin-token" => admin_token = Some(need_value(i)?),
+            other => return Err(format!("serve: unknown argument {other:?}").into()),
+        }
+        i += 2;
     }
-    if let Some(path) = &opts.trace_out {
-        let tracer = bikron_obs::trace::tracer();
-        tracer.write_chrome_trace(std::path::Path::new(path))?;
-        eprintln!(
-            "trace written to {path} ({} span(s), {} dropped) — open in chrome://tracing or ui.perfetto.dev",
-            tracer.spans().len(),
-            tracer.dropped(),
-        );
-    }
-    Ok(())
+    Ok((config, admin_token))
 }
 
 /// Parse `perfdiff`'s own flags from its argument tail.
@@ -168,9 +206,26 @@ fn dispatch(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
             let tsv = std::fs::read_to_string(&args[1])?;
             commands::verify_file(&tsv, &mut out)
         }
+        Some("serve") if args.len() >= 4 => {
+            let a = parse_factor(&args[1])?;
+            let b = parse_factor(&args[2])?;
+            let mode = parse_mode(&args[3])?;
+            let (config, admin_token) = parse_serve_config(&args[4..])?;
+            commands::serve(a, b, mode, config, admin_token, &mut out)?;
+            Ok(true)
+        }
         Some("perfdiff") if args.len() >= 3 => {
             let cfg = parse_perfdiff_config(&args[3..])?;
             perfdiff_files(&args[1], &args[2], &cfg, &mut out)
+        }
+        Some("--version") | Some("-V") | Some("version") => {
+            println!(
+                "bikron {} (metrics schemas: {}, {})",
+                env!("CARGO_PKG_VERSION"),
+                bikron_obs::SCHEMA_V1,
+                bikron_obs::SCHEMA,
+            );
+            Ok(true)
         }
         Some("help") | None => {
             println!("{USAGE}");

@@ -1,0 +1,103 @@
+//! Post-command observability output (`--metrics-out` / `--trace-out`).
+//!
+//! Lives in the library (not `main.rs`) so the error path is
+//! unit-testable: a failed command must **still** write its metrics
+//! report — that run's phase timers and counters are exactly what you
+//! need to debug the failure — stamped with `outcome: error` so tooling
+//! can tell partial runs from clean ones.
+
+use crate::GlobalOpts;
+
+/// How the dispatched command ended, recorded as report metadata.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The command ran to completion (including "validation mismatch"
+    /// exits — those are answers, not failures).
+    Ok,
+    /// The command returned an error; the report covers a partial run.
+    Error,
+}
+
+impl Outcome {
+    fn as_str(self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::Error => "error",
+        }
+    }
+}
+
+/// Write the metrics report and/or Chrome trace requested by the global
+/// flags, stamping the invoking command line and the run outcome as
+/// metadata. Called on *both* the success and error paths of `run()`.
+pub fn write_observability(
+    opts: &GlobalOpts,
+    raw_args: &[String],
+    outcome: Outcome,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(path) = &opts.metrics_out {
+        let mut report = bikron_obs::global().snapshot();
+        report.set_meta("tool", "bikron-cli");
+        report.set_meta("command", raw_args.join(" "));
+        report.set_meta("outcome", outcome.as_str());
+        report.write_to_file(std::path::Path::new(path))?;
+        eprintln!("metrics written to {path}");
+    }
+    if let Some(path) = &opts.trace_out {
+        let tracer = bikron_obs::trace::tracer();
+        tracer.write_chrome_trace(std::path::Path::new(path))?;
+        eprintln!(
+            "trace written to {path} ({} span(s), {} dropped) — open in chrome://tracing or ui.perfetto.dev",
+            tracer.spans().len(),
+            tracer.dropped(),
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bikron-obs-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn error_outcome_is_stamped_into_the_report() {
+        let path = tmp("error.json");
+        let opts = GlobalOpts {
+            metrics_out: Some(path.to_string_lossy().into_owned()),
+            trace_out: None,
+        };
+        let raw = vec!["stats".to_string(), "nonsense:spec".to_string()];
+        write_observability(&opts, &raw, Outcome::Error).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let report = bikron_obs::Report::from_json(&text).unwrap();
+        assert_eq!(report.meta("outcome"), Some("error"));
+        assert_eq!(report.meta("command"), Some("stats nonsense:spec"));
+        assert_eq!(report.meta("tool"), Some("bikron-cli"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ok_outcome_is_stamped_too() {
+        let path = tmp("ok.json");
+        let opts = GlobalOpts {
+            metrics_out: Some(path.to_string_lossy().into_owned()),
+            trace_out: None,
+        };
+        write_observability(&opts, &["stats".to_string()], Outcome::Ok).unwrap();
+        let report =
+            bikron_obs::Report::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(report.meta("outcome"), Some("ok"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn no_flags_writes_nothing() {
+        write_observability(&GlobalOpts::default(), &[], Outcome::Error).unwrap();
+    }
+}

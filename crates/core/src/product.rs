@@ -189,6 +189,50 @@ impl<'a> KroneckerProduct<'a> {
         a_hit && self.b.has_edge(k, l)
     }
 
+    /// A page of the neighbour list of product vertex `p`, in ascending
+    /// vertex order: the neighbours at positions `[offset, offset+limit)`
+    /// of the full list `{γ(j, l) : j ∈ N'_A(α(p)), l ∈ N_B(β(p))}`
+    /// (where `N'_A` includes `α(p)` itself under [`SelfLoopMode::FactorA`]).
+    ///
+    /// Cost is `O(d_A + limit)` — never product-sized — which is what
+    /// makes paged neighbourhood queries servable: the full list has
+    /// `degree(p)` entries but only the requested window is formed.
+    pub fn neighbors_page(&self, p: Ix, offset: u64, limit: usize) -> Vec<Ix> {
+        let (i, k) = self.indexer.split(p);
+        let a_nbrs = self.a.neighbors(i);
+        // Effective A-side neighbour list, kept sorted: N_A(i) with `i`
+        // spliced in under FactorA (the logical self loop).
+        let merged: Vec<Ix>;
+        let eff: &[Ix] = match self.mode {
+            SelfLoopMode::None => a_nbrs,
+            SelfLoopMode::FactorA => {
+                let pos = a_nbrs.partition_point(|&j| j < i);
+                let mut v = Vec::with_capacity(a_nbrs.len() + 1);
+                v.extend_from_slice(&a_nbrs[..pos]);
+                v.push(i);
+                v.extend_from_slice(&a_nbrs[pos..]);
+                merged = v;
+                &merged
+            }
+        };
+        let b_nbrs = self.b.neighbors(k);
+        let db = b_nbrs.len() as u64;
+        if db == 0 {
+            return Vec::new();
+        }
+        let total = eff.len() as u64 * db;
+        let start = offset.min(total);
+        let end = start.saturating_add(limit as u64).min(total);
+        // γ(j, l) is strictly increasing over (j asc, l asc), so indexing
+        // r → (eff[r / d_B], N_B[r % d_B]) enumerates in sorted order.
+        (start..end)
+            .map(|r| {
+                self.indexer
+                    .gamma(eff[(r / db) as usize], b_nbrs[(r % db) as usize])
+            })
+            .collect()
+    }
+
     /// Iterate every *stored adjacency entry* `(p, q)` of `C` (each
     /// undirected edge appears in both orientations, matching CSR
     /// iteration of the factors).
@@ -350,6 +394,29 @@ mod tests {
             for u in 0..p.num_vertices() {
                 for v in 0..p.num_vertices() {
                     assert_eq!(p.has_edge(u, v), g.has_edge(u, v), "({u},{v}) {mode:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_page_matches_materialized() {
+        let a = cycle(5);
+        let b = complete_bipartite(2, 3);
+        for mode in [SelfLoopMode::None, SelfLoopMode::FactorA] {
+            let p = KroneckerProduct::new(&a, &b, mode).unwrap();
+            let g = p.materialize();
+            for v in 0..p.num_vertices() {
+                let full = p.neighbors_page(v, 0, usize::MAX);
+                assert_eq!(full, g.neighbors(v), "vertex {v} mode {mode:?}");
+                assert_eq!(full.len() as u64, p.degree(v));
+                // Paging: windows tile the full list, out-of-range is empty.
+                let d = full.len();
+                for (offset, limit) in [(0u64, 2usize), (1, 3), (d as u64, 4)] {
+                    let page = p.neighbors_page(v, offset, limit);
+                    let lo = (offset as usize).min(d);
+                    let hi = (lo + limit).min(d);
+                    assert_eq!(page, &full[lo..hi]);
                 }
             }
         }

@@ -1,15 +1,20 @@
 //! A hand-rolled JSON emitter — the whole reason `bikron-obs` needs no
-//! `serde`: the schema only ever nests objects/arrays of string and
-//! integer fields, so a comma-and-indent tracker suffices. String
+//! `serde`: the schema only ever nests objects/arrays of string, integer
+//! and boolean fields, so a comma-and-indent tracker suffices. String
 //! escaping lives in [`escape_into`], shared with the Chrome-trace
 //! exporter so both writers emit identical, spec-valid JSON strings.
+//!
+//! The writer is public so sibling crates that speak the same stable,
+//! sorted, pretty-printed dialect (notably `bikron-serve`'s HTTP
+//! responses) reuse one escaping implementation instead of growing their
+//! own.
 
 /// Append `s` to `out` with JSON string escaping: `"` and `\` are
 /// backslash-escaped, the common control characters get their two-byte
 /// forms (`\n`, `\r`, `\t`, `\u{8}` → `\b`, `\u{c}` → `\f`), every other
 /// control character below U+0020 becomes `\u00XX`, and all other
 /// characters (including non-ASCII) pass through verbatim as UTF-8.
-pub(crate) fn escape_into(out: &mut String, s: &str) {
+pub fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -28,7 +33,12 @@ pub(crate) fn escape_into(out: &mut String, s: &str) {
 }
 
 /// Streaming writer for pretty-printed JSON objects and arrays.
-pub(crate) struct JsonWriter {
+///
+/// Output is deterministic: two-space indent, members in insertion
+/// order, a trailing newline from [`JsonWriter::finish`]. The caller is
+/// responsible for balanced `open_*`/`close_*` calls.
+#[derive(Default)]
+pub struct JsonWriter {
     out: String,
     depth: usize,
     /// Whether the current container already has a member (comma needed).
@@ -36,7 +46,8 @@ pub(crate) struct JsonWriter {
 }
 
 impl JsonWriter {
-    pub(crate) fn new() -> Self {
+    /// New writer with an empty buffer.
+    pub fn new() -> Self {
         JsonWriter {
             out: String::new(),
             depth: 0,
@@ -63,13 +74,15 @@ impl JsonWriter {
         }
     }
 
-    pub(crate) fn open_object(&mut self) {
+    /// Open a `{` container; the next member call writes inside it.
+    pub fn open_object(&mut self) {
         self.out.push('{');
         self.depth += 1;
         self.has_member.push(false);
     }
 
-    pub(crate) fn close_object(&mut self) {
+    /// Close the innermost object.
+    pub fn close_object(&mut self) {
         let had = self.has_member.pop().unwrap_or(false);
         self.depth -= 1;
         if had {
@@ -78,13 +91,15 @@ impl JsonWriter {
         self.out.push('}');
     }
 
-    pub(crate) fn open_array(&mut self) {
+    /// Open a `[` container.
+    pub fn open_array(&mut self) {
         self.out.push('[');
         self.depth += 1;
         self.has_member.push(false);
     }
 
-    pub(crate) fn close_array(&mut self) {
+    /// Close the innermost array.
+    pub fn close_array(&mut self) {
         let had = self.has_member.pop().unwrap_or(false);
         self.depth -= 1;
         if had {
@@ -94,24 +109,46 @@ impl JsonWriter {
     }
 
     /// Begin an array element (objects call `open_object` right after).
-    pub(crate) fn array_element(&mut self) {
+    pub fn array_element(&mut self) {
         self.begin_member();
     }
 
-    pub(crate) fn key(&mut self, key: &str) {
+    /// Bare `u64` array element.
+    pub fn u64_element(&mut self, value: u64) {
+        self.begin_member();
+        self.out.push_str(&value.to_string());
+    }
+
+    /// Write `"key": ` and leave the cursor ready for a value or
+    /// container.
+    pub fn key(&mut self, key: &str) {
         self.begin_member();
         self.push_string(key);
         self.out.push_str(": ");
     }
 
-    pub(crate) fn string_field(&mut self, key: &str, value: &str) {
+    /// `"key": "value"` with both sides escaped.
+    pub fn string_field(&mut self, key: &str, value: &str) {
         self.key(key);
         self.push_string(value);
     }
 
-    pub(crate) fn u64_field(&mut self, key: &str, value: u64) {
+    /// `"key": value` for an unsigned integer.
+    pub fn u64_field(&mut self, key: &str, value: u64) {
         self.key(key);
         self.out.push_str(&value.to_string());
+    }
+
+    /// `"key": true|false`.
+    pub fn bool_field(&mut self, key: &str, value: bool) {
+        self.key(key);
+        self.out.push_str(if value { "true" } else { "false" });
+    }
+
+    /// `"key": null`.
+    pub fn null_field(&mut self, key: &str) {
+        self.key(key);
+        self.out.push_str("null");
     }
 
     fn push_string(&mut self, s: &str) {
@@ -120,7 +157,8 @@ impl JsonWriter {
         self.out.push('"');
     }
 
-    pub(crate) fn finish(mut self) -> String {
+    /// Consume the writer, returning the buffer with a trailing newline.
+    pub fn finish(mut self) -> String {
         self.out.push('\n');
         self.out
     }

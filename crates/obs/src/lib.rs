@@ -44,7 +44,7 @@
 //! `--metrics-out` flag and the `perf_report` binary.
 
 mod histogram;
-mod json;
+pub mod json;
 mod metrics;
 mod parse;
 mod registry;
@@ -52,6 +52,7 @@ mod report;
 pub mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use json::JsonWriter;
 pub use metrics::{Counter, Gauge, GaugeGuard, TimerStats};
 pub use parse::ParseError;
 pub use registry::{PhaseGuard, Registry};

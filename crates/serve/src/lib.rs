@@ -1,0 +1,36 @@
+//! bikron-serve: a long-running ground-truth query service.
+//!
+//! The paper's closed forms (Thms 3–5) make every per-vertex and per-edge
+//! statistic of a Kronecker product `C = A ⊗ B` (or `(A + I_A) ⊗ B`)
+//! answerable from *factor-sized* state: two graphs plus their
+//! [`FactorStats`](bikron_core::truth::FactorStats). This crate turns
+//! that into a service — `bikron serve` holds O(n_A + n_B + m_A + m_B)
+//! memory and answers queries about the (potentially enormous,
+//! never-materialised) product:
+//!
+//! | endpoint | cost | answer |
+//! |---|---|---|
+//! | `GET /v1/vertex/{p}` | O(1) | degree + butterfly count at `p` |
+//! | `GET /v1/edge/{p}/{q}` | O(log d) | existence + per-edge squares |
+//! | `GET /v1/neighbors/{p}` | O(d_A + limit) | paged adjacency |
+//! | `GET /v1/stats` | O(1), cached | Table-I summary |
+//! | `GET /v1/edges/{part}/{parts}` | O(factor + limit) | resumable edge stream |
+//! | `GET /metrics` | O(metrics) | live `bikron-obs/2` report |
+//! | `GET /v1/shutdown` | O(1) | graceful stop (token-gated) |
+//!
+//! Like the rest of the workspace the crate is std-only: the HTTP/1.1
+//! layer ([`http`]) is hand-rolled with hard bounds on every input
+//! dimension, and the thread pool ([`pool`]) sheds load with 503 instead
+//! of queueing unboundedly. Per-request memory is bounded by the page
+//! `limit` cap, never by product size — the "sublinear memory per
+//! request" in the service's name.
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod pool;
+pub mod signal;
+pub mod state;
+
+pub use pool::{Server, ServerConfig};
+pub use state::{ServeState, DEFAULT_LIMIT, MAX_LIMIT};

@@ -1,0 +1,224 @@
+//! Fixed thread-pool acceptor with a bounded pending-connection queue.
+//!
+//! One acceptor thread (the caller of [`Server::run`]) pulls connections
+//! off the listener and offers them to a bounded queue; `threads` workers
+//! drain it, each running a keep-alive request loop against the shared
+//! [`ServeState`]. When the queue is full the acceptor *sheds load*: it
+//! writes a `503 Service Unavailable` (with `Retry-After`) directly on
+//! the fresh socket and closes it, so clients get an immediate, explicit
+//! signal instead of an unbounded accept backlog. Memory is therefore
+//! bounded by `threads + queue_capacity` sockets regardless of offered
+//! load.
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::http::{parse_request, write_response, HttpError, Response};
+use crate::state::ServeState;
+
+/// How long the nonblocking acceptor sleeps between polls, and workers
+/// wait on the queue, before re-checking the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Server configuration (transport-level knobs only; query behaviour
+/// lives in [`ServeState`]).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker thread count (min 1).
+    pub threads: usize,
+    /// Bounded pending-connection queue; beyond it, connections are shed
+    /// with 503.
+    pub queue_capacity: usize,
+    /// Per-socket read timeout — bounds how long an idle or trickling
+    /// client can pin a worker.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Bounded MPMC queue of accepted sockets: `Mutex<VecDeque>` + `Condvar`.
+struct ConnQueue {
+    inner: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> Self {
+        ConnQueue {
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Non-blocking offer; returns the stream back when the queue is
+    /// full so the acceptor can shed it.
+    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.inner.lock().unwrap();
+        if q.len() >= self.capacity {
+            return Err(stream);
+        }
+        q.push_back(stream);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop with a timeout, so workers periodically observe the
+    /// shutdown flag even when idle.
+    fn pop_timeout(&self, timeout: Duration) -> Option<TcpStream> {
+        let q = self.inner.lock().unwrap();
+        let (mut q, _) = self
+            .ready
+            .wait_timeout_while(q, timeout, |q| q.is_empty())
+            .unwrap();
+        q.pop_front()
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServeState>,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Bind the listener. Fails fast (before any thread spawns) on a bad
+    /// or busy address.
+    pub fn bind(config: ServerConfig, state: Arc<ServeState>) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            state,
+            config,
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Run the accept loop on the calling thread until shutdown is
+    /// requested (admin endpoint or signal), then drain and join the
+    /// workers.
+    pub fn run(self) -> io::Result<()> {
+        let Server {
+            listener,
+            state,
+            config,
+        } = self;
+        listener.set_nonblocking(true)?;
+        let queue = Arc::new(ConnQueue::new(config.queue_capacity.max(1)));
+
+        let workers: Vec<_> = (0..config.threads.max(1))
+            .map(|n| {
+                let queue = Arc::clone(&queue);
+                let state = Arc::clone(&state);
+                let read_timeout = config.read_timeout;
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{n}"))
+                    .spawn(move || worker_loop(&queue, &state, read_timeout))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        while !state.shutdown_requested() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    state.metrics().connection_opened();
+                    if let Err(shed) = queue.try_push(stream) {
+                        shed_connection(shed, state.metrics());
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Workers observe the same flag via `state`; join gives them one
+        // queue-poll interval to finish in-flight requests.
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// Write the 503 load-shed response on a fresh socket and close it.
+fn shed_connection(mut stream: TcpStream, metrics: &crate::state::ServeMetrics) {
+    let resp = Response::error(503, "pending-connection queue is full; retry shortly");
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let bytes = write_response(&mut stream, &resp, false).unwrap_or(0);
+    let _ = stream.flush();
+    metrics.record_shed(bytes);
+}
+
+/// Worker: pull connections until shutdown, serving each keep-alive
+/// session to completion.
+fn worker_loop(queue: &ConnQueue, state: &ServeState, read_timeout: Duration) {
+    loop {
+        match queue.pop_timeout(POLL_INTERVAL) {
+            Some(stream) => serve_connection(stream, state, read_timeout),
+            None if state.shutdown_requested() => return,
+            None => {}
+        }
+    }
+}
+
+/// One keep-alive session: parse → route → respond, recording metrics
+/// per request, until close/error/shutdown.
+fn serve_connection(stream: TcpStream, state: &ServeState, read_timeout: Duration) {
+    if stream.set_read_timeout(Some(read_timeout)).is_err() || stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let metrics = state.metrics();
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let started = Instant::now();
+        let (resp, keep_alive) = match parse_request(&mut reader) {
+            Ok(req) => {
+                let _inflight = metrics.inflight().enter();
+                (state.handle(&req), !req.wants_close())
+            }
+            Err(HttpError::Closed) => return,
+            Err(HttpError::Io(_)) => return,
+            // Parse failures are answered, then the connection is closed:
+            // after a framing error the byte stream can't be trusted.
+            Err(e) => (Response::error(e.status(), &e.detail()), false),
+        };
+        let status = resp.status;
+        match write_response(&mut writer, &resp, keep_alive) {
+            Ok(bytes) => {
+                metrics.record(status, bytes, started.elapsed().as_nanos() as u64);
+            }
+            Err(_) => return,
+        }
+        if !keep_alive || state.shutdown_requested() {
+            return;
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Ctrl-C / SIGTERM handling without any external crates.
+//!
+//! The workspace is std-only, so instead of the `ctrlc`/`signal-hook`
+//! crates this installs a classic `signal(2)` handler through a raw
+//! `extern "C"` declaration (libc is always linked by std on unix). The
+//! handler only flips an [`AtomicBool`]; the accept loop polls it — the
+//! one pattern that is async-signal-safe without a self-pipe.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN_SIGNAL: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGINT/SIGTERM has been delivered since [`install`] was called.
+pub fn ctrl_c_received() -> bool {
+    SHUTDOWN_SIGNAL.load(Ordering::SeqCst)
+}
+
+/// Reset the flag (tests only; a real server exits after shutdown).
+#[cfg(test)]
+pub(crate) fn reset() {
+    SHUTDOWN_SIGNAL.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::SHUTDOWN_SIGNAL;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // `signal(2)` from libc, which std always links on unix. Using it
+        // directly avoids a dependency on the `libc` crate.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe operation: a relaxed-or-stronger atomic
+        // store. No allocation, no locks, no I/O.
+        SHUTDOWN_SIGNAL.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No-op on non-unix targets; `/v1/shutdown` remains the only
+    /// graceful stop there.
+    pub fn install() {}
+}
+
+/// Install the SIGINT/SIGTERM handler (idempotent; no-op off unix).
+pub fn install() {
+    imp::install()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_install_is_idempotent() {
+        install();
+        install();
+        reset();
+        assert!(!ctrl_c_received());
+    }
+}

@@ -1,0 +1,678 @@
+//! Shared server state and the request router.
+//!
+//! [`ServeState`] is the whole memory footprint of the service: the two
+//! factor graphs, their [`FactorStats`], and one cached `/v1/stats`
+//! body. Nothing product-sized is ever built — each request constructs a
+//! borrowing [`KroneckerProduct`] descriptor (O(1)) and answers from the
+//! closed-form theorems, so a server describing a graph with millions of
+//! vertices holds only factor-sized state and each request allocates at
+//! most `O(limit + |factor|)`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use bikron_core::stream::PartitionedStream;
+use bikron_core::truth::squares_edge::edge_squares_at;
+use bikron_core::truth::squares_vertex::{global_squares_with, vertex_squares_at};
+use bikron_core::truth::FactorStats;
+use bikron_core::{predict_structure, KroneckerProduct, SelfLoopMode};
+use bikron_graph::Graph;
+use bikron_obs::{Counter, Gauge, Histogram, JsonWriter};
+
+use crate::http::{Request, Response};
+
+/// Default page size for `/v1/neighbors` and `/v1/edges`.
+pub const DEFAULT_LIMIT: usize = 100;
+/// Hard cap on a single page — the "sublinear memory per request"
+/// guarantee: no query can make the server materialise more than this
+/// many items.
+pub const MAX_LIMIT: usize = 10_000;
+/// Upper bound on the partition count a client may request.
+pub const MAX_PARTS: usize = 1 << 20;
+
+/// Pre-resolved handles for every metric the hot path touches, so a
+/// request never takes the registry's name-lookup mutex.
+pub struct ServeMetrics {
+    requests: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    request_ns: Arc<Histogram>,
+    inflight: Arc<Gauge>,
+    connections: Arc<Counter>,
+    shed: Arc<Counter>,
+    /// `(code, counter)` for every status the server can emit.
+    status: Vec<(u16, Arc<Counter>)>,
+}
+
+impl ServeMetrics {
+    fn new() -> Self {
+        let obs = bikron_obs::global();
+        let status = [200u16, 400, 403, 404, 405, 413, 431, 500, 503]
+            .iter()
+            .map(|&c| (c, obs.counter(&format!("serve.status.{c}"))))
+            .collect();
+        ServeMetrics {
+            requests: obs.counter("serve.requests"),
+            bytes_out: obs.counter("serve.bytes_out"),
+            request_ns: obs.histogram("serve.request_ns"),
+            inflight: obs.gauge("serve.inflight"),
+            connections: obs.counter("serve.connections"),
+            shed: obs.counter("serve.shed"),
+            status,
+        }
+    }
+
+    /// Record one completed request.
+    pub fn record(&self, status: u16, bytes: u64, ns: u64) {
+        self.requests.inc();
+        self.bytes_out.add(bytes);
+        self.request_ns.record(ns);
+        if let Some((_, c)) = self.status.iter().find(|(s, _)| *s == status) {
+            c.inc();
+        } else {
+            bikron_obs::global()
+                .counter(&format!("serve.status.{status}"))
+                .inc();
+        }
+    }
+
+    /// Record a connection shed with 503 at the accept gate.
+    pub fn record_shed(&self, bytes: u64) {
+        self.shed.inc();
+        self.record(503, bytes, 0);
+    }
+
+    /// Count an accepted connection.
+    pub fn connection_opened(&self) {
+        self.connections.inc();
+    }
+
+    /// The in-flight request gauge (peak = observed concurrency).
+    pub fn inflight(&self) -> &Gauge {
+        &self.inflight
+    }
+}
+
+/// Everything a worker needs to answer queries. Send + Sync; shared via
+/// `Arc` across the pool.
+pub struct ServeState {
+    a: Graph,
+    b: Graph,
+    mode: SelfLoopMode,
+    stats_a: FactorStats,
+    stats_b: FactorStats,
+    stats_json: String,
+    admin_token: Option<String>,
+    shutdown: AtomicBool,
+    metrics: ServeMetrics,
+}
+
+impl ServeState {
+    /// Build the service state: validates the product, computes both
+    /// factor statistics once, and caches the `/v1/stats` body.
+    pub fn build(
+        a: Graph,
+        b: Graph,
+        mode: SelfLoopMode,
+        admin_token: Option<String>,
+    ) -> Result<Self, Box<dyn std::error::Error>> {
+        let _phase = bikron_obs::global().phase("serve.build");
+        let stats_a = FactorStats::compute(&a)?;
+        let stats_b = FactorStats::compute(&b)?;
+        let stats_json = {
+            let prod = KroneckerProduct::new(&a, &b, mode)?;
+            stats_body(&prod, &stats_a, &stats_b)?
+        };
+        Ok(ServeState {
+            a,
+            b,
+            mode,
+            stats_a,
+            stats_b,
+            stats_json,
+            admin_token,
+            shutdown: AtomicBool::new(false),
+            metrics: ServeMetrics::new(),
+        })
+    }
+
+    /// The hot-path metric handles.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// Whether shutdown has been requested (admin endpoint or signal).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || crate::signal::ctrl_c_received()
+    }
+
+    /// Request shutdown programmatically.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    fn product(&self) -> KroneckerProduct<'_> {
+        // Construction is O(1) validation over already-validated factors.
+        KroneckerProduct::new(&self.a, &self.b, self.mode).expect("factors validated at build")
+    }
+
+    /// Route and answer one request. Pure: no I/O, no blocking — the
+    /// pool owns transport and metrics.
+    pub fn handle(&self, req: &Request) -> Response {
+        let segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+        match segs.as_slice() {
+            ["metrics"] => self.metrics_response(),
+            ["v1", "stats"] => Response::json(200, self.stats_json.clone()),
+            ["v1", "vertex", p] => self.vertex(p),
+            ["v1", "edge", p, q] => self.edge(p, q),
+            ["v1", "neighbors", p] => self.neighbors(p, req),
+            ["v1", "edges", part, parts] => self.edges(part, parts, req),
+            ["v1", "shutdown"] => self.shutdown_endpoint(req),
+            _ => Response::error(404, &format!("no route for {}", req.path)),
+        }
+    }
+
+    fn vertex(&self, raw: &str) -> Response {
+        let prod = self.product();
+        let p = match parse_index(raw, prod.num_vertices()) {
+            Ok(p) => p,
+            Err(resp) => return resp,
+        };
+        let (i, k) = prod.indexer().split(p);
+        let mut w = JsonWriter::new();
+        w.open_object();
+        w.u64_field("vertex", p as u64);
+        w.u64_field("alpha", i as u64);
+        w.u64_field("beta", k as u64);
+        w.u64_field("degree", prod.degree(p));
+        w.u64_field(
+            "squares",
+            vertex_squares_at(&prod, &self.stats_a, &self.stats_b, p),
+        );
+        w.close_object();
+        Response::json(200, w.finish())
+    }
+
+    fn edge(&self, raw_p: &str, raw_q: &str) -> Response {
+        let prod = self.product();
+        let n = prod.num_vertices();
+        let (p, q) = match (parse_index(raw_p, n), parse_index(raw_q, n)) {
+            (Ok(p), Ok(q)) => (p, q),
+            (Err(resp), _) | (_, Err(resp)) => return resp,
+        };
+        let squares = edge_squares_at(&prod, &self.stats_a, &self.stats_b, p, q);
+        let mut w = JsonWriter::new();
+        w.open_object();
+        w.u64_field("p", p as u64);
+        w.u64_field("q", q as u64);
+        w.bool_field("edge", squares.is_some());
+        w.u64_field("degree_p", prod.degree(p));
+        w.u64_field("degree_q", prod.degree(q));
+        match squares {
+            Some(s) => w.u64_field("squares", s),
+            None => w.null_field("squares"),
+        }
+        w.close_object();
+        Response::json(200, w.finish())
+    }
+
+    fn neighbors(&self, raw: &str, req: &Request) -> Response {
+        let prod = self.product();
+        let p = match parse_index(raw, prod.num_vertices()) {
+            Ok(p) => p,
+            Err(resp) => return resp,
+        };
+        let (offset, limit) = match parse_page(req) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let degree = prod.degree(p);
+        let page = prod.neighbors_page(p, offset, limit);
+        let mut w = JsonWriter::new();
+        w.open_object();
+        w.u64_field("vertex", p as u64);
+        w.u64_field("degree", degree);
+        w.u64_field("offset", offset);
+        w.u64_field("count", page.len() as u64);
+        let next = offset + page.len() as u64;
+        if next < degree && !page.is_empty() {
+            w.u64_field("next_offset", next);
+        } else {
+            w.null_field("next_offset");
+        }
+        w.key("neighbors");
+        w.open_array();
+        for q in &page {
+            w.u64_element(*q as u64);
+        }
+        w.close_array();
+        w.close_object();
+        Response::json(200, w.finish())
+    }
+
+    fn edges(&self, raw_part: &str, raw_parts: &str, req: &Request) -> Response {
+        let parts: usize = match raw_parts.parse() {
+            Ok(v) if (1..=MAX_PARTS).contains(&v) => v,
+            _ => {
+                return Response::error(
+                    400,
+                    &format!("parts must be an integer in 1..={MAX_PARTS}, got {raw_parts:?}"),
+                )
+            }
+        };
+        let part: usize = match raw_part.parse() {
+            Ok(v) if v < parts => v,
+            _ => {
+                return Response::error(
+                    400,
+                    &format!("part must be an integer below parts={parts}, got {raw_part:?}"),
+                )
+            }
+        };
+        let (offset, limit) = match parse_page(req) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let annotate = matches!(req.query_param("annotate"), Some("1") | Some("true"));
+        let prod = self.product();
+        let ps = PartitionedStream::new(&prod, &self.stats_a, &self.stats_b, parts);
+        let total = ps.part_len(part);
+        let page = ps.edges_page(part, offset, limit);
+        let mut w = JsonWriter::new();
+        w.open_object();
+        w.u64_field("part", part as u64);
+        w.u64_field("parts", parts as u64);
+        w.u64_field("part_edges", total);
+        w.u64_field("offset", offset);
+        w.u64_field("count", page.len() as u64);
+        let next = offset + page.len() as u64;
+        if next < total && !page.is_empty() {
+            w.u64_field("next_offset", next);
+        } else {
+            w.null_field("next_offset");
+        }
+        w.key("edges");
+        w.open_array();
+        for &(p, q) in &page {
+            w.array_element();
+            w.open_array();
+            w.u64_element(p as u64);
+            w.u64_element(q as u64);
+            if annotate {
+                w.u64_element(prod.degree(p));
+                w.u64_element(prod.degree(q));
+                w.u64_element(
+                    edge_squares_at(&prod, &self.stats_a, &self.stats_b, p, q)
+                        .expect("streamed pairs are edges"),
+                );
+            }
+            w.close_array();
+        }
+        w.close_array();
+        w.close_object();
+        Response::json(200, w.finish())
+    }
+
+    fn metrics_response(&self) -> Response {
+        let mut report = bikron_obs::global().snapshot();
+        report.set_meta("tool", "bikron-serve");
+        report.set_meta("endpoint", "/metrics");
+        Response::json(200, report.to_json())
+    }
+
+    fn shutdown_endpoint(&self, req: &Request) -> Response {
+        let Some(expected) = &self.admin_token else {
+            return Response::error(
+                403,
+                "admin endpoints are disabled; restart with --admin-token",
+            );
+        };
+        let presented = req
+            .query_param("token")
+            .or_else(|| req.header("x-admin-token"));
+        if presented != Some(expected.as_str()) {
+            return Response::error(403, "missing or invalid admin token");
+        }
+        self.request_shutdown();
+        let mut w = JsonWriter::new();
+        w.open_object();
+        w.bool_field("shutting_down", true);
+        w.close_object();
+        Response::json(200, w.finish())
+    }
+}
+
+/// Parse a vertex index; 400 on malformed input, 404 on out-of-range.
+fn parse_index(raw: &str, n: usize) -> Result<usize, Response> {
+    let p: usize = raw
+        .parse()
+        .map_err(|_| Response::error(400, &format!("not a vertex index: {raw:?}")))?;
+    if p >= n {
+        return Err(Response::error(
+            404,
+            &format!("vertex {p} out of range (product has {n} vertices)"),
+        ));
+    }
+    Ok(p)
+}
+
+/// Parse `offset` / `limit` query params with defaults and the MAX_LIMIT
+/// cap.
+fn parse_page(req: &Request) -> Result<(u64, usize), Response> {
+    let offset = match req.query_param("offset") {
+        None => 0,
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| Response::error(400, &format!("bad offset {raw:?}")))?,
+    };
+    let limit = match req.query_param("limit") {
+        None => DEFAULT_LIMIT,
+        Some(raw) => {
+            let l: usize = raw
+                .parse()
+                .map_err(|_| Response::error(400, &format!("bad limit {raw:?}")))?;
+            if l > MAX_LIMIT {
+                return Err(Response::error(
+                    400,
+                    &format!("limit {l} exceeds the cap of {MAX_LIMIT}"),
+                ));
+            }
+            l
+        }
+    };
+    Ok((offset, limit))
+}
+
+/// Build the cached Table-I-style `/v1/stats` body.
+fn stats_body(
+    prod: &KroneckerProduct<'_>,
+    stats_a: &FactorStats,
+    stats_b: &FactorStats,
+) -> Result<String, Box<dyn std::error::Error>> {
+    let st = predict_structure(prod);
+    let hist = bikron_core::truth::degrees::degree_histogram(prod);
+    let mut w = JsonWriter::new();
+    w.open_object();
+    w.string_field("schema", "bikron-serve/1");
+    w.string_field(
+        "mode",
+        match prod.mode() {
+            SelfLoopMode::None => "none",
+            SelfLoopMode::FactorA => "loops-a",
+        },
+    );
+    for (key, g) in [("factor_a", prod.factor_a()), ("factor_b", prod.factor_b())] {
+        w.key(key);
+        w.open_object();
+        w.u64_field("vertices", g.num_vertices() as u64);
+        w.u64_field("edges", g.num_edges() as u64);
+        w.close_object();
+    }
+    w.u64_field("vertices", prod.num_vertices() as u64);
+    w.u64_field("edges", prod.num_edges());
+    w.bool_field("bipartite", st.bipartite);
+    match st.parts {
+        Some((u, wn)) => {
+            w.u64_field("part_u", u as u64);
+            w.u64_field("part_w", wn as u64);
+        }
+        None => {
+            w.null_field("part_u");
+            w.null_field("part_w");
+        }
+    }
+    w.bool_field("connected", st.connected);
+    match st.num_components {
+        Some(c) => w.u64_field("components", c as u64),
+        None => w.null_field("components"),
+    }
+    w.u64_field(
+        "global_squares",
+        global_squares_with(prod, stats_a, stats_b)?,
+    );
+    w.u64_field("max_degree", bikron_core::truth::degrees::max_degree(prod));
+    w.u64_field("distinct_degrees", hist.len() as u64);
+    w.close_object();
+    Ok(w.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikron_generators::{complete_bipartite, crown, cycle};
+
+    fn get(path: &str) -> Request {
+        let raw = format!("GET {path} HTTP/1.1\r\n\r\n");
+        crate::http::parse_request(&mut std::io::BufReader::new(raw.as_bytes())).unwrap()
+    }
+
+    fn state() -> ServeState {
+        ServeState::build(
+            cycle(5),
+            complete_bipartite(2, 3),
+            SelfLoopMode::None,
+            Some("sesame".into()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn vertex_response_is_byte_exact() {
+        let st = state();
+        let a = cycle(5);
+        let b = complete_bipartite(2, 3);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let sa = FactorStats::compute(&a).unwrap();
+        let sb = FactorStats::compute(&b).unwrap();
+        for p in 0..prod.num_vertices() {
+            let resp = st.handle(&get(&format!("/v1/vertex/{p}")));
+            assert_eq!(resp.status, 200);
+            let (i, k) = prod.indexer().split(p);
+            let expect = format!(
+                "{{\n  \"vertex\": {p},\n  \"alpha\": {i},\n  \"beta\": {k},\n  \
+                 \"degree\": {},\n  \"squares\": {}\n}}\n",
+                prod.degree(p),
+                vertex_squares_at(&prod, &sa, &sb, p),
+            );
+            assert_eq!(resp.body, expect);
+        }
+    }
+
+    #[test]
+    fn vertex_error_statuses() {
+        let st = state();
+        assert_eq!(st.handle(&get("/v1/vertex/banana")).status, 400);
+        assert_eq!(st.handle(&get("/v1/vertex/25")).status, 404);
+        assert_eq!(st.handle(&get("/v1/vertex/24")).status, 200);
+        assert_eq!(st.handle(&get("/v2/vertex/1")).status, 404);
+    }
+
+    #[test]
+    fn edge_matches_ground_truth_both_ways() {
+        let st = state();
+        let a = cycle(5);
+        let b = complete_bipartite(2, 3);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let sa = FactorStats::compute(&a).unwrap();
+        let sb = FactorStats::compute(&b).unwrap();
+        let g = prod.materialize();
+        for p in 0..g.num_vertices() {
+            for q in 0..g.num_vertices() {
+                let resp = st.handle(&get(&format!("/v1/edge/{p}/{q}")));
+                assert_eq!(resp.status, 200);
+                if g.has_edge(p, q) {
+                    let s = edge_squares_at(&prod, &sa, &sb, p, q).unwrap();
+                    assert!(resp.body.contains("\"edge\": true"), "({p},{q})");
+                    assert!(resp.body.contains(&format!("\"squares\": {s}")));
+                } else {
+                    assert!(resp.body.contains("\"edge\": false"), "({p},{q})");
+                    assert!(resp.body.contains("\"squares\": null"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_pages_cover_degree() {
+        let st = state();
+        let a = cycle(5);
+        let b = complete_bipartite(2, 3);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let g = prod.materialize();
+        let p = 7;
+        let mut collected: Vec<usize> = Vec::new();
+        let mut offset = 0;
+        loop {
+            let resp = st.handle(&get(&format!("/v1/neighbors/{p}?offset={offset}&limit=2")));
+            assert_eq!(resp.status, 200);
+            let body = &resp.body;
+            let inside = body
+                .split("\"neighbors\": [")
+                .nth(1)
+                .unwrap()
+                .split(']')
+                .next()
+                .unwrap();
+            let page: Vec<usize> = inside
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| s.parse().unwrap())
+                .collect();
+            if page.is_empty() {
+                break;
+            }
+            offset += page.len();
+            collected.extend(page);
+            if body.contains("\"next_offset\": null") {
+                break;
+            }
+        }
+        assert_eq!(collected, g.neighbors(p));
+    }
+
+    #[test]
+    fn neighbors_limit_cap_enforced() {
+        let st = state();
+        assert_eq!(st.handle(&get("/v1/neighbors/0?limit=10001")).status, 400);
+        assert_eq!(st.handle(&get("/v1/neighbors/0?limit=banana")).status, 400);
+        assert_eq!(st.handle(&get("/v1/neighbors/0?offset=-1")).status, 400);
+    }
+
+    #[test]
+    fn edges_pages_are_resumable_and_complete() {
+        let st = state();
+        let a = cycle(5);
+        let b = complete_bipartite(2, 3);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let mut collected = 0u64;
+        for part in 0..3 {
+            let mut offset = 0u64;
+            loop {
+                let resp = st.handle(&get(&format!("/v1/edges/{part}/3?offset={offset}&limit=7")));
+                assert_eq!(resp.status, 200);
+                let count: u64 = resp
+                    .body
+                    .split("\"count\": ")
+                    .nth(1)
+                    .unwrap()
+                    .split(',')
+                    .next()
+                    .unwrap()
+                    .trim()
+                    .parse()
+                    .unwrap();
+                collected += count;
+                offset += count;
+                if resp.body.contains("\"next_offset\": null") {
+                    break;
+                }
+            }
+        }
+        assert_eq!(collected, prod.num_edges());
+    }
+
+    #[test]
+    fn edges_validation() {
+        let st = state();
+        assert_eq!(st.handle(&get("/v1/edges/0/0")).status, 400);
+        assert_eq!(st.handle(&get("/v1/edges/3/3")).status, 400);
+        assert_eq!(st.handle(&get("/v1/edges/0/1")).status, 200);
+        assert_eq!(
+            st.handle(&get(&format!("/v1/edges/0/{}", MAX_PARTS + 1)))
+                .status,
+            400
+        );
+    }
+
+    #[test]
+    fn annotated_edges_match_truth() {
+        let st = state();
+        let a = cycle(5);
+        let b = complete_bipartite(2, 3);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let sa = FactorStats::compute(&a).unwrap();
+        let sb = FactorStats::compute(&b).unwrap();
+        let ps = PartitionedStream::new(&prod, &sa, &sb, 1);
+        let resp = st.handle(&get("/v1/edges/0/1?limit=5&annotate=1"));
+        assert_eq!(resp.status, 200);
+        for (n, (p, q)) in ps.edges_page(0, 0, 5).into_iter().enumerate() {
+            let s = edge_squares_at(&prod, &sa, &sb, p, q).unwrap();
+            let row = format!(
+                "[\n      {p},\n      {q},\n      {},\n      {},\n      {s}\n    ]",
+                prod.degree(p),
+                prod.degree(q)
+            );
+            assert!(resp.body.contains(&row), "row {n}: missing {row:?}");
+        }
+    }
+
+    #[test]
+    fn stats_is_cached_and_consistent() {
+        let st = state();
+        let r1 = st.handle(&get("/v1/stats"));
+        let r2 = st.handle(&get("/v1/stats"));
+        assert_eq!(r1, r2);
+        assert!(r1.body.contains("\"vertices\": 25"));
+        assert!(r1.body.contains("\"edges\": 60"));
+        assert!(r1.body.contains("\"bipartite\": true"));
+        assert!(r1.body.contains("\"global_squares\": "));
+    }
+
+    #[test]
+    fn metrics_endpoint_returns_obs_report() {
+        let st = state();
+        let resp = st.handle(&get("/metrics"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"schema\": \"bikron-obs/2\""));
+        assert!(resp.body.contains("\"tool\": \"bikron-serve\""));
+        let parsed = bikron_obs::Report::from_json(&resp.body).unwrap();
+        assert_eq!(parsed.meta("endpoint"), Some("/metrics"));
+    }
+
+    #[test]
+    fn shutdown_gating() {
+        let st = state();
+        assert!(!st.shutdown_requested());
+        assert_eq!(st.handle(&get("/v1/shutdown")).status, 403);
+        assert_eq!(st.handle(&get("/v1/shutdown?token=wrong")).status, 403);
+        assert!(!st.shutdown_requested());
+        let resp = st.handle(&get("/v1/shutdown?token=sesame"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"shutting_down\": true"));
+        assert!(st.shutdown_requested());
+
+        let no_admin = ServeState::build(crown(3), crown(3), SelfLoopMode::FactorA, None).unwrap();
+        assert_eq!(
+            no_admin.handle(&get("/v1/shutdown?token=sesame")).status,
+            403
+        );
+    }
+
+    #[test]
+    fn header_token_accepted() {
+        let st = state();
+        let raw = "GET /v1/shutdown HTTP/1.1\r\nX-Admin-Token: sesame\r\n\r\n";
+        let req = crate::http::parse_request(&mut std::io::BufReader::new(raw.as_bytes())).unwrap();
+        assert_eq!(st.handle(&req).status, 200);
+    }
+}
