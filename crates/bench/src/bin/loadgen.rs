@@ -8,6 +8,15 @@
 //! from — a mismatch is a correctness bug, not noise — and latencies are
 //! aggregated into RPS + percentiles written as a `bikron-obs/2` report.
 //!
+//! `--batch K` switches to `POST /v1/batch` with K newline-delimited
+//! queries per request; each item of the returned JSON array is verified
+//! individually (byte-exact for vertex items). `--zipf S` draws query
+//! keys from a Zipf(S) distribution instead of uniform, exercising the
+//! server's result cache. `--label L` namespaces the emitted metrics as
+//! `loadgen.L.*` and `--append` folds the counters of an existing
+//! `--out` file into the new report, so sequential runs (single / batch /
+//! batch+cache) accumulate into one benchmark file.
+//!
 //! ```sh
 //! bikron serve unicode unicode loops-a --addr 127.0.0.1:7474 &
 //! cargo run --release -p bikron-bench --bin loadgen -- \
@@ -22,6 +31,7 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use bikron_bench::serve_load::{field_u64, field_u64_last, split_json_array, LoadgenSummary, Zipf};
 use bikron_cli::{parse_factor, parse_mode};
 use bikron_core::truth::squares_edge::edge_squares_at;
 use bikron_core::truth::squares_vertex::vertex_squares_at;
@@ -40,6 +50,10 @@ struct Args {
     threads: usize,
     out: String,
     seed: u64,
+    batch: usize,
+    zipf: f64,
+    label: String,
+    append: bool,
 }
 
 fn parse_args() -> Args {
@@ -47,7 +61,8 @@ fn parse_args() -> Args {
     if raw.len() < 3 {
         eprintln!(
             "usage: loadgen A_SPEC B_SPEC MODE [--addr HOST:PORT] [--requests N] \
-             [--threads N] [--out FILE] [--seed S]"
+             [--threads N] [--out FILE] [--seed S] [--batch K] [--zipf S] \
+             [--label NAME] [--append]"
         );
         std::process::exit(2);
     }
@@ -67,6 +82,10 @@ fn parse_args() -> Args {
         threads: flag("--threads", "4").parse().expect("bad --threads"),
         out: flag("--out", "BENCH_serve.json"),
         seed: flag("--seed", "42").parse().expect("bad --seed"),
+        batch: flag("--batch", "0").parse().expect("bad --batch"),
+        zipf: flag("--zipf", "0").parse().expect("bad --zipf"),
+        label: flag("--label", ""),
+        append: raw.iter().any(|x| x == "--append"),
     }
 }
 
@@ -105,6 +124,19 @@ impl Client {
 
     fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
         write!(self.writer, "GET {path} HTTP/1.1\r\nHost: lg\r\n\r\n")?;
+        self.read_response()
+    }
+
+    fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        write!(
+            self.writer,
+            "POST {path} HTTP/1.1\r\nHost: lg\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len(),
+        )?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
         let mut line = String::new();
         self.reader.read_line(&mut line)?;
         let status: u16 = line
@@ -136,28 +168,73 @@ impl Client {
     }
 }
 
-/// Extract `"key": N` from a flat JSON body (the service emits only
-/// unnested numerics for the fields checked here).
-fn field_u64(body: &str, key: &str) -> Option<u64> {
-    let needle = format!("\"{key}\": ");
-    let rest = &body[body.find(&needle)? + needle.len()..];
-    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
-    rest[..end].trim().parse().ok()
+/// Draw a product vertex: Zipf-skewed when a sampler is present, uniform
+/// otherwise.
+fn pick_vertex(rng: &mut StdRng, zipf: Option<&Zipf>, n: usize) -> usize {
+    match zipf {
+        Some(z) => z.sample(rng.gen::<f64>()),
+        None => rng.gen_range(0..n),
+    }
 }
 
-/// Like [`field_u64`] but takes the *last* occurrence — for `/v1/stats`,
-/// where `vertices`/`edges` also appear inside the nested factor
-/// objects and the product-level fields come after them.
-fn field_u64_last(body: &str, key: &str) -> Option<u64> {
-    let needle = format!("\"{key}\": ");
-    let rest = &body[body.rfind(&needle)? + needle.len()..];
-    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
-    rest[..end].trim().parse().ok()
+/// The exact single-endpoint body for `/v1/vertex/{p}` (byte-level
+/// contract shared with the server and the differential test suite).
+fn expected_vertex_body(truth: &Truth, prod: &KroneckerProduct<'_>, p: usize) -> String {
+    let (i, k) = prod.indexer().split(p);
+    format!(
+        "{{\n  \"vertex\": {p},\n  \"alpha\": {i},\n  \"beta\": {k},\n  \
+         \"degree\": {},\n  \"squares\": {}\n}}\n",
+        prod.degree(p),
+        vertex_squares_at(prod, &truth.stats_a, &truth.stats_b, p),
+    )
 }
 
-/// One worker: `count` requests of the mixed workload on a single
-/// keep-alive connection. Returns (latencies_ns, mismatches).
-fn worker(truth: &Truth, addr: &str, count: u64, seed: u64) -> (Vec<u64>, u64) {
+/// Verify one neighbors body (single endpoint or batch item) against the
+/// local enumeration.
+fn neighbors_body_ok(
+    prod: &KroneckerProduct<'_>,
+    body: &str,
+    p: usize,
+    offset: u64,
+    limit: usize,
+) -> bool {
+    let expect = prod.neighbors_page(p, offset, limit);
+    let got: Vec<usize> = body
+        .split("\"neighbors\": [")
+        .nth(1)
+        .map(|tail| {
+            tail.split(']')
+                .next()
+                .unwrap_or("")
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .filter_map(|s| s.parse().ok())
+                .collect()
+        })
+        .unwrap_or_default();
+    got == expect
+        && field_u64(body, "degree") == Some(prod.degree(p))
+        && field_u64(body, "count") == Some(expect.len() as u64)
+}
+
+/// Verify one edge body against Thm 5 (`expected = None` means non-edge).
+fn edge_body_ok(body: &str, expected: Option<u64>) -> bool {
+    match expected {
+        Some(s) => body.contains("\"edge\": true") && field_u64(body, "squares") == Some(s),
+        None => body.contains("\"edge\": false") && body.contains("\"squares\": null"),
+    }
+}
+
+/// One single-query worker: `count` requests of the mixed workload on a
+/// single keep-alive connection. Returns (latencies_ns, mismatches).
+fn worker(
+    truth: &Truth,
+    addr: &str,
+    count: u64,
+    seed: u64,
+    zipf: Option<&Zipf>,
+) -> (Vec<u64>, u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut client = Client::connect(addr).expect("connect to server");
     let prod = truth.product();
@@ -175,21 +252,15 @@ fn worker(truth: &Truth, addr: &str, count: u64, seed: u64) -> (Vec<u64>, u64) {
         let started = Instant::now();
         if dice < 40 {
             // Vertex query: byte-exact against Thm 3/4.
-            let p = rng.gen_range(0..n);
+            let p = pick_vertex(&mut rng, zipf, n);
             let path = format!("/v1/vertex/{p}");
             let (status, body) = client.get(&path).expect("vertex request");
-            let (i, k) = prod.indexer().split(p);
-            let expect = format!(
-                "{{\n  \"vertex\": {p},\n  \"alpha\": {i},\n  \"beta\": {k},\n  \
-                 \"degree\": {},\n  \"squares\": {}\n}}\n",
-                prod.degree(p),
-                vertex_squares_at(&prod, &truth.stats_a, &truth.stats_b, p),
-            );
+            let expect = expected_vertex_body(truth, &prod, p);
             check(status == 200 && body == expect, "vertex", &path, &body);
         } else if dice < 65 {
             // Known edge: pick a random neighbor of a random non-isolated
             // vertex, so the server must answer `edge: true` + Thm 5.
-            let mut p = rng.gen_range(0..n);
+            let mut p = pick_vertex(&mut rng, zipf, n);
             for _ in 0..64 {
                 if prod.degree(p) > 0 {
                     break;
@@ -206,53 +277,39 @@ fn worker(truth: &Truth, addr: &str, count: u64, seed: u64) -> (Vec<u64>, u64) {
                 .expect("sampled pair is an edge");
             let path = format!("/v1/edge/{p}/{q}");
             let (status, body) = client.get(&path).expect("edge request");
-            let ok = status == 200
-                && body.contains("\"edge\": true")
-                && field_u64(&body, "squares") == Some(s);
-            check(ok, "edge", &path, &body);
+            check(
+                status == 200 && edge_body_ok(&body, Some(s)),
+                "edge",
+                &path,
+                &body,
+            );
         } else if dice < 75 {
             // Random pair: usually a non-edge; existence must agree.
-            let p = rng.gen_range(0..n);
-            let q = rng.gen_range(0..n);
+            let p = pick_vertex(&mut rng, zipf, n);
+            let q = pick_vertex(&mut rng, zipf, n);
             let expected = edge_squares_at(&prod, &truth.stats_a, &truth.stats_b, p, q);
             let path = format!("/v1/edge/{p}/{q}");
             let (status, body) = client.get(&path).expect("pair request");
-            let ok = status == 200
-                && match expected {
-                    Some(s) => {
-                        body.contains("\"edge\": true") && field_u64(&body, "squares") == Some(s)
-                    }
-                    None => body.contains("\"edge\": false") && body.contains("\"squares\": null"),
-                };
-            check(ok, "pair", &path, &body);
+            check(
+                status == 200 && edge_body_ok(&body, expected),
+                "pair",
+                &path,
+                &body,
+            );
         } else if dice < 95 {
             // Neighbors page: contents must equal the local enumeration.
-            let p = rng.gen_range(0..n);
+            let p = pick_vertex(&mut rng, zipf, n);
             let d = prod.degree(p);
             let offset = if d == 0 { 0 } else { rng.gen_range(0..d) };
             let limit = rng.gen_range(1usize..=64);
             let path = format!("/v1/neighbors/{p}?offset={offset}&limit={limit}");
             let (status, body) = client.get(&path).expect("neighbors request");
-            let expect = prod.neighbors_page(p, offset, limit);
-            let got: Vec<usize> = body
-                .split("\"neighbors\": [")
-                .nth(1)
-                .map(|tail| {
-                    tail.split(']')
-                        .next()
-                        .unwrap_or("")
-                        .split(',')
-                        .map(str::trim)
-                        .filter(|s| !s.is_empty())
-                        .filter_map(|s| s.parse().ok())
-                        .collect()
-                })
-                .unwrap_or_default();
-            let ok = status == 200
-                && got == expect
-                && field_u64(&body, "degree") == Some(d)
-                && field_u64(&body, "count") == Some(expect.len() as u64);
-            check(ok, "neighbors", &path, &body);
+            check(
+                status == 200 && neighbors_body_ok(&prod, &body, p, offset, limit),
+                "neighbors",
+                &path,
+                &body,
+            );
         } else {
             // Table-I stats: totals must match the product descriptor.
             let (status, body) = client.get("/v1/stats").expect("stats request");
@@ -267,12 +324,109 @@ fn worker(truth: &Truth, addr: &str, count: u64, seed: u64) -> (Vec<u64>, u64) {
     (latencies, mismatches)
 }
 
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
+/// One query of a batch request: the line sent plus what to check the
+/// returned item against.
+enum BatchSpec {
+    Vertex(usize),
+    Edge(usize, usize),
+    Neighbors(usize, u64, usize),
+}
+
+impl BatchSpec {
+    fn line(&self) -> String {
+        match *self {
+            BatchSpec::Vertex(p) => format!("vertex {p}"),
+            BatchSpec::Edge(p, q) => format!("edge {p} {q}"),
+            BatchSpec::Neighbors(p, off, lim) => format!("neighbors {p} {off} {lim}"),
+        }
     }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One batch worker: issues `queries` total queries in `POST /v1/batch`
+/// requests of up to `batch` lines, verifying every item of every
+/// returned array. Returns (latencies_ns, verified_queries, mismatches).
+fn batch_worker(
+    truth: &Truth,
+    addr: &str,
+    queries: u64,
+    batch: usize,
+    seed: u64,
+    zipf: Option<&Zipf>,
+) -> (Vec<u64>, u64, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut client = Client::connect(addr).expect("connect to server");
+    let prod = truth.product();
+    let n = prod.num_vertices();
+    let mut latencies = Vec::new();
+    let mut verified = 0u64;
+    let mut mismatches = 0u64;
+    let mut remaining = queries;
+    while remaining > 0 {
+        let k = (remaining as usize).min(batch);
+        remaining -= k as u64;
+        let specs: Vec<BatchSpec> = (0..k)
+            .map(|_| {
+                let dice = rng.gen_range(0u32..100);
+                let p = pick_vertex(&mut rng, zipf, n);
+                if dice < 60 {
+                    BatchSpec::Vertex(p)
+                } else if dice < 85 {
+                    BatchSpec::Edge(p, pick_vertex(&mut rng, zipf, n))
+                } else {
+                    let d = prod.degree(p);
+                    let offset = if d == 0 { 0 } else { rng.gen_range(0..d) };
+                    BatchSpec::Neighbors(p, offset, rng.gen_range(1usize..=64))
+                }
+            })
+            .collect();
+        let body: String = specs
+            .iter()
+            .map(|s| s.line() + "\n")
+            .collect::<Vec<_>>()
+            .concat();
+
+        let started = Instant::now();
+        let (status, response) = client.post("/v1/batch", &body).expect("batch request");
+        latencies.push(started.elapsed().as_nanos() as u64);
+
+        if status != 200 {
+            mismatches += k as u64;
+            eprintln!("MISMATCH batch: status {status}: {response}");
+            continue;
+        }
+        let items = match split_json_array(&response) {
+            Some(items) if items.len() == k => items,
+            other => {
+                mismatches += k as u64;
+                eprintln!(
+                    "MISMATCH batch: expected array of {k} items, got {:?} in {response}",
+                    other.map(|i| i.len()),
+                );
+                continue;
+            }
+        };
+        for (spec, item) in specs.iter().zip(&items) {
+            let ok = match *spec {
+                // Vertex items are byte-exact: the batch array holds the
+                // single-endpoint body with its trailing newline trimmed.
+                BatchSpec::Vertex(p) => {
+                    item.as_str() == expected_vertex_body(truth, &prod, p).trim_end()
+                }
+                BatchSpec::Edge(p, q) => edge_body_ok(
+                    item,
+                    edge_squares_at(&prod, &truth.stats_a, &truth.stats_b, p, q),
+                ),
+                BatchSpec::Neighbors(p, off, lim) => neighbors_body_ok(&prod, item, p, off, lim),
+            };
+            if ok {
+                verified += 1;
+            } else {
+                mismatches += 1;
+                eprintln!("MISMATCH batch item `{}`: {item}", spec.line());
+            }
+        }
+    }
+    (latencies, verified, mismatches)
 }
 
 fn main() {
@@ -286,43 +440,76 @@ fn main() {
         b,
         mode: args.mode,
     });
+    let zipf = if args.zipf > 0.0 {
+        Some(Arc::new(Zipf::new(
+            truth.product().num_vertices(),
+            args.zipf,
+        )))
+    } else {
+        None
+    };
 
-    let per_thread = args.requests / args.threads.max(1) as u64;
+    let threads = args.threads.max(1);
+    let per_thread = args.requests / threads as u64;
     let started = Instant::now();
-    let handles: Vec<_> = (0..args.threads.max(1))
+    let handles: Vec<_> = (0..threads)
         .map(|t| {
             let truth = Arc::clone(&truth);
+            let zipf = zipf.clone();
             let addr = args.addr.clone();
             let seed = args.seed.wrapping_add(t as u64);
-            std::thread::spawn(move || worker(&truth, &addr, per_thread, seed))
+            let batch = args.batch;
+            std::thread::spawn(move || {
+                if batch > 0 {
+                    batch_worker(&truth, &addr, per_thread, batch, seed, zipf.as_deref())
+                } else {
+                    let (l, m) = worker(&truth, &addr, per_thread, seed, zipf.as_deref());
+                    let q = l.len() as u64;
+                    (l, q, m)
+                }
+            })
         })
         .collect();
 
     let mut latencies: Vec<u64> = Vec::new();
+    let mut queries = 0u64;
     let mut mismatches = 0u64;
     for h in handles {
-        let (l, m) = h.join().expect("worker thread");
+        let (l, q, m) = h.join().expect("worker thread");
         latencies.extend(l);
+        queries += q;
         mismatches += m;
     }
     let elapsed = started.elapsed();
-    let total = latencies.len() as u64;
-    let rps = total as f64 / elapsed.as_secs_f64();
-    latencies.sort_unstable();
-    let p50 = percentile(&latencies, 0.50);
-    let p99 = percentile(&latencies, 0.99);
+    let http_requests = latencies.len() as u64;
+
+    let summary = LoadgenSummary::new(
+        args.label.clone(),
+        queries,
+        http_requests,
+        mismatches,
+        elapsed,
+        latencies,
+    );
+    summary.emit();
 
     let obs = bikron_obs::global();
-    obs.counter("loadgen.requests").add(total);
-    obs.counter("loadgen.mismatches").add(mismatches);
-    obs.counter("loadgen.rps").add(rps.round() as u64);
-    obs.counter("loadgen.p50_ns").add(p50);
-    obs.counter("loadgen.p99_ns").add(p99);
-    obs.counter("loadgen.elapsed_ms")
-        .add(elapsed.as_millis() as u64);
-    let hist = obs.histogram("loadgen.request_ns");
-    for &ns in &latencies {
-        hist.record(ns);
+    // --append folds a previous run's counters into this report, so the
+    // single / batch / batch+cache rows of a benchmark sweep land in one
+    // file (namespace the runs with distinct --label values; appended
+    // histograms and gauges are not carried over).
+    if args.append {
+        match std::fs::read_to_string(&args.out) {
+            Ok(prev) => match bikron_obs::Report::from_json(&prev) {
+                Ok(report) => {
+                    for (key, value) in report.counters() {
+                        obs.counter(key).add(value);
+                    }
+                }
+                Err(e) => eprintln!("loadgen: --append: ignoring unparseable {}: {e}", args.out),
+            },
+            Err(e) => eprintln!("loadgen: --append: no previous {}: {e}", args.out),
+        }
     }
 
     let mut report = obs.snapshot();
@@ -333,20 +520,35 @@ fn main() {
     );
     report.set_meta("addr", args.addr.clone());
     report.set_meta("threads", args.threads.to_string());
+    if args.batch > 0 {
+        report.set_meta("batch", args.batch.to_string());
+    }
+    if args.zipf > 0.0 {
+        report.set_meta("zipf", args.zipf.to_string());
+    }
+    if !args.label.is_empty() {
+        report.set_meta("label", args.label.clone());
+    }
     report
         .write_to_file(std::path::Path::new(&args.out))
         .expect("write report");
 
     println!(
-        "loadgen: {total} requests in {:.2}s → {rps:.0} req/s (p50 {:.1}µs, p99 {:.1}µs), \
-         {mismatches} mismatch(es); report: {}",
+        "loadgen{}: {queries} queries ({http_requests} HTTP requests) in {:.2}s → {:.0} req/s \
+         (p50 {:.1}µs, p99 {:.1}µs), {mismatches} mismatch(es); report: {}",
+        if args.label.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", args.label)
+        },
         elapsed.as_secs_f64(),
-        p50 as f64 / 1e3,
-        p99 as f64 / 1e3,
+        summary.rps(),
+        summary.p50_ns() as f64 / 1e3,
+        summary.p99_ns() as f64 / 1e3,
         args.out,
     );
-    if mismatches > 0 {
+    if !summary.ok() {
         eprintln!("loadgen: FAILED — {mismatches} response(s) disagreed with closed-form truth");
-        std::process::exit(1);
     }
+    std::process::exit(summary.exit_code() as i32);
 }

@@ -12,3 +12,9 @@
 //!
 //! See DESIGN.md §5 for the experiment-to-target mapping and
 //! EXPERIMENTS.md for paper-vs-measured results.
+//!
+//! The one library module, [`serve_load`], backs the `loadgen` binary:
+//! the run summary (with its CI-gating exit-code policy), the Zipf key
+//! sampler, and the JSON helpers the response verifier uses.
+
+pub mod serve_load;

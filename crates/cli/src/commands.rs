@@ -8,7 +8,7 @@ use bikron_core::stream::PartitionedStream;
 use bikron_core::truth::FactorStats;
 use bikron_core::{predict_structure, GroundTruth, KroneckerProduct, SelfLoopMode};
 use bikron_graph::{bipartition, connected_components, Graph};
-use bikron_serve::{ServeState, Server, ServerConfig};
+use bikron_serve::{ServeOptions, ServeState, Server, ServerConfig};
 
 /// Generic error type for command plumbing.
 pub type CmdResult = Result<(), Box<dyn std::error::Error>>;
@@ -221,18 +221,25 @@ pub fn serve(
     b: Graph,
     mode: SelfLoopMode,
     config: ServerConfig,
-    admin_token: Option<String>,
+    options: ServeOptions,
     out: &mut dyn Write,
 ) -> CmdResult {
-    let state = std::sync::Arc::new(ServeState::build(a, b, mode, admin_token)?);
+    let cache_entries = options.cache_entries;
+    let state = std::sync::Arc::new(ServeState::build_with(a, b, mode, options)?);
     bikron_serve::signal::install();
     let server = Server::bind(config.clone(), std::sync::Arc::clone(&state))?;
     writeln!(
         out,
-        "listening on http://{} ({} worker(s), queue {}) — stop with ctrl-c",
+        "listening on http://{} ({} worker(s), queue {}, cache {}, batch ≤ {}) — stop with ctrl-c",
         server.local_addr()?,
         config.threads.max(1),
         config.queue_capacity.max(1),
+        if cache_entries > 0 {
+            format!("{cache_entries} entries")
+        } else {
+            "off".to_string()
+        },
+        state.batch_max(),
     )?;
     out.flush()?;
     server.run()?;

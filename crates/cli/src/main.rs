@@ -30,7 +30,8 @@ USAGE:
   bikron parts    A_SPEC B_SPEC MODE
   bikron verify-file FILE.tsv
   bikron serve    A_SPEC B_SPEC MODE [--addr HOST:PORT] [--threads N]
-                  [--queue N] [--admin-token TOKEN]
+                  [--queue N] [--admin-token TOKEN] [--cache-entries N]
+                  [--cache-shards N] [--batch-max K]
   bikron perfdiff BASELINE.json CANDIDATE.json
                   [--threshold PCT] [--warn-only] [--watch PHASE[,PHASE...]]
   bikron --version | -V
@@ -46,9 +47,14 @@ GLOBAL OPTIONS (any position, --flag FILE or --flag=FILE, last wins):
 SERVE:
   Runs a long-lived HTTP/1.1 ground-truth query service over the factor
   graphs (default 127.0.0.1:7474). Endpoints: /v1/vertex/{p},
-  /v1/edge/{p}/{q}, /v1/neighbors/{p}, /v1/stats,
+  /v1/edge/{p}/{q}, /v1/neighbors/{p}, POST /v1/batch (newline-delimited
+  `vertex P` / `edge P Q` / `neighbors P [OFFSET [LIMIT]]` lines, up to
+  --batch-max per request, answered as one JSON array), /v1/stats,
   /v1/edges/{part}/{parts}, /metrics, and /v1/shutdown (requires
-  --admin-token). Stop with ctrl-c.
+  --admin-token). A sharded LRU result cache (--cache-entries, default
+  65536; 0 disables) fronts the per-vertex/per-edge/neighbors answers —
+  they are immutable ground truth, so cached entries never go stale.
+  Stop with ctrl-c.
 
 PERFDIFF:
   Compares two metrics reports (schema v1 or v2) and exits non-zero when
@@ -94,12 +100,12 @@ fn run() -> Result<bool, Box<dyn std::error::Error>> {
 /// Parse `serve`'s flags from its argument tail.
 fn parse_serve_config(
     args: &[String],
-) -> Result<(bikron_serve::ServerConfig, Option<String>), Box<dyn std::error::Error>> {
+) -> Result<(bikron_serve::ServerConfig, bikron_serve::ServeOptions), Box<dyn std::error::Error>> {
     let mut config = bikron_serve::ServerConfig {
         addr: "127.0.0.1:7474".to_string(),
         ..bikron_serve::ServerConfig::default()
     };
-    let mut admin_token = None;
+    let mut options = bikron_serve::ServeOptions::default();
     let mut i = 0;
     while i < args.len() {
         let need_value = |i: usize| {
@@ -107,24 +113,26 @@ fn parse_serve_config(
                 .cloned()
                 .ok_or_else(|| format!("serve: {} requires a value", args[i]))
         };
+        let parse_num = |i: usize, what: &str| -> Result<usize, String> {
+            need_value(i)?
+                .parse()
+                .map_err(|e| format!("serve: bad {what}: {e}"))
+        };
         match args[i].as_str() {
             "--addr" => config.addr = need_value(i)?,
-            "--threads" => {
-                config.threads = need_value(i)?
-                    .parse()
-                    .map_err(|e| format!("serve: bad --threads: {e}"))?
-            }
-            "--queue" => {
-                config.queue_capacity = need_value(i)?
-                    .parse()
-                    .map_err(|e| format!("serve: bad --queue: {e}"))?
-            }
-            "--admin-token" => admin_token = Some(need_value(i)?),
+            "--threads" => config.threads = parse_num(i, "--threads")?,
+            "--queue" => config.queue_capacity = parse_num(i, "--queue")?,
+            "--admin-token" => options.admin_token = Some(need_value(i)?),
+            "--cache-entries" => options.cache_entries = parse_num(i, "--cache-entries")?,
+            "--cache-shards" => options.cache_shards = parse_num(i, "--cache-shards")?,
+            "--batch-max" => options.batch_max = parse_num(i, "--batch-max")?,
             other => return Err(format!("serve: unknown argument {other:?}").into()),
         }
         i += 2;
     }
-    Ok((config, admin_token))
+    // Batches fan out over the same worker budget the pool uses.
+    options.batch_threads = config.threads.max(1);
+    Ok((config, options))
 }
 
 /// Parse `perfdiff`'s own flags from its argument tail.
@@ -210,8 +218,8 @@ fn dispatch(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
             let a = parse_factor(&args[1])?;
             let b = parse_factor(&args[2])?;
             let mode = parse_mode(&args[3])?;
-            let (config, admin_token) = parse_serve_config(&args[4..])?;
-            commands::serve(a, b, mode, config, admin_token, &mut out)?;
+            let (config, options) = parse_serve_config(&args[4..])?;
+            commands::serve(a, b, mode, config, options, &mut out)?;
             Ok(true)
         }
         Some("perfdiff") if args.len() >= 3 => {

@@ -1,13 +1,15 @@
 //! A minimal, bounded HTTP/1.1 request parser and response writer.
 //!
 //! Hand-rolled on `std::io` for the same reason `bikron-obs` hand-rolls
-//! its JSON: the service speaks a tiny, fixed dialect (GET, no bodies,
-//! small JSON responses) and the offline build cannot pull in `hyper`.
-//! Every input dimension is **bounded before allocation** — request-line
-//! length, header-line length, header count — and overflow maps to a
-//! specific status (413 for an oversized request line, 431 for header
+//! its JSON: the service speaks a tiny, fixed dialect (GET plus `POST
+//! /v1/batch` with a small newline-delimited body, small JSON responses)
+//! and the offline build cannot pull in `hyper`. Every input dimension
+//! is **bounded before allocation** — request-line length, header-line
+//! length, header count, body length — and overflow maps to a specific
+//! status (413 for an oversized request line or body, 431 for header
 //! overflow) instead of unbounded buffering. That bounding is what keeps
-//! per-request memory O(1): the parser never holds more than one line.
+//! per-request memory O(1): the parser never holds more than one line
+//! plus at most [`MAX_BODY`] body bytes.
 
 use std::io::{self, BufRead, Write};
 
@@ -17,9 +19,10 @@ pub const MAX_REQUEST_LINE: usize = 8192;
 pub const MAX_HEADER_LINE: usize = 8192;
 /// Maximum number of headers per request.
 pub const MAX_HEADERS: usize = 64;
-/// Largest request body the server will drain (it never *uses* bodies;
-/// draining keeps keep-alive framing intact for small stray payloads).
-pub const MAX_BODY: usize = 8192;
+/// Largest accepted request body, bytes. Batch requests carry their
+/// newline-delimited queries here; on GET the (stray) body is still
+/// drained so keep-alive framing stays intact.
+pub const MAX_BODY: usize = 65536;
 
 /// Everything that can go wrong while reading one request.
 #[derive(Debug)]
@@ -64,11 +67,12 @@ impl HttpError {
     }
 }
 
-/// One parsed request: method (always `GET` on success), percent-decoded
-/// path, raw query pairs, and lower-cased headers.
+/// One parsed request: method (`GET` or `POST` on success),
+/// percent-decoded path, raw query pairs, lower-cased headers, and the
+/// (bounded) body bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
-    /// The request method (only `GET` survives parsing).
+    /// The request method (only `GET` and `POST` survive parsing).
     pub method: String,
     /// Percent-decoded path, query stripped (e.g. `/v1/vertex/17`).
     pub path: String,
@@ -76,6 +80,8 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// Headers with lower-cased names, original-case values.
     pub headers: Vec<(String, String)>,
+    /// Raw body bytes, at most [`MAX_BODY`] of them.
+    pub body: Vec<u8>,
 }
 
 impl Request {
@@ -105,8 +111,8 @@ impl Request {
 
 /// Methods we recognise as valid HTTP but do not serve → 405. Anything
 /// else on the method position is a malformed request → 400.
-const KNOWN_METHODS: [&str; 8] = [
-    "POST", "PUT", "DELETE", "PATCH", "HEAD", "OPTIONS", "TRACE", "CONNECT",
+const KNOWN_METHODS: [&str; 7] = [
+    "PUT", "DELETE", "PATCH", "HEAD", "OPTIONS", "TRACE", "CONNECT",
 ];
 
 /// Read one `\n`-terminated line of at most `limit` bytes (excluding the
@@ -207,7 +213,7 @@ pub fn parse_request<R: BufRead>(r: &mut R) -> Result<Request, HttpError> {
             )))
         }
     };
-    if method != "GET" {
+    if method != "GET" && method != "POST" {
         return if KNOWN_METHODS.contains(&method) {
             Err(HttpError::MethodNotAllowed(method.to_string()))
         } else {
@@ -267,7 +273,9 @@ pub fn parse_request<R: BufRead>(r: &mut R) -> Result<Request, HttpError> {
     if content_length > MAX_BODY {
         return Err(HttpError::TooLarge("request body"));
     }
-    // Drain the (small) body so keep-alive framing survives.
+    // Read the (bounded) body: batch requests use it, and on GET the
+    // drain keeps keep-alive framing intact for stray payloads.
+    let mut body = Vec::with_capacity(content_length);
     let mut remaining = content_length;
     while remaining > 0 {
         let chunk = r.fill_buf().map_err(HttpError::Io)?;
@@ -275,6 +283,7 @@ pub fn parse_request<R: BufRead>(r: &mut R) -> Result<Request, HttpError> {
             return Err(HttpError::BadRequest("EOF inside body".into()));
         }
         let take = chunk.len().min(remaining);
+        body.extend_from_slice(&chunk[..take]);
         r.consume(take);
         remaining -= take;
     }
@@ -284,6 +293,7 @@ pub fn parse_request<R: BufRead>(r: &mut R) -> Result<Request, HttpError> {
         path,
         query,
         headers,
+        body,
     })
 }
 
@@ -392,9 +402,24 @@ mod tests {
 
     #[test]
     fn known_method_is_405_unknown_is_400() {
-        assert_eq!(parse("POST /x HTTP/1.1\r\n\r\n").unwrap_err().status(), 405);
         assert_eq!(parse("HEAD /x HTTP/1.1\r\n\r\n").unwrap_err().status(), 405);
+        assert_eq!(parse("PUT /x HTTP/1.1\r\n\r\n").unwrap_err().status(), 405);
         assert_eq!(parse("BLAH /x HTTP/1.1\r\n\r\n").unwrap_err().status(), 400);
+    }
+
+    #[test]
+    fn post_parses_with_body() {
+        let raw = "POST /v1/batch HTTP/1.1\r\nContent-Length: 9\r\n\r\nvertex 42";
+        let req = parse(raw).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/batch");
+        assert_eq!(req.body, b"vertex 42");
+    }
+
+    #[test]
+    fn post_without_body_is_empty_body() {
+        let req = parse("POST /v1/batch HTTP/1.1\r\n\r\n").unwrap();
+        assert!(req.body.is_empty());
     }
 
     #[test]

@@ -13,24 +13,35 @@
 //! | `GET /v1/vertex/{p}` | O(1) | degree + butterfly count at `p` |
 //! | `GET /v1/edge/{p}/{q}` | O(log d) | existence + per-edge squares |
 //! | `GET /v1/neighbors/{p}` | O(d_A + limit) | paged adjacency |
+//! | `POST /v1/batch` | Σ per-item cost | up to `batch_max` of the above, one JSON array |
 //! | `GET /v1/stats` | O(1), cached | Table-I summary |
 //! | `GET /v1/edges/{part}/{parts}` | O(factor + limit) | resumable edge stream |
 //! | `GET /metrics` | O(metrics) | live `bikron-obs/2` report |
 //! | `GET /v1/shutdown` | O(1) | graceful stop (token-gated) |
 //!
+//! A sharded, bounded LRU result cache ([`cache`]) fronts the Thm 3/4/5
+//! evaluators; because every answer is a pure function of the immutable
+//! factors, cached bodies can never go stale and no invalidation exists.
+//!
 //! Like the rest of the workspace the crate is std-only: the HTTP/1.1
 //! layer ([`http`]) is hand-rolled with hard bounds on every input
 //! dimension, and the thread pool ([`pool`]) sheds load with 503 instead
 //! of queueing unboundedly. Per-request memory is bounded by the page
-//! `limit` cap, never by product size — the "sublinear memory per
-//! request" in the service's name.
+//! `limit` cap (times `batch_max` for a batch), never by product size —
+//! the "sublinear memory per request" in the service's name.
 
 #![warn(missing_docs)]
 
+pub mod batch;
+pub mod cache;
 pub mod http;
 pub mod pool;
 pub mod signal;
 pub mod state;
 
+pub use cache::{CacheKey, ShardedCache};
 pub use pool::{Server, ServerConfig};
-pub use state::{ServeState, DEFAULT_LIMIT, MAX_LIMIT};
+pub use state::{
+    ServeOptions, ServeState, DEFAULT_BATCH_MAX, DEFAULT_CACHE_ENTRIES, DEFAULT_CACHE_SHARDS,
+    DEFAULT_LIMIT, MAX_LIMIT,
+};

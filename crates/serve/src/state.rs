@@ -1,12 +1,13 @@
 //! Shared server state and the request router.
 //!
 //! [`ServeState`] is the whole memory footprint of the service: the two
-//! factor graphs, their [`FactorStats`], and one cached `/v1/stats`
-//! body. Nothing product-sized is ever built — each request constructs a
-//! borrowing [`KroneckerProduct`] descriptor (O(1)) and answers from the
-//! closed-form theorems, so a server describing a graph with millions of
-//! vertices holds only factor-sized state and each request allocates at
-//! most `O(limit + |factor|)`.
+//! factor graphs, their [`FactorStats`], one cached `/v1/stats` body,
+//! and a bounded result cache. Nothing product-sized is ever built —
+//! each request constructs a borrowing [`KroneckerProduct`] descriptor
+//! (O(1)) and answers from the closed-form theorems, so a server
+//! describing a graph with millions of vertices holds only factor-sized
+//! state (plus the fixed-capacity cache) and each request allocates at
+//! most `O(limit + |factor|)` — `O(batch_max × limit)` for a batch.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -19,6 +20,7 @@ use bikron_core::{predict_structure, KroneckerProduct, SelfLoopMode};
 use bikron_graph::Graph;
 use bikron_obs::{Counter, Gauge, Histogram, JsonWriter};
 
+use crate::cache::{CacheKey, ShardedCache};
 use crate::http::{Request, Response};
 
 /// Default page size for `/v1/neighbors` and `/v1/edges`.
@@ -29,6 +31,43 @@ pub const DEFAULT_LIMIT: usize = 100;
 pub const MAX_LIMIT: usize = 10_000;
 /// Upper bound on the partition count a client may request.
 pub const MAX_PARTS: usize = 1 << 20;
+/// Default cap on queries per `POST /v1/batch` request
+/// (`--batch-max` overrides).
+pub const DEFAULT_BATCH_MAX: usize = 256;
+/// Default total result-cache capacity in entries (`--cache-entries`
+/// overrides; 0 disables the cache).
+pub const DEFAULT_CACHE_ENTRIES: usize = 65_536;
+/// Default result-cache shard count (`--cache-shards` overrides).
+pub const DEFAULT_CACHE_SHARDS: usize = 16;
+
+/// Behavioural knobs for [`ServeState::build_with`]. Transport-level
+/// knobs (address, pool size, queue) stay in
+/// [`ServerConfig`](crate::ServerConfig).
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Token gating `/v1/shutdown`; `None` disables admin endpoints.
+    pub admin_token: Option<String>,
+    /// Total result-cache entries across all shards; 0 disables caching.
+    pub cache_entries: usize,
+    /// Result-cache shard count (per-shard mutexes bound contention).
+    pub cache_shards: usize,
+    /// Maximum queries accepted per batch request.
+    pub batch_max: usize,
+    /// Scoped worker threads used to evaluate one batch.
+    pub batch_threads: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            admin_token: None,
+            cache_entries: DEFAULT_CACHE_ENTRIES,
+            cache_shards: DEFAULT_CACHE_SHARDS,
+            batch_max: DEFAULT_BATCH_MAX,
+            batch_threads: 4,
+        }
+    }
+}
 
 /// Pre-resolved handles for every metric the hot path touches, so a
 /// request never takes the registry's name-lookup mutex.
@@ -39,6 +78,8 @@ pub struct ServeMetrics {
     inflight: Arc<Gauge>,
     connections: Arc<Counter>,
     shed: Arc<Counter>,
+    batch_size: Arc<Histogram>,
+    batch_items: Arc<Counter>,
     /// `(code, counter)` for every status the server can emit.
     status: Vec<(u16, Arc<Counter>)>,
 }
@@ -57,8 +98,16 @@ impl ServeMetrics {
             inflight: obs.gauge("serve.inflight"),
             connections: obs.counter("serve.connections"),
             shed: obs.counter("serve.shed"),
+            batch_size: obs.histogram("serve.batch_size"),
+            batch_items: obs.counter("serve.batch.items"),
             status,
         }
+    }
+
+    /// Record one accepted batch of `items` queries.
+    pub fn record_batch(&self, items: u64) {
+        self.batch_size.record(items);
+        self.batch_items.add(items);
     }
 
     /// Record one completed request.
@@ -102,18 +151,41 @@ pub struct ServeState {
     stats_b: FactorStats,
     stats_json: String,
     admin_token: Option<String>,
+    cache: Option<ShardedCache>,
+    batch_max: usize,
+    batch_threads: usize,
     shutdown: AtomicBool,
     metrics: ServeMetrics,
 }
 
 impl ServeState {
-    /// Build the service state: validates the product, computes both
-    /// factor statistics once, and caches the `/v1/stats` body.
+    /// Build the service state with default [`ServeOptions`] apart from
+    /// the admin token. See [`ServeState::build_with`].
     pub fn build(
         a: Graph,
         b: Graph,
         mode: SelfLoopMode,
         admin_token: Option<String>,
+    ) -> Result<Self, Box<dyn std::error::Error>> {
+        Self::build_with(
+            a,
+            b,
+            mode,
+            ServeOptions {
+                admin_token,
+                ..ServeOptions::default()
+            },
+        )
+    }
+
+    /// Build the service state: validates the product, computes both
+    /// factor statistics once, caches the `/v1/stats` body, and sizes
+    /// the result cache.
+    pub fn build_with(
+        a: Graph,
+        b: Graph,
+        mode: SelfLoopMode,
+        options: ServeOptions,
     ) -> Result<Self, Box<dyn std::error::Error>> {
         let _phase = bikron_obs::global().phase("serve.build");
         let stats_a = FactorStats::compute(&a)?;
@@ -122,6 +194,8 @@ impl ServeState {
             let prod = KroneckerProduct::new(&a, &b, mode)?;
             stats_body(&prod, &stats_a, &stats_b)?
         };
+        let cache = (options.cache_entries > 0)
+            .then(|| ShardedCache::new(options.cache_entries, options.cache_shards));
         Ok(ServeState {
             a,
             b,
@@ -129,7 +203,10 @@ impl ServeState {
             stats_a,
             stats_b,
             stats_json,
-            admin_token,
+            admin_token: options.admin_token,
+            cache,
+            batch_max: options.batch_max.max(1),
+            batch_threads: options.batch_threads.max(1),
             shutdown: AtomicBool::new(false),
             metrics: ServeMetrics::new(),
         })
@@ -138,6 +215,16 @@ impl ServeState {
     /// The hot-path metric handles.
     pub fn metrics(&self) -> &ServeMetrics {
         &self.metrics
+    }
+
+    /// The result cache, if enabled (`cache_entries > 0`).
+    pub fn cache(&self) -> Option<&ShardedCache> {
+        self.cache.as_ref()
+    }
+
+    /// The configured per-batch query cap.
+    pub fn batch_max(&self) -> usize {
+        self.batch_max
     }
 
     /// Whether shutdown has been requested (admin endpoint or signal).
@@ -159,6 +246,12 @@ impl ServeState {
     /// pool owns transport and metrics.
     pub fn handle(&self, req: &Request) -> Response {
         let segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+        if req.method == "POST" {
+            return match segs.as_slice() {
+                ["v1", "batch"] => self.batch(req),
+                _ => Response::error(405, "POST is only accepted on /v1/batch"),
+            };
+        }
         match segs.as_slice() {
             ["metrics"] => self.metrics_response(),
             ["v1", "stats"] => Response::json(200, self.stats_json.clone()),
@@ -166,87 +259,149 @@ impl ServeState {
             ["v1", "edge", p, q] => self.edge(p, q),
             ["v1", "neighbors", p] => self.neighbors(p, req),
             ["v1", "edges", part, parts] => self.edges(part, parts, req),
+            ["v1", "batch"] => Response::error(405, "batch requires POST"),
             ["v1", "shutdown"] => self.shutdown_endpoint(req),
             _ => Response::error(404, &format!("no route for {}", req.path)),
         }
     }
 
-    fn vertex(&self, raw: &str) -> Response {
-        let prod = self.product();
-        let p = match parse_index(raw, prod.num_vertices()) {
-            Ok(p) => p,
-            Err(resp) => return resp,
+    fn batch(&self, req: &Request) -> Response {
+        let body = match std::str::from_utf8(&req.body) {
+            Ok(s) => s,
+            Err(_) => return Response::error(400, "batch body is not valid UTF-8"),
         };
-        let (i, k) = prod.indexer().split(p);
-        let mut w = JsonWriter::new();
-        w.open_object();
-        w.u64_field("vertex", p as u64);
-        w.u64_field("alpha", i as u64);
-        w.u64_field("beta", k as u64);
-        w.u64_field("degree", prod.degree(p));
-        w.u64_field(
-            "squares",
-            vertex_squares_at(&prod, &self.stats_a, &self.stats_b, p),
-        );
-        w.close_object();
-        Response::json(200, w.finish())
+        let queries = match crate::batch::parse_batch(body, self.batch_max) {
+            Ok(qs) => qs,
+            Err(e) => return e.response(),
+        };
+        self.metrics.record_batch(queries.len() as u64);
+        crate::batch::eval_batch(self, &queries, self.batch_threads)
+    }
+
+    /// Cache-through evaluation: serve `key` from the result cache when
+    /// enabled, else compute via `f` and (for 200s) remember the body.
+    /// Correctness never depends on the cache — every answer is a pure
+    /// function of immutable state, so a cached body is always current.
+    fn cached(&self, key: CacheKey, f: impl FnOnce() -> Response) -> Response {
+        let Some(cache) = &self.cache else {
+            return f();
+        };
+        if let Some(body) = cache.get(&key) {
+            return Response::json(200, (*body).clone());
+        }
+        let resp = f();
+        if resp.status == 200 {
+            cache.insert(key, Arc::new(resp.body.clone()));
+        }
+        resp
+    }
+
+    fn vertex(&self, raw: &str) -> Response {
+        match parse_index(raw, self.product().num_vertices()) {
+            Ok(p) => self.vertex_at(p),
+            Err(resp) => resp,
+        }
+    }
+
+    /// `GET /v1/vertex/{p}` for an already-parsed index (shared with the
+    /// batch evaluator — both produce identical bytes).
+    pub(crate) fn vertex_at(&self, p: usize) -> Response {
+        let prod = self.product();
+        if let Err(resp) = check_range(p, prod.num_vertices()) {
+            return resp;
+        }
+        self.cached(CacheKey::Vertex(p), || {
+            let (i, k) = prod.indexer().split(p);
+            let mut w = JsonWriter::new();
+            w.open_object();
+            w.u64_field("vertex", p as u64);
+            w.u64_field("alpha", i as u64);
+            w.u64_field("beta", k as u64);
+            w.u64_field("degree", prod.degree(p));
+            w.u64_field(
+                "squares",
+                vertex_squares_at(&prod, &self.stats_a, &self.stats_b, p),
+            );
+            w.close_object();
+            Response::json(200, w.finish())
+        })
     }
 
     fn edge(&self, raw_p: &str, raw_q: &str) -> Response {
+        let n = self.product().num_vertices();
+        match (parse_index(raw_p, n), parse_index(raw_q, n)) {
+            (Ok(p), Ok(q)) => self.edge_at(p, q),
+            (Err(resp), _) | (_, Err(resp)) => resp,
+        }
+    }
+
+    /// `GET /v1/edge/{p}/{q}` for already-parsed indices.
+    pub(crate) fn edge_at(&self, p: usize, q: usize) -> Response {
         let prod = self.product();
         let n = prod.num_vertices();
-        let (p, q) = match (parse_index(raw_p, n), parse_index(raw_q, n)) {
-            (Ok(p), Ok(q)) => (p, q),
-            (Err(resp), _) | (_, Err(resp)) => return resp,
-        };
-        let squares = edge_squares_at(&prod, &self.stats_a, &self.stats_b, p, q);
-        let mut w = JsonWriter::new();
-        w.open_object();
-        w.u64_field("p", p as u64);
-        w.u64_field("q", q as u64);
-        w.bool_field("edge", squares.is_some());
-        w.u64_field("degree_p", prod.degree(p));
-        w.u64_field("degree_q", prod.degree(q));
-        match squares {
-            Some(s) => w.u64_field("squares", s),
-            None => w.null_field("squares"),
+        if let Err(resp) = check_range(p, n).and_then(|()| check_range(q, n)) {
+            return resp;
         }
-        w.close_object();
-        Response::json(200, w.finish())
+        self.cached(CacheKey::Edge(p, q), || {
+            let squares = edge_squares_at(&prod, &self.stats_a, &self.stats_b, p, q);
+            let mut w = JsonWriter::new();
+            w.open_object();
+            w.u64_field("p", p as u64);
+            w.u64_field("q", q as u64);
+            w.bool_field("edge", squares.is_some());
+            w.u64_field("degree_p", prod.degree(p));
+            w.u64_field("degree_q", prod.degree(q));
+            match squares {
+                Some(s) => w.u64_field("squares", s),
+                None => w.null_field("squares"),
+            }
+            w.close_object();
+            Response::json(200, w.finish())
+        })
     }
 
     fn neighbors(&self, raw: &str, req: &Request) -> Response {
-        let prod = self.product();
-        let p = match parse_index(raw, prod.num_vertices()) {
+        let p = match parse_index(raw, self.product().num_vertices()) {
             Ok(p) => p,
             Err(resp) => return resp,
         };
-        let (offset, limit) = match parse_page(req) {
-            Ok(v) => v,
-            Err(resp) => return resp,
-        };
-        let degree = prod.degree(p);
-        let page = prod.neighbors_page(p, offset, limit);
-        let mut w = JsonWriter::new();
-        w.open_object();
-        w.u64_field("vertex", p as u64);
-        w.u64_field("degree", degree);
-        w.u64_field("offset", offset);
-        w.u64_field("count", page.len() as u64);
-        let next = offset + page.len() as u64;
-        if next < degree && !page.is_empty() {
-            w.u64_field("next_offset", next);
-        } else {
-            w.null_field("next_offset");
+        match parse_page(req) {
+            Ok((offset, limit)) => self.neighbors_at(p, offset, limit),
+            Err(resp) => resp,
         }
-        w.key("neighbors");
-        w.open_array();
-        for q in &page {
-            w.u64_element(*q as u64);
+    }
+
+    /// `GET /v1/neighbors/{p}?offset&limit` for already-parsed values
+    /// (`limit` must respect [`MAX_LIMIT`]; both entry points enforce it).
+    pub(crate) fn neighbors_at(&self, p: usize, offset: u64, limit: usize) -> Response {
+        let prod = self.product();
+        if let Err(resp) = check_range(p, prod.num_vertices()) {
+            return resp;
         }
-        w.close_array();
-        w.close_object();
-        Response::json(200, w.finish())
+        self.cached(CacheKey::Neighbors(p, offset, limit), || {
+            let degree = prod.degree(p);
+            let page = prod.neighbors_page(p, offset, limit);
+            let mut w = JsonWriter::new();
+            w.open_object();
+            w.u64_field("vertex", p as u64);
+            w.u64_field("degree", degree);
+            w.u64_field("offset", offset);
+            w.u64_field("count", page.len() as u64);
+            let next = offset + page.len() as u64;
+            if next < degree && !page.is_empty() {
+                w.u64_field("next_offset", next);
+            } else {
+                w.null_field("next_offset");
+            }
+            w.key("neighbors");
+            w.open_array();
+            for q in &page {
+                w.u64_element(*q as u64);
+            }
+            w.close_array();
+            w.close_object();
+            Response::json(200, w.finish())
+        })
     }
 
     fn edges(&self, raw_part: &str, raw_parts: &str, req: &Request) -> Response {
@@ -346,13 +501,20 @@ fn parse_index(raw: &str, n: usize) -> Result<usize, Response> {
     let p: usize = raw
         .parse()
         .map_err(|_| Response::error(400, &format!("not a vertex index: {raw:?}")))?;
+    check_range(p, n)?;
+    Ok(p)
+}
+
+/// 404 for an index beyond the product — the shared range gate for the
+/// path-segment and batch entry points.
+fn check_range(p: usize, n: usize) -> Result<(), Response> {
     if p >= n {
         return Err(Response::error(
             404,
             &format!("vertex {p} out of range (product has {n} vertices)"),
         ));
     }
-    Ok(p)
+    Ok(())
 }
 
 /// Parse `offset` / `limit` query params with defaults and the MAX_LIMIT
@@ -445,12 +607,33 @@ mod tests {
         crate::http::parse_request(&mut std::io::BufReader::new(raw.as_bytes())).unwrap()
     }
 
+    fn post(path: &str, body: &str) -> Request {
+        let raw = format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        crate::http::parse_request(&mut std::io::BufReader::new(raw.as_bytes())).unwrap()
+    }
+
     fn state() -> ServeState {
         ServeState::build(
             cycle(5),
             complete_bipartite(2, 3),
             SelfLoopMode::None,
             Some("sesame".into()),
+        )
+        .unwrap()
+    }
+
+    fn state_no_cache() -> ServeState {
+        ServeState::build_with(
+            cycle(5),
+            complete_bipartite(2, 3),
+            SelfLoopMode::None,
+            ServeOptions {
+                cache_entries: 0,
+                ..ServeOptions::default()
+            },
         )
         .unwrap()
     }
@@ -666,6 +849,71 @@ mod tests {
             no_admin.handle(&get("/v1/shutdown?token=sesame")).status,
             403
         );
+    }
+
+    #[test]
+    fn batch_matches_singles_cached_and_uncached() {
+        for st in [state(), state_no_cache()] {
+            let singles: Vec<String> = vec![
+                st.handle(&get("/v1/vertex/7")).body,
+                st.handle(&get("/v1/edge/0/13")).body,
+                st.handle(&get("/v1/neighbors/7?offset=1&limit=2")).body,
+                st.handle(&get("/v1/vertex/999")).body, // embedded 404 body
+            ];
+            let resp = st.handle(&post(
+                "/v1/batch",
+                "vertex 7\nedge 0 13\nneighbors 7 1 2\nvertex 999\n",
+            ));
+            assert_eq!(resp.status, 200);
+            let expected = format!(
+                "[\n{}\n]\n",
+                singles
+                    .iter()
+                    .map(|b| b.trim_end())
+                    .collect::<Vec<_>>()
+                    .join(",\n")
+            );
+            assert_eq!(resp.body, expected);
+        }
+    }
+
+    #[test]
+    fn batch_requires_post_and_post_is_batch_only() {
+        let st = state();
+        assert_eq!(st.handle(&get("/v1/batch")).status, 405);
+        assert_eq!(st.handle(&post("/v1/vertex/1", "")).status, 405);
+        assert_eq!(st.handle(&post("/v1/stats", "x")).status, 405);
+    }
+
+    #[test]
+    fn malformed_batch_is_400_with_line_index() {
+        let st = state();
+        let resp = st.handle(&post("/v1/batch", "vertex 1\nfrob 9\n"));
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("\"line\": 1"), "{}", resp.body);
+        let resp = st.handle(&post("/v1/batch", ""));
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("\"line\": 0"));
+        let resp = st.handle(&post("/v1/batch", "vertex \u{fffd}"));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let st = state();
+        let cache = st.cache().expect("cache on by default");
+        let first = st.handle(&get("/v1/vertex/3"));
+        let before = cache.local_hits();
+        let second = st.handle(&get("/v1/vertex/3"));
+        assert_eq!(first, second, "cache must not change bytes");
+        assert_eq!(cache.local_hits(), before + 1);
+        assert!(!cache.is_empty());
+
+        // Error responses are not cached.
+        let miss_len = cache.len();
+        st.handle(&get("/v1/vertex/999"));
+        st.handle(&get("/v1/vertex/999"));
+        assert_eq!(cache.len(), miss_len);
     }
 
     #[test]

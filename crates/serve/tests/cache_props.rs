@@ -1,0 +1,124 @@
+//! Property tests for the sharded LRU result cache.
+//!
+//! Two invariants carry the whole caching design:
+//!
+//! 1. **Capacity bound** — `len() ≤ capacity()` after *every* operation,
+//!    whatever the insert pattern; the cache can never grow past its
+//!    sized arena.
+//! 2. **Get-after-put coherence** — in this service a key has exactly one
+//!    possible value (answers are pure functions of immutable factors),
+//!    so any hit must return byte-for-byte the canonical body for its
+//!    key. A stale or cross-wired entry would be a wrong ground-truth
+//!    answer, which is the one failure the service exists to rule out.
+//!
+//! Both are checked over random op sequences (proptest) and under real
+//! thread interleavings (`std::thread::scope` hammering one cache).
+
+use std::sync::Arc;
+
+use bikron_serve::{CacheKey, ShardedCache};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The unique body for a key — stands in for the immutable closed-form
+/// answer the real service computes.
+fn canonical_body(key: &CacheKey) -> String {
+    format!("{key:?}#body")
+}
+
+/// Compact op encoding for proptest: key pick + insert-vs-get.
+#[derive(Debug, Clone)]
+struct Op {
+    key: CacheKey,
+    insert: bool,
+}
+
+fn arb_key() -> impl Strategy<Value = CacheKey> {
+    prop_oneof![
+        (0usize..24).prop_map(CacheKey::Vertex),
+        (0usize..8, 0usize..8).prop_map(|(p, q)| CacheKey::Edge(p, q)),
+        (0usize..8, 0u64..4, 1usize..4).prop_map(|(p, off, lim)| CacheKey::Neighbors(p, off, lim)),
+    ]
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (arb_key(), prop_oneof![Just(false), Just(true)])
+            .prop_map(|(key, insert)| Op { key, insert }),
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn capacity_bound_and_coherence_hold_for_any_op_sequence(
+        ops in arb_ops(),
+        entries in 1usize..12,
+        shards in 1usize..5,
+    ) {
+        let cache = ShardedCache::new(entries, shards);
+        for op in &ops {
+            if op.insert {
+                cache.insert(op.key.clone(), Arc::new(canonical_body(&op.key)));
+                // An insert of a key must make it immediately readable —
+                // eviction may only claim *other* entries (the fresh key
+                // is the most recently used in its shard).
+                let read_back = cache.get(&op.key).map(|b| b.to_string());
+                prop_assert_eq!(read_back, Some(canonical_body(&op.key)));
+            } else if let Some(hit) = cache.get(&op.key) {
+                prop_assert_eq!(hit.as_str(), canonical_body(&op.key));
+            }
+            prop_assert!(cache.len() <= cache.capacity());
+        }
+        // Bookkeeping sanity: every get above was tallied one way or the
+        // other, never both.
+        // One get per op (inserts do a read-back, gets are gets).
+        prop_assert_eq!(cache.local_hits() + cache.local_misses(), ops.len() as u64);
+    }
+}
+
+#[test]
+fn coherence_under_concurrent_scoped_threads() {
+    // Small capacity + many threads + overlapping key ranges: constant
+    // eviction pressure with concurrent readers. Every hit anywhere must
+    // still be the canonical body, and the bound must hold afterwards.
+    let cache = ShardedCache::new(16, 4);
+    std::thread::scope(|scope| {
+        for t in 0..8u64 {
+            let cache = &cache;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xC0FFEE + t);
+                for _ in 0..2_000 {
+                    let key = match rng.gen_range(0u32..3) {
+                        0 => CacheKey::Vertex(rng.gen_range(0usize..32)),
+                        1 => CacheKey::Edge(rng.gen_range(0usize..8), rng.gen_range(0usize..8)),
+                        _ => CacheKey::Neighbors(
+                            rng.gen_range(0usize..8),
+                            rng.gen_range(0u64..4),
+                            rng.gen_range(1usize..4),
+                        ),
+                    };
+                    if rng.gen_bool(0.5) {
+                        cache.insert(key.clone(), Arc::new(canonical_body(&key)));
+                    }
+                    if let Some(hit) = cache.get(&key) {
+                        assert_eq!(
+                            hit.as_str(),
+                            canonical_body(&key),
+                            "stale entry for {key:?}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+    assert!(cache.len() <= cache.capacity());
+    assert!(cache.local_hits() > 0, "workload never hit the cache");
+    assert!(
+        cache.local_evictions() > 0,
+        "workload never forced an eviction"
+    );
+}
