@@ -6,7 +6,7 @@
 //! neighbors / stats queries) against a running server. Every response is
 //! verified against the same closed-form ground truth the server computes
 //! from — a mismatch is a correctness bug, not noise — and latencies are
-//! aggregated into RPS + percentiles written as a `bikron-obs/2` report.
+//! aggregated into RPS + percentiles written as a `bikron-obs/3` report.
 //!
 //! `--batch K` switches to `POST /v1/batch` with K newline-delimited
 //! queries per request; each item of the returned JSON array is verified
@@ -54,6 +54,15 @@ struct Args {
     zipf: f64,
     label: String,
     append: bool,
+    /// Fire `--stall-count` stall injections of this many ms after the
+    /// workload (requires `--admin-token`), exercising the server's SLO
+    /// machinery.
+    stall_ms: u64,
+    stall_count: u64,
+    admin_token: String,
+    /// Expected `/v1/health` status after the run (`ok` | `degraded`);
+    /// empty skips the check. A mismatch fails the run.
+    check_health: String,
 }
 
 fn parse_args() -> Args {
@@ -62,7 +71,8 @@ fn parse_args() -> Args {
         eprintln!(
             "usage: loadgen A_SPEC B_SPEC MODE [--addr HOST:PORT] [--requests N] \
              [--threads N] [--out FILE] [--seed S] [--batch K] [--zipf S] \
-             [--label NAME] [--append]"
+             [--label NAME] [--append] [--stall MS] [--stall-count K] \
+             [--admin-token TOK] [--check-health ok|degraded]"
         );
         std::process::exit(2);
     }
@@ -86,6 +96,12 @@ fn parse_args() -> Args {
         zipf: flag("--zipf", "0").parse().expect("bad --zipf"),
         label: flag("--label", ""),
         append: raw.iter().any(|x| x == "--append"),
+        stall_ms: flag("--stall", "0").parse().expect("bad --stall"),
+        stall_count: flag("--stall-count", "1")
+            .parse()
+            .expect("bad --stall-count"),
+        admin_token: flag("--admin-token", ""),
+        check_health: flag("--check-health", ""),
     }
 }
 
@@ -483,6 +499,41 @@ fn main() {
     let elapsed = started.elapsed();
     let http_requests = latencies.len() as u64;
 
+    // Post-workload SLO exercise: inject stalls, then assert the health
+    // verdict. This is the end-to-end proof that windowed p99 drives
+    // `/v1/health` — a server with a tight --slo-p99-ms must report
+    // `degraded` after the stalls, and `ok` without them.
+    if args.stall_ms > 0 {
+        let mut client = Client::connect(&args.addr).expect("connect for stall injection");
+        for _ in 0..args.stall_count.max(1) {
+            let path = format!(
+                "/v1/admin/stall?ms={}&token={}",
+                args.stall_ms, args.admin_token
+            );
+            let (status, body) = client.get(&path).expect("stall request");
+            assert_eq!(status, 200, "stall injection failed: {body}");
+        }
+    }
+    let mut health_failed = false;
+    if !args.check_health.is_empty() {
+        let mut client = Client::connect(&args.addr).expect("connect for health check");
+        let (status, body) = client.get("/v1/health").expect("health request");
+        let got = body
+            .split("\"status\": \"")
+            .nth(1)
+            .and_then(|tail| tail.split('"').next())
+            .unwrap_or("");
+        if status != 200 || got != args.check_health {
+            health_failed = true;
+            eprintln!(
+                "loadgen: HEALTH MISMATCH — expected {:?}, got {got:?} (HTTP {status}): {body}",
+                args.check_health
+            );
+        } else {
+            println!("loadgen: health is {got:?} as expected");
+        }
+    }
+
     let summary = LoadgenSummary::new(
         args.label.clone(),
         queries,
@@ -550,5 +601,10 @@ fn main() {
     if !summary.ok() {
         eprintln!("loadgen: FAILED — {mismatches} response(s) disagreed with closed-form truth");
     }
-    std::process::exit(summary.exit_code() as i32);
+    let code = if health_failed {
+        1
+    } else {
+        summary.exit_code() as i32
+    };
+    std::process::exit(code);
 }

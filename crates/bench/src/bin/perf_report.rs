@@ -1,5 +1,5 @@
 //! `perf_report` — run the Table-I-scale workload and write a
-//! machine-readable `bikron-obs/2` performance report.
+//! machine-readable `bikron-obs/3` performance report.
 //!
 //! The workload is the paper's headline construction, `(A + I_A) ⊗ A` on
 //! the unicode-like factor (4.2M-edge product), exercised end to end:
@@ -15,7 +15,7 @@
 //! cargo run --release -p bikron-bench --bin perf_report -- out.json --trace-out trace.json
 //! ```
 //!
-//! The output schema is stable (`bikron-obs/2`), so successive PRs can be
+//! The output schema is stable (`bikron-obs/3`; v1/v2 still parse), so successive PRs can be
 //! diffed — by eye or by `bikron perfdiff`: wall-clock per phase
 //! (`timers`), edge/wedge/row counters (`counters`), peak worker
 //! concurrency (`gauges.*.peak`), and work-shape distributions

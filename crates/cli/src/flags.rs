@@ -13,7 +13,7 @@
 /// Parsed global options, extracted before subcommand dispatch.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GlobalOpts {
-    /// Write a `bikron-obs/2` metrics report here after the command.
+    /// Write a `bikron-obs/3` metrics report here after the command.
     pub metrics_out: Option<String>,
     /// Collect spans and write a Chrome `trace_event` JSON file here.
     pub trace_out: Option<String>,

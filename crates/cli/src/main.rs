@@ -7,6 +7,7 @@
 //! bikron validate A_SPEC B_SPEC MODE CLAIMED_GLOBAL_4CYCLES
 //! bikron parts    A_SPEC B_SPEC MODE
 //! bikron serve    A_SPEC B_SPEC MODE [--addr HOST:PORT] [--threads N] [--queue N] [--admin-token TOK]
+//! bikron monitor  URL [--interval SEC] [--once] [--top K]
 //! bikron perfdiff BASELINE.json CANDIDATE.json [--threshold PCT] [--warn-only] [--watch P1,P2]
 //! bikron --version
 //! ```
@@ -31,15 +32,17 @@ USAGE:
   bikron verify-file FILE.tsv
   bikron serve    A_SPEC B_SPEC MODE [--addr HOST:PORT] [--threads N]
                   [--queue N] [--admin-token TOKEN] [--cache-entries N]
-                  [--cache-shards N] [--batch-max K]
+                  [--cache-shards N] [--batch-max K] [--access-log FILE]
+                  [--log-sample N] [--slo-p99-ms MS] [--slo-err-pct PCT]
+  bikron monitor  URL [--interval SEC] [--once] [--top K]
   bikron perfdiff BASELINE.json CANDIDATE.json
                   [--threshold PCT] [--warn-only] [--watch PHASE[,PHASE...]]
   bikron --version | -V
 
 GLOBAL OPTIONS (any position, --flag FILE or --flag=FILE, last wins):
-  --metrics-out FILE   write a bikron-obs/2 JSON metrics report (phase
-                       timers, counters, gauges, histograms) after the
-                       command completes
+  --metrics-out FILE   write a bikron-obs/3 JSON metrics report (phase
+                       timers, counters, gauges, histograms, rolling
+                       windows) after the command completes
   --trace-out FILE     record phase spans and write a Chrome trace_event
                        JSON file, viewable in chrome://tracing or
                        https://ui.perfetto.dev
@@ -54,11 +57,22 @@ SERVE:
   --admin-token). A sharded LRU result cache (--cache-entries, default
   65536; 0 disables) fronts the per-vertex/per-edge/neighbors answers —
   they are immutable ground truth, so cached entries never go stale.
+  /metrics serves JSON (add ?format=prometheus for text exposition);
+  /v1/health reports ok|degraded from rolling 1m/5m SLO windows
+  (--slo-p99-ms, --slo-err-pct). --access-log FILE appends one JSON
+  line per request (--log-sample N keeps every Nth per target).
   Stop with ctrl-c.
 
+MONITOR:
+  Polls URL/metrics every --interval seconds (default 2) and redraws a
+  live dashboard: windowed + cumulative request rates, p50/p90/p99
+  latency, status mix, cache hit-rate, in-flight requests, hottest
+  histograms (--top K). --once prints one machine-readable `key value`
+  snapshot and exits.
+
 PERFDIFF:
-  Compares two metrics reports (schema v1 or v2) and exits non-zero when
-  a watched phase's total wall-clock regressed beyond the threshold
+  Compares two metrics reports (schema v1, v2 or v3) and exits non-zero
+  when a watched phase's total wall-clock regressed beyond the threshold
   (default 25%). Counters and histogram tails are shown as context.
 
 MODE: none | loops-a
@@ -126,6 +140,10 @@ fn parse_serve_config(
             "--cache-entries" => options.cache_entries = parse_num(i, "--cache-entries")?,
             "--cache-shards" => options.cache_shards = parse_num(i, "--cache-shards")?,
             "--batch-max" => options.batch_max = parse_num(i, "--batch-max")?,
+            "--access-log" => options.access_log = Some(need_value(i)?),
+            "--log-sample" => options.log_sample = parse_num(i, "--log-sample")? as u64,
+            "--slo-p99-ms" => options.slo_p99_ms = parse_num(i, "--slo-p99-ms")? as u64,
+            "--slo-err-pct" => options.slo_err_pct = parse_num(i, "--slo-err-pct")? as u64,
             other => return Err(format!("serve: unknown argument {other:?}").into()),
         }
         i += 2;
@@ -222,15 +240,20 @@ fn dispatch(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
             commands::serve(a, b, mode, config, options, &mut out)?;
             Ok(true)
         }
+        Some("monitor") if args.len() >= 2 => {
+            let cfg = bikron_cli::MonitorConfig::parse(&args[1..])?;
+            bikron_cli::monitor::run(&cfg, &mut out)
+        }
         Some("perfdiff") if args.len() >= 3 => {
             let cfg = parse_perfdiff_config(&args[3..])?;
             perfdiff_files(&args[1], &args[2], &cfg, &mut out)
         }
         Some("--version") | Some("-V") | Some("version") => {
             println!(
-                "bikron {} (metrics schemas: {}, {})",
+                "bikron {} (metrics schemas: {}, {}, {})",
                 env!("CARGO_PKG_VERSION"),
                 bikron_obs::SCHEMA_V1,
+                bikron_obs::SCHEMA_V2,
                 bikron_obs::SCHEMA,
             );
             Ok(true)

@@ -1,0 +1,566 @@
+//! `bikron monitor URL`: a live terminal dashboard over a running
+//! `bikron serve` instance.
+//!
+//! The monitor polls `GET /metrics` (the `bikron-obs/3` JSON report),
+//! diffs consecutive snapshots, and redraws one screen in place:
+//! windowed and cumulative request rates, windowed p50/p99 latency,
+//! status-code mix, cache hit-rate, in-flight requests (live + peak),
+//! and the top-K hottest histograms by count. With `--once` it prints a
+//! single machine-readable `key value` snapshot instead — that is what
+//! CI asserts against.
+//!
+//! Everything except the socket I/O is pure (`render_frame`,
+//! `render_once`), so the formatting and diffing logic is unit-testable
+//! without a server.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use bikron_obs::Report;
+
+/// Default seconds between dashboard refreshes.
+pub const DEFAULT_INTERVAL_SECS: u64 = 2;
+/// Default number of hottest histograms shown.
+pub const DEFAULT_TOP: usize = 5;
+/// Consecutive fetch failures tolerated before the loop gives up.
+const MAX_CONSECUTIVE_FAILURES: u32 = 3;
+
+/// Parsed `bikron monitor` invocation.
+#[derive(Clone, Debug)]
+pub struct MonitorConfig {
+    /// Server base, `http://host:port` (scheme and trailing path
+    /// optional on the command line).
+    pub host: String,
+    /// TCP port.
+    pub port: u16,
+    /// Seconds between refreshes in dashboard mode.
+    pub interval_secs: u64,
+    /// Print one machine-readable snapshot and exit.
+    pub once: bool,
+    /// How many hottest histograms to show.
+    pub top: usize,
+}
+
+impl MonitorConfig {
+    /// Parse `URL [--interval SEC] [--once] [--top K]`.
+    pub fn parse(args: &[String]) -> Result<MonitorConfig, String> {
+        let mut url: Option<String> = None;
+        let mut interval_secs = DEFAULT_INTERVAL_SECS;
+        let mut once = false;
+        let mut top = DEFAULT_TOP;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--once" => {
+                    once = true;
+                    i += 1;
+                }
+                "--interval" | "--top" => {
+                    let v = args
+                        .get(i + 1)
+                        .ok_or_else(|| format!("monitor: {} requires a value", args[i]))?;
+                    let n: u64 = v
+                        .parse()
+                        .map_err(|e| format!("monitor: bad {} {v:?}: {e}", args[i]))?;
+                    if args[i] == "--interval" {
+                        interval_secs = n.max(1);
+                    } else {
+                        top = n as usize;
+                    }
+                    i += 2;
+                }
+                other if url.is_none() && !other.starts_with("--") => {
+                    url = Some(other.to_string());
+                    i += 1;
+                }
+                other => return Err(format!("monitor: unknown argument {other:?}")),
+            }
+        }
+        let url = url.ok_or("monitor requires a server URL (e.g. http://127.0.0.1:7474)")?;
+        let (host, port) = parse_host_port(&url)?;
+        Ok(MonitorConfig {
+            host,
+            port,
+            interval_secs,
+            once,
+            top,
+        })
+    }
+}
+
+/// Accepts `http://host:port[/...]`, `host:port`, or bare `host`
+/// (default port 7474).
+fn parse_host_port(url: &str) -> Result<(String, u16), String> {
+    let rest = url.strip_prefix("http://").unwrap_or(url);
+    if rest.starts_with("https://") || url.starts_with("https://") {
+        return Err("monitor: https is not supported (std-only client)".to_string());
+    }
+    let authority = rest.split('/').next().unwrap_or("");
+    if authority.is_empty() {
+        return Err(format!("monitor: bad URL {url:?}"));
+    }
+    match authority.rsplit_once(':') {
+        Some((host, port)) => {
+            let port: u16 = port
+                .parse()
+                .map_err(|e| format!("monitor: bad port in {url:?}: {e}"))?;
+            Ok((host.to_string(), port))
+        }
+        None => Ok((authority.to_string(), 7474)),
+    }
+}
+
+/// One `GET /metrics` over a fresh connection; returns the parsed report.
+fn fetch_report(host: &str, port: u16) -> Result<Report, String> {
+    let addr = format!("{host}:{port}");
+    let mut stream = TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("send request: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read response: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or("malformed HTTP response")?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .ok_or("missing status code")?;
+    if status != "200" {
+        return Err(format!("GET /metrics returned {status}"));
+    }
+    Report::from_json(body).map_err(|e| format!("parse /metrics: {e}"))
+}
+
+/// Counters and windows the dashboard reads, pulled out of a [`Report`].
+struct Snapshot<'a> {
+    report: &'a Report,
+    requests: u64,
+    uptime_ms: u64,
+}
+
+impl<'a> Snapshot<'a> {
+    fn new(report: &'a Report) -> Snapshot<'a> {
+        Snapshot {
+            report,
+            requests: report.counter("serve.requests").unwrap_or(0),
+            uptime_ms: report.gauge("serve.uptime_ms").map_or(0, |(v, _)| v),
+        }
+    }
+
+    /// Windowed request rate (per second), `None` when the server
+    /// predates windowed metrics (v2 report).
+    fn windowed_rate(&self, which: Window) -> Option<u64> {
+        let w = self.report.window("serve.requests")?;
+        Some(match which {
+            Window::OneMin => w.w1m.rate_per_sec,
+            Window::FiveMin => w.w5m.rate_per_sec,
+        })
+    }
+
+    fn windowed_latency(&self, which: Window) -> Option<bikron_obs::WindowStats> {
+        let w = self.report.window("serve.request_ns")?;
+        Some(match which {
+            Window::OneMin => w.w1m,
+            Window::FiveMin => w.w5m,
+        })
+    }
+
+    /// Cumulative (since-boot) requests per second, derived from the
+    /// `serve.uptime_ms` gauge the server stamps at scrape time.
+    fn cumulative_rps(&self) -> u64 {
+        if self.uptime_ms == 0 {
+            return 0;
+        }
+        self.requests * 1000 / self.uptime_ms
+    }
+
+    fn cache_hit_pct(&self) -> Option<u64> {
+        let hits = self.report.counter("serve.cache.hits")?;
+        let misses = self.report.counter("serve.cache.misses").unwrap_or(0);
+        let total = hits + misses;
+        if total == 0 {
+            return Some(0);
+        }
+        Some(hits * 100 / total)
+    }
+
+    /// `(code, count)` rows for every `serve.status.*` counter, by count
+    /// descending.
+    fn status_mix(&self) -> Vec<(String, u64)> {
+        let mut rows: Vec<(String, u64)> = self
+            .report
+            .counters()
+            .filter_map(|(name, v)| {
+                let code = name.strip_prefix("serve.status.")?;
+                (v > 0).then(|| (code.to_string(), v))
+            })
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows
+    }
+
+    /// The `top` histograms by observation count.
+    fn hottest_histograms(&self, top: usize) -> Vec<(String, u64, u64)> {
+        let mut rows: Vec<(String, u64, u64)> = self
+            .report
+            .histograms()
+            .map(|(name, h)| (name.to_string(), h.count, h.percentile(99)))
+            .filter(|&(_, count, _)| count > 0)
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows.truncate(top);
+        rows
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Window {
+    OneMin,
+    FiveMin,
+}
+
+/// Render nanoseconds as a human latency (`1.2ms`, `340µs`, `2.1s`).
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{}.{}µs", ns / 1_000, ns % 1_000 / 100),
+        1_000_000..=999_999_999 => format!("{}.{}ms", ns / 1_000_000, ns % 1_000_000 / 100_000),
+        _ => format!(
+            "{}.{}s",
+            ns / 1_000_000_000,
+            ns % 1_000_000_000 / 100_000_000
+        ),
+    }
+}
+
+/// Render one dashboard frame. `prev` (with `dt_secs` since it was
+/// taken) enables the instantaneous-rate line; the windowed lines come
+/// from the report itself. Pure — no I/O, no clock.
+pub fn render_frame(prev: Option<&Report>, cur: &Report, dt_secs: f64, top: usize) -> String {
+    let snap = Snapshot::new(cur);
+    let mut out = String::new();
+    out.push_str("bikron monitor — ");
+    out.push_str(cur.meta("tool").unwrap_or("unknown"));
+    out.push_str(&format!(
+        " (schema v{}), uptime {}s\n\n",
+        cur.schema_version(),
+        snap.uptime_ms / 1000
+    ));
+
+    // Requests: windowed rates, since-boot rate, and the poll-diff rate.
+    let rate = |w| {
+        snap.windowed_rate(w)
+            .map_or_else(|| "n/a".to_string(), |r| r.to_string())
+    };
+    out.push_str(&format!(
+        "  requests   total {:<12} rps 1m {:<8} 5m {:<8} boot {}\n",
+        snap.requests,
+        rate(Window::OneMin),
+        rate(Window::FiveMin),
+        snap.cumulative_rps(),
+    ));
+    if let Some(prev) = prev {
+        let before = prev.counter("serve.requests").unwrap_or(0);
+        let delta = snap.requests.saturating_sub(before);
+        let inst = if dt_secs > 0.0 {
+            (delta as f64 / dt_secs).round() as u64
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "             since last poll: {delta} reqs ({inst} rps)\n"
+        ));
+    }
+
+    // Latency: windowed percentiles vs the cumulative distribution.
+    for (label, w) in [("1m", Window::OneMin), ("5m", Window::FiveMin)] {
+        if let Some(stats) = snap.windowed_latency(w) {
+            out.push_str(&format!(
+                "  latency {label} p50 {:<10} p90 {:<10} p99 {:<10} n={}\n",
+                fmt_ns(stats.p50),
+                fmt_ns(stats.p90),
+                fmt_ns(stats.p99),
+                stats.count
+            ));
+        }
+    }
+    if let Some(h) = cur.histogram("serve.request_ns") {
+        out.push_str(&format!(
+            "  latency ∞  p50 {:<10} p90 {:<10} p99 {:<10} n={}\n",
+            fmt_ns(h.percentile(50)),
+            fmt_ns(h.percentile(90)),
+            fmt_ns(h.percentile(99)),
+            h.count
+        ));
+    }
+
+    // Status mix.
+    let mix = snap.status_mix();
+    if !mix.is_empty() {
+        out.push_str("  status    ");
+        for (code, n) in &mix {
+            out.push_str(&format!(" {code}:{n}"));
+        }
+        out.push('\n');
+    }
+
+    // Cache and concurrency.
+    if let Some(pct) = snap.cache_hit_pct() {
+        out.push_str(&format!("  cache      hit-rate {pct}%\n"));
+    }
+    if let Some((live, peak)) = cur.gauge("serve.inflight") {
+        out.push_str(&format!("  inflight   {live} (peak {peak})\n"));
+    }
+
+    // Hottest histograms.
+    let hot = snap.hottest_histograms(top);
+    if !hot.is_empty() {
+        out.push_str("\n  hottest histograms (by count):\n");
+        for (name, count, p99) in hot {
+            out.push_str(&format!(
+                "    {name:<28} n={count:<10} p99={}\n",
+                fmt_ns(p99)
+            ));
+        }
+    }
+    out
+}
+
+/// Render the `--once` machine-readable snapshot: one `key value` per
+/// line, stable keys, no alignment — for shell pipelines and CI.
+pub fn render_once(cur: &Report) -> String {
+    let snap = Snapshot::new(cur);
+    let w1m = snap.windowed_latency(Window::OneMin).unwrap_or_default();
+    let cum_p99 = cur
+        .histogram("serve.request_ns")
+        .map_or(0, |h| h.percentile(99));
+    let (inflight, inflight_peak) = cur.gauge("serve.inflight").unwrap_or((0, 0));
+    let mut out = String::new();
+    out.push_str(&format!("schema_version {}\n", cur.schema_version()));
+    out.push_str(&format!("requests_total {}\n", snap.requests));
+    out.push_str(&format!(
+        "rps_1m {}\n",
+        snap.windowed_rate(Window::OneMin).unwrap_or(0)
+    ));
+    out.push_str(&format!(
+        "rps_5m {}\n",
+        snap.windowed_rate(Window::FiveMin).unwrap_or(0)
+    ));
+    out.push_str(&format!("rps_cumulative {}\n", snap.cumulative_rps()));
+    out.push_str(&format!("p50_1m_ns {}\n", w1m.p50));
+    out.push_str(&format!("p99_1m_ns {}\n", w1m.p99));
+    out.push_str(&format!("p99_cumulative_ns {cum_p99}\n"));
+    out.push_str(&format!("inflight {inflight}\n"));
+    out.push_str(&format!("inflight_peak {inflight_peak}\n"));
+    out.push_str(&format!(
+        "cache_hit_pct {}\n",
+        snap.cache_hit_pct().unwrap_or(0)
+    ));
+    out.push_str(&format!(
+        "errors_5xx_total {}\n",
+        cur.counter("serve.errors_5xx").unwrap_or(0)
+    ));
+    out
+}
+
+/// Run the monitor until interrupted (or once, with `--once`). Returns
+/// `Ok(false)` — the perf-regression exit code — when the poll loop gave
+/// up after repeated fetch failures.
+pub fn run(
+    config: &MonitorConfig,
+    out: &mut impl std::io::Write,
+) -> Result<bool, Box<dyn std::error::Error>> {
+    if config.once {
+        let report = fetch_report(&config.host, config.port)?;
+        write!(out, "{}", render_once(&report))?;
+        return Ok(true);
+    }
+    let mut prev: Option<Report> = None;
+    let mut failures = 0u32;
+    loop {
+        match fetch_report(&config.host, config.port) {
+            Ok(report) => {
+                failures = 0;
+                let frame = render_frame(
+                    prev.as_ref(),
+                    &report,
+                    config.interval_secs as f64,
+                    config.top,
+                );
+                // Home the cursor and clear before each frame: an
+                // in-place dashboard, not a scrolling log.
+                write!(out, "\x1b[H\x1b[2J{frame}")?;
+                out.flush()?;
+                prev = Some(report);
+            }
+            Err(e) => {
+                failures += 1;
+                writeln!(out, "monitor: fetch failed ({e}) [{failures}]")?;
+                if failures >= MAX_CONSECUTIVE_FAILURES {
+                    writeln!(out, "monitor: giving up after {failures} failures")?;
+                    return Ok(false);
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_secs(config.interval_secs));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let base = bikron_obs::Registry::new();
+        let win = bikron_obs::WindowRegistry::new();
+        let requests = win.counter(&base, "serve.requests");
+        let latency = win.histogram(&base, "serve.request_ns");
+        for i in 0..120u64 {
+            requests.inc();
+            latency.record(1_000_000 + i * 10_000);
+        }
+        base.counter("serve.status.200").add(118);
+        base.counter("serve.status.404").add(2);
+        base.counter("serve.cache.hits").add(90);
+        base.counter("serve.cache.misses").add(30);
+        base.gauge("serve.uptime_ms").set(60_000);
+        let g = base.gauge("serve.inflight");
+        g.raise(3);
+        g.lower(2);
+        let mut report = base.snapshot();
+        report.set_meta("tool", "bikron-serve");
+        win.snapshot_into(&mut report);
+        report
+    }
+
+    #[test]
+    fn parse_accepts_url_forms() {
+        for (input, host, port) in [
+            ("http://127.0.0.1:7474", "127.0.0.1", 7474),
+            ("http://localhost:8080/metrics", "localhost", 8080),
+            ("10.0.0.1:9999", "10.0.0.1", 9999),
+            ("myhost", "myhost", 7474),
+        ] {
+            let cfg = MonitorConfig::parse(&[input.to_string()]).unwrap();
+            assert_eq!(cfg.host, host, "{input}");
+            assert_eq!(cfg.port, port, "{input}");
+            assert_eq!(cfg.interval_secs, DEFAULT_INTERVAL_SECS);
+            assert!(!cfg.once);
+        }
+        assert!(MonitorConfig::parse(&[]).is_err());
+        assert!(MonitorConfig::parse(&["https://x:1".into()]).is_err());
+        assert!(MonitorConfig::parse(&["h:1".into(), "--frob".into()]).is_err());
+    }
+
+    #[test]
+    fn parse_flags() {
+        let cfg = MonitorConfig::parse(&[
+            "http://h:1".into(),
+            "--interval".into(),
+            "7".into(),
+            "--once".into(),
+            "--top".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        assert_eq!(cfg.interval_secs, 7);
+        assert!(cfg.once);
+        assert_eq!(cfg.top, 2);
+        // Interval 0 clamps to 1 (no busy-loop).
+        let cfg = MonitorConfig::parse(&["h:1".into(), "--interval".into(), "0".into()]).unwrap();
+        assert_eq!(cfg.interval_secs, 1);
+    }
+
+    #[test]
+    fn frame_shows_windowed_and_cumulative_signals() {
+        let report = sample_report();
+        let frame = render_frame(None, &report, 2.0, 5);
+        assert!(frame.contains("bikron-serve"), "{frame}");
+        assert!(frame.contains("total 120"), "{frame}");
+        // 120 requests over a 60s window = 2/s windowed; 60s uptime = 2/s boot.
+        assert!(frame.contains("rps 1m 2"), "{frame}");
+        assert!(frame.contains("latency 1m"), "{frame}");
+        assert!(frame.contains("latency ∞"), "{frame}");
+        assert!(frame.contains("200:118"), "{frame}");
+        assert!(frame.contains("404:2"), "{frame}");
+        assert!(frame.contains("hit-rate 75%"), "{frame}");
+        assert!(frame.contains("inflight   1 (peak 3)"), "{frame}");
+        assert!(frame.contains("serve.request_ns"), "{frame}");
+    }
+
+    #[test]
+    fn frame_diffs_against_previous_poll() {
+        let report = sample_report();
+        let mut older = sample_report();
+        // Rewind the "previous" snapshot by dropping its counter.
+        older = {
+            let json = older
+                .to_json()
+                .replace("\"serve.requests\": 120", "\"serve.requests\": 100");
+            Report::from_json(&json).unwrap()
+        };
+        let frame = render_frame(Some(&older), &report, 2.0, 5);
+        assert!(
+            frame.contains("since last poll: 20 reqs (10 rps)"),
+            "{frame}"
+        );
+    }
+
+    #[test]
+    fn once_mode_is_machine_readable() {
+        let report = sample_report();
+        let text = render_once(&report);
+        let mut keys = std::collections::BTreeSet::new();
+        for line in text.lines() {
+            let (k, v) = line.split_once(' ').expect("key value");
+            assert!(v.parse::<u64>().is_ok(), "{line}");
+            keys.insert(k.to_string());
+        }
+        for k in [
+            "schema_version",
+            "requests_total",
+            "rps_1m",
+            "rps_5m",
+            "rps_cumulative",
+            "p50_1m_ns",
+            "p99_1m_ns",
+            "p99_cumulative_ns",
+            "inflight",
+            "inflight_peak",
+            "cache_hit_pct",
+        ] {
+            assert!(keys.contains(k), "missing {k} in {text}");
+        }
+        assert!(text.contains("rps_1m 2\n"), "{text}");
+    }
+
+    #[test]
+    fn v2_report_renders_without_windows() {
+        // A report with no windowed series (old server) must not panic
+        // and must mark windowed fields n/a or 0.
+        let base = bikron_obs::Registry::new();
+        base.counter("serve.requests").add(10);
+        let report = base.snapshot();
+        let frame = render_frame(None, &report, 2.0, 5);
+        assert!(frame.contains("rps 1m n/a"), "{frame}");
+        let once = render_once(&report);
+        assert!(once.contains("rps_1m 0"), "{once}");
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(500), "500ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_300_000), "2.3ms");
+        assert_eq!(fmt_ns(1_200_000_000), "1.2s");
+    }
+}

@@ -119,6 +119,12 @@ impl JsonWriter {
         self.out.push_str(&value.to_string());
     }
 
+    /// Bare string array element, escaped.
+    pub fn string_element(&mut self, value: &str) {
+        self.begin_member();
+        self.push_string(value);
+    }
+
     /// Write `"key": ` and leave the cursor ready for a value or
     /// container.
     pub fn key(&mut self, key: &str) {

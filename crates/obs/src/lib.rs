@@ -5,10 +5,13 @@
 //! Zero-dependency, thread-safe instrumentation for the bikron workspace:
 //! scoped **phase timers** (monotonic, nestable), atomic **counters**,
 //! **gauges**, and log2-bucketed **histograms**, a bounded **span
-//! collector** with Chrome `trace_event` export ([`trace`]), and a
-//! [`Report`] snapshot that serialises to a stable JSON schema
-//! (`bikron-obs/2`) and parses back ([`Report::from_json`], which also
-//! reads v1 reports). The paper's lineage validated a quadrillion
+//! collector** with Chrome `trace_event` export ([`trace`]), rolling
+//! **time-windowed** counters/histograms for 1m/5m rates and percentiles
+//! ([`window`]), Prometheus text exposition ([`prom`]), a bounded
+//! structured-event **logger** ([`log`]), and a [`Report`] snapshot that
+//! serialises to a stable JSON schema (`bikron-obs/3`) and parses back
+//! ([`Report::from_json`], which also reads v1 and v2 reports). The
+//! paper's lineage validated a quadrillion
 //! triangles by instrumenting the generation pipeline itself; this crate
 //! is that discipline for bikron — every hot path (SpGEMM, Kronecker
 //! fill, edge streaming, butterfly counting, distributed reduction)
@@ -45,19 +48,24 @@
 
 mod histogram;
 pub mod json;
+pub mod log;
 mod metrics;
 mod parse;
+pub mod prom;
 mod registry;
 mod report;
 pub mod trace;
+pub mod window;
 
 pub use histogram::{Histogram, HistogramSnapshot, NUM_BUCKETS};
 pub use json::JsonWriter;
+pub use log::{EventLogger, LogEvent, LogValue};
 pub use metrics::{Counter, Gauge, GaugeGuard, TimerStats};
 pub use parse::ParseError;
 pub use registry::{PhaseGuard, Registry};
 pub use report::{Report, TimerSnapshot};
 pub use trace::{SpanEvent, TraceCollector};
+pub use window::{WindowKind, WindowRegistry, WindowSnapshot, WindowStats};
 
 use std::sync::OnceLock;
 
@@ -70,8 +78,14 @@ pub fn global() -> &'static Registry {
 }
 
 /// Schema identifier emitted in every JSON report. [`Report::from_json`]
-/// additionally accepts [`SCHEMA_V1`] reports (which predate histograms).
-pub const SCHEMA: &str = "bikron-obs/2";
+/// additionally accepts [`SCHEMA_V1`] (predates histograms) and
+/// [`SCHEMA_V2`] (predates windows) reports.
+pub const SCHEMA: &str = "bikron-obs/3";
 
-/// The previous schema identifier, still accepted on input.
+/// The v2 schema identifier (no `windows` section), still accepted on
+/// input.
+pub const SCHEMA_V2: &str = "bikron-obs/2";
+
+/// The v1 schema identifier (no `histograms` section), still accepted on
+/// input.
 pub const SCHEMA_V1: &str = "bikron-obs/1";

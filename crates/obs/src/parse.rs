@@ -5,14 +5,16 @@
 //! The parser is a minimal recursive-descent JSON reader (objects,
 //! arrays, strings with full escape handling, unsigned integers — the
 //! only value kinds the schema emits), then a schema mapper that accepts
-//! both `bikron-obs/1` and `bikron-obs/2` reports. A v1 report simply
-//! has no `histograms` section; see DESIGN.md §"Schema versioning".
+//! `bikron-obs/1`, `/2` and `/3` reports. A v1 report simply has no
+//! `histograms` section and a v2 report no `windows` section; see
+//! DESIGN.md §"Schema versioning".
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::histogram::HistogramSnapshot;
 use crate::report::{Report, TimerSnapshot};
+use crate::window::{WindowKind, WindowSnapshot, WindowStats};
 
 /// Error from [`Report::from_json`]: byte offset plus message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -240,8 +242,8 @@ fn num_field(obj: &BTreeMap<String, Value>, key: &str, what: &str) -> Result<u64
 }
 
 impl Report {
-    /// Parse a JSON report produced by [`Report::to_json`] (either
-    /// `bikron-obs/1` or `bikron-obs/2`). The parsed report remembers its
+    /// Parse a JSON report produced by [`Report::to_json`]
+    /// (`bikron-obs/1`, `/2` or `/3`). The parsed report remembers its
     /// source schema version ([`Report::schema_version`]).
     pub fn from_json(input: &str) -> Result<Report, ParseError> {
         let mut p = Parser {
@@ -258,10 +260,11 @@ impl Report {
         let version = match root.get("schema") {
             Some(Value::Str(s)) if s == "bikron-obs/1" => 1,
             Some(Value::Str(s)) if s == "bikron-obs/2" => 2,
+            Some(Value::Str(s)) if s == "bikron-obs/3" => 3,
             Some(Value::Str(s)) => {
                 return Err(ParseError {
                     offset: 0,
-                    message: format!("unknown schema {s:?} (expected bikron-obs/1 or /2)"),
+                    message: format!("unknown schema {s:?} (expected bikron-obs/1, /2 or /3)"),
                 })
             }
             _ => {
@@ -350,6 +353,50 @@ impl Report {
                 );
             }
         }
+        if let Some(v) = root.get("windows") {
+            for (k, v) in as_obj(v, "windows")? {
+                let win = as_obj(&v, &format!("windows.{k}"))?;
+                let what = format!("windows.{k}");
+                let kind = match win.get("kind") {
+                    Some(Value::Str(s)) => WindowKind::parse_str(s).ok_or_else(|| ParseError {
+                        offset: 0,
+                        message: format!("{what}.kind {s:?} is not counter|histogram"),
+                    })?,
+                    _ => {
+                        return Err(ParseError {
+                            offset: 0,
+                            message: format!("{what} is missing string field \"kind\""),
+                        })
+                    }
+                };
+                let stats = |label: &str| -> Result<WindowStats, ParseError> {
+                    let s = as_obj(
+                        win.get(label).ok_or_else(|| ParseError {
+                            offset: 0,
+                            message: format!("{what} is missing window {label:?}"),
+                        })?,
+                        &format!("{what}.{label}"),
+                    )?;
+                    let w = format!("{what}.{label}");
+                    Ok(WindowStats {
+                        count: num_field(&s, "count", &w)?,
+                        rate_per_sec: num_field(&s, "rate_per_sec", &w)?,
+                        sum: num_field(&s, "sum", &w)?,
+                        p50: num_field(&s, "p50", &w)?,
+                        p90: num_field(&s, "p90", &w)?,
+                        p99: num_field(&s, "p99", &w)?,
+                    })
+                };
+                report.insert_window(
+                    k.clone(),
+                    WindowSnapshot {
+                        kind,
+                        w1m: stats("1m")?,
+                        w5m: stats("5m")?,
+                    },
+                );
+            }
+        }
         Ok(report)
     }
 }
@@ -391,5 +438,39 @@ mod tests {
     fn float_numbers_are_rejected() {
         let json = "{\"schema\": \"bikron-obs/2\", \"counters\": {\"x\": 1.5}}";
         assert!(Report::from_json(json).is_err());
+    }
+
+    #[test]
+    fn parses_v2_without_windows() {
+        let json = concat!(
+            "{\"schema\": \"bikron-obs/2\", \"counters\": {\"edges\": 7},\n",
+            " \"histograms\": {\"h\": {\"count\": 1, \"sum\": 2, \"min\": 2,",
+            " \"max\": 2, \"buckets\": [{\"le\": 3, \"count\": 1}]}}}",
+        );
+        let r = Report::from_json(json).unwrap();
+        assert_eq!(r.schema_version(), 2);
+        assert_eq!(r.counter("edges"), Some(7));
+        assert_eq!(r.windows().count(), 0);
+    }
+
+    #[test]
+    fn parses_v3_windows_section() {
+        let json = concat!(
+            "{\"schema\": \"bikron-obs/3\", \"windows\": {\"lat\": {\n",
+            "  \"kind\": \"histogram\",\n",
+            "  \"1m\": {\"count\": 6, \"rate_per_sec\": 0, \"sum\": 60,",
+            " \"p50\": 10, \"p90\": 11, \"p99\": 12},\n",
+            "  \"5m\": {\"count\": 9, \"rate_per_sec\": 0, \"sum\": 90,",
+            " \"p50\": 10, \"p90\": 11, \"p99\": 12}}}}",
+        );
+        let r = Report::from_json(json).unwrap();
+        assert_eq!(r.schema_version(), 3);
+        let w = r.window("lat").unwrap();
+        assert_eq!(w.kind, WindowKind::Histogram);
+        assert_eq!(w.w1m.count, 6);
+        assert_eq!(w.w5m.sum, 90);
+        // Bad kinds are rejected.
+        let bad = json.replace("histogram", "gauge");
+        assert!(Report::from_json(&bad).is_err());
     }
 }

@@ -5,6 +5,7 @@ use std::io::Write;
 
 use crate::histogram::HistogramSnapshot;
 use crate::json::JsonWriter;
+use crate::window::WindowSnapshot;
 
 /// Frozen view of one timer taken at snapshot time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,19 +23,20 @@ pub struct TimerSnapshot {
 }
 
 /// An immutable metrics snapshot with optional metadata, serialisable to
-/// the `bikron-obs/2` JSON schema.
+/// the `bikron-obs/3` JSON schema.
 ///
 /// The schema is **stable and sorted**: top-level keys are `schema`,
-/// `meta`, `counters`, `gauges`, `timers`, `histograms`; every map is
-/// emitted in lexicographic key order; all values are strings (meta) or
-/// exact integers (everything else — nanoseconds, never floats). Golden
-/// tests and cross-PR diffs rely on this. Histogram percentiles (`p50`,
-/// `p90`, `p99`) are resolved at serialisation time from the buckets, so
-/// they are plain derived fields, not extra state.
+/// `meta`, `counters`, `gauges`, `timers`, `histograms`, `windows`;
+/// every map is emitted in lexicographic key order; all values are
+/// strings (meta) or exact integers (everything else — nanoseconds,
+/// never floats). Golden tests and cross-PR diffs rely on this.
+/// Histogram percentiles (`p50`, `p90`, `p99`) are resolved at
+/// serialisation time from the buckets, so they are plain derived
+/// fields, not extra state.
 ///
 /// Reports parse back via [`Report::from_json`], which also accepts the
-/// v1 schema (no `histograms` section) — see DESIGN.md §"Schema
-/// versioning".
+/// v1 schema (no `histograms` section) and the v2 schema (no `windows`
+/// section) — see DESIGN.md §"Schema versioning".
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Report {
     schema_version: u32,
@@ -43,17 +45,19 @@ pub struct Report {
     gauges: BTreeMap<String, (u64, u64)>,
     timers: BTreeMap<String, TimerSnapshot>,
     histograms: BTreeMap<String, HistogramSnapshot>,
+    windows: BTreeMap<String, WindowSnapshot>,
 }
 
 impl Default for Report {
     fn default() -> Self {
         Report {
-            schema_version: 2,
+            schema_version: 3,
             meta: BTreeMap::new(),
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
             timers: BTreeMap::new(),
             histograms: BTreeMap::new(),
+            windows: BTreeMap::new(),
         }
     }
 }
@@ -85,8 +89,13 @@ impl Report {
         self.meta.get(key).map(String::as_str)
     }
 
-    /// Schema version this report was built with (2) or parsed from
-    /// (1 or 2).
+    /// Iterate metadata pairs in sorted order.
+    pub fn meta_pairs(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.meta.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Schema version this report was built with (3) or parsed from
+    /// (1, 2 or 3).
     pub fn schema_version(&self) -> u32 {
         self.schema_version
     }
@@ -109,6 +118,11 @@ impl Report {
 
     pub(crate) fn insert_histogram(&mut self, name: String, h: HistogramSnapshot) {
         self.histograms.insert(name, h);
+    }
+
+    /// Attach a windowed snapshot (see [`crate::window::WindowRegistry::snapshot_into`]).
+    pub(crate) fn insert_window(&mut self, name: String, w: WindowSnapshot) {
+        self.windows.insert(name, w);
     }
 
     /// Counter value by name.
@@ -151,7 +165,17 @@ impl Report {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
 
-    /// Serialise to the `bikron-obs/2` JSON schema (pretty-printed,
+    /// Windowed snapshot by name.
+    pub fn window(&self, name: &str) -> Option<&WindowSnapshot> {
+        self.windows.get(name)
+    }
+
+    /// Iterate windowed snapshots in sorted order.
+    pub fn windows(&self) -> impl Iterator<Item = (&str, &WindowSnapshot)> {
+        self.windows.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Serialise to the `bikron-obs/3` JSON schema (pretty-printed,
     /// two-space indent, trailing newline).
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
@@ -223,6 +247,29 @@ impl Report {
         }
         w.close_object();
 
+        // Always emitted (possibly `{}`): parsers treat a missing
+        // `windows` section as the v2 dialect.
+        w.key("windows");
+        w.open_object();
+        for (k, win) in &self.windows {
+            w.key(k);
+            w.open_object();
+            w.string_field("kind", win.kind.as_str());
+            for (label, stats) in [("1m", &win.w1m), ("5m", &win.w5m)] {
+                w.key(label);
+                w.open_object();
+                w.u64_field("count", stats.count);
+                w.u64_field("rate_per_sec", stats.rate_per_sec);
+                w.u64_field("sum", stats.sum);
+                w.u64_field("p50", stats.p50);
+                w.u64_field("p90", stats.p90);
+                w.u64_field("p99", stats.p99);
+                w.close_object();
+            }
+            w.close_object();
+        }
+        w.close_object();
+
         w.close_object();
         w.finish()
     }
@@ -268,6 +315,21 @@ mod tests {
         );
         let mut r = Report::from_parts(counters, gauges, timers, histograms);
         r.set_meta("workload", "unit \"quoted\" ✓");
+        r.insert_window(
+            "requests".to_string(),
+            WindowSnapshot {
+                kind: crate::window::WindowKind::Counter,
+                w1m: crate::window::WindowStats {
+                    count: 120,
+                    rate_per_sec: 2,
+                    ..Default::default()
+                },
+                w5m: crate::window::WindowStats {
+                    count: 150,
+                    ..Default::default()
+                },
+            },
+        );
         r
     }
 
@@ -275,7 +337,7 @@ mod tests {
     fn json_is_stable_and_escaped() {
         let expect = concat!(
             "{\n",
-            "  \"schema\": \"bikron-obs/2\",\n",
+            "  \"schema\": \"bikron-obs/3\",\n",
             "  \"meta\": {\n",
             "    \"workload\": \"unit \\\"quoted\\\" ✓\"\n",
             "  },\n",
@@ -320,6 +382,27 @@ mod tests {
             "          \"count\": 1\n",
             "        }\n",
             "      ]\n",
+            "    }\n",
+            "  },\n",
+            "  \"windows\": {\n",
+            "    \"requests\": {\n",
+            "      \"kind\": \"counter\",\n",
+            "      \"1m\": {\n",
+            "        \"count\": 120,\n",
+            "        \"rate_per_sec\": 2,\n",
+            "        \"sum\": 0,\n",
+            "        \"p50\": 0,\n",
+            "        \"p90\": 0,\n",
+            "        \"p99\": 0\n",
+            "      },\n",
+            "      \"5m\": {\n",
+            "        \"count\": 150,\n",
+            "        \"rate_per_sec\": 0,\n",
+            "        \"sum\": 0,\n",
+            "        \"p50\": 0,\n",
+            "        \"p90\": 0,\n",
+            "        \"p99\": 0\n",
+            "      }\n",
             "    }\n",
             "  }\n",
             "}\n",

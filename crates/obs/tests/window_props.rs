@@ -1,0 +1,107 @@
+//! Property tests for the rolling-window layer (satellite of the
+//! `bikron-obs/3` bump).
+//!
+//! The invariants that make windowed numbers trustworthy:
+//!
+//! 1. **Rotation never loses or double-counts a sample** — for any
+//!    monotone sequence of (epoch, value) records, the windowed count at
+//!    the final epoch equals the model count of samples whose epoch is
+//!    inside the window. This holds exactly because a ring slot is only
+//!    reclaimed `RING_SLOTS` (32) epochs after it was written, strictly
+//!    outside the widest window (30 buckets).
+//! 2. **Windowed percentiles stay inside the cumulative envelope** —
+//!    `p50 ≤ p90 ≤ p99 ≤ cumulative max`, and the cumulative count is
+//!    the total number of records regardless of window churn.
+
+use bikron_obs::window::{WINDOW_1M_BUCKETS, WINDOW_5M_BUCKETS};
+use bikron_obs::{Registry, WindowRegistry};
+use proptest::prelude::*;
+
+/// A record stream: per step, advance the epoch by `0..=10` buckets and
+/// record `value`. Deltas up to 10 let runs both stay inside one bucket
+/// and jump clean past the 1m window (6 buckets) in one step.
+fn arb_ops() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..=10, 0u64..1_000_000), 1..200)
+}
+
+/// The model: absolute epochs with their recorded values.
+fn materialise(ops: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut epoch = 0u64;
+    ops.iter()
+        .map(|&(delta, value)| {
+            epoch += delta;
+            (epoch, value)
+        })
+        .collect()
+}
+
+fn model_window(samples: &[(u64, u64)], now: u64, buckets: u64) -> Vec<u64> {
+    samples
+        .iter()
+        .filter(|&&(epoch, _)| now - epoch < buckets)
+        .map(|&(_, value)| value)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rotation_never_loses_or_double_counts(ops in arb_ops()) {
+        let base = Registry::new();
+        let win = WindowRegistry::new();
+        let h = win.histogram(&base, "lat");
+        let c = win.counter(&base, "reqs");
+        let samples = materialise(&ops);
+        for &(epoch, value) in &samples {
+            h.record_at(epoch, value);
+            c.add_at(epoch, 1);
+        }
+        let now = samples.last().expect("non-empty ops").0;
+
+        for buckets in [WINDOW_1M_BUCKETS, WINDOW_5M_BUCKETS] {
+            let expect = model_window(&samples, now, buckets);
+            prop_assert_eq!(
+                h.window_at(now, buckets).count,
+                expect.len() as u64,
+                "histogram window of {} buckets at epoch {}",
+                buckets,
+                now
+            );
+            prop_assert_eq!(
+                h.window_at(now, buckets).sum,
+                expect.iter().sum::<u64>()
+            );
+            prop_assert_eq!(c.window_count_at(now, buckets), expect.len() as u64);
+        }
+        // Cumulative view is window-churn-proof.
+        prop_assert_eq!(h.cumulative().snapshot().count, samples.len() as u64);
+        prop_assert_eq!(c.total(), samples.len() as u64);
+    }
+
+    #[test]
+    fn windowed_percentiles_bounded_by_cumulative_max(ops in arb_ops()) {
+        let base = Registry::new();
+        let win = WindowRegistry::new();
+        let h = win.histogram(&base, "lat");
+        let samples = materialise(&ops);
+        for &(epoch, value) in &samples {
+            h.record_at(epoch, value);
+        }
+        let now = samples.last().expect("non-empty ops").0;
+        let cum = h.cumulative().snapshot();
+        let snap = h.snapshot_at(now);
+        for stats in [snap.w1m, snap.w5m] {
+            prop_assert!(stats.p50 <= stats.p90);
+            prop_assert!(stats.p90 <= stats.p99);
+            prop_assert!(
+                stats.p99 <= cum.max,
+                "windowed p99 {} exceeds cumulative max {}",
+                stats.p99,
+                cum.max
+            );
+        }
+        // 5m window contains the 1m window.
+        prop_assert!(snap.w5m.count >= snap.w1m.count);
+    }
+}

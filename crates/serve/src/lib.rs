@@ -16,8 +16,10 @@
 //! | `POST /v1/batch` | Σ per-item cost | up to `batch_max` of the above, one JSON array |
 //! | `GET /v1/stats` | O(1), cached | Table-I summary |
 //! | `GET /v1/edges/{part}/{parts}` | O(factor + limit) | resumable edge stream |
-//! | `GET /metrics` | O(metrics) | live `bikron-obs/2` report |
+//! | `GET /metrics` | O(metrics) | live `bikron-obs/3` report (`?format=prometheus` for text exposition) |
+//! | `GET /v1/health` | O(1) | `ok`/`degraded` from windowed SLO signals |
 //! | `GET /v1/shutdown` | O(1) | graceful stop (token-gated) |
+//! | `GET /v1/admin/stall` | O(1) | debug latency injection (token-gated) |
 //!
 //! A sharded, bounded LRU result cache ([`cache`]) fronts the Thm 3/4/5
 //! evaluators; because every answer is a pure function of the immutable
@@ -29,6 +31,12 @@
 //! of queueing unboundedly. Per-request memory is bounded by the page
 //! `limit` cap (times `batch_max` for a batch), never by product size —
 //! the "sublinear memory per request" in the service's name.
+//!
+//! For operations, every request also feeds rolling 1m/5m windows
+//! (rates and windowed percentiles alongside the cumulative series) and,
+//! with `--access-log`, one bounded, sampled JSON-lines access event per
+//! request. `bikron monitor URL` renders the `/metrics` feed as a live
+//! dashboard.
 
 #![warn(missing_docs)]
 

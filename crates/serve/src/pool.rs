@@ -186,7 +186,7 @@ fn worker_loop(queue: &ConnQueue, state: &ServeState, read_timeout: Duration) {
 }
 
 /// One keep-alive session: parse → route → respond, recording metrics
-/// per request, until close/error/shutdown.
+/// and one access-log event per request, until close/error/shutdown.
 fn serve_connection(stream: TcpStream, state: &ServeState, read_timeout: Duration) {
     if stream.set_read_timeout(Some(read_timeout)).is_err() || stream.set_nodelay(true).is_err() {
         return;
@@ -198,22 +198,48 @@ fn serve_connection(stream: TcpStream, state: &ServeState, read_timeout: Duratio
     };
     let mut reader = BufReader::new(stream);
     loop {
+        let parsed = parse_request(&mut reader);
+        if matches!(parsed, Err(HttpError::Closed) | Err(HttpError::Io(_))) {
+            return;
+        }
+        // The latency clock starts once a full request has been read, so
+        // keep-alive idle time between requests never pollutes the
+        // windowed p99 the health endpoint alarms on.
         let started = Instant::now();
-        let (resp, keep_alive) = match parse_request(&mut reader) {
+        // Held through routing AND the response write: the live gauge a
+        // dashboard polls must count requests still being flushed, not
+        // only those inside the router.
+        let _inflight = metrics.inflight().enter();
+        crate::state::reset_cache_outcome();
+        let (resp, keep_alive, method, shape) = match parsed {
             Ok(req) => {
-                let _inflight = metrics.inflight().enter();
-                (state.handle(&req), !req.wants_close())
+                let resp = state.handle(&req);
+                let keep = !req.wants_close();
+                let shape = crate::state::path_shape(&req.path);
+                (resp, keep, req.method, shape)
             }
-            Err(HttpError::Closed) => return,
-            Err(HttpError::Io(_)) => return,
             // Parse failures are answered, then the connection is closed:
             // after a framing error the byte stream can't be trusted.
-            Err(e) => (Response::error(e.status(), &e.detail()), false),
+            Err(e) => (
+                Response::error(e.status(), &e.detail()),
+                false,
+                "-".to_string(),
+                "malformed".to_string(),
+            ),
         };
         let status = resp.status;
         match write_response(&mut writer, &resp, keep_alive) {
             Ok(bytes) => {
-                metrics.record(status, bytes, started.elapsed().as_nanos() as u64);
+                let ns = started.elapsed().as_nanos() as u64;
+                metrics.record(status, bytes, ns);
+                state.log_access(
+                    &method,
+                    &shape,
+                    status,
+                    ns,
+                    bytes,
+                    crate::state::cache_outcome(),
+                );
             }
             Err(_) => return,
         }

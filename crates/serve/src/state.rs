@@ -9,8 +9,10 @@
 //! state (plus the fixed-capacity cache) and each request allocates at
 //! most `O(limit + |factor|)` — `O(batch_max × limit)` for a batch.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use bikron_core::stream::PartitionedStream;
 use bikron_core::truth::squares_edge::edge_squares_at;
@@ -18,7 +20,10 @@ use bikron_core::truth::squares_vertex::{global_squares_with, vertex_squares_at}
 use bikron_core::truth::FactorStats;
 use bikron_core::{predict_structure, KroneckerProduct, SelfLoopMode};
 use bikron_graph::Graph;
-use bikron_obs::{Counter, Gauge, Histogram, JsonWriter};
+use bikron_obs::window::{WindowedCounter, WindowedHistogram};
+use bikron_obs::{
+    Counter, EventLogger, Gauge, Histogram, JsonWriter, LogEvent, WindowRegistry, WindowSnapshot,
+};
 
 use crate::cache::{CacheKey, ShardedCache};
 use crate::http::{Request, Response};
@@ -39,6 +44,18 @@ pub const DEFAULT_BATCH_MAX: usize = 256;
 pub const DEFAULT_CACHE_ENTRIES: usize = 65_536;
 /// Default result-cache shard count (`--cache-shards` overrides).
 pub const DEFAULT_CACHE_SHARDS: usize = 16;
+/// Default windowed-p99 SLO threshold in milliseconds
+/// (`--slo-p99-ms` overrides).
+pub const DEFAULT_SLO_P99_MS: u64 = 500;
+/// Default windowed error-rate SLO threshold in whole percent
+/// (`--slo-err-pct` overrides).
+pub const DEFAULT_SLO_ERR_PCT: u64 = 5;
+/// Access-log queue capacity (events buffered between the request path
+/// and the writer thread before drops begin).
+pub const ACCESS_LOG_QUEUE: usize = 4096;
+/// Upper bound on `/v1/admin/stall?ms=` — the injected stall can spike
+/// windowed latency but never pin a worker for more than this.
+pub const MAX_STALL_MS: u64 = 2_000;
 
 /// Behavioural knobs for [`ServeState::build_with`]. Transport-level
 /// knobs (address, pool size, queue) stay in
@@ -55,6 +72,18 @@ pub struct ServeOptions {
     pub batch_max: usize,
     /// Scoped worker threads used to evaluate one batch.
     pub batch_threads: usize,
+    /// Append one JSON-lines access event per request to this file
+    /// (`--access-log`); `None` disables access logging.
+    pub access_log: Option<String>,
+    /// Keep every Nth access event per target (`--log-sample`; 1 keeps
+    /// all).
+    pub log_sample: u64,
+    /// `/v1/health` flips to `degraded` when a windowed p99 exceeds this
+    /// many milliseconds.
+    pub slo_p99_ms: u64,
+    /// `/v1/health` flips to `degraded` when a windowed 5xx rate exceeds
+    /// this percentage of requests.
+    pub slo_err_pct: u64,
 }
 
 impl Default for ServeOptions {
@@ -65,16 +94,25 @@ impl Default for ServeOptions {
             cache_shards: DEFAULT_CACHE_SHARDS,
             batch_max: DEFAULT_BATCH_MAX,
             batch_threads: 4,
+            access_log: None,
+            log_sample: 1,
+            slo_p99_ms: DEFAULT_SLO_P99_MS,
+            slo_err_pct: DEFAULT_SLO_ERR_PCT,
         }
     }
 }
 
 /// Pre-resolved handles for every metric the hot path touches, so a
-/// request never takes the registry's name-lookup mutex.
+/// request never takes the registry's name-lookup mutex. Requests,
+/// server errors, and request latency are **windowed** wrappers: one
+/// `record` call updates both the cumulative global series and this
+/// state's private epoch ring, so `/metrics` and `/v1/health` can report
+/// 1m/5m rates and percentiles alongside the since-boot totals.
 pub struct ServeMetrics {
-    requests: Arc<Counter>,
+    requests: Arc<WindowedCounter>,
+    errors_5xx: Arc<WindowedCounter>,
     bytes_out: Arc<Counter>,
-    request_ns: Arc<Histogram>,
+    request_ns: Arc<WindowedHistogram>,
     inflight: Arc<Gauge>,
     connections: Arc<Counter>,
     shed: Arc<Counter>,
@@ -82,25 +120,30 @@ pub struct ServeMetrics {
     batch_items: Arc<Counter>,
     /// `(code, counter)` for every status the server can emit.
     status: Vec<(u16, Arc<Counter>)>,
+    /// The epoch-ring registry behind the windowed handles above.
+    windows: WindowRegistry,
 }
 
 impl ServeMetrics {
     fn new() -> Self {
         let obs = bikron_obs::global();
+        let windows = WindowRegistry::new();
         let status = [200u16, 400, 403, 404, 405, 413, 431, 500, 503]
             .iter()
             .map(|&c| (c, obs.counter(&format!("serve.status.{c}"))))
             .collect();
         ServeMetrics {
-            requests: obs.counter("serve.requests"),
+            requests: windows.counter(obs, "serve.requests"),
+            errors_5xx: windows.counter(obs, "serve.errors_5xx"),
             bytes_out: obs.counter("serve.bytes_out"),
-            request_ns: obs.histogram("serve.request_ns"),
+            request_ns: windows.histogram(obs, "serve.request_ns"),
             inflight: obs.gauge("serve.inflight"),
             connections: obs.counter("serve.connections"),
             shed: obs.counter("serve.shed"),
             batch_size: obs.histogram("serve.batch_size"),
             batch_items: obs.counter("serve.batch.items"),
             status,
+            windows,
         }
     }
 
@@ -113,6 +156,9 @@ impl ServeMetrics {
     /// Record one completed request.
     pub fn record(&self, status: u16, bytes: u64, ns: u64) {
         self.requests.inc();
+        if status >= 500 {
+            self.errors_5xx.inc();
+        }
         self.bytes_out.add(bytes);
         self.request_ns.record(ns);
         if let Some((_, c)) = self.status.iter().find(|(s, _)| *s == status) {
@@ -122,6 +168,26 @@ impl ServeMetrics {
                 .counter(&format!("serve.status.{status}"))
                 .inc();
         }
+    }
+
+    /// The window registry backing this state's rolling metrics.
+    pub fn windows(&self) -> &WindowRegistry {
+        &self.windows
+    }
+
+    /// Windowed request counts (1m/5m).
+    pub fn requests_window(&self) -> WindowSnapshot {
+        self.requests.snapshot()
+    }
+
+    /// Windowed 5xx counts (1m/5m).
+    pub fn errors_window(&self) -> WindowSnapshot {
+        self.errors_5xx.snapshot()
+    }
+
+    /// Windowed request-latency distribution (1m/5m).
+    pub fn latency_window(&self) -> WindowSnapshot {
+        self.request_ns.snapshot()
     }
 
     /// Record a connection shed with 503 at the accept gate.
@@ -156,6 +222,52 @@ pub struct ServeState {
     batch_threads: usize,
     shutdown: AtomicBool,
     metrics: ServeMetrics,
+    logger: Option<EventLogger>,
+    slo_p99_ms: u64,
+    slo_err_pct: u64,
+    started: Instant,
+}
+
+std::thread_local! {
+    /// Cache outcome of the request currently handled on this worker
+    /// thread: `Some(true)` hit, `Some(false)` miss, `None` when the
+    /// request never consulted the cache. Requests are handled
+    /// synchronously on one worker thread, so a thread-local carries the
+    /// flag from [`ServeState::cached`] to the access-log emit without
+    /// widening every router signature. (Batch *items* evaluated on
+    /// scoped helper threads don't propagate here; the batch request
+    /// logs `"-"`.)
+    static CACHE_OUTCOME: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+/// Clear the per-thread cache outcome before routing a request.
+pub(crate) fn reset_cache_outcome() {
+    CACHE_OUTCOME.set(None);
+}
+
+/// Read the cache outcome recorded while handling the current request.
+pub(crate) fn cache_outcome() -> Option<bool> {
+    CACHE_OUTCOME.get()
+}
+
+/// Collapse a request path to a bounded-cardinality shape for access
+/// logs: purely numeric segments become `{n}`, so `/v1/vertex/17` and
+/// `/v1/vertex/23` aggregate under one key instead of exploding the
+/// log's value space.
+pub fn path_shape(path: &str) -> String {
+    let mut out = String::with_capacity(path.len());
+    for seg in path.split('/').filter(|s| !s.is_empty()) {
+        out.push('/');
+        if seg.bytes().all(|b| b.is_ascii_digit()) {
+            out.push_str("{n}");
+        } else {
+            out.push_str(seg);
+        }
+    }
+    if out.is_empty() {
+        out.push('/');
+    }
+    out
 }
 
 impl ServeState {
@@ -196,6 +308,14 @@ impl ServeState {
         };
         let cache = (options.cache_entries > 0)
             .then(|| ShardedCache::new(options.cache_entries, options.cache_shards));
+        let logger = match &options.access_log {
+            Some(path) => Some(EventLogger::to_file(
+                std::path::Path::new(path),
+                ACCESS_LOG_QUEUE,
+                options.log_sample,
+            )?),
+            None => None,
+        };
         Ok(ServeState {
             a,
             b,
@@ -209,6 +329,10 @@ impl ServeState {
             batch_threads: options.batch_threads.max(1),
             shutdown: AtomicBool::new(false),
             metrics: ServeMetrics::new(),
+            logger,
+            slo_p99_ms: options.slo_p99_ms.max(1),
+            slo_err_pct: options.slo_err_pct.min(100),
+            started: Instant::now(),
         })
     }
 
@@ -253,14 +377,16 @@ impl ServeState {
             };
         }
         match segs.as_slice() {
-            ["metrics"] => self.metrics_response(),
+            ["metrics"] => self.metrics_response(req),
             ["v1", "stats"] => Response::json(200, self.stats_json.clone()),
+            ["v1", "health"] => self.health_response(),
             ["v1", "vertex", p] => self.vertex(p),
             ["v1", "edge", p, q] => self.edge(p, q),
             ["v1", "neighbors", p] => self.neighbors(p, req),
             ["v1", "edges", part, parts] => self.edges(part, parts, req),
             ["v1", "batch"] => Response::error(405, "batch requires POST"),
             ["v1", "shutdown"] => self.shutdown_endpoint(req),
+            ["v1", "admin", "stall"] => self.stall_endpoint(req),
             _ => Response::error(404, &format!("no route for {}", req.path)),
         }
     }
@@ -287,8 +413,10 @@ impl ServeState {
             return f();
         };
         if let Some(body) = cache.get(&key) {
+            CACHE_OUTCOME.set(Some(true));
             return Response::json(200, (*body).clone());
         }
+        CACHE_OUTCOME.set(Some(false));
         let resp = f();
         if resp.status == 200 {
             cache.insert(key, Arc::new(resp.body.clone()));
@@ -467,25 +595,162 @@ impl ServeState {
         Response::json(200, w.finish())
     }
 
-    fn metrics_response(&self) -> Response {
+    fn metrics_response(&self, req: &Request) -> Response {
+        // uptime_ms lets scrapers derive the cumulative (since-boot)
+        // request rate without a second endpoint.
+        bikron_obs::global()
+            .gauge("serve.uptime_ms")
+            .set(self.started.elapsed().as_millis() as u64);
         let mut report = bikron_obs::global().snapshot();
         report.set_meta("tool", "bikron-serve");
         report.set_meta("endpoint", "/metrics");
-        Response::json(200, report.to_json())
+        self.metrics.windows().snapshot_into(&mut report);
+        match req.query_param("format") {
+            None | Some("json") => Response::json(200, report.to_json()),
+            Some("prometheus") => Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4; charset=utf-8",
+                body: bikron_obs::prom::to_prometheus(&report),
+            },
+            Some(other) => Response::error(
+                400,
+                &format!("unknown metrics format {other:?} (json|prometheus)"),
+            ),
+        }
     }
 
-    fn shutdown_endpoint(&self, req: &Request) -> Response {
+    /// `GET /v1/health`: readiness plus windowed SLO signals. `degraded`
+    /// when any window that saw traffic violates either threshold.
+    fn health_response(&self) -> Response {
+        let requests = self.metrics.requests_window();
+        let errors = self.metrics.errors_window();
+        let latency = self.metrics.latency_window();
+        let windows = [
+            ("1m", requests.w1m, errors.w1m, latency.w1m),
+            ("5m", requests.w5m, errors.w5m, latency.w5m),
+        ];
+        // Pre-pass: evaluate every window so `status` can lead the body.
+        let rows: Vec<_> = windows
+            .into_iter()
+            .map(|(label, req, err, lat)| {
+                let err_pct = (err.count * 100).checked_div(req.count).unwrap_or(0);
+                let p99_ms = lat.p99 / 1_000_000;
+                let ok =
+                    req.count == 0 || (err_pct <= self.slo_err_pct && p99_ms <= self.slo_p99_ms);
+                (label, req, err, err_pct, p99_ms, ok)
+            })
+            .collect();
+        let degraded = rows.iter().any(|&(.., ok)| !ok);
+
+        let mut w = JsonWriter::new();
+        w.open_object();
+        w.string_field("status", if degraded { "degraded" } else { "ok" });
+        w.u64_field("uptime_ms", self.started.elapsed().as_millis() as u64);
+        w.key("slo");
+        w.open_object();
+        w.u64_field("p99_ms", self.slo_p99_ms);
+        w.u64_field("err_pct", self.slo_err_pct);
+        w.close_object();
+        w.key("windows");
+        w.open_object();
+        for (label, req, err, err_pct, p99_ms, ok) in rows {
+            w.key(label);
+            w.open_object();
+            w.u64_field("requests", req.count);
+            w.u64_field("rate_per_sec", req.rate_per_sec);
+            w.u64_field("errors_5xx", err.count);
+            w.u64_field("err_pct", err_pct);
+            w.u64_field("p99_ms", p99_ms);
+            w.bool_field("ok", ok);
+            w.close_object();
+        }
+        w.close_object();
+        w.close_object();
+        Response::json(200, w.finish())
+    }
+
+    /// `GET /v1/admin/stall?ms=N` (token-gated): sleep `N` ms inside the
+    /// request path. The debug lever behind the ISSUE's injected-stall
+    /// test — latency recorded for this request spikes the windowed p99
+    /// so `/v1/health` demonstrably flips to `degraded`.
+    fn stall_endpoint(&self, req: &Request) -> Response {
+        if let Err(resp) = self.check_admin(req) {
+            return resp;
+        }
+        let ms: u64 = match req.query_param("ms").map(str::parse) {
+            Some(Ok(v)) => v,
+            _ => return Response::error(400, "stall requires ?ms=N"),
+        };
+        let ms = ms.min(MAX_STALL_MS);
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+        let mut w = JsonWriter::new();
+        w.open_object();
+        w.u64_field("stalled_ms", ms);
+        w.close_object();
+        Response::json(200, w.finish())
+    }
+
+    /// Emit one access-log event for a completed request (no-op without
+    /// `--access-log`). `cache` is the thread-local outcome captured by
+    /// the connection loop.
+    pub fn log_access(
+        &self,
+        method: &str,
+        path_shape: &str,
+        status: u16,
+        latency_ns: u64,
+        bytes: u64,
+        cache: Option<bool>,
+    ) {
+        let Some(logger) = &self.logger else {
+            return;
+        };
+        logger.publish(
+            LogEvent::new("access")
+                .field("method", method)
+                .field("path", path_shape)
+                .field("status", status as u64)
+                .field("latency_ns", latency_ns)
+                .field("bytes", bytes)
+                .field(
+                    "cache",
+                    match cache {
+                        Some(true) => "hit",
+                        Some(false) => "miss",
+                        None => "-",
+                    },
+                ),
+        );
+    }
+
+    /// Block until all published access-log events are on disk (tests
+    /// and orderly shutdown).
+    pub fn flush_logs(&self) {
+        if let Some(logger) = &self.logger {
+            logger.flush();
+        }
+    }
+
+    /// Validate the admin token on `req` (`?token=` or `x-admin-token`).
+    fn check_admin(&self, req: &Request) -> Result<(), Response> {
         let Some(expected) = &self.admin_token else {
-            return Response::error(
+            return Err(Response::error(
                 403,
                 "admin endpoints are disabled; restart with --admin-token",
-            );
+            ));
         };
         let presented = req
             .query_param("token")
             .or_else(|| req.header("x-admin-token"));
         if presented != Some(expected.as_str()) {
-            return Response::error(403, "missing or invalid admin token");
+            return Err(Response::error(403, "missing or invalid admin token"));
+        }
+        Ok(())
+    }
+
+    fn shutdown_endpoint(&self, req: &Request) -> Response {
+        if let Err(resp) = self.check_admin(req) {
+            return resp;
         }
         self.request_shutdown();
         let mut w = JsonWriter::new();
@@ -555,6 +820,16 @@ fn stats_body(
     let mut w = JsonWriter::new();
     w.open_object();
     w.string_field("schema", "bikron-serve/1");
+    w.key("metrics_schemas");
+    w.open_array();
+    for schema in [
+        bikron_obs::SCHEMA_V1,
+        bikron_obs::SCHEMA_V2,
+        bikron_obs::SCHEMA,
+    ] {
+        w.string_element(schema);
+    }
+    w.close_array();
     w.string_field(
         "mode",
         match prod.mode() {
@@ -824,12 +1099,170 @@ mod tests {
     #[test]
     fn metrics_endpoint_returns_obs_report() {
         let st = state();
+        // `record` is the pool's per-request hook; invoke it directly so the
+        // windowed series carry a sample.
+        st.metrics().record(200, 64, 1_000_000);
         let resp = st.handle(&get("/metrics"));
         assert_eq!(resp.status, 200);
-        assert!(resp.body.contains("\"schema\": \"bikron-obs/2\""));
+        assert!(resp.body.contains("\"schema\": \"bikron-obs/3\""));
         assert!(resp.body.contains("\"tool\": \"bikron-serve\""));
+        assert!(resp.body.contains("\"windows\""));
         let parsed = bikron_obs::Report::from_json(&resp.body).unwrap();
         assert_eq!(parsed.meta("endpoint"), Some("/metrics"));
+        // The windowed series ride the same report as the cumulative ones.
+        let win = parsed.window("serve.request_ns").expect("windowed latency");
+        assert!(win.w1m.count >= 1, "recorded request in the 1m window");
+    }
+
+    #[test]
+    fn metrics_format_param_selects_prometheus() {
+        let st = state();
+        st.handle(&get("/v1/vertex/3"));
+        let resp = st.handle(&get("/metrics?format=prometheus"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.content_type.starts_with("text/plain; version=0.0.4"));
+        bikron_obs::prom::check_exposition(&resp.body).expect("valid exposition");
+        assert!(resp.body.contains("bikron_serve_requests"));
+        // Satellite: live gauge and high-water mark export as distinct series.
+        assert!(resp.body.contains("bikron_serve_inflight "));
+        assert!(resp.body.contains("bikron_serve_inflight_peak "));
+
+        assert_eq!(st.handle(&get("/metrics?format=json")).status, 200);
+        assert_eq!(st.handle(&get("/metrics?format=xml")).status, 400);
+    }
+
+    #[test]
+    fn stats_advertises_metrics_schemas() {
+        let st = state();
+        let resp = st.handle(&get("/v1/stats"));
+        assert!(resp.body.contains("\"metrics_schemas\""));
+        for schema in ["bikron-obs/1", "bikron-obs/2", "bikron-obs/3"] {
+            assert!(resp.body.contains(&format!("\"{schema}\"")), "{schema}");
+        }
+    }
+
+    #[test]
+    fn health_starts_ok_and_degrades_on_slo_breach() {
+        let st = ServeState::build_with(
+            cycle(5),
+            complete_bipartite(2, 3),
+            SelfLoopMode::None,
+            ServeOptions {
+                slo_p99_ms: 50,
+                slo_err_pct: 10,
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        // No traffic yet: windows are empty, which is healthy, not degraded.
+        let resp = st.handle(&get("/v1/health"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"status\": \"ok\""), "{}", resp.body);
+
+        // Fast, successful traffic stays ok.
+        for _ in 0..10 {
+            st.metrics().record(200, 100, 1_000_000); // 1ms
+        }
+        let resp = st.handle(&get("/v1/health"));
+        assert!(resp.body.contains("\"status\": \"ok\""), "{}", resp.body);
+
+        // One 200ms outlier pushes windowed p99 past the 50ms SLO.
+        st.metrics().record(200, 100, 200_000_000);
+        let resp = st.handle(&get("/v1/health"));
+        assert!(
+            resp.body.contains("\"status\": \"degraded\""),
+            "{}",
+            resp.body
+        );
+        assert!(resp.body.contains("\"ok\": false"));
+    }
+
+    #[test]
+    fn health_degrades_on_error_budget_breach() {
+        let st = ServeState::build_with(
+            cycle(5),
+            complete_bipartite(2, 3),
+            SelfLoopMode::None,
+            ServeOptions {
+                slo_p99_ms: 10_000,
+                slo_err_pct: 5,
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        for _ in 0..9 {
+            st.metrics().record(200, 100, 1_000_000);
+        }
+        assert!(st.handle(&get("/v1/health")).body.contains("\"ok\": true"));
+        // 1 error in 10 requests = 10% > the 5% budget.
+        st.metrics().record(500, 100, 1_000_000);
+        let resp = st.handle(&get("/v1/health"));
+        assert!(
+            resp.body.contains("\"status\": \"degraded\""),
+            "{}",
+            resp.body
+        );
+    }
+
+    #[test]
+    fn stall_endpoint_is_token_gated_and_validated() {
+        let st = state();
+        assert_eq!(st.handle(&get("/v1/admin/stall?ms=1")).status, 403);
+        assert_eq!(
+            st.handle(&get("/v1/admin/stall?ms=1&token=wrong")).status,
+            403
+        );
+        assert_eq!(st.handle(&get("/v1/admin/stall?token=sesame")).status, 400);
+        assert_eq!(
+            st.handle(&get("/v1/admin/stall?ms=banana&token=sesame"))
+                .status,
+            400
+        );
+        let resp = st.handle(&get("/v1/admin/stall?ms=2&token=sesame"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"stalled_ms\": 2"));
+    }
+
+    #[test]
+    fn path_shape_collapses_numeric_segments() {
+        assert_eq!(path_shape("/v1/vertex/17"), "/v1/vertex/{n}");
+        assert_eq!(path_shape("/v1/edge/0/13"), "/v1/edge/{n}/{n}");
+        assert_eq!(path_shape("/v1/stats"), "/v1/stats");
+        assert_eq!(path_shape("/"), "/");
+        assert_eq!(path_shape(""), "/");
+        assert_eq!(path_shape("/metrics"), "/metrics");
+    }
+
+    #[test]
+    fn access_log_round_trips_through_file() {
+        let path = std::env::temp_dir().join(format!(
+            "bikron-serve-access-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let st = ServeState::build_with(
+            cycle(5),
+            complete_bipartite(2, 3),
+            SelfLoopMode::None,
+            ServeOptions {
+                access_log: Some(path.display().to_string()),
+                admin_token: Some("sesame".into()),
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        st.log_access("GET", "/v1/vertex/{n}", 200, 1_234, 99, Some(true));
+        st.log_access("GET", "/metrics", 200, 5_678, 400, None);
+        st.flush_logs();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains("\"target\": \"access\""));
+        assert!(lines[0].contains("\"path\": \"/v1/vertex/{n}\""));
+        assert!(lines[0].contains("\"cache\": \"hit\""));
+        assert!(lines[1].contains("\"cache\": \"-\""));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

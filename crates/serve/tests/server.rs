@@ -12,7 +12,7 @@ use bikron_core::truth::squares_vertex::vertex_squares_at;
 use bikron_core::truth::FactorStats;
 use bikron_core::{KroneckerProduct, SelfLoopMode};
 use bikron_generators::{complete_bipartite, cycle};
-use bikron_serve::{ServeState, Server, ServerConfig};
+use bikron_serve::{ServeOptions, ServeState, Server, ServerConfig};
 
 /// Minimal keep-alive HTTP client for the tests.
 struct Client {
@@ -67,12 +67,27 @@ impl Client {
 
 /// Start a server on port 0 and return (address, state handle).
 fn start(config: ServerConfig) -> (std::net::SocketAddr, Arc<ServeState>) {
+    start_with(
+        config,
+        ServeOptions {
+            admin_token: Some("tok".to_string()),
+            ..ServeOptions::default()
+        },
+    )
+}
+
+/// Start a server with explicit [`ServeOptions`] (SLO thresholds, access
+/// log, …) on port 0.
+fn start_with(
+    config: ServerConfig,
+    options: ServeOptions,
+) -> (std::net::SocketAddr, Arc<ServeState>) {
     let state = Arc::new(
-        ServeState::build(
+        ServeState::build_with(
             cycle(5),
             complete_bipartite(2, 3),
             SelfLoopMode::FactorA,
-            Some("tok".to_string()),
+            options,
         )
         .expect("build state"),
     );
@@ -158,6 +173,99 @@ fn concurrent_clients_get_byte_exact_truth() {
     assert!(report.counter("serve.requests").unwrap_or(0) >= (8 * n) as u64);
 
     state.request_shutdown();
+}
+
+#[test]
+fn health_flips_to_degraded_under_injected_stall() {
+    let (addr, state) = start_with(
+        ServerConfig::default(),
+        ServeOptions {
+            admin_token: Some("tok".to_string()),
+            slo_p99_ms: 50,
+            ..ServeOptions::default()
+        },
+    );
+    let mut client = Client::connect(addr);
+
+    // Fast traffic first: health is ok.
+    for p in 0..5 {
+        let (status, _) = client.get(&format!("/v1/vertex/{p}"));
+        assert_eq!(status, 200);
+    }
+    let (status, body) = client.get("/v1/health");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\": \"ok\""), "{body}");
+
+    // Inject a 200ms stall — far past the 50ms SLO. Its latency is
+    // recorded like any other request's, so windowed p99 spikes.
+    let (status, body) = client.get("/v1/admin/stall?ms=200&token=tok");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"stalled_ms\": 200"));
+
+    let (status, body) = client.get("/v1/health");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\": \"degraded\""), "{body}");
+    assert!(body.contains("\"ok\": false"), "{body}");
+
+    state.request_shutdown();
+}
+
+#[test]
+fn prometheus_scrape_is_valid_exposition() {
+    let (addr, state) = start(ServerConfig::default());
+    let mut client = Client::connect(addr);
+    for p in 0..3 {
+        client.get(&format!("/v1/vertex/{p}"));
+    }
+    let (status, body) = client.get("/metrics?format=prometheus");
+    assert_eq!(status, 200);
+    bikron_obs::prom::check_exposition(&body).expect("exposition validates");
+    assert!(
+        body.contains("# TYPE bikron_serve_requests counter"),
+        "{body}"
+    );
+    assert!(body.contains("bikron_serve_request_ns_bucket"), "{body}");
+    // Live gauge and high-water mark are distinct series.
+    assert!(body.contains("\nbikron_serve_inflight "), "{body}");
+    assert!(body.contains("\nbikron_serve_inflight_peak "), "{body}");
+    // Windowed series carry the window label.
+    assert!(body.contains("window=\"1m\""), "{body}");
+    state.request_shutdown();
+}
+
+#[test]
+fn access_log_captures_requests_with_cache_outcomes() {
+    let log_path = std::env::temp_dir().join(format!(
+        "bikron-server-test-access-{}.log",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&log_path);
+    let (addr, state) = start_with(
+        ServerConfig::default(),
+        ServeOptions {
+            admin_token: Some("tok".to_string()),
+            access_log: Some(log_path.display().to_string()),
+            ..ServeOptions::default()
+        },
+    );
+    let mut client = Client::connect(addr);
+    // Same vertex twice: first populates the cache (miss), second hits.
+    client.get("/v1/vertex/4");
+    client.get("/v1/vertex/4");
+    client.get("/nope/404");
+    state.flush_logs();
+
+    let text = std::fs::read_to_string(&log_path).expect("access log exists");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "{text}");
+    assert!(lines[0].contains("\"path\": \"/v1/vertex/{n}\""), "{text}");
+    assert!(lines[0].contains("\"cache\": \"miss\""), "{text}");
+    assert!(lines[1].contains("\"cache\": \"hit\""), "{text}");
+    assert!(lines[2].contains("\"status\": 404"), "{text}");
+    assert!(lines.iter().all(|l| l.contains("\"latency_ns\": ")));
+
+    state.request_shutdown();
+    let _ = std::fs::remove_file(&log_path);
 }
 
 #[test]
