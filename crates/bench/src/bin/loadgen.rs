@@ -17,6 +17,14 @@
 //! `--out` file into the new report, so sequential runs (single / batch /
 //! batch+cache) accumulate into one benchmark file.
 //!
+//! `loadgen --expr "EXPR" NAME=SPEC...` targets an expression server
+//! (`bikron serve --expr`). The workload adds /v1/clustering and
+//! /v1/community probes, and every answer is checked against a
+//! **materialised replica** of the chain — the product graph is built
+//! locally and 4-cycle counts recounted with the direct butterfly
+//! algorithms, so server and checker share no closed-form code path.
+//! /v1/stats must report the canonicalised expression.
+//!
 //! ```sh
 //! bikron serve unicode unicode loops-a --addr 127.0.0.1:7474 &
 //! cargo run --release -p bikron-bench --bin loadgen -- \
@@ -31,12 +39,13 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use bikron_analytics::{butterflies_per_edge, butterflies_per_vertex, EdgeButterflies};
 use bikron_bench::serve_load::{field_u64, field_u64_last, split_json_array, LoadgenSummary, Zipf};
 use bikron_cli::{parse_factor, parse_mode};
 use bikron_core::truth::squares_edge::edge_squares_at;
 use bikron_core::truth::squares_vertex::vertex_squares_at;
 use bikron_core::truth::FactorStats;
-use bikron_core::{KroneckerProduct, SelfLoopMode};
+use bikron_core::{KronChain, KroneckerProduct, SelfLoopMode};
 use bikron_graph::Graph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,6 +54,10 @@ struct Args {
     a_spec: String,
     b_spec: String,
     mode: SelfLoopMode,
+    /// Non-empty selects expression mode: the served program's source
+    /// text, with `bindings` holding its `NAME=SPEC` factor bindings.
+    expr: String,
+    bindings: Vec<String>,
     addr: String,
     requests: u64,
     threads: usize,
@@ -72,10 +85,34 @@ fn parse_args() -> Args {
             "usage: loadgen A_SPEC B_SPEC MODE [--addr HOST:PORT] [--requests N] \
              [--threads N] [--out FILE] [--seed S] [--batch K] [--zipf S] \
              [--label NAME] [--append] [--stall MS] [--stall-count K] \
-             [--admin-token TOK] [--check-health ok|degraded]"
+             [--admin-token TOK] [--check-health ok|degraded]\n\
+             \x20      loadgen --expr \"EXPR\" NAME=SPEC... [same flags, no --batch]"
         );
         std::process::exit(2);
     }
+    let (a_spec, b_spec, mode, expr, bindings) = if raw[0] == "--expr" {
+        let mut bindings = Vec::new();
+        let mut i = 2;
+        while i < raw.len() && !raw[i].starts_with("--") {
+            bindings.push(raw[i].clone());
+            i += 1;
+        }
+        (
+            String::new(),
+            String::new(),
+            SelfLoopMode::None,
+            raw[1].clone(),
+            bindings,
+        )
+    } else {
+        (
+            raw[0].clone(),
+            raw[1].clone(),
+            parse_mode(&raw[2]).expect("bad MODE"),
+            String::new(),
+            Vec::new(),
+        )
+    };
     let flag = |name: &str, default: &str| {
         raw.iter()
             .position(|x| x == name)
@@ -84,9 +121,11 @@ fn parse_args() -> Args {
             .unwrap_or_else(|| default.to_string())
     };
     Args {
-        a_spec: raw[0].clone(),
-        b_spec: raw[1].clone(),
-        mode: parse_mode(&raw[2]).expect("bad MODE"),
+        a_spec,
+        b_spec,
+        mode,
+        expr,
+        bindings,
         addr: flag("--addr", "127.0.0.1:7474"),
         requests: flag("--requests", "2000").parse().expect("bad --requests"),
         threads: flag("--threads", "4").parse().expect("bad --threads"),
@@ -445,8 +484,347 @@ fn batch_worker(
     (latencies, verified, mismatches)
 }
 
+/// Truth replica for expression mode: the chain **materialised** plus
+/// direct (non-closed-form) 4-cycle recounts, so the checker shares no
+/// evaluator code with the server.
+struct ExprTruth {
+    chain: KronChain,
+    g: Graph,
+    squares_v: Vec<u64>,
+    squares_e: EdgeButterflies,
+    level_sizes: Vec<usize>,
+}
+
+impl ExprTruth {
+    fn build(expr: &str, bindings: &[String]) -> ExprTruth {
+        let parsed = bikron_sparse::parse_expr(expr).unwrap_or_else(|e| {
+            eprintln!("loadgen: --expr parse failed at {e}");
+            std::process::exit(2);
+        });
+        let graphs: Vec<(String, Graph)> = bindings
+            .iter()
+            .map(|b| {
+                let (name, spec) = b
+                    .split_once('=')
+                    .unwrap_or_else(|| panic!("expected NAME=SPEC binding, got {b:?}"));
+                (name.to_string(), parse_factor(spec).expect("bad SPEC"))
+            })
+            .collect();
+        let levels: Vec<(String, bool)> = parsed
+            .levels
+            .iter()
+            .map(|l| (l.name.clone(), l.plus_identity))
+            .collect();
+        let chain = KronChain::new(graphs, &levels).expect("valid chain");
+        let g = chain.materialize();
+        let squares_v = butterflies_per_vertex(&g);
+        let squares_e = butterflies_per_edge(&g);
+        let level_sizes = (0..chain.num_levels())
+            .map(|i| chain.level_info(i).1.num_vertices())
+            .collect();
+        ExprTruth {
+            chain,
+            g,
+            squares_v,
+            squares_e,
+            level_sizes,
+        }
+    }
+}
+
+/// The exact chain-backend body for `/v1/vertex/{p}` (coords replace the
+/// pair backend's alpha/beta).
+fn expected_chain_vertex_body(t: &ExprTruth, p: usize) -> String {
+    let coords: Vec<String> = t
+        .chain
+        .split(p)
+        .iter()
+        .map(|c| format!("    {c}"))
+        .collect();
+    format!(
+        "{{\n  \"vertex\": {p},\n  \"coords\": [\n{}\n  ],\n  \
+         \"degree\": {},\n  \"squares\": {}\n}}\n",
+        coords.join(",\n"),
+        t.g.degree(p),
+        t.squares_v[p],
+    )
+}
+
+/// Verify a chain neighbors body against the materialised adjacency.
+fn chain_neighbors_ok(t: &ExprTruth, body: &str, p: usize, offset: u64, limit: usize) -> bool {
+    let all = t.g.neighbors(p);
+    let start = (offset as usize).min(all.len());
+    let end = all.len().min(start + limit);
+    let expect = &all[start..end];
+    let got: Vec<usize> = body
+        .split("\"neighbors\": [")
+        .nth(1)
+        .map(|tail| {
+            tail.split(']')
+                .next()
+                .unwrap_or("")
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .filter_map(|s| s.parse().ok())
+                .collect()
+        })
+        .unwrap_or_default();
+    got == expect
+        && field_u64(body, "degree") == Some(t.g.degree(p) as u64)
+        && field_u64(body, "count") == Some(expect.len() as u64)
+}
+
+/// Extract a float field; `None` for a missing key or a JSON `null`.
+fn field_f64(body: &str, key: &str) -> Option<f64> {
+    let tail = body.split(&format!("\"{key}\": ")).nth(1)?;
+    let raw = tail.split([',', '\n', '}']).next()?.trim();
+    if raw == "null" {
+        return None;
+    }
+    raw.parse().ok()
+}
+
+/// Verify a `/v1/clustering/{p}/{q}` body: squares recounted directly,
+/// Γ recomputed from Eq. 5 on the replica, and — when the server claims
+/// a Thm 6 bound — the bound must actually lower-bound Γ.
+fn clustering_ok(t: &ExprTruth, body: &str, p: usize, q: usize) -> bool {
+    let squares = t.squares_e.get(p, q);
+    let (dp, dq) = (t.g.degree(p) as u64, t.g.degree(q) as u64);
+    let mut ok = body.contains(&format!("\"edge\": {}", squares.is_some()))
+        && field_u64(body, "degree_p") == Some(dp)
+        && field_u64(body, "degree_q") == Some(dq);
+    match squares {
+        Some(s) => {
+            ok &= field_u64(body, "squares") == Some(s);
+            if dp > 1 && dq > 1 {
+                let gamma = s as f64 / ((dp - 1) * (dq - 1)) as f64;
+                ok &= field_f64(body, "gamma")
+                    .is_some_and(|g| (g - gamma).abs() <= 1e-9 * gamma.max(1.0));
+                if let Some(b) = field_f64(body, "bound") {
+                    ok &= b <= gamma + 1e-9;
+                }
+            }
+        }
+        None => ok &= body.contains("\"squares\": null"),
+    }
+    ok
+}
+
+/// Verify a `/v1/community` body by brute-forcing `m_in`/`m_out` for the
+/// per-level sets over the materialised replica.
+fn community_ok(t: &ExprTruth, body: &str, sets: &[Vec<usize>]) -> bool {
+    let mut coords_list: Vec<Vec<usize>> = vec![Vec::new()];
+    for s in sets {
+        let mut next = Vec::with_capacity(coords_list.len() * s.len());
+        for c in &coords_list {
+            for &v in s {
+                let mut c2 = c.clone();
+                c2.push(v);
+                next.push(c2);
+            }
+        }
+        coords_list = next;
+    }
+    let ids: Vec<usize> = coords_list.iter().map(|c| t.chain.combine(c)).collect();
+    let idset: std::collections::HashSet<usize> = ids.iter().copied().collect();
+    let (mut m_in2, mut m_out) = (0u64, 0u64);
+    for &p in &ids {
+        for &q in t.g.neighbors(p) {
+            if idset.contains(&q) {
+                m_in2 += 1;
+            } else {
+                m_out += 1;
+            }
+        }
+    }
+    field_u64(body, "size") == Some(ids.len() as u64)
+        && field_u64(body, "m_in") == Some(m_in2 / 2)
+        && field_u64(body, "m_out") == Some(m_out)
+}
+
+/// One expression-mode worker: the mixed workload plus clustering,
+/// community and stats-expr probes. Returns (latencies_ns, mismatches).
+fn expr_worker(
+    truth: &ExprTruth,
+    addr: &str,
+    count: u64,
+    seed: u64,
+    zipf: Option<&Zipf>,
+) -> (Vec<u64>, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut client = Client::connect(addr).expect("connect to server");
+    let n = truth.g.num_vertices();
+    let mut latencies = Vec::with_capacity(count as usize);
+    let mut mismatches = 0u64;
+    let mut check = |ok: bool, what: &str, path: &str, body: &str| {
+        if !ok {
+            mismatches += 1;
+            eprintln!("MISMATCH {what} at {path}: {body}");
+        }
+    };
+    for _ in 0..count {
+        let dice = rng.gen_range(0u32..100);
+        let started = Instant::now();
+        if dice < 25 {
+            // Vertex: byte-exact against the materialised recount.
+            let p = pick_vertex(&mut rng, zipf, n);
+            let path = format!("/v1/vertex/{p}");
+            let (status, body) = client.get(&path).expect("vertex request");
+            let expect = expected_chain_vertex_body(truth, p);
+            check(status == 200 && body == expect, "vertex", &path, &body);
+        } else if dice < 45 {
+            // Known edge from the replica's adjacency.
+            let mut p = pick_vertex(&mut rng, zipf, n);
+            for _ in 0..64 {
+                if truth.g.degree(p) > 0 {
+                    break;
+                }
+                p = rng.gen_range(0..n);
+            }
+            let nbrs = truth.g.neighbors(p);
+            if nbrs.is_empty() {
+                continue;
+            }
+            let q = nbrs[rng.gen_range(0..nbrs.len())];
+            let s = truth.squares_e.get(p, q).expect("sampled pair is an edge");
+            let path = format!("/v1/edge/{p}/{q}");
+            let (status, body) = client.get(&path).expect("edge request");
+            check(
+                status == 200 && edge_body_ok(&body, Some(s)),
+                "edge",
+                &path,
+                &body,
+            );
+        } else if dice < 55 {
+            // Random pair: existence and count must agree with the replica.
+            let p = pick_vertex(&mut rng, zipf, n);
+            let q = pick_vertex(&mut rng, zipf, n);
+            let expected = truth.squares_e.get(p, q);
+            let path = format!("/v1/edge/{p}/{q}");
+            let (status, body) = client.get(&path).expect("pair request");
+            check(
+                status == 200 && edge_body_ok(&body, expected),
+                "pair",
+                &path,
+                &body,
+            );
+        } else if dice < 70 {
+            let p = pick_vertex(&mut rng, zipf, n);
+            let d = truth.g.degree(p) as u64;
+            let offset = if d == 0 { 0 } else { rng.gen_range(0..d) };
+            let limit = rng.gen_range(1usize..=64);
+            let path = format!("/v1/neighbors/{p}?offset={offset}&limit={limit}");
+            let (status, body) = client.get(&path).expect("neighbors request");
+            check(
+                status == 200 && chain_neighbors_ok(truth, &body, p, offset, limit),
+                "neighbors",
+                &path,
+                &body,
+            );
+        } else if dice < 82 {
+            // Clustering on a known edge (falls back to a random pair on
+            // isolated picks): the Thm 6 surface.
+            let p = pick_vertex(&mut rng, zipf, n);
+            let nbrs = truth.g.neighbors(p);
+            let q = if nbrs.is_empty() {
+                rng.gen_range(0..n)
+            } else {
+                nbrs[rng.gen_range(0..nbrs.len())]
+            };
+            let path = format!("/v1/clustering/{p}/{q}");
+            let (status, body) = client.get(&path).expect("clustering request");
+            check(
+                status == 200 && clustering_ok(truth, &body, p, q),
+                "clustering",
+                &path,
+                &body,
+            );
+        } else if dice < 94 {
+            // Community: small random per-level sets, brute-forced locally.
+            let sets: Vec<Vec<usize>> = truth
+                .level_sizes
+                .iter()
+                .map(|&ni| {
+                    let k = rng.gen_range(1..=ni.min(3));
+                    let mut s: Vec<usize> = (0..k).map(|_| rng.gen_range(0..ni)).collect();
+                    s.sort_unstable();
+                    s.dedup();
+                    s
+                })
+                .collect();
+            let query: Vec<String> = sets
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let ids: Vec<String> = s.iter().map(usize::to_string).collect();
+                    format!("s{i}={}", ids.join(","))
+                })
+                .collect();
+            let path = format!("/v1/community?{}", query.join("&"));
+            let (status, body) = client.get(&path).expect("community request");
+            check(
+                status == 200 && community_ok(truth, &body, &sets),
+                "community",
+                &path,
+                &body,
+            );
+        } else {
+            // Stats: totals from the replica, plus the canonicalised
+            // expression the server must advertise.
+            let (status, body) = client.get("/v1/stats").expect("stats request");
+            let ok = status == 200
+                && field_u64_last(&body, "vertices") == Some(n as u64)
+                && field_u64_last(&body, "edges") == Some(truth.g.num_edges() as u64)
+                && field_u64_last(&body, "global_squares")
+                    == Some(truth.squares_v.iter().sum::<u64>() / 4)
+                && body.contains(&format!("\"expr\": \"{}\"", truth.chain.canonical()));
+            check(ok, "stats", "/v1/stats", &body);
+        }
+        latencies.push(started.elapsed().as_nanos() as u64);
+    }
+    (latencies, mismatches)
+}
+
 fn main() {
     let args = parse_args();
+    if !args.expr.is_empty() {
+        if args.batch > 0 {
+            eprintln!("loadgen: --batch is not supported with --expr");
+            std::process::exit(2);
+        }
+        let truth = Arc::new(ExprTruth::build(&args.expr, &args.bindings));
+        let zipf = if args.zipf > 0.0 {
+            Some(Arc::new(Zipf::new(truth.g.num_vertices(), args.zipf)))
+        } else {
+            None
+        };
+        let threads = args.threads.max(1);
+        let per_thread = args.requests / threads as u64;
+        let started = Instant::now();
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let truth = Arc::clone(&truth);
+                let zipf = zipf.clone();
+                let addr = args.addr.clone();
+                let seed = args.seed.wrapping_add(t as u64);
+                std::thread::spawn(move || {
+                    expr_worker(&truth, &addr, per_thread, seed, zipf.as_deref())
+                })
+            })
+            .collect();
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut mismatches = 0u64;
+        for h in handles {
+            let (l, m) = h.join().expect("worker thread");
+            latencies.extend(l);
+            mismatches += m;
+        }
+        let elapsed = started.elapsed();
+        let queries = latencies.len() as u64;
+        let workload = format!("--expr {}", truth.chain.canonical());
+        finish(&args, latencies, queries, mismatches, elapsed, &workload);
+    }
     let a = parse_factor(&args.a_spec).expect("bad A_SPEC");
     let b = parse_factor(&args.b_spec).expect("bad B_SPEC");
     let truth = Arc::new(Truth {
@@ -497,6 +875,20 @@ fn main() {
         mismatches += m;
     }
     let elapsed = started.elapsed();
+    let workload = format!("{} {} {:?}", args.a_spec, args.b_spec, args.mode);
+    finish(&args, latencies, queries, mismatches, elapsed, &workload);
+}
+
+/// Post-workload tail shared by the pair and expression paths: stall
+/// injection, health assertion, summary + report emission, process exit.
+fn finish(
+    args: &Args,
+    latencies: Vec<u64>,
+    queries: u64,
+    mismatches: u64,
+    elapsed: Duration,
+    workload: &str,
+) -> ! {
     let http_requests = latencies.len() as u64;
 
     // Post-workload SLO exercise: inject stalls, then assert the health
@@ -565,10 +957,7 @@ fn main() {
 
     let mut report = obs.snapshot();
     report.set_meta("tool", "bikron-loadgen");
-    report.set_meta(
-        "workload",
-        format!("{} {} {:?}", args.a_spec, args.b_spec, args.mode),
-    );
+    report.set_meta("workload", workload);
     report.set_meta("addr", args.addr.clone());
     report.set_meta("threads", args.threads.to_string());
     if args.batch > 0 {

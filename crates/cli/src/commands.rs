@@ -247,6 +247,57 @@ pub fn serve(
     Ok(())
 }
 
+/// `bikron serve --expr EXPR NAME=SPEC...` — run the query service over
+/// an arbitrary Kronecker program (`(A+I)⊗B⊗C`, `A^{⊗3}`, …) with
+/// compositional ground truth. Bindings map each name in the expression
+/// to a factor spec; the chain evaluator rejects unbound or duplicate
+/// names with a structural error.
+pub fn serve_expr(
+    expr: &str,
+    bindings: Vec<(String, Graph)>,
+    config: ServerConfig,
+    options: ServeOptions,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let chain = bikron_sparse::parse_expr(expr).map_err(|e| render_expr_error(expr, &e))?;
+    let levels: Vec<(String, bool)> = chain
+        .levels
+        .iter()
+        .map(|l| (l.name.clone(), l.plus_identity))
+        .collect();
+    let cache_entries = options.cache_entries;
+    let state = std::sync::Arc::new(ServeState::build_expr(bindings, &levels, options)?);
+    bikron_serve::signal::install();
+    let server = Server::bind(config.clone(), std::sync::Arc::clone(&state))?;
+    writeln!(
+        out,
+        "serving {} on http://{} ({} worker(s), queue {}, cache {}, batch ≤ {}) — stop with ctrl-c",
+        state.expr(),
+        server.local_addr()?,
+        config.threads.max(1),
+        config.queue_capacity.max(1),
+        if cache_entries > 0 {
+            format!("{cache_entries} entries")
+        } else {
+            "off".to_string()
+        },
+        state.batch_max(),
+    )?;
+    out.flush()?;
+    server.run()?;
+    writeln!(out, "shutdown complete")?;
+    Ok(())
+}
+
+/// Render an expression parse error with the offending input and a caret
+/// under the failing column, so `bikron serve --expr` failures point at
+/// the exact token. Columns are 1-based characters (the multi-byte `⊗`
+/// counts as one), matching [`bikron_sparse::ExprParseError`].
+pub fn render_expr_error(expr: &str, e: &bikron_sparse::ExprParseError) -> String {
+    let pad = " ".repeat(e.column.saturating_sub(1));
+    format!("--expr parse failed at {e}\n  {expr}\n  {pad}^")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,6 +388,37 @@ mod tests {
     fn verify_file_rejects_malformed() {
         assert!(verify_file("1\t2\t3\n", &mut Vec::new()).is_err());
         assert!(verify_file("", &mut Vec::new()).unwrap());
+    }
+
+    #[test]
+    fn expr_error_renders_column_caret() {
+        let input = "(A+⊗B";
+        let e = bikron_sparse::parse_expr(input).unwrap_err();
+        let text = render_expr_error(input, &e);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(
+            lines[0].starts_with("--expr parse failed at column "),
+            "{text}"
+        );
+        assert_eq!(lines[1], format!("  {input}"));
+        // The caret sits under the reported (1-based, char-counted)
+        // column, two display cells in from the margin like the input.
+        assert_eq!(lines[2].chars().count(), e.column + 2);
+        assert!(lines[2].ends_with('^'));
+    }
+
+    #[test]
+    fn serve_expr_surfaces_unbound_name() {
+        let mut out = Vec::new();
+        let err = serve_expr(
+            "A⊗B",
+            vec![("A".into(), cycle(5))],
+            ServerConfig::default(),
+            ServeOptions::default(),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains('B'), "{err}");
     }
 
     #[test]

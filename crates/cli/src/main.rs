@@ -7,6 +7,7 @@
 //! bikron validate A_SPEC B_SPEC MODE CLAIMED_GLOBAL_4CYCLES
 //! bikron parts    A_SPEC B_SPEC MODE
 //! bikron serve    A_SPEC B_SPEC MODE [--addr HOST:PORT] [--threads N] [--queue N] [--admin-token TOK]
+//! bikron serve    --expr "EXPR" NAME=SPEC... [same flags]
 //! bikron monitor  URL [--interval SEC] [--once] [--top K]
 //! bikron perfdiff BASELINE.json CANDIDATE.json [--threshold PCT] [--warn-only] [--watch P1,P2]
 //! bikron --version
@@ -34,6 +35,7 @@ USAGE:
                   [--queue N] [--admin-token TOKEN] [--cache-entries N]
                   [--cache-shards N] [--batch-max K] [--access-log FILE]
                   [--log-sample N] [--slo-p99-ms MS] [--slo-err-pct PCT]
+  bikron serve    --expr \"EXPR\" NAME=SPEC... [same flags as serve]
   bikron monitor  URL [--interval SEC] [--once] [--top K]
   bikron perfdiff BASELINE.json CANDIDATE.json
                   [--threshold PCT] [--warn-only] [--watch PHASE[,PHASE...]]
@@ -62,6 +64,16 @@ SERVE:
   (--slo-p99-ms, --slo-err-pct). --access-log FILE appends one JSON
   line per request (--log-sample N keeps every Nth per target).
   Stop with ctrl-c.
+
+  With --expr, the server answers queries about an arbitrary Kronecker
+  program instead of a single pair: EXPR is a chain of named factors
+  joined by `⊗` (or `kron`/`*`), with `(NAME+I)` lifting one level by
+  the identity and `NAME^{⊗k}` abbreviating a k-fold tower. Every name
+  in EXPR must be bound by a NAME=SPEC argument. Expression servers add
+  /v1/clustering/{p}/{q} (Thm 6), /v1/community?s0=..&s1=.. (Thm 7) and
+  /v1/scatter/degree-squares, and report the canonicalised expression
+  in /v1/stats. Example:
+    bikron serve --expr \"(A+I)⊗B⊗C\" A=cycle:5 B=kmn:2x3 C=crown:3
 
 MONITOR:
   Polls URL/metrics every --interval seconds (default 2) and redraws a
@@ -231,6 +243,28 @@ fn dispatch(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
         Some("verify-file") if args.len() >= 2 => {
             let tsv = std::fs::read_to_string(&args[1])?;
             commands::verify_file(&tsv, &mut out)
+        }
+        // Dispatched before the positional form: `serve --expr EXPR
+        // NAME=SPEC...` also has ≥ 4 arguments.
+        Some("serve") if args.get(1).map(String::as_str) == Some("--expr") => {
+            let expr = args
+                .get(2)
+                .ok_or("serve --expr requires an expression argument")?;
+            let mut bindings = Vec::new();
+            let mut rest = 3;
+            while let Some(arg) = args.get(rest) {
+                if arg.starts_with("--") {
+                    break;
+                }
+                let (name, spec) = arg.split_once('=').ok_or_else(|| {
+                    format!("serve --expr: expected NAME=SPEC binding, got {arg:?}")
+                })?;
+                bindings.push((name.to_string(), parse_factor(spec)?));
+                rest += 1;
+            }
+            let (config, options) = parse_serve_config(&args[rest..])?;
+            commands::serve_expr(expr, bindings, config, options, &mut out)?;
+            Ok(true)
         }
         Some("serve") if args.len() >= 4 => {
             let a = parse_factor(&args[1])?;

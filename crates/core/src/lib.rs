@@ -46,6 +46,7 @@
 //! assert_eq!(s.len(), 12);
 //! ```
 
+pub mod chain;
 pub mod connectivity;
 pub mod index;
 pub mod power;
@@ -54,6 +55,7 @@ pub mod sample;
 pub mod stream;
 pub mod truth;
 
+pub use chain::{ChainClustering, ChainCommunity, ChainError, KronChain};
 pub use connectivity::{predict_structure, ProductStructure};
 pub use index::KronIndexer;
 pub use power::KroneckerPower;

@@ -56,7 +56,14 @@ impl EdgeSquaresTruth {
 
 /// `W³` of the effective `A` factor on the (possibly diagonal) entry
 /// `(i, j)`; `None` if the entry is not in the effective adjacency.
-fn w3_effective_a(stats_a: &FactorStats, mode: SelfLoopMode, i: usize, j: usize) -> Option<i128> {
+/// Shared with the k-factor chain evaluator in `crate::chain`, which calls
+/// it per level with that level's own `+ I` flag.
+pub(crate) fn w3_effective_a(
+    stats_a: &FactorStats,
+    mode: SelfLoopMode,
+    i: usize,
+    j: usize,
+) -> Option<i128> {
     match mode {
         SelfLoopMode::None => {
             stats_a.squares_at_edge(i, j)?; // ensures (i,j) ∈ E_A

@@ -105,7 +105,14 @@ pub fn vertex_squares_at(
     (twice / 2) as u64
 }
 
-fn single_terms(stats: &FactorStats, i: usize, add_loops: bool) -> (i128, i128, i128, i128) {
+/// The four per-factor Thm 3/4 terms `(walk4, deg², w2, deg)` at factor
+/// vertex `i`, under the effective (`+ I` when `add_loops`) adjacency.
+/// Shared with the k-factor chain evaluator in `crate::chain`.
+pub(crate) fn single_terms(
+    stats: &FactorStats,
+    i: usize,
+    add_loops: bool,
+) -> (i128, i128, i128, i128) {
     let d = stats.degrees[i];
     if add_loops {
         (

@@ -145,6 +145,18 @@ impl JsonWriter {
         self.out.push_str(&value.to_string());
     }
 
+    /// `"key": value` for a float, in Rust's shortest round-trip `{}`
+    /// form (so `1.0` prints as `1`, still valid JSON). Non-finite
+    /// values have no JSON spelling and become `null`.
+    pub fn f64_field(&mut self, key: &str, value: f64) {
+        self.key(key);
+        if value.is_finite() {
+            self.out.push_str(&format!("{value}"));
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
     /// `"key": true|false`.
     pub fn bool_field(&mut self, key: &str, value: bool) {
         self.key(key);
@@ -243,6 +255,30 @@ mod tests {
             "}\n",
         );
         assert_eq!(json, expect);
+    }
+
+    /// Float fields use the shortest round-trip form and `null` out the
+    /// spellings JSON lacks.
+    #[test]
+    fn f64_fields_golden() {
+        let mut w = JsonWriter::new();
+        w.open_object();
+        w.f64_field("whole", 1.0);
+        w.f64_field("frac", 0.25);
+        w.f64_field("third", 1.0 / 3.0);
+        w.f64_field("nan", f64::NAN);
+        w.f64_field("inf", f64::INFINITY);
+        w.close_object();
+        let expect = concat!(
+            "{\n",
+            "  \"whole\": 1,\n",
+            "  \"frac\": 0.25,\n",
+            "  \"third\": 0.3333333333333333,\n",
+            "  \"nan\": null,\n",
+            "  \"inf\": null\n",
+            "}\n",
+        );
+        assert_eq!(w.finish(), expect);
     }
 
     #[test]

@@ -40,15 +40,22 @@ pub enum CacheKey {
     Edge(usize, usize),
     /// `/v1/neighbors/{p}?offset&limit` — one adjacency page.
     Neighbors(usize, u64, usize),
+    /// `/v1/clustering/{p}/{q}` — Thm 6 per-edge answer.
+    Clustering(usize, usize),
 }
+
+/// FNV-1a offset basis — the default shard-hash seed.
+pub const DEFAULT_HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
 
 impl CacheKey {
     /// Stable, cheap hash used for shard selection (FNV-1a over the
     /// discriminant and operands — `DefaultHasher` is not guaranteed
     /// stable across releases and this value picks a shard, so keep it
-    /// under our control).
-    fn shard_hash(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    /// under our control). `seed` replaces the offset basis so caches
+    /// serving different expression programs hash the same key
+    /// differently (see DESIGN.md §11 — keys are expression-qualified).
+    fn shard_hash(&self, seed: u64) -> u64 {
+        let mut h: u64 = seed;
         let mut mix = |v: u64| {
             for b in v.to_le_bytes() {
                 h ^= b as u64;
@@ -70,6 +77,11 @@ impl CacheKey {
                 mix(p as u64);
                 mix(offset);
                 mix(limit as u64);
+            }
+            CacheKey::Clustering(p, q) => {
+                mix(4);
+                mix(p as u64);
+                mix(q as u64);
             }
         }
         h
@@ -185,6 +197,9 @@ impl LruShard {
 /// touches the registry lock.
 pub struct ShardedCache {
     shards: Vec<Mutex<LruShard>>,
+    /// Shard-hash seed; defaults to [`DEFAULT_HASH_SEED`], replaced by a
+    /// hash of the canonical expression for expression servers.
+    seed: u64,
     // Exact per-instance tallies (test observability)…
     local_hits: AtomicU64,
     local_misses: AtomicU64,
@@ -202,6 +217,13 @@ impl ShardedCache {
     /// shards (both forced ≥ 1; per-shard capacity is rounded up so the
     /// total is never *below* the request).
     pub fn new(entries: usize, shards: usize) -> Self {
+        Self::with_seed(entries, shards, DEFAULT_HASH_SEED)
+    }
+
+    /// [`ShardedCache::new`] with an explicit shard-hash seed. Expression
+    /// servers pass an FNV hash of the canonicalised expression, making
+    /// every cache key implicitly expression-qualified.
+    pub fn with_seed(entries: usize, shards: usize, seed: u64) -> Self {
         let shards = shards.max(1);
         let per_shard = entries.max(1).div_ceil(shards);
         let obs = bikron_obs::global();
@@ -209,6 +231,7 @@ impl ShardedCache {
             shards: (0..shards)
                 .map(|_| Mutex::new(LruShard::new(per_shard)))
                 .collect(),
+            seed,
             local_hits: AtomicU64::new(0),
             local_misses: AtomicU64::new(0),
             local_evictions: AtomicU64::new(0),
@@ -221,7 +244,7 @@ impl ShardedCache {
     }
 
     fn shard_for(&self, key: &CacheKey) -> &Mutex<LruShard> {
-        &self.shards[(key.shard_hash() % self.shards.len() as u64) as usize]
+        &self.shards[(key.shard_hash(self.seed) % self.shards.len() as u64) as usize]
     }
 
     /// Look up a cached body, recording hit/miss and refreshing the

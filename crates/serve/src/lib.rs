@@ -1,25 +1,35 @@
 //! bikron-serve: a long-running ground-truth query service.
 //!
-//! The paper's closed forms (Thms 3–5) make every per-vertex and per-edge
-//! statistic of a Kronecker product `C = A ⊗ B` (or `(A + I_A) ⊗ B`)
-//! answerable from *factor-sized* state: two graphs plus their
+//! The paper's closed forms (Thms 3–7, Cors 1–2) make every per-vertex
+//! and per-edge statistic of a Kronecker product answerable from
+//! *factor-sized* state: the factor graphs plus their
 //! [`FactorStats`](bikron_core::truth::FactorStats). This crate turns
-//! that into a service — `bikron serve` holds O(n_A + n_B + m_A + m_B)
-//! memory and answers queries about the (potentially enormous,
-//! never-materialised) product:
+//! that into a service — `bikron serve` holds O(Σ n_i + Σ m_i) memory
+//! and answers queries about the (potentially enormous,
+//! never-materialised) product. Two backends share one router: the
+//! classic pair server (`A B MODE` positional factors) and the
+//! **expression server** (`--expr "(A+I)⊗B⊗C"`, an arbitrary
+//! [`KronChain`](bikron_core::KronChain) program with compositional
+//! ground truth):
 //!
 //! | endpoint | cost | answer |
 //! |---|---|---|
-//! | `GET /v1/vertex/{p}` | O(1) | degree + butterfly count at `p` |
-//! | `GET /v1/edge/{p}/{q}` | O(log d) | existence + per-edge squares |
-//! | `GET /v1/neighbors/{p}` | O(d_A + limit) | paged adjacency |
-//! | `POST /v1/batch` | Σ per-item cost | up to `batch_max` of the above, one JSON array |
-//! | `GET /v1/stats` | O(1), cached | Table-I summary |
-//! | `GET /v1/edges/{part}/{parts}` | O(factor + limit) | resumable edge stream |
+//! | `GET /v1/vertex/{p}` | O(k) | degree + butterfly count at `p` (Thm 3/4) |
+//! | `GET /v1/edge/{p}/{q}` | O(k log d) | existence + per-edge squares (Thm 5) |
+//! | `GET /v1/neighbors/{p}` | O(Σ d_i + limit) | paged adjacency |
+//! | `GET /v1/clustering/{p}/{q}` | O(k log d) | exact `Γ_C` + Thm 6 scaling-law bound |
+//! | `GET /v1/community?a=…&b=…` | O(Σ\|S_i\| + Σ deg) | exact `m_in`/`m_out` (Thm 7) + Cor 1–2 density bounds |
+//! | `GET /v1/scatter/degree-squares` | O(limit) | Fig-5-style `(vertex, degree, squares)` rows, JSON or CSV |
+//! | `POST /v1/batch` | Σ per-item cost | up to `batch_max` of vertex/edge/neighbors, one JSON array |
+//! | `GET /v1/stats` | O(1), cached | Table-I summary + canonicalised `expr` |
+//! | `GET /v1/edges/{part}/{parts}` | O(factor + limit) | resumable edge stream (pair servers; 501 on expression servers) |
 //! | `GET /metrics` | O(metrics) | live `bikron-obs/3` report (`?format=prometheus` for text exposition) |
 //! | `GET /v1/health` | O(1) | `ok`/`degraded` from windowed SLO signals |
 //! | `GET /v1/shutdown` | O(1) | graceful stop (token-gated) |
 //! | `GET /v1/admin/stall` | O(1) | debug latency injection (token-gated) |
+//!
+//! (`k` = number of chain levels; 2 for pair servers. FORMULAS.md maps
+//! each endpoint to its theorem and evaluator function.)
 //!
 //! A sharded, bounded LRU result cache ([`cache`]) fronts the Thm 3/4/5
 //! evaluators; because every answer is a pure function of the immutable

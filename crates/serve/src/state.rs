@@ -1,13 +1,22 @@
 //! Shared server state and the request router.
 //!
-//! [`ServeState`] is the whole memory footprint of the service: the two
+//! [`ServeState`] is the whole memory footprint of the service: the
 //! factor graphs, their [`FactorStats`], one cached `/v1/stats` body,
 //! and a bounded result cache. Nothing product-sized is ever built —
-//! each request constructs a borrowing [`KroneckerProduct`] descriptor
-//! (O(1)) and answers from the closed-form theorems, so a server
-//! describing a graph with millions of vertices holds only factor-sized
-//! state (plus the fixed-capacity cache) and each request allocates at
-//! most `O(limit + |factor|)` — `O(batch_max × limit)` for a batch.
+//! each request evaluates the closed-form theorems against factor-sized
+//! state, so a server describing a graph with millions of vertices holds
+//! only factor-sized state (plus the fixed-capacity cache) and each
+//! request allocates at most `O(limit + Σ|factor|)` — `O(batch_max ×
+//! limit)` for a batch.
+//!
+//! Two backends share the router: the classic **pair** server (factors
+//! `A`, `B` and a [`SelfLoopMode`], built by [`ServeState::build_with`])
+//! and the **expression** server (an arbitrary [`KronChain`] program like
+//! `(A+I)⊗B⊗C`, built by [`ServeState::build_expr`]). Responses are
+//! byte-identical between the two except where the index arithmetic
+//! differs by construction: expression servers report per-level
+//! `"coords"` where pair servers report `"alpha"`/`"beta"`, and only pair
+//! servers stream `/v1/edges` (expression servers answer 501 there).
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -15,11 +24,13 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bikron_core::stream::PartitionedStream;
+use bikron_core::truth::clustering::{product_gamma, scaling_law_at};
+use bikron_core::truth::community::{product_community, FactorCommunity};
 use bikron_core::truth::squares_edge::edge_squares_at;
 use bikron_core::truth::squares_vertex::{global_squares_with, vertex_squares_at};
 use bikron_core::truth::FactorStats;
-use bikron_core::{predict_structure, KroneckerProduct, SelfLoopMode};
-use bikron_graph::Graph;
+use bikron_core::{predict_structure, KronChain, KroneckerProduct, SelfLoopMode};
+use bikron_graph::{bipartition, Graph};
 use bikron_obs::window::{WindowedCounter, WindowedHistogram};
 use bikron_obs::{
     Counter, EventLogger, Gauge, Histogram, JsonWriter, LogEvent, WindowRegistry, WindowSnapshot,
@@ -128,7 +139,7 @@ impl ServeMetrics {
     fn new() -> Self {
         let obs = bikron_obs::global();
         let windows = WindowRegistry::new();
-        let status = [200u16, 400, 403, 404, 405, 413, 431, 500, 503]
+        let status = [200u16, 400, 403, 404, 405, 413, 431, 500, 501, 503]
             .iter()
             .map(|&c| (c, obs.counter(&format!("serve.status.{c}"))))
             .collect();
@@ -207,14 +218,33 @@ impl ServeMetrics {
     }
 }
 
+/// Which ground-truth evaluator backs the router: the classic two-factor
+/// product, or an arbitrary expression chain.
+// Exactly one `Backend` lives per server (inside the `Arc<ServeState>`),
+// so the Pair/Chain size asymmetry costs nothing — boxing Pair's factors
+// would only add an indirection to the hot path.
+#[allow(clippy::large_enum_variant)]
+enum Backend {
+    /// `A ⊗ B` / `(A + I_A) ⊗ B` with the two-factor Thm 3–7 evaluators.
+    Pair {
+        a: Graph,
+        b: Graph,
+        mode: SelfLoopMode,
+        stats_a: FactorStats,
+        stats_b: FactorStats,
+    },
+    /// An arbitrary `--expr` program with the chained evaluators.
+    Chain(Box<KronChain>),
+}
+
 /// Everything a worker needs to answer queries. Send + Sync; shared via
 /// `Arc` across the pool.
 pub struct ServeState {
-    a: Graph,
-    b: Graph,
-    mode: SelfLoopMode,
-    stats_a: FactorStats,
-    stats_b: FactorStats,
+    backend: Backend,
+    /// Canonicalised expression string — reported in `/v1/stats` and
+    /// folded into the cache's shard-hash seed. Pair servers report the
+    /// implied program (`A⊗B` / `(A+I)⊗B`).
+    expr: String,
     stats_json: String,
     admin_token: Option<String>,
     cache: Option<ShardedCache>,
@@ -302,12 +332,60 @@ impl ServeState {
         let _phase = bikron_obs::global().phase("serve.build");
         let stats_a = FactorStats::compute(&a)?;
         let stats_b = FactorStats::compute(&b)?;
+        let expr = match mode {
+            SelfLoopMode::None => "A⊗B".to_string(),
+            SelfLoopMode::FactorA => "(A+I)⊗B".to_string(),
+        };
         let stats_json = {
             let prod = KroneckerProduct::new(&a, &b, mode)?;
-            stats_body(&prod, &stats_a, &stats_b)?
+            stats_body(&prod, &stats_a, &stats_b, &expr)?
         };
+        Self::assemble(
+            Backend::Pair {
+                a,
+                b,
+                mode,
+                stats_a,
+                stats_b,
+            },
+            expr,
+            stats_json,
+            options,
+        )
+    }
+
+    /// Build an **expression** server: an arbitrary Kronecker program
+    /// over named factor graphs (`bikron serve --expr`). `levels` is the
+    /// flattened chain from [`bikron_sparse::parse_expr`]; `bindings`
+    /// maps each referenced name to its graph.
+    pub fn build_expr(
+        bindings: Vec<(String, Graph)>,
+        levels: &[(String, bool)],
+        options: ServeOptions,
+    ) -> Result<Self, Box<dyn std::error::Error>> {
+        let _phase = bikron_obs::global().phase("serve.build");
+        let chain = KronChain::new(bindings, levels)?;
+        let expr = chain.canonical().to_string();
+        let stats_json = stats_body_chain(&chain);
+        Self::assemble(Backend::Chain(Box::new(chain)), expr, stats_json, options)
+    }
+
+    fn assemble(
+        backend: Backend,
+        expr: String,
+        stats_json: String,
+        options: ServeOptions,
+    ) -> Result<Self, Box<dyn std::error::Error>> {
+        // Seed the cache's shard hash with the canonical expression so a
+        // key like `Vertex(7)` hashes differently under different served
+        // programs (DESIGN.md §11).
+        let mut seed = crate::cache::DEFAULT_HASH_SEED;
+        for b in expr.as_bytes() {
+            seed ^= *b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
         let cache = (options.cache_entries > 0)
-            .then(|| ShardedCache::new(options.cache_entries, options.cache_shards));
+            .then(|| ShardedCache::with_seed(options.cache_entries, options.cache_shards, seed));
         let logger = match &options.access_log {
             Some(path) => Some(EventLogger::to_file(
                 std::path::Path::new(path),
@@ -317,11 +395,8 @@ impl ServeState {
             None => None,
         };
         Ok(ServeState {
-            a,
-            b,
-            mode,
-            stats_a,
-            stats_b,
+            backend,
+            expr,
             stats_json,
             admin_token: options.admin_token,
             cache,
@@ -334,6 +409,11 @@ impl ServeState {
             slo_err_pct: options.slo_err_pct.min(100),
             started: Instant::now(),
         })
+    }
+
+    /// The canonicalised expression string this server reports.
+    pub fn expr(&self) -> &str {
+        &self.expr
     }
 
     /// The hot-path metric handles.
@@ -361,9 +441,31 @@ impl ServeState {
         self.shutdown.store(true, Ordering::SeqCst);
     }
 
-    fn product(&self) -> KroneckerProduct<'_> {
-        // Construction is O(1) validation over already-validated factors.
-        KroneckerProduct::new(&self.a, &self.b, self.mode).expect("factors validated at build")
+    /// The pair backend's product descriptor and factor stats, or `None`
+    /// on an expression server. Construction is O(1) validation over
+    /// already-validated factors.
+    fn pair(&self) -> Option<(KroneckerProduct<'_>, &FactorStats, &FactorStats)> {
+        match &self.backend {
+            Backend::Pair {
+                a,
+                b,
+                mode,
+                stats_a,
+                stats_b,
+            } => Some((
+                KroneckerProduct::new(a, b, *mode).expect("factors validated at build"),
+                stats_a,
+                stats_b,
+            )),
+            Backend::Chain(_) => None,
+        }
+    }
+
+    fn num_vertices(&self) -> usize {
+        match &self.backend {
+            Backend::Pair { a, b, .. } => a.num_vertices() * b.num_vertices(),
+            Backend::Chain(chain) => chain.num_vertices(),
+        }
     }
 
     /// Route and answer one request. Pure: no I/O, no blocking — the
@@ -384,6 +486,9 @@ impl ServeState {
             ["v1", "edge", p, q] => self.edge(p, q),
             ["v1", "neighbors", p] => self.neighbors(p, req),
             ["v1", "edges", part, parts] => self.edges(part, parts, req),
+            ["v1", "clustering", p, q] => self.clustering(p, q),
+            ["v1", "community"] => self.community(req),
+            ["v1", "scatter", "degree-squares"] => self.scatter_degree_squares(req),
             ["v1", "batch"] => Response::error(405, "batch requires POST"),
             ["v1", "shutdown"] => self.shutdown_endpoint(req),
             ["v1", "admin", "stall"] => self.stall_endpoint(req),
@@ -425,60 +530,87 @@ impl ServeState {
     }
 
     fn vertex(&self, raw: &str) -> Response {
-        match parse_index(raw, self.product().num_vertices()) {
+        match parse_index(raw, self.num_vertices()) {
             Ok(p) => self.vertex_at(p),
             Err(resp) => resp,
         }
     }
 
     /// `GET /v1/vertex/{p}` for an already-parsed index (shared with the
-    /// batch evaluator — both produce identical bytes).
+    /// batch evaluator — both produce identical bytes). Pair servers
+    /// report the two-factor coordinates as `"alpha"`/`"beta"`;
+    /// expression servers report the per-level `"coords"` array.
     pub(crate) fn vertex_at(&self, p: usize) -> Response {
-        let prod = self.product();
-        if let Err(resp) = check_range(p, prod.num_vertices()) {
+        if let Err(resp) = check_range(p, self.num_vertices()) {
             return resp;
         }
         self.cached(CacheKey::Vertex(p), || {
-            let (i, k) = prod.indexer().split(p);
             let mut w = JsonWriter::new();
             w.open_object();
             w.u64_field("vertex", p as u64);
-            w.u64_field("alpha", i as u64);
-            w.u64_field("beta", k as u64);
-            w.u64_field("degree", prod.degree(p));
-            w.u64_field(
-                "squares",
-                vertex_squares_at(&prod, &self.stats_a, &self.stats_b, p),
-            );
+            match &self.backend {
+                Backend::Pair { .. } => {
+                    let (prod, sa, sb) = self.pair().expect("pair backend");
+                    let (i, k) = prod.indexer().split(p);
+                    w.u64_field("alpha", i as u64);
+                    w.u64_field("beta", k as u64);
+                    w.u64_field("degree", prod.degree(p));
+                    w.u64_field("squares", vertex_squares_at(&prod, sa, sb, p));
+                }
+                Backend::Chain(chain) => {
+                    w.key("coords");
+                    w.open_array();
+                    for c in chain.split(p) {
+                        w.u64_element(c as u64);
+                    }
+                    w.close_array();
+                    w.u64_field("degree", chain.degree(p));
+                    w.u64_field("squares", chain.vertex_squares_at(p));
+                }
+            }
             w.close_object();
             Response::json(200, w.finish())
         })
     }
 
     fn edge(&self, raw_p: &str, raw_q: &str) -> Response {
-        let n = self.product().num_vertices();
+        let n = self.num_vertices();
         match (parse_index(raw_p, n), parse_index(raw_q, n)) {
             (Ok(p), Ok(q)) => self.edge_at(p, q),
             (Err(resp), _) | (_, Err(resp)) => resp,
         }
     }
 
-    /// `GET /v1/edge/{p}/{q}` for already-parsed indices.
+    /// `GET /v1/edge/{p}/{q}` for already-parsed indices. Byte-identical
+    /// between the two backends.
     pub(crate) fn edge_at(&self, p: usize, q: usize) -> Response {
-        let prod = self.product();
-        let n = prod.num_vertices();
+        let n = self.num_vertices();
         if let Err(resp) = check_range(p, n).and_then(|()| check_range(q, n)) {
             return resp;
         }
         self.cached(CacheKey::Edge(p, q), || {
-            let squares = edge_squares_at(&prod, &self.stats_a, &self.stats_b, p, q);
+            let (squares, dp, dq) = match &self.backend {
+                Backend::Pair { .. } => {
+                    let (prod, sa, sb) = self.pair().expect("pair backend");
+                    (
+                        edge_squares_at(&prod, sa, sb, p, q),
+                        prod.degree(p),
+                        prod.degree(q),
+                    )
+                }
+                Backend::Chain(chain) => (
+                    chain.edge_squares_at(p, q),
+                    chain.degree(p),
+                    chain.degree(q),
+                ),
+            };
             let mut w = JsonWriter::new();
             w.open_object();
             w.u64_field("p", p as u64);
             w.u64_field("q", q as u64);
             w.bool_field("edge", squares.is_some());
-            w.u64_field("degree_p", prod.degree(p));
-            w.u64_field("degree_q", prod.degree(q));
+            w.u64_field("degree_p", dp);
+            w.u64_field("degree_q", dq);
             match squares {
                 Some(s) => w.u64_field("squares", s),
                 None => w.null_field("squares"),
@@ -489,7 +621,7 @@ impl ServeState {
     }
 
     fn neighbors(&self, raw: &str, req: &Request) -> Response {
-        let p = match parse_index(raw, self.product().num_vertices()) {
+        let p = match parse_index(raw, self.num_vertices()) {
             Ok(p) => p,
             Err(resp) => return resp,
         };
@@ -502,13 +634,17 @@ impl ServeState {
     /// `GET /v1/neighbors/{p}?offset&limit` for already-parsed values
     /// (`limit` must respect [`MAX_LIMIT`]; both entry points enforce it).
     pub(crate) fn neighbors_at(&self, p: usize, offset: u64, limit: usize) -> Response {
-        let prod = self.product();
-        if let Err(resp) = check_range(p, prod.num_vertices()) {
+        if let Err(resp) = check_range(p, self.num_vertices()) {
             return resp;
         }
         self.cached(CacheKey::Neighbors(p, offset, limit), || {
-            let degree = prod.degree(p);
-            let page = prod.neighbors_page(p, offset, limit);
+            let (degree, page) = match &self.backend {
+                Backend::Pair { .. } => {
+                    let (prod, ..) = self.pair().expect("pair backend");
+                    (prod.degree(p), prod.neighbors_page(p, offset, limit))
+                }
+                Backend::Chain(chain) => (chain.degree(p), chain.neighbors_page(p, offset, limit)),
+            };
             let mut w = JsonWriter::new();
             w.open_object();
             w.u64_field("vertex", p as u64);
@@ -556,8 +692,14 @@ impl ServeState {
             Err(resp) => return resp,
         };
         let annotate = matches!(req.query_param("annotate"), Some("1") | Some("true"));
-        let prod = self.product();
-        let ps = PartitionedStream::new(&prod, &self.stats_a, &self.stats_b, parts);
+        let Some((prod, stats_a, stats_b)) = self.pair() else {
+            return Response::error(
+                501,
+                "/v1/edges streaming is not implemented for expression servers; \
+                 page adjacency via /v1/neighbors instead",
+            );
+        };
+        let ps = PartitionedStream::new(&prod, stats_a, stats_b, parts);
         let total = ps.part_len(part);
         let page = ps.edges_page(part, offset, limit);
         let mut w = JsonWriter::new();
@@ -584,7 +726,7 @@ impl ServeState {
                 w.u64_element(prod.degree(p));
                 w.u64_element(prod.degree(q));
                 w.u64_element(
-                    edge_squares_at(&prod, &self.stats_a, &self.stats_b, p, q)
+                    edge_squares_at(&prod, stats_a, stats_b, p, q)
                         .expect("streamed pairs are edges"),
                 );
             }
@@ -593,6 +735,250 @@ impl ServeState {
         w.close_array();
         w.close_object();
         Response::json(200, w.finish())
+    }
+
+    fn clustering(&self, raw_p: &str, raw_q: &str) -> Response {
+        let n = self.num_vertices();
+        match (parse_index(raw_p, n), parse_index(raw_q, n)) {
+            (Ok(p), Ok(q)) => self.clustering_at(p, q),
+            (Err(resp), _) | (_, Err(resp)) => resp,
+        }
+    }
+
+    /// `GET /v1/clustering/{p}/{q}`: the Thm 6 surface — exact edge
+    /// clustering coefficient `Γ_C(p,q)` (Eq. 5) plus the scaling-law
+    /// lower bound `ψ·Γ_A·Γ_B` (Thm 6) where defined. `gamma` is exact
+    /// for every served program; `bound`/`psi` are only defined on
+    /// identity-free programs with all factor degrees ≥ 2 (the theorem's
+    /// hypotheses), and are `null` otherwise.
+    fn clustering_at(&self, p: usize, q: usize) -> Response {
+        let n = self.num_vertices();
+        if let Err(resp) = check_range(p, n).and_then(|()| check_range(q, n)) {
+            return resp;
+        }
+        self.cached(CacheKey::Clustering(p, q), || {
+            let (squares, dp, dq, gamma, bound, psi) = match &self.backend {
+                Backend::Pair { .. } => {
+                    let (prod, sa, sb) = self.pair().expect("pair backend");
+                    let sample = scaling_law_at(&prod, sa, sb, p, q);
+                    (
+                        edge_squares_at(&prod, sa, sb, p, q),
+                        prod.degree(p),
+                        prod.degree(q),
+                        product_gamma(&prod, sa, sb, p, q),
+                        sample.as_ref().map(|s| s.bound),
+                        sample.as_ref().map(|s| s.psi),
+                    )
+                }
+                Backend::Chain(chain) => {
+                    let c = chain.clustering_at(p, q);
+                    (
+                        c.squares,
+                        chain.degree(p),
+                        chain.degree(q),
+                        c.gamma,
+                        c.bound,
+                        c.psi,
+                    )
+                }
+            };
+            let mut w = JsonWriter::new();
+            w.open_object();
+            w.u64_field("p", p as u64);
+            w.u64_field("q", q as u64);
+            w.bool_field("edge", squares.is_some());
+            w.u64_field("degree_p", dp);
+            w.u64_field("degree_q", dq);
+            match squares {
+                Some(s) => w.u64_field("squares", s),
+                None => w.null_field("squares"),
+            }
+            for (key, value) in [("gamma", gamma), ("bound", bound), ("psi", psi)] {
+                match value {
+                    Some(v) => w.f64_field(key, v),
+                    None => w.null_field(key),
+                }
+            }
+            w.close_object();
+            Response::json(200, w.finish())
+        })
+    }
+
+    /// `GET /v1/community`: the Thm 7 / Cor 1–2 surface. Pair servers
+    /// take `?a=<ids>&b=<ids>` (comma-separated factor-vertex sets);
+    /// expression servers take one `?s{i}=<ids>` per level. `m_in` and
+    /// `m_out` are **exact** for every program (Thm 7, chained); the
+    /// density fields `rho_in` / `rho_in_lower_bound` (Cor 1) /
+    /// `rho_out_upper_bound` (Cor 2) additionally require the pair
+    /// backend with bipartite factors and are `null` otherwise.
+    ///
+    /// Not cached: set-valued queries have unbounded key cardinality and
+    /// each answer is O(Σ|S_i| + Σ deg) anyway.
+    fn community(&self, req: &Request) -> Response {
+        match &self.backend {
+            Backend::Pair { a, b, mode, .. } => {
+                let (set_a, set_b) =
+                    match (req.query_param("a"), req.query_param("b")) {
+                        (Some(ra), Some(rb)) => {
+                            match (parse_id_list("a", ra), parse_id_list("b", rb)) {
+                                (Ok(sa), Ok(sb)) => (sa, sb),
+                                (Err(resp), _) | (_, Err(resp)) => return resp,
+                            }
+                        }
+                        _ => return Response::error(
+                            400,
+                            "community requires ?a=<ids>&b=<ids> (comma-separated factor vertices)",
+                        ),
+                    };
+                let eps_a = *mode == SelfLoopMode::FactorA;
+                let Some((in_a, vol_a, la)) = community_level_counts(a, &set_a, eps_a) else {
+                    return Response::error(404, "a contains a vertex outside factor A");
+                };
+                let Some((in_b, vol_b, lb)) = community_level_counts(b, &set_b, false) else {
+                    return Response::error(404, "b contains a vertex outside factor B");
+                };
+                // Thm 7: 2·m_in(S_C) = Π 1ᵀ_{S}(M)1_{S}; vol factors the
+                // same way, and m_out = vol − 2·m_in.
+                let m_in = (in_a * in_b) / 2;
+                let m_out = vol_a * vol_b - in_a * in_b;
+                // Cor 1–2 need the factor bipartitions (community sides).
+                let density = match (bipartition(a), bipartition(b)) {
+                    (Some(bip_a), Some(bip_b)) => {
+                        let prod = self.pair().expect("pair backend").0;
+                        let com_a = FactorCommunity::measure(a, &bip_a, &set_a);
+                        let com_b = FactorCommunity::measure(b, &bip_b, &set_b);
+                        product_community(&prod, &com_a, &com_b, &bip_a, &bip_b)
+                    }
+                    _ => None,
+                };
+                let mut w = JsonWriter::new();
+                w.open_object();
+                w.string_field("theorem", "thm7");
+                w.u64_field("size", (la * lb) as u64);
+                w.u64_field("m_in", m_in as u64);
+                w.u64_field("m_out", m_out as u64);
+                for (key, value) in [
+                    ("rho_in", density.as_ref().and_then(|d| d.rho_in)),
+                    (
+                        "rho_in_lower_bound",
+                        density.as_ref().and_then(|d| d.rho_in_lower_bound),
+                    ),
+                    (
+                        "rho_out_upper_bound",
+                        density.as_ref().and_then(|d| d.rho_out_upper_bound),
+                    ),
+                ] {
+                    match value {
+                        Some(v) => w.f64_field(key, v),
+                        None => w.null_field(key),
+                    }
+                }
+                w.close_object();
+                Response::json(200, w.finish())
+            }
+            Backend::Chain(chain) => {
+                let mut sets = Vec::with_capacity(chain.num_levels());
+                for i in 0..chain.num_levels() {
+                    let name = format!("s{i}");
+                    let Some(raw) = req.query_param(&name) else {
+                        return Response::error(
+                            400,
+                            &format!(
+                                "community on a {}-level expression requires ?s0=…&s{}=<ids>",
+                                chain.num_levels(),
+                                chain.num_levels() - 1
+                            ),
+                        );
+                    };
+                    match parse_id_list(&name, raw) {
+                        Ok(set) => sets.push(set),
+                        Err(resp) => return resp,
+                    }
+                }
+                let truth = match chain.community(&sets) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        return Response::error(404, &format!("community sets rejected: {e}"))
+                    }
+                };
+                let mut w = JsonWriter::new();
+                w.open_object();
+                w.string_field("theorem", "thm7");
+                w.u64_field("size", truth.size);
+                w.u64_field("m_in", truth.m_in);
+                w.u64_field("m_out", truth.m_out);
+                w.null_field("rho_in");
+                w.null_field("rho_in_lower_bound");
+                w.null_field("rho_out_upper_bound");
+                w.close_object();
+                Response::json(200, w.finish())
+            }
+        }
+    }
+
+    /// `GET /v1/scatter/degree-squares?offset&limit&format=json|csv`: the
+    /// Fig. 5 export — one `(vertex, degree, squares)` row per product
+    /// vertex, paged under the same [`MAX_LIMIT`] bound as every other
+    /// endpoint so the sublinear-memory contract holds.
+    fn scatter_degree_squares(&self, req: &Request) -> Response {
+        let (offset, limit) = match parse_page(req) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let n = self.num_vertices() as u64;
+        let start = offset.min(n);
+        let end = n.min(offset.saturating_add(limit as u64));
+        let row = |p: usize| -> (u64, u64) {
+            match &self.backend {
+                Backend::Pair { .. } => {
+                    let (prod, sa, sb) = self.pair().expect("pair backend");
+                    (prod.degree(p), vertex_squares_at(&prod, sa, sb, p))
+                }
+                Backend::Chain(chain) => (chain.degree(p), chain.vertex_squares_at(p)),
+            }
+        };
+        match req.query_param("format") {
+            None | Some("json") => {
+                let mut w = JsonWriter::new();
+                w.open_object();
+                w.u64_field("offset", offset);
+                w.u64_field("count", end - start);
+                if end < n && end > start {
+                    w.u64_field("next_offset", end);
+                } else {
+                    w.null_field("next_offset");
+                }
+                w.key("rows");
+                w.open_array();
+                for p in start..end {
+                    let (d, s) = row(p as usize);
+                    w.array_element();
+                    w.open_array();
+                    w.u64_element(p);
+                    w.u64_element(d);
+                    w.u64_element(s);
+                    w.close_array();
+                }
+                w.close_array();
+                w.close_object();
+                Response::json(200, w.finish())
+            }
+            Some("csv") => {
+                let mut body = String::from("vertex,degree,squares\n");
+                for p in start..end {
+                    let (d, s) = row(p as usize);
+                    body.push_str(&format!("{p},{d},{s}\n"));
+                }
+                Response {
+                    status: 200,
+                    content_type: "text/csv; charset=utf-8",
+                    body,
+                }
+            }
+            Some(other) => {
+                Response::error(400, &format!("unknown scatter format {other:?} (json|csv)"))
+            }
+        }
     }
 
     fn metrics_response(&self, req: &Request) -> Response {
@@ -809,11 +1195,59 @@ fn parse_page(req: &Request) -> Result<(u64, usize), Response> {
     Ok((offset, limit))
 }
 
+/// Parse a comma-separated factor-vertex set (`?a=0,2,5`). Bounded at
+/// [`MAX_LIMIT`] members so a community query obeys the same per-request
+/// memory cap as a page. Sorted and deduplicated on return.
+fn parse_id_list(name: &str, raw: &str) -> Result<Vec<usize>, Response> {
+    let mut out = Vec::new();
+    for piece in raw.split(',').filter(|s| !s.is_empty()) {
+        let v: usize = piece
+            .parse()
+            .map_err(|_| Response::error(400, &format!("{name} has a non-integer id {piece:?}")))?;
+        out.push(v);
+        if out.len() > MAX_LIMIT {
+            return Err(Response::error(
+                400,
+                &format!("{name} exceeds the {MAX_LIMIT}-member cap"),
+            ));
+        }
+    }
+    if out.is_empty() {
+        return Err(Response::error(400, &format!("{name} is an empty set")));
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+/// One Thm 7 level: `(1ᵀ_S M 1_S, 1ᵀ_S M 1_V, |S|)` for the effective
+/// matrix `M = A (+ I when eps)` — the quantities whose products give the
+/// exact chained `m_in`/`m_out`. `None` if a member is out of range.
+/// `members` must be sorted and deduplicated.
+fn community_level_counts(g: &Graph, members: &[usize], eps: bool) -> Option<(u128, u128, usize)> {
+    if members.last().is_some_and(|&v| v >= g.num_vertices()) {
+        return None;
+    }
+    let (mut m_in2, mut m_out) = (0u128, 0u128);
+    for &u in members {
+        for &v in g.neighbors(u) {
+            if members.binary_search(&v).is_ok() {
+                m_in2 += 1;
+            } else {
+                m_out += 1;
+            }
+        }
+    }
+    let e = u128::from(eps) * members.len() as u128;
+    Some((m_in2 + e, m_in2 + m_out + e, members.len()))
+}
+
 /// Build the cached Table-I-style `/v1/stats` body.
 fn stats_body(
     prod: &KroneckerProduct<'_>,
     stats_a: &FactorStats,
     stats_b: &FactorStats,
+    expr: &str,
 ) -> Result<String, Box<dyn std::error::Error>> {
     let st = predict_structure(prod);
     let hist = bikron_core::truth::degrees::degree_histogram(prod);
@@ -837,6 +1271,7 @@ fn stats_body(
             SelfLoopMode::FactorA => "loops-a",
         },
     );
+    w.string_field("expr", expr);
     for (key, g) in [("factor_a", prod.factor_a()), ("factor_b", prod.factor_b())] {
         w.key(key);
         w.open_object();
@@ -870,6 +1305,46 @@ fn stats_body(
     w.u64_field("distinct_degrees", hist.len() as u64);
     w.close_object();
     Ok(w.finish())
+}
+
+/// The `/v1/stats` body for an expression server: the canonicalised
+/// program, one entry per level, and the chained global counts. The
+/// pair-only structure predictions (bipartiteness, connectivity — Thms
+/// 1–2 are two-factor statements) are intentionally absent.
+fn stats_body_chain(chain: &KronChain) -> String {
+    let mut w = JsonWriter::new();
+    w.open_object();
+    w.string_field("schema", "bikron-serve/1");
+    w.key("metrics_schemas");
+    w.open_array();
+    for schema in [
+        bikron_obs::SCHEMA_V1,
+        bikron_obs::SCHEMA_V2,
+        bikron_obs::SCHEMA,
+    ] {
+        w.string_element(schema);
+    }
+    w.close_array();
+    w.string_field("expr", chain.canonical());
+    w.key("levels");
+    w.open_array();
+    for i in 0..chain.num_levels() {
+        let (name, g, plus_identity) = chain.level_info(i);
+        w.array_element();
+        w.open_object();
+        w.string_field("name", name);
+        w.u64_field("vertices", g.num_vertices() as u64);
+        w.u64_field("edges", g.num_edges() as u64);
+        w.bool_field("plus_identity", plus_identity);
+        w.close_object();
+    }
+    w.close_array();
+    w.u64_field("vertices", chain.num_vertices() as u64);
+    w.u64_field("edges", chain.num_edges());
+    w.u64_field("global_squares", chain.global_squares());
+    w.u64_field("max_degree", chain.max_degree());
+    w.close_object();
+    w.finish()
 }
 
 #[cfg(test)]
@@ -1355,5 +1830,363 @@ mod tests {
         let raw = "GET /v1/shutdown HTTP/1.1\r\nX-Admin-Token: sesame\r\n\r\n";
         let req = crate::http::parse_request(&mut std::io::BufReader::new(raw.as_bytes())).unwrap();
         assert_eq!(st.handle(&req).status, 200);
+    }
+
+    /// `(A+I)⊗B` as an expression server — same program as the pair
+    /// server in `FactorA` mode, so truth values must agree even though
+    /// the backends differ.
+    fn chain_state() -> ServeState {
+        ServeState::build_expr(
+            vec![
+                ("A".into(), cycle(5)),
+                ("B".into(), complete_bipartite(2, 3)),
+            ],
+            &[("A".into(), true), ("B".into(), false)],
+            ServeOptions::default(),
+        )
+        .unwrap()
+    }
+
+    fn chain_truth() -> KronChain {
+        KronChain::new(
+            vec![
+                ("A".into(), cycle(5)),
+                ("B".into(), complete_bipartite(2, 3)),
+            ],
+            &[("A".into(), true), ("B".into(), false)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn expr_vertex_reports_coords_and_matches_pair_truth() {
+        let st = chain_state();
+        let pair = ServeState::build(
+            cycle(5),
+            complete_bipartite(2, 3),
+            SelfLoopMode::FactorA,
+            None,
+        )
+        .unwrap();
+        let chain = chain_truth();
+        for p in 0..chain.num_vertices() {
+            let resp = st.handle(&get(&format!("/v1/vertex/{p}")));
+            assert_eq!(resp.status, 200);
+            let coords = chain.split(p);
+            let expect = format!(
+                "{{\n  \"vertex\": {p},\n  \"coords\": [\n    {},\n    {}\n  ],\n  \
+                 \"degree\": {},\n  \"squares\": {}\n}}\n",
+                coords[0],
+                coords[1],
+                chain.degree(p),
+                chain.vertex_squares_at(p),
+            );
+            assert_eq!(resp.body, expect);
+            // Same program as the pair server: numbers must agree.
+            let pair_body = pair.handle(&get(&format!("/v1/vertex/{p}"))).body;
+            let tail = |b: &str| b.split("\"degree\"").nth(1).map(str::to_owned).unwrap();
+            assert_eq!(tail(&resp.body), tail(&pair_body), "vertex {p}");
+        }
+        assert_eq!(st.handle(&get("/v1/vertex/25")).status, 404);
+    }
+
+    #[test]
+    fn expr_stats_reports_canonical_expression() {
+        let pair = state();
+        assert!(
+            pair.handle(&get("/v1/stats"))
+                .body
+                .contains("\"expr\": \"A⊗B\""),
+            "pair stats expr"
+        );
+        let st = chain_state();
+        assert_eq!(st.expr(), "(A+I)⊗B");
+        let resp = st.handle(&get("/v1/stats"));
+        assert!(resp.body.contains("\"expr\": \"(A+I)⊗B\""), "{}", resp.body);
+        assert!(resp.body.contains("\"levels\""));
+        assert!(resp.body.contains("\"plus_identity\": true"));
+        let chain = chain_truth();
+        assert!(resp
+            .body
+            .contains(&format!("\"global_squares\": {}", chain.global_squares())));
+    }
+
+    #[test]
+    fn expr_edges_stream_is_501() {
+        let st = chain_state();
+        let resp = st.handle(&get("/v1/edges/0/2"));
+        assert_eq!(resp.status, 501);
+        assert!(resp.body.contains("/v1/neighbors"), "{}", resp.body);
+    }
+
+    #[test]
+    fn expr_batch_matches_singles() {
+        let st = chain_state();
+        let singles: Vec<String> = vec![
+            st.handle(&get("/v1/vertex/7")).body,
+            st.handle(&get("/v1/edge/0/2")).body,
+            st.handle(&get("/v1/neighbors/7?offset=1&limit=2")).body,
+        ];
+        let resp = st.handle(&post("/v1/batch", "vertex 7\nedge 0 2\nneighbors 7 1 2\n"));
+        assert_eq!(resp.status, 200);
+        let expected = format!(
+            "[\n{}\n]\n",
+            singles
+                .iter()
+                .map(|b| b.trim_end())
+                .collect::<Vec<_>>()
+                .join(",\n")
+        );
+        assert_eq!(resp.body, expected);
+    }
+
+    #[test]
+    fn clustering_matches_truth_and_validates() {
+        let st = state();
+        let a = cycle(5);
+        let b = complete_bipartite(2, 3);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let sa = FactorStats::compute(&a).unwrap();
+        let sb = FactorStats::compute(&b).unwrap();
+        let g = prod.materialize();
+        for p in 0..g.num_vertices() {
+            for q in 0..g.num_vertices() {
+                let resp = st.handle(&get(&format!("/v1/clustering/{p}/{q}")));
+                assert_eq!(resp.status, 200);
+                if g.has_edge(p, q) {
+                    assert!(resp.body.contains("\"edge\": true"), "({p},{q})");
+                    match product_gamma(&prod, &sa, &sb, p, q) {
+                        Some(v) => {
+                            assert!(resp.body.contains(&format!("\"gamma\": {v}")), "({p},{q})")
+                        }
+                        None => assert!(resp.body.contains("\"gamma\": null")),
+                    }
+                    match scaling_law_at(&prod, &sa, &sb, p, q) {
+                        Some(s) => {
+                            assert!(resp.body.contains(&format!("\"bound\": {}", s.bound)));
+                            assert!(resp.body.contains(&format!("\"psi\": {}", s.psi)));
+                        }
+                        None => assert!(resp.body.contains("\"bound\": null")),
+                    }
+                } else {
+                    assert!(resp.body.contains("\"edge\": false"), "({p},{q})");
+                    assert!(resp.body.contains("\"squares\": null"));
+                    assert!(resp.body.contains("\"gamma\": null"));
+                }
+            }
+        }
+        assert_eq!(st.handle(&get("/v1/clustering/0/banana")).status, 400);
+        assert_eq!(st.handle(&get("/v1/clustering/0/25")).status, 404);
+        assert_eq!(st.handle(&get("/v1/clustering/25/0")).status, 404);
+    }
+
+    #[test]
+    fn clustering_chain_bound_present_only_when_thm6_applies() {
+        // Bare chain of degree-≥2 factors: Thm 6 hypotheses hold, so an
+        // edge must carry a non-null bound ≤ gamma.
+        let bare = ServeState::build_expr(
+            vec![("A".into(), cycle(3)), ("B".into(), cycle(4))],
+            &[("A".into(), false), ("B".into(), false)],
+            ServeOptions::default(),
+        )
+        .unwrap();
+        // cycle(3)⊗cycle(4): (0,0)–(1,1) is an edge, i.e. 0–5.
+        let resp = bare.handle(&get("/v1/clustering/0/5"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"edge\": true"), "{}", resp.body);
+        assert!(!resp.body.contains("\"gamma\": null"), "{}", resp.body);
+        assert!(!resp.body.contains("\"bound\": null"), "{}", resp.body);
+
+        // A lifted level breaks the hypotheses: bound/psi must be null.
+        let lifted = chain_state();
+        let resp = lifted.handle(&get("/v1/clustering/0/2"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"edge\": true"), "{}", resp.body);
+        assert!(resp.body.contains("\"bound\": null"), "{}", resp.body);
+        assert!(resp.body.contains("\"psi\": null"), "{}", resp.body);
+    }
+
+    #[test]
+    fn community_pair_matches_brute_force() {
+        let st = state();
+        let a = cycle(5);
+        let b = complete_bipartite(2, 3);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let g = prod.materialize();
+        let set_a = [0usize, 1, 3];
+        let set_b = [0usize, 2, 4];
+        let member = |p: usize| {
+            let (i, k) = prod.indexer().split(p);
+            set_a.contains(&i) && set_b.contains(&k)
+        };
+        let (mut m_in, mut m_out) = (0u64, 0u64);
+        for p in 0..g.num_vertices() {
+            if !member(p) {
+                continue;
+            }
+            for &q in g.neighbors(p) {
+                if member(q) {
+                    m_in += 1;
+                } else {
+                    m_out += 1;
+                }
+            }
+        }
+        m_in /= 2;
+        let resp = st.handle(&get("/v1/community?a=0,1,3&b=0,2,4"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"size\": 9"), "{}", resp.body);
+        assert!(
+            resp.body.contains(&format!("\"m_in\": {m_in}")),
+            "{}",
+            resp.body
+        );
+        assert!(
+            resp.body.contains(&format!("\"m_out\": {m_out}")),
+            "{}",
+            resp.body
+        );
+        // cycle(5) is an odd cycle — no bipartition, so Cor 1–2 are null.
+        assert!(resp.body.contains("\"rho_in\": null"));
+    }
+
+    #[test]
+    fn community_pair_reports_density_on_bipartite_factors() {
+        let st = ServeState::build(crown(3), crown(3), SelfLoopMode::None, None).unwrap();
+        // Sets straddling both sides of each crown's bipartition.
+        let resp = st.handle(&get("/v1/community?a=0,3&b=1,2,4"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"theorem\": \"thm7\""));
+        assert!(!resp.body.contains("\"rho_in\": null"), "{}", resp.body);
+    }
+
+    #[test]
+    fn community_validation_statuses() {
+        let st = state();
+        assert_eq!(st.handle(&get("/v1/community")).status, 400);
+        assert_eq!(st.handle(&get("/v1/community?a=0,1")).status, 400);
+        assert_eq!(st.handle(&get("/v1/community?a=zero&b=0")).status, 400);
+        assert_eq!(st.handle(&get("/v1/community?a=&b=0")).status, 400);
+        assert_eq!(st.handle(&get("/v1/community?a=99&b=0")).status, 404);
+        assert_eq!(st.handle(&get("/v1/community?a=0&b=99")).status, 404);
+    }
+
+    #[test]
+    fn community_chain_matches_brute_force() {
+        let st = chain_state();
+        let chain = chain_truth();
+        let g = chain.materialize();
+        let s0 = [0usize, 2, 4];
+        let s1 = [1usize, 3];
+        let member = |p: usize| {
+            let c = chain.split(p);
+            s0.contains(&c[0]) && s1.contains(&c[1])
+        };
+        let (mut m_in, mut m_out) = (0u64, 0u64);
+        for p in 0..g.num_vertices() {
+            if !member(p) {
+                continue;
+            }
+            for &q in g.neighbors(p) {
+                if member(q) {
+                    m_in += 1;
+                } else {
+                    m_out += 1;
+                }
+            }
+        }
+        m_in /= 2;
+        let resp = st.handle(&get("/v1/community?s0=0,2,4&s1=1,3"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"size\": 6"), "{}", resp.body);
+        assert!(
+            resp.body.contains(&format!("\"m_in\": {m_in}")),
+            "{}",
+            resp.body
+        );
+        assert!(
+            resp.body.contains(&format!("\"m_out\": {m_out}")),
+            "{}",
+            resp.body
+        );
+        // Density corollaries are pair-only statements.
+        assert!(resp.body.contains("\"rho_in\": null"));
+
+        assert_eq!(st.handle(&get("/v1/community?s0=0,2,4")).status, 400);
+        assert_eq!(st.handle(&get("/v1/community?a=0&b=0")).status, 400);
+        assert_eq!(st.handle(&get("/v1/community?s0=99&s1=0")).status, 404);
+    }
+
+    #[test]
+    fn scatter_pages_cover_all_vertices_and_match_truth() {
+        let st = state();
+        let a = cycle(5);
+        let b = complete_bipartite(2, 3);
+        let prod = KroneckerProduct::new(&a, &b, SelfLoopMode::None).unwrap();
+        let sa = FactorStats::compute(&a).unwrap();
+        let sb = FactorStats::compute(&b).unwrap();
+        let mut rows = 0u64;
+        let mut offset = 0u64;
+        loop {
+            let resp = st.handle(&get(&format!(
+                "/v1/scatter/degree-squares?offset={offset}&limit=10"
+            )));
+            assert_eq!(resp.status, 200);
+            let count: u64 = resp
+                .body
+                .split("\"count\": ")
+                .nth(1)
+                .unwrap()
+                .split(',')
+                .next()
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap();
+            rows += count;
+            offset += count;
+            if resp.body.contains("\"next_offset\": null") {
+                break;
+            }
+        }
+        assert_eq!(rows, 25);
+
+        let csv = st.handle(&get("/v1/scatter/degree-squares?format=csv&limit=25"));
+        assert_eq!(csv.status, 200);
+        assert!(csv.content_type.starts_with("text/csv"));
+        let lines: Vec<&str> = csv.body.lines().collect();
+        assert_eq!(lines[0], "vertex,degree,squares");
+        assert_eq!(lines.len(), 26);
+        for (p, line) in lines[1..].iter().enumerate() {
+            let expect = format!(
+                "{p},{},{}",
+                prod.degree(p),
+                vertex_squares_at(&prod, &sa, &sb, p)
+            );
+            assert_eq!(*line, expect);
+        }
+
+        assert_eq!(
+            st.handle(&get("/v1/scatter/degree-squares?format=xml"))
+                .status,
+            400
+        );
+        assert_eq!(
+            st.handle(&get("/v1/scatter/degree-squares?limit=10001"))
+                .status,
+            400
+        );
+    }
+
+    #[test]
+    fn scatter_chain_rows_match_chain_truth() {
+        let st = chain_state();
+        let chain = chain_truth();
+        let csv = st.handle(&get("/v1/scatter/degree-squares?format=csv&limit=25"));
+        assert_eq!(csv.status, 200);
+        for (p, line) in csv.body.lines().skip(1).enumerate() {
+            let expect = format!("{p},{},{}", chain.degree(p), chain.vertex_squares_at(p));
+            assert_eq!(line, expect);
+        }
     }
 }

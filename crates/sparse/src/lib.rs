@@ -30,6 +30,7 @@ pub mod dense;
 pub mod eigen;
 pub mod ewise;
 pub mod expr;
+pub mod expr_parse;
 pub mod extract;
 pub mod kron;
 pub mod mask;
@@ -46,6 +47,7 @@ pub use csr::Csr;
 pub use error::{SparseError, SparseResult};
 pub use ewise::{ewise_add, ewise_mult};
 pub use expr::MatExpr;
+pub use expr_parse::{parse_expr, ChainLevel, ExprChain, ExprParseError, MAX_CHAIN_LEVELS};
 pub use extract::{extract, extract_principal};
 pub use kron::{kron, kron_vec};
 pub use mask::{spmv_masked, VecMask};
