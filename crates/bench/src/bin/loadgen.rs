@@ -40,7 +40,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bikron_analytics::{butterflies_per_edge, butterflies_per_vertex, EdgeButterflies};
-use bikron_bench::serve_load::{field_u64, field_u64_last, split_json_array, LoadgenSummary, Zipf};
+use bikron_bench::serve_load::{
+    field_u64, field_u64_last, slow_trace_lines, split_json_array, track_slow, LoadgenSummary, Zipf,
+};
 use bikron_cli::{parse_factor, parse_mode};
 use bikron_core::truth::squares_edge::edge_squares_at;
 use bikron_core::truth::squares_vertex::vertex_squares_at;
@@ -159,14 +161,24 @@ impl Truth {
     }
 }
 
-/// Minimal keep-alive HTTP/1.1 client.
+/// Minimal keep-alive HTTP/1.1 client. Every request carries a fresh
+/// client-minted W3C `traceparent`; the server must echo the trace id in
+/// its `x-bikron-trace-id` response header (id propagation is part of
+/// the contract the load test verifies, so echo failures count as
+/// mismatches via [`Client::echo_failures`]).
 struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// xorshift64* state for trace-id minting.
+    rng: u64,
+    /// Trace id (32 hex chars) sent with the in-flight/last request.
+    sent_trace_id: String,
+    /// Echo failures observed so far (fold into the mismatch count).
+    echo_failures: u64,
 }
 
 impl Client {
-    fn connect(addr: &str) -> std::io::Result<Client> {
+    fn connect(addr: &str, seed: u64) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_read_timeout(Some(Duration::from_secs(30)))?;
         stream.set_nodelay(true)?;
@@ -174,18 +186,51 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            // Golden-ratio mix before the nonzero clamp: adjacent seeds
+            // (thread t vs t+1) must not collapse to one xorshift stream.
+            rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            sent_trace_id: String::new(),
+            echo_failures: 0,
         })
     }
 
+    fn draw(&mut self) -> u64 {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        self.rng.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Mint the next `traceparent` header value, remembering its trace id
+    /// for the echo check.
+    fn next_traceparent(&mut self) -> String {
+        let hi = self.draw();
+        let lo = self.draw().max(1);
+        let span = self.draw().max(1);
+        self.sent_trace_id = format!("{hi:016x}{lo:016x}");
+        format!("00-{}-{span:016x}-01", self.sent_trace_id)
+    }
+
+    /// The trace id sent with the last request (for mismatch reports).
+    fn trace_id(&self) -> &str {
+        &self.sent_trace_id
+    }
+
     fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
-        write!(self.writer, "GET {path} HTTP/1.1\r\nHost: lg\r\n\r\n")?;
+        let traceparent = self.next_traceparent();
+        write!(
+            self.writer,
+            "GET {path} HTTP/1.1\r\nHost: lg\r\ntraceparent: {traceparent}\r\n\r\n"
+        )?;
         self.read_response()
     }
 
     fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        let traceparent = self.next_traceparent();
         write!(
             self.writer,
-            "POST {path} HTTP/1.1\r\nHost: lg\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST {path} HTTP/1.1\r\nHost: lg\r\ntraceparent: {traceparent}\r\n\
+             Content-Length: {}\r\n\r\n{body}",
             body.len(),
         )?;
         self.read_response()
@@ -200,6 +245,7 @@ impl Client {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| std::io::Error::other(format!("bad status line {line:?}")))?;
         let mut content_length = 0usize;
+        let mut echoed = String::new();
         loop {
             let mut h = String::new();
             self.reader.read_line(&mut h)?;
@@ -207,12 +253,22 @@ impl Client {
             if h.is_empty() {
                 break;
             }
-            if let Some(v) = h.to_ascii_lowercase().strip_prefix("content-length:") {
+            let lower = h.to_ascii_lowercase();
+            if let Some(v) = lower.strip_prefix("content-length:") {
                 content_length = v
                     .trim()
                     .parse()
                     .map_err(|e| std::io::Error::other(format!("bad content-length: {e}")))?;
+            } else if let Some(v) = lower.strip_prefix("x-bikron-trace-id:") {
+                echoed = v.trim().to_string();
             }
+        }
+        if echoed != self.sent_trace_id {
+            self.echo_failures += 1;
+            eprintln!(
+                "MISMATCH traceparent echo: sent {}, server echoed {echoed:?}",
+                self.sent_trace_id
+            );
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
@@ -282,24 +338,26 @@ fn edge_body_ok(body: &str, expected: Option<u64>) -> bool {
 }
 
 /// One single-query worker: `count` requests of the mixed workload on a
-/// single keep-alive connection. Returns (latencies_ns, mismatches).
+/// single keep-alive connection. Returns (latencies_ns, mismatches,
+/// slowest-request trace ids).
 fn worker(
     truth: &Truth,
     addr: &str,
     count: u64,
     seed: u64,
     zipf: Option<&Zipf>,
-) -> (Vec<u64>, u64) {
+) -> (Vec<u64>, u64, Vec<(u64, String)>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut client = Client::connect(addr).expect("connect to server");
+    let mut client = Client::connect(addr, seed ^ 0x5EED).expect("connect to server");
     let prod = truth.product();
     let n = prod.num_vertices();
     let mut latencies = Vec::with_capacity(count as usize);
+    let mut slowest = Vec::new();
     let mut mismatches = 0u64;
-    let mut check = |ok: bool, what: &str, path: &str, body: &str| {
+    let mut check = |ok: bool, what: &str, path: &str, body: &str, trace: &str| {
         if !ok {
             mismatches += 1;
-            eprintln!("MISMATCH {what} at {path}: {body}");
+            eprintln!("MISMATCH {what} at {path} [trace {trace}]: {body}");
         }
     };
     for _ in 0..count {
@@ -311,7 +369,13 @@ fn worker(
             let path = format!("/v1/vertex/{p}");
             let (status, body) = client.get(&path).expect("vertex request");
             let expect = expected_vertex_body(truth, &prod, p);
-            check(status == 200 && body == expect, "vertex", &path, &body);
+            check(
+                status == 200 && body == expect,
+                "vertex",
+                &path,
+                &body,
+                client.trace_id(),
+            );
         } else if dice < 65 {
             // Known edge: pick a random neighbor of a random non-isolated
             // vertex, so the server must answer `edge: true` + Thm 5.
@@ -337,6 +401,7 @@ fn worker(
                 "edge",
                 &path,
                 &body,
+                client.trace_id(),
             );
         } else if dice < 75 {
             // Random pair: usually a non-edge; existence must agree.
@@ -350,6 +415,7 @@ fn worker(
                 "pair",
                 &path,
                 &body,
+                client.trace_id(),
             );
         } else if dice < 95 {
             // Neighbors page: contents must equal the local enumeration.
@@ -364,6 +430,7 @@ fn worker(
                 "neighbors",
                 &path,
                 &body,
+                client.trace_id(),
             );
         } else {
             // Table-I stats: totals must match the product descriptor.
@@ -371,12 +438,13 @@ fn worker(
             let ok = status == 200
                 && field_u64_last(&body, "vertices") == Some(n as u64)
                 && field_u64_last(&body, "edges") == Some(prod.num_edges());
-            check(ok, "stats", "/v1/stats", &body);
+            check(ok, "stats", "/v1/stats", &body, client.trace_id());
         }
         let ns = started.elapsed().as_nanos() as u64;
         latencies.push(ns);
+        track_slow(&mut slowest, ns, client.trace_id(), 3);
     }
-    (latencies, mismatches)
+    (latencies, mismatches + client.echo_failures, slowest)
 }
 
 /// One query of a batch request: the line sent plus what to check the
@@ -399,7 +467,8 @@ impl BatchSpec {
 
 /// One batch worker: issues `queries` total queries in `POST /v1/batch`
 /// requests of up to `batch` lines, verifying every item of every
-/// returned array. Returns (latencies_ns, verified_queries, mismatches).
+/// returned array. Returns (latencies_ns, verified_queries, mismatches,
+/// slowest-request trace ids).
 fn batch_worker(
     truth: &Truth,
     addr: &str,
@@ -407,12 +476,13 @@ fn batch_worker(
     batch: usize,
     seed: u64,
     zipf: Option<&Zipf>,
-) -> (Vec<u64>, u64, u64) {
+) -> (Vec<u64>, u64, u64, Vec<(u64, String)>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut client = Client::connect(addr).expect("connect to server");
+    let mut client = Client::connect(addr, seed ^ 0x5EED).expect("connect to server");
     let prod = truth.product();
     let n = prod.num_vertices();
     let mut latencies = Vec::new();
+    let mut slowest = Vec::new();
     let mut verified = 0u64;
     let mut mismatches = 0u64;
     let mut remaining = queries;
@@ -442,11 +512,16 @@ fn batch_worker(
 
         let started = Instant::now();
         let (status, response) = client.post("/v1/batch", &body).expect("batch request");
-        latencies.push(started.elapsed().as_nanos() as u64);
+        let ns = started.elapsed().as_nanos() as u64;
+        latencies.push(ns);
+        track_slow(&mut slowest, ns, client.trace_id(), 3);
 
         if status != 200 {
             mismatches += k as u64;
-            eprintln!("MISMATCH batch: status {status}: {response}");
+            eprintln!(
+                "MISMATCH batch [trace {}]: status {status}: {response}",
+                client.trace_id()
+            );
             continue;
         }
         let items = match split_json_array(&response) {
@@ -454,7 +529,8 @@ fn batch_worker(
             other => {
                 mismatches += k as u64;
                 eprintln!(
-                    "MISMATCH batch: expected array of {k} items, got {:?} in {response}",
+                    "MISMATCH batch [trace {}]: expected array of {k} items, got {:?} in {response}",
+                    client.trace_id(),
                     other.map(|i| i.len()),
                 );
                 continue;
@@ -477,11 +553,20 @@ fn batch_worker(
                 verified += 1;
             } else {
                 mismatches += 1;
-                eprintln!("MISMATCH batch item `{}`: {item}", spec.line());
+                eprintln!(
+                    "MISMATCH batch item `{}` [trace {}]: {item}",
+                    spec.line(),
+                    client.trace_id()
+                );
             }
         }
     }
-    (latencies, verified, mismatches)
+    (
+        latencies,
+        verified,
+        mismatches + client.echo_failures,
+        slowest,
+    )
 }
 
 /// Truth replica for expression mode: the chain **materialised** plus
@@ -644,23 +729,25 @@ fn community_ok(t: &ExprTruth, body: &str, sets: &[Vec<usize>]) -> bool {
 }
 
 /// One expression-mode worker: the mixed workload plus clustering,
-/// community and stats-expr probes. Returns (latencies_ns, mismatches).
+/// community and stats-expr probes. Returns (latencies_ns, mismatches,
+/// slowest-request trace ids).
 fn expr_worker(
     truth: &ExprTruth,
     addr: &str,
     count: u64,
     seed: u64,
     zipf: Option<&Zipf>,
-) -> (Vec<u64>, u64) {
+) -> (Vec<u64>, u64, Vec<(u64, String)>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut client = Client::connect(addr).expect("connect to server");
+    let mut client = Client::connect(addr, seed ^ 0x5EED).expect("connect to server");
     let n = truth.g.num_vertices();
     let mut latencies = Vec::with_capacity(count as usize);
+    let mut slowest = Vec::new();
     let mut mismatches = 0u64;
-    let mut check = |ok: bool, what: &str, path: &str, body: &str| {
+    let mut check = |ok: bool, what: &str, path: &str, body: &str, trace: &str| {
         if !ok {
             mismatches += 1;
-            eprintln!("MISMATCH {what} at {path}: {body}");
+            eprintln!("MISMATCH {what} at {path} [trace {trace}]: {body}");
         }
     };
     for _ in 0..count {
@@ -672,7 +759,13 @@ fn expr_worker(
             let path = format!("/v1/vertex/{p}");
             let (status, body) = client.get(&path).expect("vertex request");
             let expect = expected_chain_vertex_body(truth, p);
-            check(status == 200 && body == expect, "vertex", &path, &body);
+            check(
+                status == 200 && body == expect,
+                "vertex",
+                &path,
+                &body,
+                client.trace_id(),
+            );
         } else if dice < 45 {
             // Known edge from the replica's adjacency.
             let mut p = pick_vertex(&mut rng, zipf, n);
@@ -695,6 +788,7 @@ fn expr_worker(
                 "edge",
                 &path,
                 &body,
+                client.trace_id(),
             );
         } else if dice < 55 {
             // Random pair: existence and count must agree with the replica.
@@ -708,6 +802,7 @@ fn expr_worker(
                 "pair",
                 &path,
                 &body,
+                client.trace_id(),
             );
         } else if dice < 70 {
             let p = pick_vertex(&mut rng, zipf, n);
@@ -721,6 +816,7 @@ fn expr_worker(
                 "neighbors",
                 &path,
                 &body,
+                client.trace_id(),
             );
         } else if dice < 82 {
             // Clustering on a known edge (falls back to a random pair on
@@ -739,6 +835,7 @@ fn expr_worker(
                 "clustering",
                 &path,
                 &body,
+                client.trace_id(),
             );
         } else if dice < 94 {
             // Community: small random per-level sets, brute-forced locally.
@@ -768,6 +865,7 @@ fn expr_worker(
                 "community",
                 &path,
                 &body,
+                client.trace_id(),
             );
         } else {
             // Stats: totals from the replica, plus the canonicalised
@@ -779,11 +877,13 @@ fn expr_worker(
                 && field_u64_last(&body, "global_squares")
                     == Some(truth.squares_v.iter().sum::<u64>() / 4)
                 && body.contains(&format!("\"expr\": \"{}\"", truth.chain.canonical()));
-            check(ok, "stats", "/v1/stats", &body);
+            check(ok, "stats", "/v1/stats", &body, client.trace_id());
         }
-        latencies.push(started.elapsed().as_nanos() as u64);
+        let ns = started.elapsed().as_nanos() as u64;
+        track_slow(&mut slowest, ns, client.trace_id(), 3);
+        latencies.push(ns);
     }
-    (latencies, mismatches)
+    (latencies, mismatches + client.echo_failures, slowest)
 }
 
 fn main() {
@@ -815,15 +915,19 @@ fn main() {
             .collect();
         let mut latencies: Vec<u64> = Vec::new();
         let mut mismatches = 0u64;
+        let mut slowest: Vec<(u64, String)> = Vec::new();
         for h in handles {
-            let (l, m) = h.join().expect("worker thread");
+            let (l, m, s) = h.join().expect("worker thread");
             latencies.extend(l);
             mismatches += m;
+            slowest.extend(s);
         }
         let elapsed = started.elapsed();
         let queries = latencies.len() as u64;
         let workload = format!("--expr {}", truth.chain.canonical());
-        finish(&args, latencies, queries, mismatches, elapsed, &workload);
+        finish(
+            &args, latencies, queries, mismatches, elapsed, &workload, slowest,
+        );
     }
     let a = parse_factor(&args.a_spec).expect("bad A_SPEC");
     let b = parse_factor(&args.b_spec).expect("bad B_SPEC");
@@ -857,9 +961,9 @@ fn main() {
                 if batch > 0 {
                     batch_worker(&truth, &addr, per_thread, batch, seed, zipf.as_deref())
                 } else {
-                    let (l, m) = worker(&truth, &addr, per_thread, seed, zipf.as_deref());
+                    let (l, m, s) = worker(&truth, &addr, per_thread, seed, zipf.as_deref());
                     let q = l.len() as u64;
-                    (l, q, m)
+                    (l, q, m, s)
                 }
             })
         })
@@ -868,15 +972,19 @@ fn main() {
     let mut latencies: Vec<u64> = Vec::new();
     let mut queries = 0u64;
     let mut mismatches = 0u64;
+    let mut slowest: Vec<(u64, String)> = Vec::new();
     for h in handles {
-        let (l, q, m) = h.join().expect("worker thread");
+        let (l, q, m, s) = h.join().expect("worker thread");
         latencies.extend(l);
         queries += q;
         mismatches += m;
+        slowest.extend(s);
     }
     let elapsed = started.elapsed();
     let workload = format!("{} {} {:?}", args.a_spec, args.b_spec, args.mode);
-    finish(&args, latencies, queries, mismatches, elapsed, &workload);
+    finish(
+        &args, latencies, queries, mismatches, elapsed, &workload, slowest,
+    );
 }
 
 /// Post-workload tail shared by the pair and expression paths: stall
@@ -888,6 +996,7 @@ fn finish(
     mismatches: u64,
     elapsed: Duration,
     workload: &str,
+    slowest: Vec<(u64, String)>,
 ) -> ! {
     let http_requests = latencies.len() as u64;
 
@@ -896,7 +1005,7 @@ fn finish(
     // `/v1/health` — a server with a tight --slo-p99-ms must report
     // `degraded` after the stalls, and `ok` without them.
     if args.stall_ms > 0 {
-        let mut client = Client::connect(&args.addr).expect("connect for stall injection");
+        let mut client = Client::connect(&args.addr, 7).expect("connect for stall injection");
         for _ in 0..args.stall_count.max(1) {
             let path = format!(
                 "/v1/admin/stall?ms={}&token={}",
@@ -908,7 +1017,7 @@ fn finish(
     }
     let mut health_failed = false;
     if !args.check_health.is_empty() {
-        let mut client = Client::connect(&args.addr).expect("connect for health check");
+        let mut client = Client::connect(&args.addr, 11).expect("connect for health check");
         let (status, body) = client.get("/v1/health").expect("health request");
         let got = body
             .split("\"status\": \"")
@@ -987,6 +1096,9 @@ fn finish(
         summary.p99_ns() as f64 / 1e3,
         args.out,
     );
+    for line in slow_trace_lines(&slowest, summary.p99_ns()) {
+        println!("{line}");
+    }
     if !summary.ok() {
         eprintln!("loadgen: FAILED — {mismatches} response(s) disagreed with closed-form truth");
     }

@@ -117,6 +117,37 @@ impl LoadgenSummary {
     }
 }
 
+/// Fold one request into a bounded leaderboard of the slowest requests
+/// seen so far: keeps the `cap` largest `(latency_ns, trace_id)` pairs,
+/// descending. O(cap) per call — fine for cap ≤ a few dozen.
+pub fn track_slow(slowest: &mut Vec<(u64, String)>, ns: u64, trace_id: &str, cap: usize) {
+    if cap == 0 {
+        return;
+    }
+    if slowest.len() == cap && ns <= slowest[cap - 1].0 {
+        return;
+    }
+    let at = slowest.partition_point(|&(v, _)| v > ns);
+    slowest.insert(at, (ns, trace_id.to_string()));
+    slowest.truncate(cap);
+}
+
+/// The "slowest requests" report: one line per tracked request at or
+/// above `p99_ns`, slowest first — the trace ids to paste into
+/// `bikron trace` / `/v1/admin/traces` when chasing a tail outlier.
+pub fn slow_trace_lines(slowest: &[(u64, String)], p99_ns: u64) -> Vec<String> {
+    slowest
+        .iter()
+        .filter(|&&(ns, _)| ns >= p99_ns && ns > 0)
+        .map(|(ns, trace_id)| {
+            format!(
+                "loadgen: p99 outlier: {:.1}ms trace {trace_id}",
+                *ns as f64 / 1e6
+            )
+        })
+        .collect()
+}
+
 /// Nearest-rank percentile over an ascending-sorted slice.
 pub fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
@@ -289,6 +320,35 @@ mod tests {
         assert_eq!(field_u64(body, "vertices"), Some(5));
         assert_eq!(field_u64_last(body, "vertices"), Some(9));
         assert_eq!(field_u64(body, "absent"), None);
+    }
+
+    #[test]
+    fn slow_tracker_keeps_the_cap_slowest() {
+        let mut slowest = Vec::new();
+        for (ns, id) in [(5, "a"), (50, "b"), (20, "c"), (90, "d"), (1, "e")] {
+            track_slow(&mut slowest, ns, id, 3);
+        }
+        let ids: Vec<&str> = slowest.iter().map(|(_, id)| id.as_str()).collect();
+        assert_eq!(ids, vec!["d", "b", "c"]);
+        assert_eq!(slowest[0].0, 90);
+        // cap 0 tracks nothing.
+        let mut none = Vec::new();
+        track_slow(&mut none, 10, "x", 0);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn outlier_lines_filter_below_p99() {
+        let slowest = vec![
+            (90_000_000, "deadbeef".to_string()),
+            (50_000_000, "cafe".to_string()),
+            (10_000_000, "fast".to_string()),
+        ];
+        let lines = slow_trace_lines(&slowest, 50_000_000);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("90.0ms trace deadbeef"), "{lines:?}");
+        assert!(lines[1].contains("cafe"), "{lines:?}");
+        assert!(slow_trace_lines(&[], 1).is_empty());
     }
 
     #[test]

@@ -34,9 +34,11 @@ pub mod monitor;
 pub mod observability;
 pub mod perfdiff;
 pub mod spec;
+pub mod trace;
 
 pub use flags::{split_global_flags, GlobalOpts};
 pub use monitor::MonitorConfig;
 pub use observability::{write_observability, Outcome};
 pub use perfdiff::{perfdiff_files, PerfDiffConfig};
 pub use spec::{parse_factor, parse_mode, SpecError};
+pub use trace::TraceConfig;

@@ -9,6 +9,7 @@
 //! bikron serve    A_SPEC B_SPEC MODE [--addr HOST:PORT] [--threads N] [--queue N] [--admin-token TOK]
 //! bikron serve    --expr "EXPR" NAME=SPEC... [same flags]
 //! bikron monitor  URL [--interval SEC] [--once] [--top K]
+//! bikron trace    URL [--min-ms N] [--top K] [--token TOKEN]
 //! bikron perfdiff BASELINE.json CANDIDATE.json [--threshold PCT] [--warn-only] [--watch P1,P2]
 //! bikron --version
 //! ```
@@ -35,8 +36,10 @@ USAGE:
                   [--queue N] [--admin-token TOKEN] [--cache-entries N]
                   [--cache-shards N] [--batch-max K] [--access-log FILE]
                   [--log-sample N] [--slo-p99-ms MS] [--slo-err-pct PCT]
+                  [--trace-slow-ms MS] [--trace-sample N]
   bikron serve    --expr \"EXPR\" NAME=SPEC... [same flags as serve]
   bikron monitor  URL [--interval SEC] [--once] [--top K]
+  bikron trace    URL [--min-ms N] [--top K] [--token TOKEN]
   bikron perfdiff BASELINE.json CANDIDATE.json
                   [--threshold PCT] [--warn-only] [--watch PHASE[,PHASE...]]
   bikron --version | -V
@@ -65,6 +68,15 @@ SERVE:
   line per request (--log-sample N keeps every Nth per target).
   Stop with ctrl-c.
 
+  Every request gets a trace id: an inbound W3C `traceparent` header is
+  adopted (the server's root span joins the caller's trace), otherwise
+  ids are minted. The id is echoed in the `x-bikron-trace-id` response
+  header and embedded in error bodies. --trace-slow-ms MS additionally
+  captures the full span tree of every request slower than MS
+  (tail-based sampling); --trace-sample N head-samples 1-in-N requests.
+  Captured traces are served by the token-gated GET /v1/admin/traces
+  and rendered by `bikron trace`.
+
   With --expr, the server answers queries about an arbitrary Kronecker
   program instead of a single pair: EXPR is a chain of named factors
   joined by `⊗` (or `kron`/`*`), with `(NAME+I)` lifting one level by
@@ -78,9 +90,18 @@ SERVE:
 MONITOR:
   Polls URL/metrics every --interval seconds (default 2) and redraws a
   live dashboard: windowed + cumulative request rates, p50/p90/p99
-  latency, status mix, cache hit-rate, in-flight requests, hottest
-  histograms (--top K). --once prints one machine-readable `key value`
-  snapshot and exits.
+  latency, status mix, cache hit-rate, in-flight requests, dropped
+  spans/log lines (flagged when nonzero), hottest histograms (--top K).
+  --once prints one machine-readable `key value` snapshot and exits.
+
+TRACE:
+  Fetches the span trees a server captured (see --trace-slow-ms /
+  --trace-sample above) from GET /v1/admin/traces and renders each as
+  an indented waterfall: accept → parse → evaluate (with cache /
+  serialize / per-batch-item children and their hit/miss outcomes) →
+  write. --min-ms N keeps only traces at least that slow; --top K
+  limits how many are shown (newest first). The endpoint is gated by
+  the server's --admin-token; pass it with --token.
 
 PERFDIFF:
   Compares two metrics reports (schema v1, v2 or v3) and exits non-zero
@@ -156,6 +177,8 @@ fn parse_serve_config(
             "--log-sample" => options.log_sample = parse_num(i, "--log-sample")? as u64,
             "--slo-p99-ms" => options.slo_p99_ms = parse_num(i, "--slo-p99-ms")? as u64,
             "--slo-err-pct" => options.slo_err_pct = parse_num(i, "--slo-err-pct")? as u64,
+            "--trace-slow-ms" => options.trace_slow_ms = parse_num(i, "--trace-slow-ms")? as u64,
+            "--trace-sample" => options.trace_sample = parse_num(i, "--trace-sample")? as u64,
             other => return Err(format!("serve: unknown argument {other:?}").into()),
         }
         i += 2;
@@ -277,6 +300,10 @@ fn dispatch(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
         Some("monitor") if args.len() >= 2 => {
             let cfg = bikron_cli::MonitorConfig::parse(&args[1..])?;
             bikron_cli::monitor::run(&cfg, &mut out)
+        }
+        Some("trace") if args.len() >= 2 => {
+            let cfg = bikron_cli::TraceConfig::parse(&args[1..])?;
+            bikron_cli::trace::run(&cfg, &mut out)
         }
         Some("perfdiff") if args.len() >= 3 => {
             let cfg = parse_perfdiff_config(&args[3..])?;

@@ -91,7 +91,7 @@ impl MonitorConfig {
 
 /// Accepts `http://host:port[/...]`, `host:port`, or bare `host`
 /// (default port 7474).
-fn parse_host_port(url: &str) -> Result<(String, u16), String> {
+pub(crate) fn parse_host_port(url: &str) -> Result<(String, u16), String> {
     let rest = url.strip_prefix("http://").unwrap_or(url);
     if rest.starts_with("https://") || url.starts_with("https://") {
         return Err("monitor: https is not supported (std-only client)".to_string());
@@ -111,8 +111,9 @@ fn parse_host_port(url: &str) -> Result<(String, u16), String> {
     }
 }
 
-/// One `GET /metrics` over a fresh connection; returns the parsed report.
-fn fetch_report(host: &str, port: u16) -> Result<Report, String> {
+/// One `GET {path}` over a fresh connection (std-only HTTP/1.1 client,
+/// shared with `bikron trace`); returns `(status, body)`.
+pub(crate) fn http_get(host: &str, port: u16, path: &str) -> Result<(u16, String), String> {
     let addr = format!("{host}:{port}");
     let mut stream = TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
     stream
@@ -120,7 +121,7 @@ fn fetch_report(host: &str, port: u16) -> Result<Report, String> {
         .map_err(|e| e.to_string())?;
     write!(
         stream,
-        "GET /metrics HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n"
+        "GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n"
     )
     .map_err(|e| format!("send request: {e}"))?;
     let mut raw = String::new();
@@ -130,14 +131,21 @@ fn fetch_report(host: &str, port: u16) -> Result<Report, String> {
     let (head, body) = raw
         .split_once("\r\n\r\n")
         .ok_or("malformed HTTP response")?;
-    let status = head
+    let status: u16 = head
         .split_whitespace()
         .nth(1)
+        .and_then(|s| s.parse().ok())
         .ok_or("missing status code")?;
-    if status != "200" {
+    Ok((status, body.to_string()))
+}
+
+/// One `GET /metrics` over a fresh connection; returns the parsed report.
+fn fetch_report(host: &str, port: u16) -> Result<Report, String> {
+    let (status, body) = http_get(host, port, "/metrics")?;
+    if status != 200 {
         return Err(format!("GET /metrics returned {status}"));
     }
-    Report::from_json(body).map_err(|e| format!("parse /metrics: {e}"))
+    Report::from_json(&body).map_err(|e| format!("parse /metrics: {e}"))
 }
 
 /// Counters and windows the dashboard reads, pulled out of a [`Report`].
@@ -229,7 +237,7 @@ enum Window {
 }
 
 /// Render nanoseconds as a human latency (`1.2ms`, `340µs`, `2.1s`).
-fn fmt_ns(ns: u64) -> String {
+pub(crate) fn fmt_ns(ns: u64) -> String {
     match ns {
         0..=999 => format!("{ns}ns"),
         1_000..=999_999 => format!("{}.{}µs", ns / 1_000, ns % 1_000 / 100),
@@ -321,6 +329,21 @@ pub fn render_frame(prev: Option<&Report>, cur: &Report, dt_secs: f64, top: usiz
         out.push_str(&format!("  inflight   {live} (peak {peak})\n"));
     }
 
+    // Tracing: capture counters, with lossy telemetry flagged loudly —
+    // a nonzero drop count means the span cap or the access-log queue
+    // was exceeded, i.e. the observability data itself is incomplete.
+    if let Some((captured, _)) = cur.gauge("serve.trace.captured") {
+        let seen = cur.gauge("serve.trace.seen").map_or(0, |(v, _)| v);
+        out.push_str(&format!("  traces     captured {captured} of {seen}\n"));
+    }
+    let dropped_spans = cur.gauge("serve.trace.dropped_spans").map_or(0, |(v, _)| v);
+    let dropped_lines = cur.gauge("serve.log.dropped_lines").map_or(0, |(v, _)| v);
+    if dropped_spans > 0 || dropped_lines > 0 {
+        out.push_str(&format!(
+            "  !! LOSSY TELEMETRY  dropped spans {dropped_spans}, dropped log lines {dropped_lines}\n"
+        ));
+    }
+
     // Hottest histograms.
     let hot = snap.hottest_histograms(top);
     if !hot.is_empty() {
@@ -368,6 +391,20 @@ pub fn render_once(cur: &Report) -> String {
     out.push_str(&format!(
         "errors_5xx_total {}\n",
         cur.counter("serve.errors_5xx").unwrap_or(0)
+    ));
+    let gauge = |name: &str| cur.gauge(name).map_or(0, |(v, _)| v);
+    out.push_str(&format!("traces_seen {}\n", gauge("serve.trace.seen")));
+    out.push_str(&format!(
+        "traces_captured {}\n",
+        gauge("serve.trace.captured")
+    ));
+    out.push_str(&format!(
+        "dropped_spans {}\n",
+        gauge("serve.trace.dropped_spans")
+    ));
+    out.push_str(&format!(
+        "dropped_log_lines {}\n",
+        gauge("serve.log.dropped_lines")
     ));
     out
 }
@@ -554,6 +591,32 @@ mod tests {
         assert!(frame.contains("rps 1m n/a"), "{frame}");
         let once = render_once(&report);
         assert!(once.contains("rps_1m 0"), "{once}");
+    }
+
+    #[test]
+    fn lossy_telemetry_is_flagged() {
+        let base = bikron_obs::Registry::new();
+        base.counter("serve.requests").add(1);
+        base.gauge("serve.trace.seen").set(40);
+        base.gauge("serve.trace.captured").set(3);
+        base.gauge("serve.trace.dropped_spans").set(2);
+        base.gauge("serve.log.dropped_lines").set(5);
+        let report = base.snapshot();
+        let frame = render_frame(None, &report, 2.0, 5);
+        assert!(frame.contains("captured 3 of 40"), "{frame}");
+        assert!(frame.contains("LOSSY TELEMETRY"), "{frame}");
+        assert!(
+            frame.contains("dropped spans 2, dropped log lines 5"),
+            "{frame}"
+        );
+        let once = render_once(&report);
+        assert!(once.contains("traces_seen 40\n"), "{once}");
+        assert!(once.contains("traces_captured 3\n"), "{once}");
+        assert!(once.contains("dropped_spans 2\n"), "{once}");
+        assert!(once.contains("dropped_log_lines 5\n"), "{once}");
+        // A server that has dropped nothing gets no warning line.
+        let clean = render_frame(None, &sample_report(), 2.0, 5);
+        assert!(!clean.contains("LOSSY"), "{clean}");
     }
 
     #[test]

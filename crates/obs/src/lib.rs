@@ -8,7 +8,10 @@
 //! collector** with Chrome `trace_event` export ([`trace`]), rolling
 //! **time-windowed** counters/histograms for 1m/5m rates and percentiles
 //! ([`window`]), Prometheus text exposition ([`prom`]), a bounded
-//! structured-event **logger** ([`log`]), and a [`Report`] snapshot that
+//! structured-event **logger** ([`log`]), request-scoped **trace
+//! contexts and span trees** with W3C `traceparent` propagation and
+//! tail-based slow-request capture ([`span`]), and a [`Report`] snapshot
+//! that
 //! serialises to a stable JSON schema (`bikron-obs/3`) and parses back
 //! ([`Report::from_json`], which also reads v1 and v2 reports). The
 //! paper's lineage validated a quadrillion
@@ -54,6 +57,7 @@ mod parse;
 pub mod prom;
 mod registry;
 mod report;
+pub mod span;
 pub mod trace;
 pub mod window;
 
@@ -64,6 +68,7 @@ pub use metrics::{Counter, Gauge, GaugeGuard, TimerStats};
 pub use parse::ParseError;
 pub use registry::{PhaseGuard, Registry};
 pub use report::{Report, TimerSnapshot};
+pub use span::{RequestTrace, SampleReason, SpanRecorder, SpanSink, SpanToken, TraceContext};
 pub use trace::{SpanEvent, TraceCollector};
 pub use window::{WindowKind, WindowRegistry, WindowSnapshot, WindowStats};
 

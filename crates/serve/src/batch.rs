@@ -19,6 +19,10 @@
 //! returned, so a batch of N queries is byte-for-byte N single answers
 //! joined into one JSON array.
 
+use std::sync::Arc;
+
+use bikron_obs::{SpanRecorder, SpanToken};
+
 use crate::http::Response;
 use crate::state::{ServeState, DEFAULT_LIMIT, MAX_LIMIT};
 
@@ -137,16 +141,26 @@ pub fn eval_batch(state: &ServeState, queries: &[BatchQuery], threads: usize) ->
     let mut results: Vec<Option<Response>> = vec![None; queries.len()];
     let threads = threads.clamp(1, queries.len().max(1));
     let chunk = queries.len().div_ceil(threads);
+    // Captured on the request thread: the recorder is shared with worker
+    // threads (it's internally synchronised), giving each batch item a
+    // child span under the request's evaluate span even when items run
+    // on the fan-out pool.
+    let trace = crate::state::current_recorder();
     if threads == 1 {
-        for (q, slot) in queries.iter().zip(results.iter_mut()) {
-            *slot = Some(eval_one(state, q));
+        for (i, (q, slot)) in queries.iter().zip(results.iter_mut()).enumerate() {
+            *slot = Some(eval_traced(state, q, i, &trace));
         }
     } else {
         std::thread::scope(|s| {
-            for (qs, slots) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            for (c, (qs, slots)) in queries
+                .chunks(chunk)
+                .zip(results.chunks_mut(chunk))
+                .enumerate()
+            {
+                let trace = &trace;
                 s.spawn(move || {
-                    for (q, slot) in qs.iter().zip(slots.iter_mut()) {
-                        *slot = Some(eval_one(state, q));
+                    for (i, (q, slot)) in qs.iter().zip(slots.iter_mut()).enumerate() {
+                        *slot = Some(eval_traced(state, q, c * chunk + i, trace));
                     }
                 });
             }
@@ -174,6 +188,33 @@ fn eval_one(state: &ServeState, q: &BatchQuery) -> Response {
         BatchQuery::Edge(p, q) => state.edge_at(p, q),
         BatchQuery::Neighbors(p, offset, limit) => state.neighbors_at(p, offset, limit),
     }
+}
+
+/// [`eval_one`] wrapped in a per-item child span (when the request is
+/// being recorded), annotated with the item's cache outcome. The answer
+/// bytes are identical either way — tracing only observes.
+fn eval_traced(
+    state: &ServeState,
+    q: &BatchQuery,
+    i: usize,
+    trace: &Option<(Arc<SpanRecorder>, SpanToken)>,
+) -> Response {
+    let Some((rec, evaluate)) = trace else {
+        return eval_one(state, q);
+    };
+    let verb = match q {
+        BatchQuery::Vertex(_) => "vertex",
+        BatchQuery::Edge(..) => "edge",
+        BatchQuery::Neighbors(..) => "neighbors",
+    };
+    let tok = rec.begin(&format!("batch[{i}] {verb}"), Some(*evaluate));
+    // Each item reads its own thread's cache outcome, so the annotation
+    // is per-item even when several items share a worker thread.
+    crate::state::reset_cache_outcome();
+    let resp = eval_one(state, q);
+    rec.set_cache(tok, crate::state::cache_outcome());
+    rec.end(tok);
+    resp
 }
 
 #[cfg(test)]

@@ -42,6 +42,10 @@ pub enum CacheKey {
     Neighbors(usize, u64, usize),
     /// `/v1/clustering/{p}/{q}` — Thm 6 per-edge answer.
     Clustering(usize, usize),
+    /// `/v1/scatter/degree-squares?offset&limit` (JSON format only —
+    /// the cache stores bare JSON bodies, so the CSV rendering stays
+    /// uncached).
+    Scatter(u64, usize),
 }
 
 /// FNV-1a offset basis — the default shard-hash seed.
@@ -82,6 +86,11 @@ impl CacheKey {
                 mix(4);
                 mix(p as u64);
                 mix(q as u64);
+            }
+            CacheKey::Scatter(offset, limit) => {
+                mix(5);
+                mix(offset);
+                mix(limit as u64);
             }
         }
         h
@@ -329,10 +338,12 @@ mod tests {
         c.insert(CacheKey::Vertex(1), body("v"));
         c.insert(CacheKey::Edge(1, 1), body("e"));
         c.insert(CacheKey::Neighbors(1, 1, 1), body("n"));
+        c.insert(CacheKey::Scatter(1, 1), body("s"));
         assert_eq!(c.get(&CacheKey::Vertex(1)).unwrap().as_str(), "v");
         assert_eq!(c.get(&CacheKey::Edge(1, 1)).unwrap().as_str(), "e");
         assert_eq!(c.get(&CacheKey::Neighbors(1, 1, 1)).unwrap().as_str(), "n");
-        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&CacheKey::Scatter(1, 1)).unwrap().as_str(), "s");
+        assert_eq!(c.len(), 4);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 
 use std::io::{self, BufRead, Write};
 
+use bikron_obs::json::escape_into;
+
 /// Longest accepted request line (method + URI + version), bytes.
 pub const MAX_REQUEST_LINE: usize = 8192;
 /// Longest accepted single header line, bytes.
@@ -328,6 +330,29 @@ impl Response {
         w.close_object();
         Response::json(status, w.finish())
     }
+
+    /// Append a `"trace_id"` field to this response's JSON body — error
+    /// statuses only. The connection loop applies this to the *outermost*
+    /// response it serves, so live error bodies are self-correlating
+    /// (headers alone don't survive copy-paste into a bug report) while
+    /// success bodies, batch item bodies, and direct-`handle()` test
+    /// responses keep their byte-exact contracts.
+    pub fn with_trace_id(mut self, trace_id: &str) -> Response {
+        if self.status < 400 || self.content_type != "application/json" {
+            return self;
+        }
+        let Some(brace) = self.body.rfind('}') else {
+            return self;
+        };
+        let mut body = String::with_capacity(self.body.len() + trace_id.len() + 24);
+        body.push_str(self.body[..brace].trim_end_matches('\n'));
+        body.push_str(",\n  \"trace_id\": \"");
+        escape_into(&mut body, trace_id);
+        body.push_str("\"\n");
+        body.push_str(&self.body[brace..]);
+        self.body = body;
+        self
+    }
 }
 
 /// Reason phrase for the status codes this server emits.
@@ -352,18 +377,38 @@ pub fn status_text(code: u16) -> &'static str {
 /// `Retry-After: 1` so well-behaved clients back off a shed, not a
 /// failure.
 pub fn write_response<W: Write>(w: &mut W, resp: &Response, keep_alive: bool) -> io::Result<u64> {
+    write_response_traced(w, resp, keep_alive, None)
+}
+
+/// [`write_response`] plus an optional `x-bikron-trace-id` header — the
+/// serving path always has a trace id (propagated from an inbound
+/// `traceparent` or generated), so every live response is correlatable
+/// even when the span ring is disabled. The header is additive and the
+/// body untouched, preserving the byte-exact body contract the batch
+/// and differential suites assert on.
+pub fn write_response_traced<W: Write>(
+    w: &mut W,
+    resp: &Response,
+    keep_alive: bool,
+    trace_id: Option<&str>,
+) -> io::Result<u64> {
     let retry = if resp.status == 503 {
         "Retry-After: 1\r\n"
     } else {
         ""
     };
+    let trace = match trace_id {
+        Some(id) => format!("x-bikron-trace-id: {id}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}{}Connection: {}\r\n\r\n",
         resp.status,
         status_text(resp.status),
         resp.content_type,
         resp.body.len(),
         retry,
+        trace,
         if keep_alive { "keep-alive" } else { "close" },
     );
     w.write_all(head.as_bytes())?;
@@ -525,5 +570,46 @@ mod tests {
         assert!(text2.contains("Retry-After: 1\r\n"));
         assert!(text2.contains("Connection: close\r\n"));
         assert!(text2.contains("\"error\": 503"));
+    }
+
+    #[test]
+    fn with_trace_id_extends_error_bodies_only() {
+        let err = Response::error(404, "no route for /nope")
+            .with_trace_id("0af7651916cd43dd8448eb211c80319c");
+        assert!(
+            err.body
+                .contains(",\n  \"trace_id\": \"0af7651916cd43dd8448eb211c80319c\"\n}"),
+            "{}",
+            err.body
+        );
+        assert!(err.body.contains("\"detail\": \"no route for /nope\""));
+        // Success bodies are byte-exact contracts; never touched.
+        let ok = Response::json(200, "{\n  \"vertex\": 1\n}\n".to_string());
+        let body_before = ok.body.clone();
+        assert_eq!(ok.with_trace_id("deadbeef").body, body_before);
+    }
+
+    #[test]
+    fn traced_response_carries_the_trace_id_header() {
+        let resp = Response::json(200, "{}".into());
+        let mut buf = Vec::new();
+        let n = write_response_traced(
+            &mut buf,
+            &resp,
+            true,
+            Some("0af7651916cd43dd8448eb211c80319c"),
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(n as usize, text.len());
+        assert!(text.contains("x-bikron-trace-id: 0af7651916cd43dd8448eb211c80319c\r\n"));
+        // The body is untouched — only the head grows.
+        assert!(text.ends_with("\r\n\r\n{}"));
+        // And the untraced writer emits no such header.
+        let mut plain = Vec::new();
+        write_response(&mut plain, &resp, true).unwrap();
+        assert!(!String::from_utf8(plain)
+            .unwrap()
+            .contains("x-bikron-trace-id"));
     }
 }

@@ -27,6 +27,7 @@
 //! | `GET /v1/health` | O(1) | `ok`/`degraded` from windowed SLO signals |
 //! | `GET /v1/shutdown` | O(1) | graceful stop (token-gated) |
 //! | `GET /v1/admin/stall` | O(1) | debug latency injection (token-gated) |
+//! | `GET /v1/admin/traces` | O(captured) | tail-sampled span trees (`?min_ms=`, token-gated) |
 //!
 //! (`k` = number of chain levels; 2 for pair servers. FORMULAS.md maps
 //! each endpoint to its theorem and evaluator function.)
@@ -47,6 +48,15 @@
 //! with `--access-log`, one bounded, sampled JSON-lines access event per
 //! request. `bikron monitor URL` renders the `/metrics` feed as a live
 //! dashboard.
+//!
+//! Every request is also assigned a W3C trace context: an inbound
+//! `traceparent` header is adopted (the server becomes a child span),
+//! otherwise ids are generated. The trace id is echoed in the
+//! `x-bikron-trace-id` response header, stamped into error bodies and
+//! access-log lines, and — when `--trace-slow-ms` or `--trace-sample`
+//! is set — slow requests keep their full span tree in a bounded ring,
+//! retrievable via `GET /v1/admin/traces` and rendered by
+//! `bikron trace URL`.
 
 #![warn(missing_docs)]
 

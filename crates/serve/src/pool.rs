@@ -16,7 +16,9 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::http::{parse_request, write_response, HttpError, Response};
+use bikron_obs::{SpanRecorder, TraceContext};
+
+use crate::http::{parse_request, write_response, write_response_traced, HttpError, Response};
 use crate::state::ServeState;
 
 /// How long the nonblocking acceptor sleeps between polls, and workers
@@ -185,8 +187,9 @@ fn worker_loop(queue: &ConnQueue, state: &ServeState, read_timeout: Duration) {
     }
 }
 
-/// One keep-alive session: parse → route → respond, recording metrics
-/// and one access-log event per request, until close/error/shutdown.
+/// One keep-alive session: parse → route → respond, recording metrics,
+/// one access-log event, and (when tracing is enabled) one span tree
+/// per request, until close/error/shutdown.
 fn serve_connection(stream: TcpStream, state: &ServeState, read_timeout: Duration) {
     if stream.set_read_timeout(Some(read_timeout)).is_err() || stream.set_nodelay(true).is_err() {
         return;
@@ -198,22 +201,66 @@ fn serve_connection(stream: TcpStream, state: &ServeState, read_timeout: Duratio
     };
     let mut reader = BufReader::new(stream);
     loop {
+        // The recorder's clock is based here, before the read, so the
+        // `accept` span shows real time spent pulling the request off
+        // the wire. On keep-alive connections this includes idle time
+        // between requests — acceptable for a diagnostic span, and kept
+        // out of the latency metrics below.
+        let io_started = Instant::now();
         let parsed = parse_request(&mut reader);
         if matches!(parsed, Err(HttpError::Closed) | Err(HttpError::Io(_))) {
             return;
         }
         // The latency clock starts once a full request has been read, so
         // keep-alive idle time between requests never pollutes the
-        // windowed p99 the health endpoint alarms on.
+        // windowed p99 the health endpoint alarms on (nor the slow-trace
+        // capture decision, which uses the same total).
         let started = Instant::now();
         // Held through routing AND the response write: the live gauge a
         // dashboard polls must count requests still being flushed, not
         // only those inside the router.
         let _inflight = metrics.inflight().enter();
         crate::state::reset_cache_outcome();
+        // Every request gets a trace identity, recorder or not: adopt
+        // the client's `traceparent` when one parses (our root span
+        // becomes a child in the caller's trace), otherwise mint ids.
+        let (ctx, remote_parent) = match parsed
+            .as_ref()
+            .ok()
+            .and_then(|req| req.header("traceparent"))
+            .and_then(TraceContext::parse_traceparent)
+        {
+            Some(remote) => (TraceContext::child_of(remote), remote.span_id),
+            None => (TraceContext::generate(), 0),
+        };
+        let trace_hex = ctx.trace_id_hex();
+        let recorder = state
+            .spans()
+            .enabled()
+            .then(|| Arc::new(SpanRecorder::with_start(ctx, remote_parent, io_started)));
+        if let Some(rec) = &recorder {
+            // `accept` retroactively covers the socket read; `parse` is
+            // a zero-width marker (parsing happens inside the read).
+            let accept = rec.begin_at("accept", None, 0);
+            rec.end(accept);
+            let parse = rec.begin("parse", None);
+            rec.end(parse);
+        }
         let (resp, keep_alive, method, shape) = match parsed {
             Ok(req) => {
+                // Install the recorder thread-locally for the duration
+                // of routing so handlers can hang cache/serialize (and
+                // per-batch-item) child spans off the evaluate span.
+                let evaluate = recorder.as_ref().and_then(|rec| {
+                    let tok = rec.begin("evaluate", None)?;
+                    crate::state::set_current_recorder(Arc::clone(rec), tok);
+                    Some(tok)
+                });
                 let resp = state.handle(&req);
+                crate::state::take_current_recorder();
+                if let Some(rec) = &recorder {
+                    rec.end(evaluate);
+                }
                 let keep = !req.wants_close();
                 let shape = crate::state::path_shape(&req.path);
                 (resp, keep, req.method, shape)
@@ -227,9 +274,22 @@ fn serve_connection(stream: TcpStream, state: &ServeState, read_timeout: Duratio
                 "malformed".to_string(),
             ),
         };
+        // Error bodies carry the trace id so a client pasting a failure
+        // into a bug report hands over the lookup key; success bodies
+        // stay byte-identical to the untraced server (the id travels in
+        // the `x-bikron-trace-id` header instead).
+        let resp = if resp.status >= 400 {
+            resp.with_trace_id(&trace_hex)
+        } else {
+            resp
+        };
         let status = resp.status;
-        match write_response(&mut writer, &resp, keep_alive) {
+        let write = recorder.as_ref().and_then(|rec| rec.begin("write", None));
+        match write_response_traced(&mut writer, &resp, keep_alive, Some(&trace_hex)) {
             Ok(bytes) => {
+                if let Some(rec) = &recorder {
+                    rec.end(write);
+                }
                 let ns = started.elapsed().as_nanos() as u64;
                 metrics.record(status, bytes, ns);
                 state.log_access(
@@ -239,7 +299,15 @@ fn serve_connection(stream: TcpStream, state: &ServeState, read_timeout: Duratio
                     ns,
                     bytes,
                     crate::state::cache_outcome(),
+                    Some(&trace_hex),
                 );
+                if let Some(rec) = recorder {
+                    // Sole owner now that the thread-local clone is
+                    // dropped; offer the finished tree for tail capture.
+                    if let Ok(rec) = Arc::try_unwrap(rec) {
+                        state.spans().offer(rec, &method, &shape, status, bytes, ns);
+                    }
+                }
             }
             Err(_) => return,
         }

@@ -18,7 +18,7 @@
 //! `"coords"` where pair servers report `"alpha"`/`"beta"`, and only pair
 //! servers stream `/v1/edges` (expression servers answer 501 there).
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -31,9 +31,11 @@ use bikron_core::truth::squares_vertex::{global_squares_with, vertex_squares_at}
 use bikron_core::truth::FactorStats;
 use bikron_core::{predict_structure, KronChain, KroneckerProduct, SelfLoopMode};
 use bikron_graph::{bipartition, Graph};
+use bikron_obs::span::DEFAULT_TRACE_CAPACITY;
 use bikron_obs::window::{WindowedCounter, WindowedHistogram};
 use bikron_obs::{
-    Counter, EventLogger, Gauge, Histogram, JsonWriter, LogEvent, WindowRegistry, WindowSnapshot,
+    Counter, EventLogger, Gauge, Histogram, JsonWriter, LogEvent, SpanRecorder, SpanSink,
+    SpanToken, WindowRegistry, WindowSnapshot,
 };
 
 use crate::cache::{CacheKey, ShardedCache};
@@ -95,6 +97,14 @@ pub struct ServeOptions {
     /// `/v1/health` flips to `degraded` when a windowed 5xx rate exceeds
     /// this percentage of requests.
     pub slo_err_pct: u64,
+    /// Tail-sample any request slower than this many milliseconds into
+    /// the span ring (`--trace-slow-ms`; 0 disables tail sampling).
+    pub trace_slow_ms: u64,
+    /// Additionally head-sample 1-in-N requests into the span ring
+    /// (`--trace-sample`; 0 disables head sampling). Tracing is fully
+    /// off — no recorder allocated per request — when both this and
+    /// `trace_slow_ms` are 0.
+    pub trace_sample: u64,
 }
 
 impl Default for ServeOptions {
@@ -109,6 +119,8 @@ impl Default for ServeOptions {
             log_sample: 1,
             slo_p99_ms: DEFAULT_SLO_P99_MS,
             slo_err_pct: DEFAULT_SLO_ERR_PCT,
+            trace_slow_ms: 0,
+            trace_sample: 0,
         }
     }
 }
@@ -253,6 +265,9 @@ pub struct ServeState {
     shutdown: AtomicBool,
     metrics: ServeMetrics,
     logger: Option<EventLogger>,
+    /// Captured slow/sampled request traces (per server instance, so
+    /// multi-server tests and processes never cross-contaminate).
+    spans: SpanSink,
     slo_p99_ms: u64,
     slo_err_pct: u64,
     started: Instant,
@@ -278,6 +293,46 @@ pub(crate) fn reset_cache_outcome() {
 /// Read the cache outcome recorded while handling the current request.
 pub(crate) fn cache_outcome() -> Option<bool> {
     CACHE_OUTCOME.get()
+}
+
+std::thread_local! {
+    /// The span recorder (and its `evaluate` span token — the parent for
+    /// router-level child spans) of the request currently being handled
+    /// on this worker thread. Same propagation idiom as `CACHE_OUTCOME`:
+    /// the pool installs it around `handle()`, [`ServeState::cached`]
+    /// and the batch evaluator read it, and direct `handle()` calls in
+    /// tests see `None` (untraced). Only set when the server's
+    /// [`SpanSink`] is enabled.
+    static CURRENT_RECORDER: RefCell<Option<(Arc<SpanRecorder>, SpanToken)>> =
+        const { RefCell::new(None) };
+}
+
+/// Install the current request's recorder for this worker thread.
+pub(crate) fn set_current_recorder(recorder: Arc<SpanRecorder>, evaluate: SpanToken) {
+    CURRENT_RECORDER.with(|r| *r.borrow_mut() = Some((recorder, evaluate)));
+}
+
+/// Remove and return the current recorder (pool, after `handle()` —
+/// clearing it before the sink consumes the recorder also drops this
+/// thread's `Arc` so the pool's `try_unwrap` succeeds).
+pub(crate) fn take_current_recorder() -> Option<(Arc<SpanRecorder>, SpanToken)> {
+    CURRENT_RECORDER.with(|r| r.borrow_mut().take())
+}
+
+/// Clone of the current recorder pair, if this request is traced. The
+/// batch evaluator hands the clone to its scoped fan-out threads (which
+/// have their own, unset, thread-local).
+pub(crate) fn current_recorder() -> Option<(Arc<SpanRecorder>, SpanToken)> {
+    CURRENT_RECORDER.with(|r| r.borrow().clone())
+}
+
+/// Begin a child span under the current request's `evaluate` span.
+/// `None` (nothing recorded) when the request is untraced.
+fn begin_child(name: &str) -> Option<(Arc<SpanRecorder>, Option<SpanToken>)> {
+    current_recorder().map(|(rec, eval)| {
+        let tok = rec.begin(name, Some(eval));
+        (rec, tok)
+    })
 }
 
 /// Collapse a request path to a bounded-cardinality shape for access
@@ -405,6 +460,11 @@ impl ServeState {
             shutdown: AtomicBool::new(false),
             metrics: ServeMetrics::new(),
             logger,
+            spans: SpanSink::new(
+                DEFAULT_TRACE_CAPACITY,
+                options.trace_slow_ms,
+                options.trace_sample,
+            ),
             slo_p99_ms: options.slo_p99_ms.max(1),
             slo_err_pct: options.slo_err_pct.min(100),
             started: Instant::now(),
@@ -424,6 +484,11 @@ impl ServeState {
     /// The result cache, if enabled (`cache_entries > 0`).
     pub fn cache(&self) -> Option<&ShardedCache> {
         self.cache.as_ref()
+    }
+
+    /// The span sink capturing slow/sampled request traces.
+    pub fn spans(&self) -> &SpanSink {
+        &self.spans
     }
 
     /// The configured per-batch query cap.
@@ -492,6 +557,7 @@ impl ServeState {
             ["v1", "batch"] => Response::error(405, "batch requires POST"),
             ["v1", "shutdown"] => self.shutdown_endpoint(req),
             ["v1", "admin", "stall"] => self.stall_endpoint(req),
+            ["v1", "admin", "traces"] => self.traces_endpoint(req),
             _ => Response::error(404, &format!("no route for {}", req.path)),
         }
     }
@@ -517,12 +583,24 @@ impl ServeState {
         let Some(cache) = &self.cache else {
             return f();
         };
-        if let Some(body) = cache.get(&key) {
-            CACHE_OUTCOME.set(Some(true));
+        let lookup = begin_child("cache");
+        let hit = cache.get(&key);
+        CACHE_OUTCOME.set(Some(hit.is_some()));
+        if let Some((rec, tok)) = &lookup {
+            rec.set_cache(*tok, Some(hit.is_some()));
+            rec.end(*tok);
+        }
+        if let Some(body) = hit {
             return Response::json(200, (*body).clone());
         }
-        CACHE_OUTCOME.set(Some(false));
+        // On a miss the closure both evaluates the closed form and
+        // serialises the body (the two are fused in each endpoint's
+        // JsonWriter pass), so one `serialize` span covers the compute.
+        let serialize = begin_child("serialize");
         let resp = f();
+        if let Some((rec, tok)) = serialize {
+            rec.end(tok);
+        }
         if resp.status == 200 {
             cache.insert(key, Arc::new(resp.body.clone()));
         }
@@ -938,7 +1016,11 @@ impl ServeState {
             }
         };
         match req.query_param("format") {
-            None | Some("json") => {
+            // The JSON page is cached like every other paged endpoint
+            // (the cache stores bare JSON bodies, so the CSV rendering
+            // below stays uncached), which also gives scatter requests a
+            // cache hit/miss outcome for access logs and span trees.
+            None | Some("json") => self.cached(CacheKey::Scatter(offset, limit), || {
                 let mut w = JsonWriter::new();
                 w.open_object();
                 w.u64_field("offset", offset);
@@ -962,7 +1044,7 @@ impl ServeState {
                 w.close_array();
                 w.close_object();
                 Response::json(200, w.finish())
-            }
+            }),
             Some("csv") => {
                 let mut body = String::from("vertex,degree,squares\n");
                 for p in start..end {
@@ -984,9 +1066,18 @@ impl ServeState {
     fn metrics_response(&self, req: &Request) -> Response {
         // uptime_ms lets scrapers derive the cumulative (since-boot)
         // request rate without a second endpoint.
-        bikron_obs::global()
-            .gauge("serve.uptime_ms")
+        let obs = bikron_obs::global();
+        obs.gauge("serve.uptime_ms")
             .set(self.started.elapsed().as_millis() as u64);
+        // Mirror the per-instance trace/log loss counters into the
+        // report so dropped telemetry is observable (monitor flags them
+        // when nonzero) instead of only being countable in principle.
+        obs.gauge("serve.trace.seen").set(self.spans.seen());
+        obs.gauge("serve.trace.captured").set(self.spans.captured());
+        obs.gauge("serve.trace.dropped_spans")
+            .set(self.spans.dropped_spans());
+        obs.gauge("serve.log.dropped_lines")
+            .set(self.logger.as_ref().map_or(0, EventLogger::dropped));
         let mut report = bikron_obs::global().snapshot();
         report.set_meta("tool", "bikron-serve");
         report.set_meta("endpoint", "/metrics");
@@ -1076,9 +1167,46 @@ impl ServeState {
         Response::json(200, w.finish())
     }
 
+    /// `GET /v1/admin/traces[?min_ms=N]` (token-gated): the captured
+    /// span trees, newest first, plus the sink's policy and counters —
+    /// what `bikron trace` renders as waterfalls.
+    fn traces_endpoint(&self, req: &Request) -> Response {
+        if let Err(resp) = self.check_admin(req) {
+            return resp;
+        }
+        let min_ms: u64 = match req.query_param("min_ms").map(str::parse) {
+            None => 0,
+            Some(Ok(v)) => v,
+            Some(Err(_)) => return Response::error(400, "min_ms must be an integer"),
+        };
+        let traces = self.spans.snapshot(min_ms.saturating_mul(1_000_000));
+        let mut w = JsonWriter::new();
+        w.open_object();
+        w.string_field("schema", "bikron-traces/1");
+        w.bool_field("enabled", self.spans.enabled());
+        w.u64_field("slow_ms", self.spans.slow_ms());
+        w.u64_field("seen", self.spans.seen());
+        w.u64_field("captured", self.spans.captured());
+        w.u64_field("dropped_spans", self.spans.dropped_spans());
+        w.u64_field("count", traces.len() as u64);
+        w.key("traces");
+        w.open_array();
+        for t in &traces {
+            w.array_element();
+            t.write_json(&mut w);
+        }
+        w.close_array();
+        w.close_object();
+        Response::json(200, w.finish())
+    }
+
     /// Emit one access-log event for a completed request (no-op without
     /// `--access-log`). `cache` is the thread-local outcome captured by
-    /// the connection loop.
+    /// the connection loop; `trace_id` is the request's 32-hex-char
+    /// trace id (always present on the serving path, `None` only from
+    /// contexts with no trace identity), making every access line
+    /// joinable against captured span trees and upstream traces.
+    #[allow(clippy::too_many_arguments)]
     pub fn log_access(
         &self,
         method: &str,
@@ -1087,6 +1215,7 @@ impl ServeState {
         latency_ns: u64,
         bytes: u64,
         cache: Option<bool>,
+        trace_id: Option<&str>,
     ) {
         let Some(logger) = &self.logger else {
             return;
@@ -1105,7 +1234,8 @@ impl ServeState {
                         Some(false) => "miss",
                         None => "-",
                     },
-                ),
+                )
+                .field("trace_id", trace_id.unwrap_or("-")),
         );
     }
 
@@ -1727,8 +1857,16 @@ mod tests {
             },
         )
         .unwrap();
-        st.log_access("GET", "/v1/vertex/{n}", 200, 1_234, 99, Some(true));
-        st.log_access("GET", "/metrics", 200, 5_678, 400, None);
+        st.log_access(
+            "GET",
+            "/v1/vertex/{n}",
+            200,
+            1_234,
+            99,
+            Some(true),
+            Some("00f067aa0ba902b7deadbeefcafef00d"),
+        );
+        st.log_access("GET", "/metrics", 200, 5_678, 400, None, None);
         st.flush_logs();
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
@@ -1736,7 +1874,9 @@ mod tests {
         assert!(lines[0].contains("\"target\": \"access\""));
         assert!(lines[0].contains("\"path\": \"/v1/vertex/{n}\""));
         assert!(lines[0].contains("\"cache\": \"hit\""));
+        assert!(lines[0].contains("\"trace_id\": \"00f067aa0ba902b7deadbeefcafef00d\""));
         assert!(lines[1].contains("\"cache\": \"-\""));
+        assert!(lines[1].contains("\"trace_id\": \"-\""));
         let _ = std::fs::remove_file(&path);
     }
 
