@@ -17,6 +17,14 @@
 //! `--out` file into the new report, so sequential runs (single / batch /
 //! batch+cache) accumulate into one benchmark file.
 //!
+//! `--cluster` points the same workload at a `bikron router` front for a
+//! sharded cluster. The checks don't change — the router's contract is
+//! byte-transparency, so every vertex body must still be byte-exact and
+//! every batch array identical to a single node's — but the run first
+//! verifies the target's `/v1/health` identifies as a router (guarding
+//! against benchmarking a single node by mistake) and stamps the shard
+//! count into the report meta.
+//!
 //! `loadgen --expr "EXPR" NAME=SPEC...` targets an expression server
 //! (`bikron serve --expr`). The workload adds /v1/clustering and
 //! /v1/community probes, and every answer is checked against a
@@ -78,6 +86,15 @@ struct Args {
     /// Expected `/v1/health` status after the run (`ok` | `degraded`);
     /// empty skips the check. A mismatch fails the run.
     check_health: String,
+    /// `--cluster`: the target is a `bikron router` front. The workload
+    /// is unchanged — the router must be byte-transparent — but the run
+    /// first verifies the target really is a router (its `/v1/health`
+    /// reports `"role": "router"`), records the shard count, and stamps
+    /// the report meta, so a cluster benchmark can't silently point at a
+    /// single node.
+    cluster: bool,
+    /// Shard count learned from the router handshake (0 = not cluster).
+    cluster_shards: u64,
 }
 
 fn parse_args() -> Args {
@@ -87,7 +104,7 @@ fn parse_args() -> Args {
             "usage: loadgen A_SPEC B_SPEC MODE [--addr HOST:PORT] [--requests N] \
              [--threads N] [--out FILE] [--seed S] [--batch K] [--zipf S] \
              [--label NAME] [--append] [--stall MS] [--stall-count K] \
-             [--admin-token TOK] [--check-health ok|degraded]\n\
+             [--admin-token TOK] [--check-health ok|degraded] [--cluster]\n\
              \x20      loadgen --expr \"EXPR\" NAME=SPEC... [same flags, no --batch]"
         );
         std::process::exit(2);
@@ -143,7 +160,33 @@ fn parse_args() -> Args {
             .expect("bad --stall-count"),
         admin_token: flag("--admin-token", ""),
         check_health: flag("--check-health", ""),
+        cluster: raw.iter().any(|x| x == "--cluster"),
+        cluster_shards: 0,
     }
+}
+
+/// `--cluster` handshake: the target's `/v1/health` must identify as a
+/// router. Returns the shard count. Exits loudly when the target is a
+/// plain server — a "cluster" benchmark against a single node would
+/// silently measure the wrong thing.
+fn cluster_handshake(addr: &str) -> u64 {
+    let mut client = Client::connect(addr, 3).expect("connect for cluster handshake");
+    let (status, body) = client.get("/v1/health").expect("router health request");
+    let role = body
+        .split("\"role\": \"")
+        .nth(1)
+        .and_then(|tail| tail.split('"').next())
+        .unwrap_or("");
+    if status != 200 || role != "router" {
+        eprintln!(
+            "loadgen: --cluster target {addr} is not a router \
+             (health role {role:?}, HTTP {status}); point --addr at `bikron router`"
+        );
+        std::process::exit(2);
+    }
+    let shards = field_u64(&body, "shards").unwrap_or(0);
+    println!("loadgen: cluster target confirmed — router fronting {shards} shard(s)");
+    shards
 }
 
 /// Local replica of the truth the server answers from.
@@ -887,7 +930,11 @@ fn expr_worker(
 }
 
 fn main() {
-    let args = parse_args();
+    let mut args = parse_args();
+    if args.cluster {
+        args.cluster_shards = cluster_handshake(&args.addr);
+    }
+    let args = args;
     if !args.expr.is_empty() {
         if args.batch > 0 {
             eprintln!("loadgen: --batch is not supported with --expr");
@@ -1077,6 +1124,10 @@ fn finish(
     }
     if !args.label.is_empty() {
         report.set_meta("label", args.label.clone());
+    }
+    if args.cluster {
+        report.set_meta("cluster", "router");
+        report.set_meta("cluster_shards", args.cluster_shards.to_string());
     }
     report
         .write_to_file(std::path::Path::new(&args.out))

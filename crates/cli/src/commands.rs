@@ -230,7 +230,7 @@ pub fn serve(
     let server = Server::bind(config.clone(), std::sync::Arc::clone(&state))?;
     writeln!(
         out,
-        "listening on http://{} ({} worker(s), queue {}, cache {}, batch ≤ {}) — stop with ctrl-c",
+        "listening on http://{} ({} worker(s), queue {}, cache {}, batch ≤ {}{}) — stop with ctrl-c",
         server.local_addr()?,
         config.threads.max(1),
         config.queue_capacity.max(1),
@@ -240,6 +240,7 @@ pub fn serve(
             "off".to_string()
         },
         state.batch_max(),
+        shard_banner(&state),
     )?;
     out.flush()?;
     server.run()?;
@@ -271,7 +272,7 @@ pub fn serve_expr(
     let server = Server::bind(config.clone(), std::sync::Arc::clone(&state))?;
     writeln!(
         out,
-        "serving {} on http://{} ({} worker(s), queue {}, cache {}, batch ≤ {}) — stop with ctrl-c",
+        "serving {} on http://{} ({} worker(s), queue {}, cache {}, batch ≤ {}{}) — stop with ctrl-c",
         state.expr(),
         server.local_addr()?,
         config.threads.max(1),
@@ -282,11 +283,76 @@ pub fn serve_expr(
             "off".to_string()
         },
         state.batch_max(),
+        shard_banner(&state),
     )?;
     out.flush()?;
     server.run()?;
     writeln!(out, "shutdown complete")?;
     Ok(())
+}
+
+/// `, shard I/N owning [lo, hi)` when the server is a cluster shard;
+/// empty for a whole-keyspace server.
+fn shard_banner(state: &ServeState) -> String {
+    match state.shard() {
+        Some((index, count)) => {
+            let (lo, hi) = bikron_core::partition::block_range(state.num_vertices(), count, index);
+            format!(", shard {index}/{count} owning [{lo}, {hi})")
+        }
+        None => String::new(),
+    }
+}
+
+/// `bikron router --shards URL,URL,...` — run the scatter-gather front
+/// for a sharded serve cluster until a signal stops it. Hands back the
+/// handshake error (unreachable shard, shuffled list, mismatched
+/// factors) before binding the client-facing listener.
+pub fn router(
+    shards: &[String],
+    config: bikron_router::RouterConfig,
+    options: bikron_router::RouterOptions,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let state = std::sync::Arc::new(bikron_router::RouterState::connect(shards, options)?);
+    bikron_serve::signal::install();
+    let server = bikron_router::RouterServer::bind(config.clone(), std::sync::Arc::clone(&state))?;
+    writeln!(
+        out,
+        "router listening on http://{} fronting {} shard(s) over {} vertices ({} worker(s), queue {}) — stop with ctrl-c",
+        server.local_addr()?,
+        state.num_shards(),
+        state.num_vertices(),
+        config.threads.max(1),
+        config.queue_capacity.max(1),
+    )?;
+    for (i, addr) in state.shard_addrs().iter().enumerate() {
+        let (lo, hi) =
+            bikron_core::partition::block_range(state.num_vertices(), state.num_shards(), i);
+        writeln!(out, "  shard {i}: http://{addr} owns [{lo}, {hi})")?;
+    }
+    out.flush()?;
+    server.run()?;
+    writeln!(out, "router shutdown complete")?;
+    Ok(())
+}
+
+/// `bikron promcheck FILE` — validate a saved Prometheus text-exposition
+/// scrape. Returns whether the file passed.
+pub fn promcheck(text: &str, out: &mut dyn Write) -> Result<bool, Box<dyn std::error::Error>> {
+    match bikron_obs::prom::check_exposition(text) {
+        Ok(()) => {
+            let samples = text
+                .lines()
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .count();
+            writeln!(out, "OK: {samples} samples, exposition format valid")?;
+            Ok(true)
+        }
+        Err(e) => {
+            writeln!(out, "INVALID: {e}")?;
+            Ok(false)
+        }
+    }
 }
 
 /// Render an expression parse error with the offending input and a caret

@@ -8,6 +8,8 @@
 //! bikron parts    A_SPEC B_SPEC MODE
 //! bikron serve    A_SPEC B_SPEC MODE [--addr HOST:PORT] [--threads N] [--queue N] [--admin-token TOK]
 //! bikron serve    --expr "EXPR" NAME=SPEC... [same flags]
+//! bikron router   --shards URL,URL,... [--addr HOST:PORT] [--replicate-stats]
+//! bikron promcheck FILE
 //! bikron monitor  URL [--interval SEC] [--once] [--top K]
 //! bikron trace    URL [--min-ms N] [--top K] [--token TOKEN]
 //! bikron perfdiff BASELINE.json CANDIDATE.json [--threshold PCT] [--warn-only] [--watch P1,P2]
@@ -38,6 +40,10 @@ USAGE:
                   [--log-sample N] [--slo-p99-ms MS] [--slo-err-pct PCT]
                   [--trace-slow-ms MS] [--trace-sample N]
   bikron serve    --expr \"EXPR\" NAME=SPEC... [same flags as serve]
+  bikron router   --shards URL[,URL...] [--addr HOST:PORT] [--threads N]
+                  [--queue N] [--batch-max K] [--replicate-stats]
+                  [--upstream-timeout-ms MS]
+  bikron promcheck FILE
   bikron monitor  URL [--interval SEC] [--once] [--top K]
   bikron trace    URL [--min-ms N] [--top K] [--token TOKEN]
   bikron perfdiff BASELINE.json CANDIDATE.json
@@ -86,6 +92,33 @@ SERVE:
   /v1/scatter/degree-squares, and report the canonicalised expression
   in /v1/stats. Example:
     bikron serve --expr \"(A+I)⊗B⊗C\" A=cycle:5 B=kmn:2x3 C=crown:3
+
+ROUTER:
+  Fronts a sharded serve cluster (default 127.0.0.1:7070). Start N shard
+  processes over the SAME factors, each with --shard I/N, then point the
+  router at them in shard order:
+    bikron serve A B MODE --shard 0/3 --addr 127.0.0.1:7481 &
+    bikron serve A B MODE --shard 1/3 --addr 127.0.0.1:7482 &
+    bikron serve A B MODE --shard 2/3 --addr 127.0.0.1:7483 &
+    bikron router --shards 127.0.0.1:7481,127.0.0.1:7482,127.0.0.1:7483
+  Shard I owns product vertices [I*ceil(n/N), (I+1)*ceil(n/N)). Keyed
+  reads relay to the owner byte-identically; POST /v1/batch is split per
+  owning shard, fanned out concurrently, and reassembled in request
+  order; /metrics aggregates every shard's report (shard{i}.* keys in
+  JSON, shard=\"i\" labels in ?format=prometheus); /v1/health reports the
+  worst shard verdict with a per-shard detail array. A dead shard yields
+  503 (with Retry-After) only for its own key range after one retry on a
+  fresh connection. --replicate-stats serves /v1/stats from a copy
+  fetched at startup instead of proxying. At startup each shard must
+  self-identify as shard I/N via /v1/health (catching a shuffled
+  --shards list) and serve identical /v1/stats (catching mismatched
+  factors).
+
+PROMCHECK:
+  Validates a Prometheus text-exposition file (e.g. a saved /metrics
+  scrape) against the format rules this workspace emits; exits non-zero
+  with a line-numbered error on the first violation. CI runs this over
+  live single-node and cluster scrapes.
 
 MONITOR:
   Polls URL/metrics every --interval seconds (default 2) and redraws a
@@ -179,6 +212,19 @@ fn parse_serve_config(
             "--slo-err-pct" => options.slo_err_pct = parse_num(i, "--slo-err-pct")? as u64,
             "--trace-slow-ms" => options.trace_slow_ms = parse_num(i, "--trace-slow-ms")? as u64,
             "--trace-sample" => options.trace_sample = parse_num(i, "--trace-sample")? as u64,
+            "--shard" => {
+                let v = need_value(i)?;
+                let (index, count) = v
+                    .split_once('/')
+                    .ok_or_else(|| format!("serve: --shard expects I/N, got {v:?}"))?;
+                let index: usize = index
+                    .parse()
+                    .map_err(|e| format!("serve: bad --shard index: {e}"))?;
+                let count: usize = count
+                    .parse()
+                    .map_err(|e| format!("serve: bad --shard count: {e}"))?;
+                options.shard = Some((index, count));
+            }
             other => return Err(format!("serve: unknown argument {other:?}").into()),
         }
         i += 2;
@@ -186,6 +232,67 @@ fn parse_serve_config(
     // Batches fan out over the same worker budget the pool uses.
     options.batch_threads = config.threads.max(1);
     Ok((config, options))
+}
+
+/// Parse `router`'s flags from its argument tail. Returns the shard URL
+/// list (in ownership order) plus transport and routing options.
+fn parse_router_config(
+    args: &[String],
+) -> Result<
+    (
+        Vec<String>,
+        bikron_router::RouterConfig,
+        bikron_router::RouterOptions,
+    ),
+    Box<dyn std::error::Error>,
+> {
+    let mut shards: Vec<String> = Vec::new();
+    let mut config = bikron_router::RouterConfig {
+        addr: "127.0.0.1:7070".to_string(),
+        ..bikron_router::RouterConfig::default()
+    };
+    let mut options = bikron_router::RouterOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        let need_value = |i: usize| {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("router: {} requires a value", args[i]))
+        };
+        let parse_num = |i: usize, what: &str| -> Result<usize, String> {
+            need_value(i)?
+                .parse()
+                .map_err(|e| format!("router: bad {what}: {e}"))
+        };
+        match args[i].as_str() {
+            "--shards" => {
+                shards = need_value(i)?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--addr" => config.addr = need_value(i)?,
+            "--threads" => config.threads = parse_num(i, "--threads")?,
+            "--queue" => config.queue_capacity = parse_num(i, "--queue")?,
+            "--batch-max" => options.batch_max = parse_num(i, "--batch-max")?,
+            "--upstream-timeout-ms" => {
+                options.upstream_timeout =
+                    std::time::Duration::from_millis(parse_num(i, "--upstream-timeout-ms")? as u64)
+            }
+            "--replicate-stats" => {
+                options.replicate_stats = true;
+                i += 1;
+                continue;
+            }
+            other => return Err(format!("router: unknown argument {other:?}").into()),
+        }
+        i += 2;
+    }
+    if shards.is_empty() {
+        return Err("router requires --shards URL[,URL...]".into());
+    }
+    Ok((shards, config, options))
 }
 
 /// Parse `perfdiff`'s own flags from its argument tail.
@@ -296,6 +403,15 @@ fn dispatch(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
             let (config, options) = parse_serve_config(&args[4..])?;
             commands::serve(a, b, mode, config, options, &mut out)?;
             Ok(true)
+        }
+        Some("router") => {
+            let (shards, config, options) = parse_router_config(&args[1..])?;
+            commands::router(&shards, config, options, &mut out)?;
+            Ok(true)
+        }
+        Some("promcheck") if args.len() >= 2 => {
+            let text = std::fs::read_to_string(&args[1])?;
+            commands::promcheck(&text, &mut out)
         }
         Some("monitor") if args.len() >= 2 => {
             let cfg = bikron_cli::MonitorConfig::parse(&args[1..])?;

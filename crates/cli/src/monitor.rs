@@ -1,5 +1,5 @@
 //! `bikron monitor URL`: a live terminal dashboard over a running
-//! `bikron serve` instance.
+//! `bikron serve` instance or a `bikron router` cluster front.
 //!
 //! The monitor polls `GET /metrics` (the `bikron-obs/3` JSON report),
 //! diffs consecutive snapshots, and redraws one screen in place:
@@ -8,6 +8,15 @@
 //! and the top-K hottest histograms by count. With `--once` it prints a
 //! single machine-readable `key value` snapshot instead — that is what
 //! CI asserts against.
+//!
+//! When the target identifies itself as a router (report meta
+//! `tool = bikron-router`), the headline series switch from `serve.*`
+//! to `router.*` and a per-shard breakdown is appended: each shard's
+//! request counter, 1-minute rate, request p99, and health verdict
+//! (from the `router.shard{i}.health` gauge). A shard whose scrape is
+//! missing from the aggregate, or that answered zero requests in the
+//! last minute, is flagged `SHARD DARK`. In `--once` mode the same
+//! breakdown is emitted as `shards` plus numeric `shard{i}_*` keys.
 //!
 //! Everything except the socket I/O is pure (`render_frame`,
 //! `render_once`), so the formatting and diffing logic is unit-testable
@@ -148,26 +157,69 @@ fn fetch_report(host: &str, port: u16) -> Result<Report, String> {
     Report::from_json(&body).map_err(|e| format!("parse /metrics: {e}"))
 }
 
+/// One shard's row in the cluster breakdown, assembled from the
+/// `shard{i}.*` series the router merges into its aggregate report.
+struct ShardRow {
+    index: usize,
+    /// Cumulative requests served by the shard (`shard{i}.serve.requests`).
+    requests: u64,
+    /// 1-minute windowed rate, `None` when the shard report lacks windows.
+    rps_1m: Option<u64>,
+    /// Cumulative request p99 in nanoseconds.
+    p99_ns: u64,
+    /// `router.shard{i}.health` gauge: 0 ok, 1 degraded, 2 down.
+    health: Option<u64>,
+    /// Scrape missing from the aggregate, or zero requests in the last
+    /// minute — either way the shard is not visibly doing work.
+    dark: bool,
+}
+
+impl ShardRow {
+    fn health_str(&self) -> &'static str {
+        match self.health {
+            Some(0) => "ok",
+            Some(1) => "degraded",
+            Some(2) => "down",
+            _ => "unknown",
+        }
+    }
+}
+
 /// Counters and windows the dashboard reads, pulled out of a [`Report`].
+/// `prefix` is `serve.` for a single node and `router.` when the target
+/// identifies as a cluster front, so the same accessors work for both.
 struct Snapshot<'a> {
     report: &'a Report,
+    prefix: &'static str,
     requests: u64,
     uptime_ms: u64,
 }
 
 impl<'a> Snapshot<'a> {
     fn new(report: &'a Report) -> Snapshot<'a> {
+        let prefix = if report.meta("tool") == Some("bikron-router") {
+            "router."
+        } else {
+            "serve."
+        };
         Snapshot {
             report,
-            requests: report.counter("serve.requests").unwrap_or(0),
-            uptime_ms: report.gauge("serve.uptime_ms").map_or(0, |(v, _)| v),
+            prefix,
+            requests: report.counter(&format!("{prefix}requests")).unwrap_or(0),
+            uptime_ms: report
+                .gauge(&format!("{prefix}uptime_ms"))
+                .map_or(0, |(v, _)| v),
         }
+    }
+
+    fn name(&self, suffix: &str) -> String {
+        format!("{}{suffix}", self.prefix)
     }
 
     /// Windowed request rate (per second), `None` when the server
     /// predates windowed metrics (v2 report).
     fn windowed_rate(&self, which: Window) -> Option<u64> {
-        let w = self.report.window("serve.requests")?;
+        let w = self.report.window(&self.name("requests"))?;
         Some(match which {
             Window::OneMin => w.w1m.rate_per_sec,
             Window::FiveMin => w.w5m.rate_per_sec,
@@ -175,11 +227,50 @@ impl<'a> Snapshot<'a> {
     }
 
     fn windowed_latency(&self, which: Window) -> Option<bikron_obs::WindowStats> {
-        let w = self.report.window("serve.request_ns")?;
+        let w = self.report.window(&self.name("request_ns"))?;
         Some(match which {
             Window::OneMin => w.w1m,
             Window::FiveMin => w.w5m,
         })
+    }
+
+    /// Shard count a router target advertises; 0 for a single node.
+    fn shard_count(&self) -> usize {
+        if self.prefix != "router." {
+            return 0;
+        }
+        self.report
+            .meta("shards")
+            .and_then(|s| s.parse().ok())
+            .or_else(|| self.report.gauge("router.shards").map(|(v, _)| v as usize))
+            .unwrap_or(0)
+    }
+
+    /// Per-shard breakdown rows (empty for a single-node target).
+    fn shard_rows(&self) -> Vec<ShardRow> {
+        (0..self.shard_count())
+            .map(|i| {
+                let req = format!("shard{i}.serve.requests");
+                let requests = self.report.counter(&req);
+                let rps_1m = self.report.window(&req).map(|w| w.w1m.rate_per_sec);
+                let p99_ns = self
+                    .report
+                    .histogram(&format!("shard{i}.serve.request_ns"))
+                    .map_or(0, |h| h.percentile(99));
+                let health = self
+                    .report
+                    .gauge(&format!("router.shard{i}.health"))
+                    .map(|(v, _)| v);
+                ShardRow {
+                    index: i,
+                    requests: requests.unwrap_or(0),
+                    rps_1m,
+                    p99_ns,
+                    health,
+                    dark: requests.is_none() || rps_1m.unwrap_or(0) == 0,
+                }
+            })
+            .collect()
     }
 
     /// Cumulative (since-boot) requests per second, derived from the
@@ -201,14 +292,15 @@ impl<'a> Snapshot<'a> {
         Some(hits * 100 / total)
     }
 
-    /// `(code, count)` rows for every `serve.status.*` counter, by count
-    /// descending.
+    /// `(code, count)` rows for every `{prefix}status.*` counter, by
+    /// count descending.
     fn status_mix(&self) -> Vec<(String, u64)> {
+        let status_prefix = self.name("status.");
         let mut rows: Vec<(String, u64)> = self
             .report
             .counters()
             .filter_map(|(name, v)| {
-                let code = name.strip_prefix("serve.status.")?;
+                let code = name.strip_prefix(&status_prefix)?;
                 (v > 0).then(|| (code.to_string(), v))
             })
             .collect();
@@ -277,7 +369,7 @@ pub fn render_frame(prev: Option<&Report>, cur: &Report, dt_secs: f64, top: usiz
         snap.cumulative_rps(),
     ));
     if let Some(prev) = prev {
-        let before = prev.counter("serve.requests").unwrap_or(0);
+        let before = prev.counter(&snap.name("requests")).unwrap_or(0);
         let delta = snap.requests.saturating_sub(before);
         let inst = if dt_secs > 0.0 {
             (delta as f64 / dt_secs).round() as u64
@@ -301,7 +393,7 @@ pub fn render_frame(prev: Option<&Report>, cur: &Report, dt_secs: f64, top: usiz
             ));
         }
     }
-    if let Some(h) = cur.histogram("serve.request_ns") {
+    if let Some(h) = cur.histogram(&snap.name("request_ns")) {
         out.push_str(&format!(
             "  latency ∞  p50 {:<10} p90 {:<10} p99 {:<10} n={}\n",
             fmt_ns(h.percentile(50)),
@@ -325,8 +417,32 @@ pub fn render_frame(prev: Option<&Report>, cur: &Report, dt_secs: f64, top: usiz
     if let Some(pct) = snap.cache_hit_pct() {
         out.push_str(&format!("  cache      hit-rate {pct}%\n"));
     }
-    if let Some((live, peak)) = cur.gauge("serve.inflight") {
+    if let Some((live, peak)) = cur.gauge(&snap.name("inflight")) {
         out.push_str(&format!("  inflight   {live} (peak {peak})\n"));
+    }
+
+    // Cluster targets: one row per shard, with dark shards flagged as
+    // loudly as lossy telemetry — a shard that serves nothing is the
+    // routing bug (or outage) this dashboard exists to surface.
+    let shards = snap.shard_rows();
+    if !shards.is_empty() {
+        out.push_str(&format!("\n  shards     {}", shards.len()));
+        if let Some((pct, _)) = cur.gauge("router.load_imbalance") {
+            out.push_str(&format!(" — load imbalance {pct}% (100 = even)"));
+        }
+        out.push('\n');
+        for row in &shards {
+            out.push_str(&format!(
+                "    shard {:<4} reqs {:<10} rps 1m {:<6} p99 {:<10} {}{}\n",
+                row.index,
+                row.requests,
+                row.rps_1m
+                    .map_or_else(|| "n/a".to_string(), |r| r.to_string()),
+                fmt_ns(row.p99_ns),
+                row.health_str(),
+                if row.dark { "  !! SHARD DARK" } else { "" },
+            ));
+        }
     }
 
     // Tracing: capture counters, with lossy telemetry flagged loudly —
@@ -364,9 +480,9 @@ pub fn render_once(cur: &Report) -> String {
     let snap = Snapshot::new(cur);
     let w1m = snap.windowed_latency(Window::OneMin).unwrap_or_default();
     let cum_p99 = cur
-        .histogram("serve.request_ns")
+        .histogram(&snap.name("request_ns"))
         .map_or(0, |h| h.percentile(99));
-    let (inflight, inflight_peak) = cur.gauge("serve.inflight").unwrap_or((0, 0));
+    let (inflight, inflight_peak) = cur.gauge(&snap.name("inflight")).unwrap_or((0, 0));
     let mut out = String::new();
     out.push_str(&format!("schema_version {}\n", cur.schema_version()));
     out.push_str(&format!("requests_total {}\n", snap.requests));
@@ -390,7 +506,9 @@ pub fn render_once(cur: &Report) -> String {
     ));
     out.push_str(&format!(
         "errors_5xx_total {}\n",
-        cur.counter("serve.errors_5xx").unwrap_or(0)
+        cur.counter(&snap.name("errors_5xx"))
+            .or_else(|| cur.counter(&snap.name("errors")))
+            .unwrap_or(0)
     ));
     let gauge = |name: &str| cur.gauge(name).map_or(0, |(v, _)| v);
     out.push_str(&format!("traces_seen {}\n", gauge("serve.trace.seen")));
@@ -406,6 +524,21 @@ pub fn render_once(cur: &Report) -> String {
         "dropped_log_lines {}\n",
         gauge("serve.log.dropped_lines")
     ));
+    // Cluster targets: stable numeric keys per shard so CI can assert
+    // "no shard went dark" without parsing the dashboard layout. A
+    // shard with no health gauge reads as down (2).
+    let shards = snap.shard_rows();
+    if !shards.is_empty() {
+        out.push_str(&format!("shards {}\n", shards.len()));
+        for row in &shards {
+            let i = row.index;
+            out.push_str(&format!("shard{i}_requests {}\n", row.requests));
+            out.push_str(&format!("shard{i}_rps_1m {}\n", row.rps_1m.unwrap_or(0)));
+            out.push_str(&format!("shard{i}_p99_ns {}\n", row.p99_ns));
+            out.push_str(&format!("shard{i}_health {}\n", row.health.unwrap_or(2)));
+            out.push_str(&format!("shard{i}_dark {}\n", u64::from(row.dark)));
+        }
+    }
     out
 }
 
@@ -476,6 +609,52 @@ mod tests {
         let mut report = base.snapshot();
         report.set_meta("tool", "bikron-serve");
         win.snapshot_into(&mut report);
+        report
+    }
+
+    /// A shard report as `bikron serve --shard` exposes it, sized so
+    /// the 1-minute window rate is `events / 60` requests per second.
+    fn shard_report(events: u64) -> Report {
+        let base = bikron_obs::Registry::new();
+        let win = bikron_obs::WindowRegistry::new();
+        let requests = win.counter(&base, "serve.requests");
+        let latency = win.histogram(&base, "serve.request_ns");
+        for _ in 0..events {
+            requests.inc();
+            latency.record(1_500_000);
+        }
+        let mut report = base.snapshot();
+        win.snapshot_into(&mut report);
+        report
+    }
+
+    /// A router aggregate over two shards. With `shard1_dead` the second
+    /// shard's scrape is missing and its health gauge reads down.
+    fn router_report(shard1_dead: bool) -> Report {
+        let base = bikron_obs::Registry::new();
+        let win = bikron_obs::WindowRegistry::new();
+        let requests = win.counter(&base, "router.requests");
+        let latency = win.histogram(&base, "router.request_ns");
+        for i in 0..180u64 {
+            requests.inc();
+            latency.record(2_000_000 + i * 10_000);
+        }
+        base.counter("router.status.200").add(178);
+        base.counter("router.status.503").add(2);
+        base.gauge("router.uptime_ms").set(60_000);
+        base.gauge("router.shards").set(2);
+        base.gauge("router.load_imbalance").set(110);
+        base.gauge("router.shard0.health").set(0);
+        base.gauge("router.shard1.health")
+            .set(if shard1_dead { 2 } else { 0 });
+        let mut report = base.snapshot();
+        report.set_meta("tool", "bikron-router");
+        report.set_meta("shards", "2");
+        win.snapshot_into(&mut report);
+        report.merge_prefixed("shard0.", &shard_report(120));
+        if !shard1_dead {
+            report.merge_prefixed("shard1.", &shard_report(60));
+        }
         report
     }
 
@@ -617,6 +796,58 @@ mod tests {
         // A server that has dropped nothing gets no warning line.
         let clean = render_frame(None, &sample_report(), 2.0, 5);
         assert!(!clean.contains("LOSSY"), "{clean}");
+    }
+
+    #[test]
+    fn router_frame_switches_prefix_and_lists_shards() {
+        let report = router_report(false);
+        let frame = render_frame(None, &report, 2.0, 5);
+        assert!(frame.contains("bikron-router"), "{frame}");
+        assert!(frame.contains("total 180"), "{frame}");
+        // 180 requests in the 1m window = 3/s, read from router.requests.
+        assert!(frame.contains("rps 1m 3"), "{frame}");
+        assert!(frame.contains("200:178"), "{frame}");
+        assert!(frame.contains("503:2"), "{frame}");
+        assert!(frame.contains("shards     2"), "{frame}");
+        assert!(frame.contains("load imbalance 110%"), "{frame}");
+        assert!(frame.contains("shard 0"), "{frame}");
+        assert!(frame.contains("shard 1"), "{frame}");
+        // Both shards answered traffic this window: nothing is dark.
+        assert!(!frame.contains("SHARD DARK"), "{frame}");
+        assert!(frame.contains("ok"), "{frame}");
+    }
+
+    #[test]
+    fn dead_shard_is_flagged_dark() {
+        let report = router_report(true);
+        let frame = render_frame(None, &report, 2.0, 5);
+        assert!(frame.contains("SHARD DARK"), "{frame}");
+        assert!(frame.contains("down"), "{frame}");
+        // Shard 0 is healthy; exactly one row is flagged.
+        assert_eq!(frame.matches("SHARD DARK").count(), 1, "{frame}");
+    }
+
+    #[test]
+    fn router_once_emits_numeric_shard_keys() {
+        let text = render_once(&router_report(true));
+        for line in text.lines() {
+            let (_, v) = line.split_once(' ').expect("key value");
+            assert!(v.parse::<u64>().is_ok(), "{line}");
+        }
+        assert!(text.contains("shards 2\n"), "{text}");
+        assert!(text.contains("requests_total 180\n"), "{text}");
+        assert!(text.contains("rps_1m 3\n"), "{text}");
+        assert!(text.contains("shard0_requests 120\n"), "{text}");
+        assert!(text.contains("shard0_rps_1m 2\n"), "{text}");
+        assert!(text.contains("shard0_health 0\n"), "{text}");
+        assert!(text.contains("shard0_dark 0\n"), "{text}");
+        assert!(text.contains("shard1_requests 0\n"), "{text}");
+        assert!(text.contains("shard1_health 2\n"), "{text}");
+        assert!(text.contains("shard1_dark 1\n"), "{text}");
+        // Router reports fold 5xx into router.errors.
+        assert!(text.contains("errors_5xx_total 0\n"), "{text}");
+        // A single-node report emits no shard keys at all.
+        assert!(!render_once(&sample_report()).contains("shard"), "single");
     }
 
     #[test]

@@ -49,6 +49,7 @@
 pub mod chain;
 pub mod connectivity;
 pub mod index;
+pub mod partition;
 pub mod power;
 pub mod product;
 pub mod sample;

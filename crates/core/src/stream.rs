@@ -103,13 +103,11 @@ impl<'a> PartitionedStream<'a> {
         self.num_parts
     }
 
-    /// The `A`-entry range owned by `part`.
+    /// The `A`-entry range owned by `part` — the shared
+    /// [`crate::partition::block_range`] tiling, so streaming, distsim,
+    /// and the serve/router cluster all agree on ownership.
     fn slice(&self, part: usize) -> &[(Ix, Ix)] {
-        assert!(part < self.num_parts, "partition out of range");
-        let n = self.a_entries.len();
-        let per = n.div_ceil(self.num_parts);
-        let lo = (part * per).min(n);
-        let hi = ((part + 1) * per).min(n);
+        let (lo, hi) = crate::partition::block_range(self.a_entries.len(), self.num_parts, part);
         &self.a_entries[lo..hi]
     }
 

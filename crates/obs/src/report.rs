@@ -125,6 +125,33 @@ impl Report {
         self.windows.insert(name, w);
     }
 
+    /// Copy every series of `other` into `self` under `prefix` — e.g.
+    /// `merge_prefixed("shard0.", &report)` turns `serve.requests` into
+    /// `shard0.serve.requests`. This is how the cluster router folds the
+    /// `/metrics` reports it scrapes from each shard into one aggregate
+    /// report (so `bikron monitor` reads the whole cluster from a single
+    /// scrape). Metadata and schema version are left untouched; name
+    /// collisions overwrite, which a non-empty prefix makes impossible
+    /// across shards.
+    pub fn merge_prefixed(&mut self, prefix: &str, other: &Report) {
+        for (name, value) in &other.counters {
+            self.counters.insert(format!("{prefix}{name}"), *value);
+        }
+        for (name, value) in &other.gauges {
+            self.gauges.insert(format!("{prefix}{name}"), *value);
+        }
+        for (name, value) in &other.timers {
+            self.timers.insert(format!("{prefix}{name}"), *value);
+        }
+        for (name, value) in &other.histograms {
+            self.histograms
+                .insert(format!("{prefix}{name}"), value.clone());
+        }
+        for (name, value) in &other.windows {
+            self.windows.insert(format!("{prefix}{name}"), *value);
+        }
+    }
+
     /// Counter value by name.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters.get(name).copied()

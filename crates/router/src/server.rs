@@ -1,0 +1,238 @@
+//! Fixed thread-pool acceptor for the router, mirroring the shard
+//! server's transport: bounded pending-connection queue, load shedding
+//! with 503, keep-alive workers. Each worker holds a connection through
+//! parse → route (which may fan out to shards) → respond, adopting the
+//! client's `traceparent` and propagating the router's own span context
+//! upstream so `bikron trace` shows router→shard parentage.
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use bikron_obs::TraceContext;
+use bikron_serve::http::{
+    parse_request, write_response, write_response_traced, HttpError, Response,
+};
+
+use crate::state::RouterState;
+
+/// How long the nonblocking acceptor sleeps between polls, and workers
+/// wait on the queue, before re-checking the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Router transport configuration (routing behaviour lives in
+/// [`RouterOptions`](crate::RouterOptions)).
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker thread count (min 1). Each in-flight batch additionally
+    /// spawns short-lived scoped threads for its fan-out.
+    pub threads: usize,
+    /// Bounded pending-connection queue; beyond it, connections are shed
+    /// with 503.
+    pub queue_capacity: usize,
+    /// Per-socket read timeout for client connections.
+    pub read_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Bounded MPMC queue of accepted sockets: `Mutex<VecDeque>` + `Condvar`.
+struct ConnQueue {
+    inner: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> Self {
+        ConnQueue {
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.inner.lock().unwrap();
+        if q.len() >= self.capacity {
+            return Err(stream);
+        }
+        q.push_back(stream);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    fn pop_timeout(&self, timeout: Duration) -> Option<TcpStream> {
+        let q = self.inner.lock().unwrap();
+        let (mut q, _) = self
+            .ready
+            .wait_timeout_while(q, timeout, |q| q.is_empty())
+            .unwrap();
+        q.pop_front()
+    }
+}
+
+/// A bound, not-yet-running router server.
+pub struct RouterServer {
+    listener: TcpListener,
+    state: Arc<RouterState>,
+    config: RouterConfig,
+}
+
+impl RouterServer {
+    /// Bind the listener. Fails fast on a bad or busy address.
+    pub fn bind(config: RouterConfig, state: Arc<RouterState>) -> io::Result<RouterServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(RouterServer {
+            listener,
+            state,
+            config,
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Run the accept loop on the calling thread until shutdown is
+    /// requested, then drain and join the workers.
+    pub fn run(self) -> io::Result<()> {
+        let RouterServer {
+            listener,
+            state,
+            config,
+        } = self;
+        listener.set_nonblocking(true)?;
+        let queue = Arc::new(ConnQueue::new(config.queue_capacity.max(1)));
+
+        let workers: Vec<_> = (0..config.threads.max(1))
+            .map(|n| {
+                let queue = Arc::clone(&queue);
+                let state = Arc::clone(&state);
+                let read_timeout = config.read_timeout;
+                std::thread::Builder::new()
+                    .name(format!("router-worker-{n}"))
+                    .spawn(move || worker_loop(&queue, &state, read_timeout))
+                    .expect("spawn router worker thread")
+            })
+            .collect();
+
+        while !state.shutdown_requested() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    state.metrics().connection_opened();
+                    if let Err(shed) = queue.try_push(stream) {
+                        shed_connection(shed, &state);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// Write the 503 load-shed response on a fresh socket and close it.
+fn shed_connection(mut stream: TcpStream, state: &RouterState) {
+    let resp = Response::error(503, "pending-connection queue is full; retry shortly");
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let bytes = write_response(&mut stream, &resp, false).unwrap_or(0);
+    let _ = stream.flush();
+    state.metrics().record_shed(bytes);
+}
+
+fn worker_loop(queue: &ConnQueue, state: &RouterState, read_timeout: Duration) {
+    loop {
+        match queue.pop_timeout(POLL_INTERVAL) {
+            Some(stream) => serve_connection(stream, state, read_timeout),
+            None if state.shutdown_requested() => return,
+            None => {}
+        }
+    }
+}
+
+/// One keep-alive session: parse → route (with upstream fan-out) →
+/// respond, recording router metrics, until close/error/shutdown.
+fn serve_connection(stream: TcpStream, state: &RouterState, read_timeout: Duration) {
+    if stream.set_read_timeout(Some(read_timeout)).is_err() || stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let metrics = state.metrics();
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let parsed = parse_request(&mut reader);
+        if matches!(parsed, Err(HttpError::Closed) | Err(HttpError::Io(_))) {
+            return;
+        }
+        // Latency clock starts after the full read (same convention as
+        // the shards), so keep-alive idle time stays out of the p99.
+        let started = Instant::now();
+        let _inflight = metrics.inflight().enter();
+        // Adopt the client's traceparent or mint ids; the rendered
+        // context travels upstream so shard spans join the same trace.
+        let ctx = match parsed
+            .as_ref()
+            .ok()
+            .and_then(|req| req.header("traceparent"))
+            .and_then(TraceContext::parse_traceparent)
+        {
+            Some(remote) => TraceContext::child_of(remote),
+            None => TraceContext::generate(),
+        };
+        let trace_hex = ctx.trace_id_hex();
+        let upstream_tp = ctx.to_traceparent();
+        let (resp, keep_alive) = match parsed {
+            Ok(req) => {
+                let resp = state.handle(&req, Some(&upstream_tp));
+                (resp, !req.wants_close())
+            }
+            // After a framing error the byte stream can't be trusted.
+            Err(e) => (Response::error(e.status(), &e.detail()), false),
+        };
+        // Same trace-id convention as the shards: error bodies carry the
+        // id; success bodies stay byte-identical to a shard's (the id
+        // travels in the `x-bikron-trace-id` header).
+        let resp = if resp.status >= 400 {
+            resp.with_trace_id(&trace_hex)
+        } else {
+            resp
+        };
+        let status = resp.status;
+        match write_response_traced(&mut writer, &resp, keep_alive, Some(&trace_hex)) {
+            Ok(bytes) => {
+                metrics.record(status, bytes, started.elapsed().as_nanos() as u64);
+            }
+            Err(_) => return,
+        }
+        if !keep_alive || state.shutdown_requested() {
+            return;
+        }
+    }
+}
