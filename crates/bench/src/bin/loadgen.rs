@@ -49,7 +49,8 @@ use std::time::{Duration, Instant};
 
 use bikron_analytics::{butterflies_per_edge, butterflies_per_vertex, EdgeButterflies};
 use bikron_bench::serve_load::{
-    field_u64, field_u64_last, slow_trace_lines, split_json_array, track_slow, LoadgenSummary, Zipf,
+    field_str, field_u64, field_u64_last, slow_trace_lines, split_json_array, track_slow,
+    LoadgenSummary, Zipf,
 };
 use bikron_cli::{parse_factor, parse_mode};
 use bikron_core::truth::squares_edge::edge_squares_at;
@@ -172,11 +173,7 @@ fn parse_args() -> Args {
 fn cluster_handshake(addr: &str) -> u64 {
     let mut client = Client::connect(addr, 3).expect("connect for cluster handshake");
     let (status, body) = client.get("/v1/health").expect("router health request");
-    let role = body
-        .split("\"role\": \"")
-        .nth(1)
-        .and_then(|tail| tail.split('"').next())
-        .unwrap_or("");
+    let role = field_str(&body, "role").unwrap_or("");
     if status != 200 || role != "router" {
         eprintln!(
             "loadgen: --cluster target {addr} is not a router \

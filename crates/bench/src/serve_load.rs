@@ -176,6 +176,18 @@ pub fn field_u64_last(body: &str, key: &str) -> Option<u64> {
     rest[..end].trim().parse().ok()
 }
 
+/// Extract `"key": "value"` from a flat JSON body — the string-field
+/// sibling of [`field_u64`], shared by the loadgen router handshake and
+/// the replay tool's log parsing. Stops at the first unescaped quote, so
+/// values containing `\"` are out of scope (none of the service's flat
+/// string fields contain them).
+pub fn field_str<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\": \"");
+    let start = body.find(&needle)? + needle.len();
+    let end = body[start..].find('"')? + start;
+    Some(&body[start..end])
+}
+
 /// Split a top-level JSON array of objects into the objects' raw text,
 /// by brace-depth scan (string-aware, so a `{` inside an error detail
 /// cannot derail it). Returns `None` when `body` is not an array.
@@ -320,6 +332,16 @@ mod tests {
         assert_eq!(field_u64(body, "vertices"), Some(5));
         assert_eq!(field_u64_last(body, "vertices"), Some(9));
         assert_eq!(field_u64(body, "absent"), None);
+    }
+
+    #[test]
+    fn string_field_extractor() {
+        let body = "{\n  \"role\": \"router\",\n  \"status\": \"ok\",\n  \"n\": 3\n}\n";
+        assert_eq!(field_str(body, "role"), Some("router"));
+        assert_eq!(field_str(body, "status"), Some("ok"));
+        assert_eq!(field_str(body, "n"), None); // numeric, not a string
+        assert_eq!(field_str(body, "absent"), None);
+        assert_eq!(field_str("", "role"), None);
     }
 
     #[test]

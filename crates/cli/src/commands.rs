@@ -8,10 +8,63 @@ use bikron_core::stream::PartitionedStream;
 use bikron_core::truth::FactorStats;
 use bikron_core::{predict_structure, GroundTruth, KroneckerProduct, SelfLoopMode};
 use bikron_graph::{bipartition, connected_components, Graph};
-use bikron_serve::{ServeOptions, ServeState, Server, ServerConfig};
+use bikron_serve::snapshot::{Snapshot, SnapshotError, DEFAULT_CACHE_TOP_K};
+use bikron_serve::{ServeOptions, ServeState, Server, ServerConfig, WarmInfo};
 
 /// Generic error type for command plumbing.
 pub type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Snapshot persistence flags shared by `serve` and `serve --expr`.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotOptions {
+    /// `--snapshot-in FILE`: warm-start from this snapshot at boot.
+    pub snapshot_in: Option<String>,
+    /// `--snapshot-out FILE`: write a snapshot after graceful shutdown.
+    pub snapshot_out: Option<String>,
+    /// `--snapshot-lenient`: when the snapshot is rejected, log why and
+    /// boot cold instead of refusing to start.
+    pub lenient: bool,
+}
+
+/// Read and validate a snapshot file against the requested spec.
+fn load_snapshot(
+    path: &str,
+    validate: impl FnOnce(&Snapshot) -> Result<(), SnapshotError>,
+) -> Result<Snapshot, SnapshotError> {
+    let snap = Snapshot::read_from(path)?;
+    validate(&snap)?;
+    Ok(snap)
+}
+
+/// Announce a warm boot before the listening banner, so operators (and
+/// CI greps) can tell the factor-stats recomputation was skipped.
+fn warm_banner(out: &mut dyn Write, path: &str, expr: &str, info: &WarmInfo) -> CmdResult {
+    writeln!(
+        out,
+        "warm start: restored '{expr}' from {path} in {:.1} ms ({} cache entries)",
+        info.load_ns as f64 / 1e6,
+        info.cache_entries_restored,
+    )?;
+    Ok(())
+}
+
+/// After a graceful shutdown, persist the server's state if asked to.
+fn write_snapshot_on_shutdown(
+    snapshot: &SnapshotOptions,
+    state: &ServeState,
+    out: &mut dyn Write,
+) -> CmdResult {
+    if let Some(path) = &snapshot.snapshot_out {
+        let snap = state.to_snapshot(DEFAULT_CACHE_TOP_K);
+        snap.write_to(path)?;
+        writeln!(
+            out,
+            "snapshot written to {path} ({} cache entries)",
+            snap.cache.len()
+        )?;
+    }
+    Ok(())
+}
 
 /// `bikron stats A B MODE` — print a Table-I-style report for the product
 /// of two factors, entirely from ground truth.
@@ -222,10 +275,28 @@ pub fn serve(
     mode: SelfLoopMode,
     config: ServerConfig,
     options: ServeOptions,
+    snapshot: SnapshotOptions,
     out: &mut dyn Write,
 ) -> CmdResult {
     let cache_entries = options.cache_entries;
-    let state = std::sync::Arc::new(ServeState::build_with(a, b, mode, options)?);
+    let state = match &snapshot.snapshot_in {
+        Some(path) => match load_snapshot(path, |s| s.validate_pair(&a, &b, mode)) {
+            Ok(snap) => {
+                let (st, info) = ServeState::build_from_snapshot(snap, options)?;
+                warm_banner(out, path, st.expr(), &info)?;
+                std::sync::Arc::new(st)
+            }
+            Err(e) if snapshot.lenient => {
+                writeln!(
+                    out,
+                    "snapshot {path} rejected ({e}); booting cold (--snapshot-lenient)"
+                )?;
+                std::sync::Arc::new(ServeState::build_with(a, b, mode, options)?)
+            }
+            Err(e) => return Err(format!("--snapshot-in {path}: {e}").into()),
+        },
+        None => std::sync::Arc::new(ServeState::build_with(a, b, mode, options)?),
+    };
     bikron_serve::signal::install();
     let server = Server::bind(config.clone(), std::sync::Arc::clone(&state))?;
     writeln!(
@@ -244,6 +315,7 @@ pub fn serve(
     )?;
     out.flush()?;
     server.run()?;
+    write_snapshot_on_shutdown(&snapshot, &state, out)?;
     writeln!(out, "shutdown complete")?;
     Ok(())
 }
@@ -258,6 +330,7 @@ pub fn serve_expr(
     bindings: Vec<(String, Graph)>,
     config: ServerConfig,
     options: ServeOptions,
+    snapshot: SnapshotOptions,
     out: &mut dyn Write,
 ) -> CmdResult {
     let chain = bikron_sparse::parse_expr(expr).map_err(|e| render_expr_error(expr, &e))?;
@@ -266,8 +339,39 @@ pub fn serve_expr(
         .iter()
         .map(|l| (l.name.clone(), l.plus_identity))
         .collect();
+    // The canonical spelling a snapshot must match; KronChain builds the
+    // same string, but validation has to happen *before* the expensive
+    // cold construction.
+    let canonical = levels
+        .iter()
+        .map(|(name, pi)| {
+            if *pi {
+                format!("({name}+I)")
+            } else {
+                name.clone()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("⊗");
     let cache_entries = options.cache_entries;
-    let state = std::sync::Arc::new(ServeState::build_expr(bindings, &levels, options)?);
+    let state = match &snapshot.snapshot_in {
+        Some(path) => match load_snapshot(path, |s| s.validate_expr(&canonical, &bindings)) {
+            Ok(snap) => {
+                let (st, info) = ServeState::build_from_snapshot(snap, options)?;
+                warm_banner(out, path, st.expr(), &info)?;
+                std::sync::Arc::new(st)
+            }
+            Err(e) if snapshot.lenient => {
+                writeln!(
+                    out,
+                    "snapshot {path} rejected ({e}); booting cold (--snapshot-lenient)"
+                )?;
+                std::sync::Arc::new(ServeState::build_expr(bindings, &levels, options)?)
+            }
+            Err(e) => return Err(format!("--snapshot-in {path}: {e}").into()),
+        },
+        None => std::sync::Arc::new(ServeState::build_expr(bindings, &levels, options)?),
+    };
     bikron_serve::signal::install();
     let server = Server::bind(config.clone(), std::sync::Arc::clone(&state))?;
     writeln!(
@@ -287,6 +391,7 @@ pub fn serve_expr(
     )?;
     out.flush()?;
     server.run()?;
+    write_snapshot_on_shutdown(&snapshot, &state, out)?;
     writeln!(out, "shutdown complete")?;
     Ok(())
 }
@@ -481,6 +586,7 @@ mod tests {
             vec![("A".into(), cycle(5))],
             ServerConfig::default(),
             ServeOptions::default(),
+            SnapshotOptions::default(),
             &mut out,
         )
         .unwrap_err();

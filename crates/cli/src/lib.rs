@@ -33,6 +33,7 @@ pub mod flags;
 pub mod monitor;
 pub mod observability;
 pub mod perfdiff;
+pub mod replay;
 pub mod spec;
 pub mod trace;
 

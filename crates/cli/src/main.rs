@@ -39,7 +39,11 @@ USAGE:
                   [--cache-shards N] [--batch-max K] [--access-log FILE]
                   [--log-sample N] [--slo-p99-ms MS] [--slo-err-pct PCT]
                   [--trace-slow-ms MS] [--trace-sample N]
+                  [--snapshot-in FILE] [--snapshot-out FILE]
+                  [--snapshot-lenient]
   bikron serve    --expr \"EXPR\" NAME=SPEC... [same flags as serve]
+  bikron replay   ACCESS_LOG URL [--speed X] [--max-rps N] [--count K]
+                  [--seed N] [--label NAME] [--out FILE] [--dry-run]
   bikron router   --shards URL[,URL...] [--addr HOST:PORT] [--threads N]
                   [--queue N] [--batch-max K] [--replicate-stats]
                   [--upstream-timeout-ms MS]
@@ -114,6 +118,31 @@ ROUTER:
   --shards list) and serve identical /v1/stats (catching mismatched
   factors).
 
+SNAPSHOTS (bikron-snap/1):
+  --snapshot-out FILE writes a versioned binary snapshot (factor CSRs,
+  FactorStats, the /v1/stats body, and the hottest result-cache
+  entries, each section checksummed) after a graceful shutdown.
+  --snapshot-in FILE warm-starts from one: factor statistics are
+  decoded instead of recomputed and the cache boots primed; /v1/stats
+  reports \"snapshot\": \"warm\". A snapshot for a different expression,
+  different factor graphs, a future schema version, or a corrupted
+  file is rejected at boot — pass --snapshot-lenient to log the
+  rejection and boot cold instead. Works with --shard I/N (restored
+  cache entries are filtered to the shard's owned keys).
+
+REPLAY:
+  Re-issues a recorded access log (the JSON-lines file --access-log
+  writes) against a live server — for cache warming after a deploy,
+  capacity planning, or realistic benchmarking. Numeric path segments
+  were normalised to {n} at record time; replay re-materialises them
+  with seeded, deterministic vertex samples drawn from the target's
+  /v1/stats vertex count. --speed X scales recorded inter-arrival
+  gaps (2 = twice as fast; 0 = no pacing); --max-rps N caps the rate;
+  --count K stops after K requests; --dry-run parses and plans
+  without connecting. Reports replayed/skipped/error counts and
+  p50/p99 latency, and with --out writes a BENCH_-style metrics
+  report (replay.* keys).
+
 PROMCHECK:
   Validates a Prometheus text-exposition file (e.g. a saved /metrics
   scrape) against the format rules this workspace emits; exits non-zero
@@ -180,12 +209,20 @@ fn run() -> Result<bool, Box<dyn std::error::Error>> {
 /// Parse `serve`'s flags from its argument tail.
 fn parse_serve_config(
     args: &[String],
-) -> Result<(bikron_serve::ServerConfig, bikron_serve::ServeOptions), Box<dyn std::error::Error>> {
+) -> Result<
+    (
+        bikron_serve::ServerConfig,
+        bikron_serve::ServeOptions,
+        commands::SnapshotOptions,
+    ),
+    Box<dyn std::error::Error>,
+> {
     let mut config = bikron_serve::ServerConfig {
         addr: "127.0.0.1:7474".to_string(),
         ..bikron_serve::ServerConfig::default()
     };
     let mut options = bikron_serve::ServeOptions::default();
+    let mut snapshot = commands::SnapshotOptions::default();
     let mut i = 0;
     while i < args.len() {
         let need_value = |i: usize| {
@@ -225,13 +262,20 @@ fn parse_serve_config(
                     .map_err(|e| format!("serve: bad --shard count: {e}"))?;
                 options.shard = Some((index, count));
             }
+            "--snapshot-in" => snapshot.snapshot_in = Some(need_value(i)?),
+            "--snapshot-out" => snapshot.snapshot_out = Some(need_value(i)?),
+            "--snapshot-lenient" => {
+                snapshot.lenient = true;
+                i += 1;
+                continue;
+            }
             other => return Err(format!("serve: unknown argument {other:?}").into()),
         }
         i += 2;
     }
     // Batches fan out over the same worker budget the pool uses.
     options.batch_threads = config.threads.max(1);
-    Ok((config, options))
+    Ok((config, options, snapshot))
 }
 
 /// Parse `router`'s flags from its argument tail. Returns the shard URL
@@ -392,17 +436,21 @@ fn dispatch(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
                 bindings.push((name.to_string(), parse_factor(spec)?));
                 rest += 1;
             }
-            let (config, options) = parse_serve_config(&args[rest..])?;
-            commands::serve_expr(expr, bindings, config, options, &mut out)?;
+            let (config, options, snapshot) = parse_serve_config(&args[rest..])?;
+            commands::serve_expr(expr, bindings, config, options, snapshot, &mut out)?;
             Ok(true)
         }
         Some("serve") if args.len() >= 4 => {
             let a = parse_factor(&args[1])?;
             let b = parse_factor(&args[2])?;
             let mode = parse_mode(&args[3])?;
-            let (config, options) = parse_serve_config(&args[4..])?;
-            commands::serve(a, b, mode, config, options, &mut out)?;
+            let (config, options, snapshot) = parse_serve_config(&args[4..])?;
+            commands::serve(a, b, mode, config, options, snapshot, &mut out)?;
             Ok(true)
+        }
+        Some("replay") if args.len() >= 3 => {
+            let cfg = bikron_cli::replay::ReplayConfig::parse(&args[1..])?;
+            bikron_cli::replay::run(&cfg, &mut out)
         }
         Some("router") => {
             let (shards, config, options) = parse_router_config(&args[1..])?;

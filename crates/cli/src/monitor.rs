@@ -417,6 +417,22 @@ pub fn render_frame(prev: Option<&Report>, cur: &Report, dt_secs: f64, top: usiz
     if let Some(pct) = snap.cache_hit_pct() {
         out.push_str(&format!("  cache      hit-rate {pct}%\n"));
     }
+    // Snapshot provenance: whether this process warm-started from a
+    // `--snapshot-in` file, and what the restore cost/bought.
+    if let Some((warm, _)) = cur.gauge("serve.snapshot.warm") {
+        if warm == 1 {
+            let load_ns = cur.gauge("serve.snapshot.load_ns").map_or(0, |(v, _)| v);
+            let restored = cur
+                .gauge("serve.snapshot.cache_entries_restored")
+                .map_or(0, |(v, _)| v);
+            out.push_str(&format!(
+                "  snapshot   warm ({restored} cache entries restored in {})\n",
+                fmt_ns(load_ns)
+            ));
+        } else {
+            out.push_str("  snapshot   cold\n");
+        }
+    }
     if let Some((live, peak)) = cur.gauge(&snap.name("inflight")) {
         out.push_str(&format!("  inflight   {live} (peak {peak})\n"));
     }
@@ -524,6 +540,22 @@ pub fn render_once(cur: &Report) -> String {
         "dropped_log_lines {}\n",
         gauge("serve.log.dropped_lines")
     ));
+    // Snapshot provenance — only present on serve targets (the gauge is
+    // always set at boot, warm or cold), so routers emit nothing here.
+    if let Some((warm, _)) = cur.gauge("serve.snapshot.warm") {
+        out.push_str(&format!(
+            "snapshot {}\n",
+            if warm == 1 { "warm" } else { "cold" }
+        ));
+        out.push_str(&format!(
+            "snapshot_load_ns {}\n",
+            gauge("serve.snapshot.load_ns")
+        ));
+        out.push_str(&format!(
+            "cache_entries_restored {}\n",
+            gauge("serve.snapshot.cache_entries_restored")
+        ));
+    }
     // Cluster targets: stable numeric keys per shard so CI can assert
     // "no shard went dark" without parsing the dashboard layout. A
     // shard with no health gauge reads as down (2).
@@ -603,6 +635,9 @@ mod tests {
         base.counter("serve.cache.hits").add(90);
         base.counter("serve.cache.misses").add(30);
         base.gauge("serve.uptime_ms").set(60_000);
+        base.gauge("serve.snapshot.warm").set(1);
+        base.gauge("serve.snapshot.load_ns").set(2_000_000);
+        base.gauge("serve.snapshot.cache_entries_restored").set(42);
         let g = base.gauge("serve.inflight");
         g.raise(3);
         g.lower(2);
@@ -738,7 +773,11 @@ mod tests {
         let mut keys = std::collections::BTreeSet::new();
         for line in text.lines() {
             let (k, v) = line.split_once(' ').expect("key value");
-            assert!(v.parse::<u64>().is_ok(), "{line}");
+            if k == "snapshot" {
+                assert!(v == "warm" || v == "cold", "{line}");
+            } else {
+                assert!(v.parse::<u64>().is_ok(), "{line}");
+            }
             keys.insert(k.to_string());
         }
         for k in [
@@ -753,10 +792,45 @@ mod tests {
             "inflight",
             "inflight_peak",
             "cache_hit_pct",
+            "snapshot",
+            "snapshot_load_ns",
+            "cache_entries_restored",
         ] {
             assert!(keys.contains(k), "missing {k} in {text}");
         }
         assert!(text.contains("rps_1m 2\n"), "{text}");
+        assert!(text.contains("snapshot warm\n"), "{text}");
+        assert!(text.contains("cache_entries_restored 42\n"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_state_renders_warm_and_cold() {
+        // The canned report warm-started: both renderers say so.
+        let frame = render_frame(None, &sample_report(), 2.0, 5);
+        assert!(
+            frame.contains("snapshot   warm (42 cache entries restored in 2.0ms)"),
+            "{frame}"
+        );
+        // A cold boot (gauge present, zero) reads cold.
+        let base = bikron_obs::Registry::new();
+        base.counter("serve.requests").add(1);
+        base.gauge("serve.snapshot.warm").set(0);
+        base.gauge("serve.snapshot.load_ns").set(0);
+        base.gauge("serve.snapshot.cache_entries_restored").set(0);
+        let cold = base.snapshot();
+        assert!(
+            render_frame(None, &cold, 2.0, 5).contains("snapshot   cold"),
+            "cold frame"
+        );
+        let once = render_once(&cold);
+        assert!(once.contains("snapshot cold\n"), "{once}");
+        assert!(once.contains("cache_entries_restored 0\n"), "{once}");
+        // A target with no snapshot gauge at all (router, old server)
+        // emits no snapshot keys.
+        let bare = bikron_obs::Registry::new();
+        bare.counter("router.requests").add(1);
+        let none = render_once(&bare.snapshot());
+        assert!(!none.contains("snapshot"), "{none}");
     }
 
     #[test]

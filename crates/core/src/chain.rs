@@ -157,24 +157,76 @@ impl KronChain {
         bindings: Vec<(String, Graph)>,
         level_spec: &[(String, bool)],
     ) -> Result<Self, ChainError> {
+        let mut atoms = Vec::with_capacity(bindings.len());
+        for (name, graph) in bindings {
+            let stats = Self::check_atom(&name, &graph, None)?;
+            atoms.push(ChainAtom { name, graph, stats });
+        }
+        Self::from_atoms(atoms, level_spec)
+    }
+
+    /// Build a chain from atoms whose [`FactorStats`] were already computed
+    /// (e.g. restored from a snapshot), skipping the O(spgemm) per-atom
+    /// recomputation that dominates cold-boot time. Each supplied stats
+    /// block is still shape-checked against its graph, and every other
+    /// `new()` rejection applies unchanged.
+    pub fn with_stats(
+        bindings: Vec<(String, Graph, FactorStats)>,
+        level_spec: &[(String, bool)],
+    ) -> Result<Self, ChainError> {
+        let mut atoms = Vec::with_capacity(bindings.len());
+        for (name, graph, stats) in bindings {
+            let stats = Self::check_atom(&name, &graph, Some(stats))?;
+            atoms.push(ChainAtom { name, graph, stats });
+        }
+        Self::from_atoms(atoms, level_spec)
+    }
+
+    /// Validate one named atom; compute its stats unless a precomputed
+    /// block is supplied (which is shape-checked instead).
+    fn check_atom(
+        name: &str,
+        graph: &Graph,
+        precomputed: Option<FactorStats>,
+    ) -> Result<FactorStats, ChainError> {
+        if graph.num_vertices() == 0 {
+            return Err(ChainError::EmptyFactor(name.to_string()));
+        }
+        if !graph.has_no_self_loops() {
+            return Err(ChainError::SelfLoops(name.to_string()));
+        }
+        match precomputed {
+            Some(stats) => {
+                if stats.order() != graph.num_vertices() {
+                    return Err(ChainError::Stats(bikron_sparse::SparseError::Malformed(
+                        format!(
+                            "stats for '{name}' cover {} vertices but the graph has {}",
+                            stats.order(),
+                            graph.num_vertices()
+                        ),
+                    )));
+                }
+                Ok(stats)
+            }
+            None => FactorStats::compute(graph).map_err(ChainError::Stats),
+        }
+    }
+
+    /// Shared tail of [`KronChain::new`]/[`KronChain::with_stats`]: resolve
+    /// the level spec against the atom list and derive sizes, strides,
+    /// edge/degree products and the canonical expression.
+    fn from_atoms(
+        atoms: Vec<ChainAtom>,
+        level_spec: &[(String, bool)],
+    ) -> Result<Self, ChainError> {
         if level_spec.is_empty() {
             return Err(ChainError::Empty);
         }
         let mut by_name: HashMap<String, usize> = HashMap::new();
-        let mut atoms = Vec::with_capacity(bindings.len());
-        for (name, graph) in bindings {
-            if by_name.contains_key(&name) {
-                return Err(ChainError::DuplicateName(name));
+        for (i, atom) in atoms.iter().enumerate() {
+            if by_name.insert(atom.name.clone(), i).is_some() {
+                return Err(ChainError::DuplicateName(atom.name.clone()));
             }
-            if graph.num_vertices() == 0 {
-                return Err(ChainError::EmptyFactor(name));
-            }
-            if !graph.has_no_self_loops() {
-                return Err(ChainError::SelfLoops(name));
-            }
-            let stats = FactorStats::compute(&graph).map_err(ChainError::Stats)?;
-            by_name.insert(name.clone(), atoms.len());
-            atoms.push(ChainAtom { name, graph, stats });
         }
         let mut levels = Vec::with_capacity(level_spec.len());
         for (name, plus_identity) in level_spec {
@@ -275,6 +327,27 @@ impl KronChain {
     /// spelling — the identity used in cache keys and `/v1/stats`.
     pub fn canonical(&self) -> &str {
         &self.canonical
+    }
+
+    /// Number of distinct atoms bound in this chain (≥ levels that use them).
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Atom metadata by index: `(name, graph, stats)` — the exact inputs a
+    /// snapshot needs to rebuild this chain via [`KronChain::with_stats`].
+    pub fn atom_info(&self, i: usize) -> (&str, &Graph, &FactorStats) {
+        let a = &self.atoms[i];
+        (&a.name, &a.graph, &a.stats)
+    }
+
+    /// The ordered `(name, plus_identity)` level spec this chain was built
+    /// from, reconstructed from the resolved levels.
+    pub fn level_spec(&self) -> Vec<(String, bool)> {
+        self.levels
+            .iter()
+            .map(|l| (self.atoms[l.atom].name.clone(), l.plus_identity))
+            .collect()
     }
 
     /// Level metadata for stats reporting: `(name, graph, plus_identity)`.

@@ -53,6 +53,7 @@ pub mod partition;
 pub mod power;
 pub mod product;
 pub mod sample;
+pub mod snap;
 pub mod stream;
 pub mod truth;
 

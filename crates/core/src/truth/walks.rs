@@ -28,7 +28,7 @@ use bikron_sparse::{
 };
 
 /// Walk statistics of one factor. All vectors are indexed by factor vertex.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FactorStats {
     /// `d_A` as `i128` (formula domain).
     pub degrees: Vec<i128>,

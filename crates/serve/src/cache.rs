@@ -199,6 +199,18 @@ impl LruShard {
     fn len(&self) -> usize {
         self.slots.len()
     }
+
+    /// Entries in recency order, most-recently-used first.
+    fn entries_mru(&self) -> Vec<(CacheKey, Arc<String>)> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        let mut i = self.head;
+        while i != NIL {
+            let s = &self.slots[i];
+            out.push((s.key.clone(), Arc::clone(&s.value)));
+            i = s.next;
+        }
+        out
+    }
 }
 
 /// Sharded, bounded LRU cache. See the module docs for the design;
@@ -312,6 +324,53 @@ impl ShardedCache {
     pub fn local_evictions(&self) -> u64 {
         self.local_evictions.load(Ordering::Relaxed)
     }
+
+    /// Harvest up to `k` of the hottest entries, globally most-recent
+    /// first (approximated by a round-robin merge of the per-shard MRU
+    /// lists — recency is only tracked within a shard). The result is
+    /// what a snapshot persists; feed it back through
+    /// [`ShardedCache::restore`] to reproduce the working set.
+    pub fn hottest(&self, k: usize) -> Vec<(CacheKey, Arc<String>)> {
+        let per_shard: Vec<Vec<(CacheKey, Arc<String>)>> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap().entries_mru())
+            .collect();
+        let mut out = Vec::new();
+        let mut depth = 0;
+        while out.len() < k {
+            let mut any = false;
+            for shard in &per_shard {
+                if let Some(e) = shard.get(depth) {
+                    any = true;
+                    out.push(e.clone());
+                    if out.len() == k {
+                        break;
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+            depth += 1;
+        }
+        out
+    }
+
+    /// Re-insert snapshot entries (hottest first, as produced by
+    /// [`ShardedCache::hottest`]). Insertion runs coldest-first so the
+    /// first entry of the slice ends up most recently used. Restoration
+    /// does not count as traffic: hit/miss/eviction counters are left
+    /// untouched; only the entries gauge is refreshed. Returns the number
+    /// of entries offered to the shards (capacity may retain fewer).
+    pub fn restore(&self, entries: Vec<(CacheKey, Arc<String>)>) -> usize {
+        let n = entries.len();
+        for (key, value) in entries.into_iter().rev() {
+            self.shard_for(&key).lock().unwrap().insert(key, value);
+        }
+        self.entries_gauge.set(self.len() as u64);
+        n
+    }
 }
 
 #[cfg(test)]
@@ -382,6 +441,43 @@ mod tests {
         }
         assert!(c.len() <= c.capacity());
         assert!(c.capacity() >= 16);
+    }
+
+    #[test]
+    fn hottest_then_restore_reproduces_the_working_set() {
+        let cache = ShardedCache::new(16, 4);
+        for p in 0..10usize {
+            cache.insert(CacheKey::Vertex(p), body(&format!("v{p}")));
+        }
+        // Touch a few keys so recency differs from insertion order.
+        cache.get(&CacheKey::Vertex(2));
+        cache.get(&CacheKey::Vertex(7));
+
+        let hot = cache.hottest(usize::MAX);
+        assert_eq!(hot.len(), cache.len());
+
+        let restored = ShardedCache::new(16, 4);
+        assert_eq!(restored.restore(hot.clone()), hot.len());
+        assert_eq!(restored.len(), cache.len());
+        for (key, val) in &hot {
+            assert_eq!(restored.get(key).as_deref(), Some(&**val));
+        }
+        // Restoration itself must not count as traffic.
+        assert_eq!(restored.local_misses(), 0);
+    }
+
+    #[test]
+    fn hottest_truncates_and_leads_with_recent_entries() {
+        // One shard so recency order is exact.
+        let cache = ShardedCache::new(8, 1);
+        for p in 0..5usize {
+            cache.insert(CacheKey::Vertex(p), body("x"));
+        }
+        cache.get(&CacheKey::Vertex(0));
+        let hot = cache.hottest(2);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].0, CacheKey::Vertex(0));
+        assert_eq!(hot[1].0, CacheKey::Vertex(4));
     }
 
     #[test]

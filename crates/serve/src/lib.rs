@@ -65,11 +65,13 @@ pub mod cache;
 pub mod http;
 pub mod pool;
 pub mod signal;
+pub mod snapshot;
 pub mod state;
 
 pub use cache::{CacheKey, ShardedCache};
 pub use pool::{Server, ServerConfig};
+pub use snapshot::{Snapshot, SnapshotBackend, SnapshotError};
 pub use state::{
-    ServeOptions, ServeState, DEFAULT_BATCH_MAX, DEFAULT_CACHE_ENTRIES, DEFAULT_CACHE_SHARDS,
-    DEFAULT_LIMIT, MAX_LIMIT,
+    ServeOptions, ServeState, WarmInfo, DEFAULT_BATCH_MAX, DEFAULT_CACHE_ENTRIES,
+    DEFAULT_CACHE_SHARDS, DEFAULT_LIMIT, MAX_LIMIT,
 };

@@ -368,6 +368,48 @@ pub fn path_shape(path: &str) -> String {
     out
 }
 
+/// What a warm boot restored — surfaced in the startup banner and the
+/// `serve.snapshot.*` gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmInfo {
+    /// Wall-clock nanoseconds spent rebuilding state from the snapshot.
+    pub load_ns: u64,
+    /// Result-cache entries restored (after shard-ownership filtering).
+    pub cache_entries_restored: usize,
+}
+
+/// Insert `"snapshot": "warm"|"cold"` as the last member of the cached
+/// `/v1/stats` body. The body is a `JsonWriter` object, so its final
+/// close brace is the only `\n}` at indent zero.
+fn with_snapshot_field(stats_json: &str, warm: bool) -> String {
+    let state = if warm { "warm" } else { "cold" };
+    match stats_json.rfind("\n}") {
+        Some(at) => format!(
+            "{},\n  \"snapshot\": \"{state}\"{}",
+            &stats_json[..at],
+            &stats_json[at..]
+        ),
+        None => stats_json.to_string(),
+    }
+}
+
+/// Strip the injected `"snapshot"` member again — snapshots persist the
+/// *bare* body so a file captured warm and one captured cold are
+/// byte-identical.
+fn without_snapshot_field(stats_json: &str) -> String {
+    const NEEDLE: &str = ",\n  \"snapshot\": \"";
+    match stats_json.rfind(NEEDLE) {
+        Some(start) => {
+            let vstart = start + NEEDLE.len();
+            match stats_json[vstart..].find('"') {
+                Some(q) => format!("{}{}", &stats_json[..start], &stats_json[vstart + q + 1..]),
+                None => stats_json.to_string(),
+            }
+        }
+        None => stats_json.to_string(),
+    }
+}
+
 impl ServeState {
     /// Build the service state with default [`ServeOptions`] apart from
     /// the admin token. See [`ServeState::build_with`].
@@ -419,6 +461,7 @@ impl ServeState {
             expr,
             stats_json,
             options,
+            false,
         )
     }
 
@@ -435,7 +478,128 @@ impl ServeState {
         let chain = KronChain::new(bindings, levels)?;
         let expr = chain.canonical().to_string();
         let stats_json = stats_body_chain(&chain);
-        Self::assemble(Backend::Chain(Box::new(chain)), expr, stats_json, options)
+        Self::assemble(
+            Backend::Chain(Box::new(chain)),
+            expr,
+            stats_json,
+            options,
+            false,
+        )
+    }
+
+    /// Rebuild a server from a decoded snapshot: factor stats come from
+    /// the file instead of `FactorStats::compute`, the `/v1/stats` body
+    /// is the captured one (skipping the O(product) degree histogram and
+    /// global square count on pair servers), and the result cache is
+    /// primed with the harvested hot entries. `/v1/stats` reports
+    /// `"snapshot": "warm"` and the `serve.snapshot.*` gauges record the
+    /// load cost. Callers are expected to have validated the snapshot
+    /// against the requested spec first (`Snapshot::validate_pair` /
+    /// `validate_expr`).
+    pub fn build_from_snapshot(
+        snap: crate::snapshot::Snapshot,
+        options: ServeOptions,
+    ) -> Result<(Self, WarmInfo), Box<dyn std::error::Error>> {
+        let _phase = bikron_obs::global().phase("serve.build");
+        let t0 = Instant::now();
+        let backend = match snap.backend {
+            crate::snapshot::SnapshotBackend::Pair {
+                a,
+                b,
+                mode,
+                stats_a,
+                stats_b,
+            } => {
+                // Re-run the O(1) pair validation; the graphs themselves
+                // were already re-validated during decode.
+                KroneckerProduct::new(&a, &b, mode)?;
+                Backend::Pair {
+                    a,
+                    b,
+                    mode,
+                    stats_a,
+                    stats_b,
+                }
+            }
+            crate::snapshot::SnapshotBackend::Chain { bindings, levels } => {
+                Backend::Chain(Box::new(KronChain::with_stats(bindings, &levels)?))
+            }
+        };
+        let state = Self::assemble(backend, snap.expr, snap.stats_json, options, true)?;
+        let mut restored = 0;
+        if let Some(cache) = &state.cache {
+            let entries = match state.shard {
+                None => snap.cache,
+                Some((index, count)) => {
+                    // A shard only answers keys whose primary vertex it
+                    // owns (scatter pages are served anywhere), so only
+                    // those entries can ever be hit again here.
+                    let n = state.num_vertices();
+                    snap.cache
+                        .into_iter()
+                        .filter(|(key, _)| match *key {
+                            CacheKey::Vertex(p)
+                            | CacheKey::Edge(p, _)
+                            | CacheKey::Neighbors(p, _, _)
+                            | CacheKey::Clustering(p, _) => {
+                                bikron_core::partition::owner_of(n, count, p) == index
+                            }
+                            CacheKey::Scatter(_, _) => true,
+                        })
+                        .collect()
+                }
+            };
+            restored = cache.restore(entries);
+        }
+        let info = WarmInfo {
+            load_ns: t0.elapsed().as_nanos() as u64,
+            cache_entries_restored: restored,
+        };
+        let obs = bikron_obs::global();
+        obs.gauge("serve.snapshot.load_ns").set(info.load_ns);
+        obs.gauge("serve.snapshot.cache_entries_restored")
+            .set(restored as u64);
+        Ok((state, info))
+    }
+
+    /// Capture this server's state as a [`crate::snapshot::Snapshot`],
+    /// harvesting up to `top_k` of the hottest result-cache entries.
+    pub fn to_snapshot(&self, top_k: usize) -> crate::snapshot::Snapshot {
+        let backend = match &self.backend {
+            Backend::Pair {
+                a,
+                b,
+                mode,
+                stats_a,
+                stats_b,
+            } => crate::snapshot::SnapshotBackend::Pair {
+                a: a.clone(),
+                b: b.clone(),
+                mode: *mode,
+                stats_a: stats_a.clone(),
+                stats_b: stats_b.clone(),
+            },
+            Backend::Chain(chain) => crate::snapshot::SnapshotBackend::Chain {
+                bindings: (0..chain.num_atoms())
+                    .map(|i| {
+                        let (name, g, s) = chain.atom_info(i);
+                        (name.to_string(), g.clone(), s.clone())
+                    })
+                    .collect(),
+                levels: chain.level_spec(),
+            },
+        };
+        crate::snapshot::Snapshot {
+            expr: self.expr.clone(),
+            shard: self.shard,
+            backend,
+            stats_json: without_snapshot_field(&self.stats_json),
+            cache: self
+                .cache
+                .as_ref()
+                .map(|c| c.hottest(top_k))
+                .unwrap_or_default(),
+        }
     }
 
     fn assemble(
@@ -443,6 +607,7 @@ impl ServeState {
         expr: String,
         stats_json: String,
         options: ServeOptions,
+        warm: bool,
     ) -> Result<Self, Box<dyn std::error::Error>> {
         // Seed the cache's shard hash with the canonical expression so a
         // key like `Vertex(7)` hashes differently under different served
@@ -468,6 +633,18 @@ impl ServeState {
                     format!("shard {index}/{count} is invalid (need index < count)").into(),
                 );
             }
+        }
+        // Advertise the boot path in `/v1/stats` (the single injection
+        // point keeps warm and cold bodies byte-identical everywhere
+        // else) and in the `serve.snapshot.warm` gauge so `monitor` can
+        // surface it. Cold boots zero the companion gauges so the keys
+        // always exist in a metrics report.
+        let stats_json = with_snapshot_field(&stats_json, warm);
+        let obs = bikron_obs::global();
+        obs.gauge("serve.snapshot.warm").set(u64::from(warm));
+        if !warm {
+            obs.gauge("serve.snapshot.load_ns").set(0);
+            obs.gauge("serve.snapshot.cache_entries_restored").set(0);
         }
         Ok(ServeState {
             backend,

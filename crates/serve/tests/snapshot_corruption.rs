@@ -1,0 +1,261 @@
+//! Corruption and version-skew matrix for `bikron-snap/1` decoding.
+//!
+//! The snapshot reader's contract (DESIGN.md §14, versioning per §9.1)
+//! is that *no* input byte stream may panic it, and every rejection is a
+//! named [`SnapshotError`] — a corrupt snapshot must fail loudly at boot,
+//! never produce a silently-wrong warm server. The matrix:
+//!
+//! - truncation at **every** prefix length,
+//! - a flipped byte at **every** offset (each lands in the magic, the
+//!   version, a tag, a length, a payload, or a checksum — all sealed),
+//! - wrong magic, future schema version,
+//! - oversized declared lengths (no pre-allocation from attacker bytes),
+//! - expression / factor mismatch against a differently-specced server.
+//!
+//! Mirrors the exhaustive-hostility style of `parser_fuzz.rs`: the
+//! assertions are about *totality* (always an `Err`, never a panic),
+//! with spot checks that specific corruptions map to the right variant.
+
+use bikron_core::SelfLoopMode;
+use bikron_graph::Graph;
+use bikron_serve::snapshot::{Snapshot, MAGIC, VERSION};
+use bikron_serve::{ServeOptions, ServeState, SnapshotError};
+
+fn cycle(n: usize) -> Graph {
+    let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    Graph::from_edges(n, &edges).unwrap()
+}
+
+fn kmn(m: usize, n: usize) -> Graph {
+    let edges: Vec<(usize, usize)> = (0..m)
+        .flat_map(|i| (0..n).map(move |j| (i, m + j)))
+        .collect();
+    Graph::from_edges(m + n, &edges).unwrap()
+}
+
+/// A realistic snapshot to corrupt: pair backend, warm cache entries.
+fn pair_bytes() -> Vec<u8> {
+    let state = ServeState::build_with(
+        cycle(5),
+        kmn(2, 3),
+        SelfLoopMode::FactorA,
+        ServeOptions::default(),
+    )
+    .unwrap();
+    // Populate the cache so the CACHE section is non-trivial.
+    for p in 0..5 {
+        let raw = format!("GET /v1/vertex/{p} HTTP/1.1\r\n\r\n");
+        let req = bikron_serve::http::parse_request(&mut std::io::BufReader::new(raw.as_bytes()))
+            .unwrap();
+        state.handle(&req);
+    }
+    state.to_snapshot(16).encode()
+}
+
+#[test]
+fn truncation_at_every_offset_is_a_named_error() {
+    let bytes = pair_bytes();
+    for cut in 0..bytes.len() {
+        match Snapshot::decode(&bytes[..cut]) {
+            Err(_) => {}
+            Ok(_) => panic!(
+                "decode accepted a {cut}-byte prefix of a {}-byte file",
+                bytes.len()
+            ),
+        }
+    }
+    // And appending trailing garbage is equally fatal.
+    let mut extended = bytes.clone();
+    extended.extend_from_slice(b"junk");
+    assert!(matches!(
+        Snapshot::decode(&extended),
+        Err(SnapshotError::Corrupt(_))
+    ));
+}
+
+#[test]
+fn flipping_any_single_byte_is_rejected() {
+    let bytes = pair_bytes();
+    for at in 0..bytes.len() {
+        let mut mutated = bytes.clone();
+        mutated[at] ^= 0x40;
+        assert!(
+            Snapshot::decode(&mutated).is_err(),
+            "decode accepted a snapshot with byte {at} flipped"
+        );
+    }
+}
+
+#[test]
+fn wrong_magic_and_version_are_named() {
+    let bytes = pair_bytes();
+
+    let mut not_ours = bytes.clone();
+    not_ours[..8].copy_from_slice(b"GIFDATA!");
+    assert_eq!(
+        Snapshot::decode(&not_ours).err_only(),
+        err_kind(SnapshotError::WrongMagic)
+    );
+
+    // A future schema version is refused without guessing.
+    let mut future = bytes.clone();
+    future[8..16].copy_from_slice(&(VERSION + 1).to_le_bytes());
+    assert_eq!(
+        Snapshot::decode(&future).err_only(),
+        err_kind(SnapshotError::UnsupportedVersion(VERSION + 1))
+    );
+
+    // Sanity: the file really starts with the documented magic.
+    assert_eq!(&bytes[..8], MAGIC);
+    assert!(Snapshot::decode(&bytes).is_ok());
+}
+
+/// `Snapshot` has no `PartialEq` (it holds graphs and stats); compare
+/// decode results by error value only.
+fn err_kind(e: SnapshotError) -> Result<(), SnapshotError> {
+    Err(e)
+}
+
+trait DecodeErr {
+    fn err_only(self) -> Result<(), SnapshotError>;
+}
+
+impl DecodeErr for Result<Snapshot, SnapshotError> {
+    fn err_only(self) -> Result<(), SnapshotError> {
+        self.map(|_| ())
+    }
+}
+
+#[test]
+fn checksum_seals_every_section() {
+    // Flip one byte inside each section's payload; the per-section
+    // checksum must name that section. Section order after the 16-byte
+    // header is META, FACTORS, STATS_JSON, CACHE — locate each payload
+    // via its framing instead of hard-coding offsets.
+    let bytes = pair_bytes();
+    let mut pos = 16; // magic + version
+    for expected in ["META", "FACTORS", "STATS_JSON", "CACHE"] {
+        let len = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().unwrap()) as usize;
+        let payload_at = pos + 16;
+        let mut mutated = bytes.clone();
+        mutated[payload_at] ^= 0xFF;
+        match Snapshot::decode(&mutated) {
+            Err(SnapshotError::ChecksumMismatch(section)) => {
+                assert_eq!(section, expected, "wrong section named");
+            }
+            other => panic!(
+                "flip in {expected} payload: expected ChecksumMismatch, got {:?}",
+                other.err_only()
+            ),
+        }
+        pos = payload_at + len + 8; // payload + trailing checksum
+    }
+    assert_eq!(pos, bytes.len(), "framing walk covered the whole file");
+}
+
+#[test]
+fn huge_declared_lengths_do_not_preallocate() {
+    // A section that declares a multi-exabyte length must be rejected as
+    // truncated (len > remaining), not trusted into `Vec::with_capacity`.
+    let mut bytes = pair_bytes();
+    bytes[24..32].copy_from_slice(&u64::MAX.to_le_bytes()); // META len field
+    assert_eq!(
+        Snapshot::decode(&bytes).err_only(),
+        err_kind(SnapshotError::Truncated("META"))
+    );
+}
+
+#[test]
+fn mismatched_spec_is_refused_with_the_right_variant() {
+    let snap = Snapshot::decode(&pair_bytes()).unwrap();
+    assert_eq!(snap.expr, "(A+I)⊗B");
+
+    // Same factors, different mode: the implied expression differs.
+    match snap.validate_pair(&cycle(5), &kmn(2, 3), SelfLoopMode::None) {
+        Err(SnapshotError::ExpressionMismatch {
+            snapshot,
+            requested,
+        }) => {
+            assert_eq!(snapshot, "(A+I)⊗B");
+            assert_eq!(requested, "A⊗B");
+        }
+        other => panic!("expected ExpressionMismatch, got {other:?}"),
+    }
+
+    // Same expression, different factor A edges.
+    match snap.validate_pair(&cycle(6), &kmn(2, 3), SelfLoopMode::FactorA) {
+        Err(SnapshotError::FactorMismatch(msg)) => {
+            assert!(msg.contains("factor A"), "{msg}");
+        }
+        other => panic!("expected FactorMismatch, got {other:?}"),
+    }
+
+    // A pair snapshot offered to an expression server is refused.
+    let bindings = vec![("A".to_string(), cycle(5))];
+    assert!(matches!(
+        snap.validate_expr("(A+I)⊗B", &bindings),
+        Err(SnapshotError::Corrupt(_))
+    ));
+
+    // The happy path still validates.
+    assert!(snap
+        .validate_pair(&cycle(5), &kmn(2, 3), SelfLoopMode::FactorA)
+        .is_ok());
+}
+
+#[test]
+fn chain_snapshot_cross_validation() {
+    let bindings = vec![("A".to_string(), cycle(4)), ("B".to_string(), kmn(1, 2))];
+    let levels = vec![("A".to_string(), false), ("B".to_string(), false)];
+    let state = ServeState::build_expr(bindings.clone(), &levels, ServeOptions::default()).unwrap();
+    let snap = Snapshot::decode(&state.to_snapshot(0).encode()).unwrap();
+
+    // A snapshot for A⊗B must refuse to boot A⊗B⊗C.
+    match snap.validate_expr("A⊗B⊗C", &bindings) {
+        Err(SnapshotError::ExpressionMismatch { requested, .. }) => {
+            assert_eq!(requested, "A⊗B⊗C");
+        }
+        other => panic!("expected ExpressionMismatch, got {other:?}"),
+    }
+
+    // Same expression, different graph bound to B.
+    let rebound = vec![("A".to_string(), cycle(4)), ("B".to_string(), kmn(2, 2))];
+    match snap.validate_expr(&snap.expr.clone(), &rebound) {
+        Err(SnapshotError::FactorMismatch(msg)) => assert!(msg.contains('B'), "{msg}"),
+        other => panic!("expected FactorMismatch, got {other:?}"),
+    }
+
+    // A name present in the snapshot but absent from the spec.
+    let unbound = vec![("A".to_string(), cycle(4))];
+    match snap.validate_expr(&snap.expr.clone(), &unbound) {
+        Err(SnapshotError::FactorMismatch(msg)) => assert!(msg.contains("not bound"), "{msg}"),
+        other => panic!("expected FactorMismatch, got {other:?}"),
+    }
+
+    assert!(snap.validate_expr(&snap.expr.clone(), &bindings).is_ok());
+}
+
+#[test]
+fn hostile_random_bytes_never_panic() {
+    // Deterministic xorshift fuzz: none of these are valid snapshots,
+    // and none may panic the decoder.
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for len in [0usize, 1, 7, 8, 15, 16, 40, 200, 4096] {
+        for _ in 0..8 {
+            let mut buf: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+            assert!(Snapshot::decode(&buf).is_err());
+            // Same bytes behind a valid header: the section framing must
+            // still reject them without panicking.
+            let mut framed = MAGIC.to_vec();
+            framed.extend_from_slice(&VERSION.to_le_bytes());
+            framed.append(&mut buf);
+            assert!(Snapshot::decode(&framed).is_err());
+        }
+    }
+}

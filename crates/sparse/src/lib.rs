@@ -37,6 +37,7 @@ pub mod mask;
 pub mod ops;
 pub mod reduce;
 pub mod semiring;
+pub mod snap;
 pub mod spgemm;
 pub mod spmv;
 

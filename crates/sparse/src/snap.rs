@@ -1,0 +1,350 @@
+//! Byte-level codec primitives for the `bikron-snap/1` snapshot format.
+//!
+//! The serve layer persists factor CSRs (and their derived statistics)
+//! across restarts. This module owns the *primitive* encoding — fixed-width
+//! little-endian integers, length-prefixed byte strings, and CSR matrices —
+//! plus the FNV-1a checksum used to seal each snapshot section. Everything
+//! here is std-only and allocation-honest: encoding appends to a caller
+//! `Vec<u8>`, decoding walks a borrowed [`ByteReader`] cursor and never
+//! panics on hostile input.
+//!
+//! Decoded CSRs are re-validated through [`Csr::from_parts`], so a snapshot
+//! that survives the section checksum but carries an inconsistent matrix
+//! (out-of-order `row_ptr`, column index past `ncols`, …) is still rejected
+//! with a named error rather than poisoning downstream kernels.
+
+use crate::csr::Csr;
+use std::fmt;
+
+/// FNV-1a 64-bit offset basis (same constant the serve cache seeds with).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// FNV-1a 64-bit hash of `bytes` — the per-section snapshot checksum.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Decoding failure for snapshot byte streams.
+///
+/// Every variant names what went wrong; none of the decode paths panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The stream ended before `what` could be read in full.
+    Truncated {
+        /// Name of the field or structure being read when bytes ran out.
+        what: &'static str,
+    },
+    /// The bytes were present but semantically invalid.
+    Malformed(String),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Truncated { what } => {
+                write!(f, "truncated input while reading {what}")
+            }
+            SnapError::Malformed(msg) => write!(f, "malformed input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// Append a `u64` as 8 little-endian bytes.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `i128` as 16 little-endian bytes.
+pub fn put_i128(buf: &mut Vec<u8>, v: i128) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a length-prefixed byte string (`u64` length, then the bytes).
+pub fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(buf, bytes.len() as u64);
+    buf.extend_from_slice(bytes);
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+/// Append a length-prefixed `usize` slice, widening each element to `u64`.
+pub fn put_usize_slice(buf: &mut Vec<u8>, vs: &[usize]) {
+    put_u64(buf, vs.len() as u64);
+    for &v in vs {
+        put_u64(buf, v as u64);
+    }
+}
+
+/// Append a length-prefixed `i128` slice.
+pub fn put_i128_slice(buf: &mut Vec<u8>, vs: &[i128]) {
+    put_u64(buf, vs.len() as u64);
+    for &v in vs {
+        put_i128(buf, v);
+    }
+}
+
+/// Bounds-checked forward cursor over a borrowed byte slice.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Start a cursor at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the cursor has consumed the whole slice.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Take `n` raw bytes, or report what we were reading on truncation.
+    pub fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Truncated { what });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, SnapError> {
+        let raw = self.take(8, what)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(raw);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Read a little-endian `u64` and narrow it to `usize`.
+    pub fn len(&mut self, what: &'static str) -> Result<usize, SnapError> {
+        let v = self.u64(what)?;
+        usize::try_from(v)
+            .map_err(|_| SnapError::Malformed(format!("{what}: length {v} exceeds usize")))
+    }
+
+    /// Read a little-endian `i128`.
+    pub fn i128(&mut self, what: &'static str) -> Result<i128, SnapError> {
+        let raw = self.take(16, what)?;
+        let mut b = [0u8; 16];
+        b.copy_from_slice(raw);
+        Ok(i128::from_le_bytes(b))
+    }
+
+    /// Read a length-prefixed byte string.
+    ///
+    /// The declared length is sanity-checked against the remaining input
+    /// *before* allocating, so a corrupted huge length cannot OOM.
+    pub fn bytes(&mut self, what: &'static str) -> Result<&'a [u8], SnapError> {
+        let n = self.len(what)?;
+        if n > self.remaining() {
+            return Err(SnapError::Truncated { what });
+        }
+        self.take(n, what)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str_(&mut self, what: &'static str) -> Result<String, SnapError> {
+        let raw = self.bytes(what)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| SnapError::Malformed(format!("{what}: invalid UTF-8")))
+    }
+
+    /// Read a length-prefixed `usize` slice (stored as `u64` elements).
+    pub fn usize_slice(&mut self, what: &'static str) -> Result<Vec<usize>, SnapError> {
+        let n = self.len(what)?;
+        // Each element needs 8 bytes; reject a length the input cannot hold.
+        if n > self.remaining() / 8 {
+            return Err(SnapError::Truncated { what });
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = self.u64(what)?;
+            out.push(
+                usize::try_from(v).map_err(|_| {
+                    SnapError::Malformed(format!("{what}: element {v} exceeds usize"))
+                })?,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Read a length-prefixed `i128` slice.
+    pub fn i128_slice(&mut self, what: &'static str) -> Result<Vec<i128>, SnapError> {
+        let n = self.len(what)?;
+        if n > self.remaining() / 16 {
+            return Err(SnapError::Truncated { what });
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.i128(what)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Append a `Csr<u64>`: `nrows`, `ncols`, `row_ptr`, `col_idx`, `vals`.
+pub fn put_csr_u64(buf: &mut Vec<u8>, m: &Csr<u64>) {
+    put_u64(buf, m.nrows() as u64);
+    put_u64(buf, m.ncols() as u64);
+    put_usize_slice(buf, m.row_ptr());
+    put_usize_slice(buf, m.col_idx());
+    let vals = m.values();
+    put_u64(buf, vals.len() as u64);
+    for &v in vals {
+        put_u64(buf, v);
+    }
+}
+
+/// Decode a `Csr<u64>`, re-validating the structural invariants.
+pub fn read_csr_u64(r: &mut ByteReader<'_>, what: &'static str) -> Result<Csr<u64>, SnapError> {
+    let nrows = r.len(what)?;
+    let ncols = r.len(what)?;
+    let row_ptr = r.usize_slice(what)?;
+    let col_idx = r.usize_slice(what)?;
+    let n = r.len(what)?;
+    if n > r.remaining() / 8 {
+        return Err(SnapError::Truncated { what });
+    }
+    let mut vals = Vec::with_capacity(n);
+    for _ in 0..n {
+        vals.push(r.u64(what)?);
+    }
+    Csr::from_parts(nrows, ncols, row_ptr, col_idx, vals)
+        .map_err(|e| SnapError::Malformed(format!("{what}: invalid CSR: {e}")))
+}
+
+/// Append a `Csr<i128>` with the same layout as [`put_csr_u64`].
+pub fn put_csr_i128(buf: &mut Vec<u8>, m: &Csr<i128>) {
+    put_u64(buf, m.nrows() as u64);
+    put_u64(buf, m.ncols() as u64);
+    put_usize_slice(buf, m.row_ptr());
+    put_usize_slice(buf, m.col_idx());
+    put_i128_slice(buf, m.values());
+}
+
+/// Decode a `Csr<i128>`, re-validating the structural invariants.
+pub fn read_csr_i128(r: &mut ByteReader<'_>, what: &'static str) -> Result<Csr<i128>, SnapError> {
+    let nrows = r.len(what)?;
+    let ncols = r.len(what)?;
+    let row_ptr = r.usize_slice(what)?;
+    let col_idx = r.usize_slice(what)?;
+    let vals = r.i128_slice(what)?;
+    Csr::from_parts(nrows, ncols, row_ptr, col_idx, vals)
+        .map_err(|e| SnapError::Malformed(format!("{what}: invalid CSR: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn sample_u64() -> Csr<u64> {
+        let mut coo = Coo::new(3, 4);
+        coo.push(0, 1, 2u64).unwrap();
+        coo.push(1, 3, 5).unwrap();
+        coo.push(2, 0, 7).unwrap();
+        Csr::from_coo(coo, |a, b| a + b, |v| v == 0)
+    }
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn u64_csr_round_trips() {
+        let m = sample_u64();
+        let mut buf = Vec::new();
+        put_csr_u64(&mut buf, &m);
+        let mut r = ByteReader::new(&buf);
+        let back = read_csr_u64(&mut r, "m").unwrap();
+        assert_eq!(m, back);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn i128_csr_round_trips() {
+        let m = sample_u64().map(|v| -(v as i128));
+        let mut buf = Vec::new();
+        put_csr_i128(&mut buf, &m);
+        let mut r = ByteReader::new(&buf);
+        let back = read_csr_i128(&mut r, "m").unwrap();
+        assert_eq!(m, back);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_named_never_panicking() {
+        let m = sample_u64();
+        let mut buf = Vec::new();
+        put_csr_u64(&mut buf, &m);
+        for cut in 0..buf.len() {
+            let mut r = ByteReader::new(&buf[..cut]);
+            let err = read_csr_u64(&mut r, "m").unwrap_err();
+            match err {
+                SnapError::Truncated { .. } | SnapError::Malformed(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn huge_declared_length_is_rejected_without_alloc() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 3); // nrows
+        put_u64(&mut buf, 3); // ncols
+        put_u64(&mut buf, u64::MAX); // row_ptr length: absurd
+        let mut r = ByteReader::new(&buf);
+        assert!(read_csr_u64(&mut r, "m").is_err());
+    }
+
+    #[test]
+    fn invalid_csr_structure_is_rejected() {
+        // Valid framing, but row_ptr is not monotone.
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 2); // nrows
+        put_u64(&mut buf, 2); // ncols
+        put_usize_slice(&mut buf, &[0, 2, 1]); // decreasing
+        put_usize_slice(&mut buf, &[0, 1]);
+        put_u64(&mut buf, 2);
+        put_u64(&mut buf, 1);
+        put_u64(&mut buf, 1);
+        let mut r = ByteReader::new(&buf);
+        let err = read_csr_u64(&mut r, "m").unwrap_err();
+        assert!(matches!(err, SnapError::Malformed(_)));
+    }
+
+    #[test]
+    fn strings_round_trip_and_reject_bad_utf8() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "A⊗B");
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.str_("expr").unwrap(), "A⊗B");
+
+        let mut bad = Vec::new();
+        put_bytes(&mut bad, &[0xff, 0xfe]);
+        let mut r = ByteReader::new(&bad);
+        assert!(matches!(r.str_("expr"), Err(SnapError::Malformed(_))));
+    }
+}
