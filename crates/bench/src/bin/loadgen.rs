@@ -6,7 +6,7 @@
 //! neighbors / stats queries) against a running server. Every response is
 //! verified against the same closed-form ground truth the server computes
 //! from — a mismatch is a correctness bug, not noise — and latencies are
-//! aggregated into RPS + percentiles written as a `bikron-obs/3` report.
+//! aggregated into RPS + percentiles written as a `bikron-obs/4` report.
 //!
 //! `--batch K` switches to `POST /v1/batch` with K newline-delimited
 //! queries per request; each item of the returned JSON array is verified

@@ -1,5 +1,5 @@
 //! `perf_report` — run the Table-I-scale workload and write a
-//! machine-readable `bikron-obs/3` performance report.
+//! machine-readable `bikron-obs/4` performance report.
 //!
 //! The workload is the paper's headline construction, `(A + I_A) ⊗ A` on
 //! the unicode-like factor (4.2M-edge product), exercised end to end:
@@ -13,16 +13,21 @@
 //! cargo run --release -p bikron-bench --bin perf_report            # BENCH_kron.json
 //! cargo run --release -p bikron-bench --bin perf_report -- out.json
 //! cargo run --release -p bikron-bench --bin perf_report -- out.json --trace-out trace.json
+//! cargo run --release -p bikron-bench --bin perf_report -- out.json --profile-out prof.folded
 //! ```
 //!
-//! The output schema is stable (`bikron-obs/3`; v1/v2 still parse), so successive PRs can be
+//! The output schema is stable (`bikron-obs/4`; v1–v3 still parse), so successive PRs can be
 //! diffed — by eye or by `bikron perfdiff`: wall-clock per phase
 //! (`timers`), edge/wedge/row counters (`counters`), peak worker
 //! concurrency (`gauges.*.peak`), and work-shape distributions
 //! (`histograms`: per-row SpGEMM output, Kronecker fill blocks,
 //! per-vertex butterflies, per-rank edge/square mass). With
 //! `--trace-out FILE`, phase spans are additionally exported as Chrome
-//! `trace_event` JSON for chrome://tracing / Perfetto.
+//! `trace_event` JSON for chrome://tracing / Perfetto. With
+//! `--profile-out FILE`, a 99 Hz wall-clock sampler runs for the
+//! duration and its folded flamegraph stacks (one `phase;subphase N`
+//! line each) are written on exit, diffable with
+//! `bikron perfdiff --profile`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -33,20 +38,35 @@ use bikron_generators::unicode_like::{unicode_like, DEFAULT_SEED};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let trace_path = args
-        .iter()
-        .position(|a| a == "--trace-out")
-        .map(|i| args.get(i + 1).expect("--trace-out requires FILE").clone());
-    let out_path = args
-        .iter()
-        .enumerate()
-        .filter(|&(i, a)| a != "--trace-out" && !(i > 0 && args[i - 1] == "--trace-out"))
-        .map(|(_, a)| a.clone())
-        .next()
-        .unwrap_or_else(|| "BENCH_kron.json".to_string());
+    let mut trace_path: Option<String> = None;
+    let mut profile_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace-out" => {
+                trace_path = Some(args.get(i + 1).expect("--trace-out requires FILE").clone());
+                i += 2;
+            }
+            "--profile-out" => {
+                profile_path = Some(args.get(i + 1).expect("--profile-out requires FILE").clone());
+                i += 2;
+            }
+            other => {
+                out_path.get_or_insert_with(|| other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_kron.json".to_string());
     if trace_path.is_some() {
         bikron_obs::trace::tracer().enable();
     }
+    // The sampler sees every obs.time() phase below via the profiler's
+    // per-thread stack publication; nothing else to instrument.
+    let sampler = profile_path
+        .as_ref()
+        .and_then(|_| bikron_obs::profile::start_sampler(bikron_obs::profile::DEFAULT_HZ));
     let obs = bikron_obs::global();
 
     // Factor construction (seeded, deterministic).
@@ -86,6 +106,10 @@ fn main() {
     assert_eq!(reduced.square_mass, 4 * global_squares);
 
     let mut report = obs.snapshot();
+    let prof = bikron_obs::profile::profiler();
+    if prof.sampler_hz() > 0 {
+        report.set_profile(prof.snapshot());
+    }
     report.set_meta("workload", "table1-kron");
     report.set_meta("construction", "(A+I_A) (x) A");
     report.set_meta("factor", format!("unicode-like(seed={DEFAULT_SEED})"));
@@ -103,6 +127,18 @@ fn main() {
             .expect("write chrome trace");
         eprintln!("trace written to {path} — open in chrome://tracing or ui.perfetto.dev");
     }
+
+    if let Some(path) = &profile_path {
+        let snap = bikron_obs::profile::profiler().snapshot();
+        std::fs::write(std::path::Path::new(path), snap.to_folded()).expect("write folded profile");
+        eprintln!(
+            "profile written to {path} ({} sample(s) across {} stack(s), {} dropped)",
+            snap.samples,
+            snap.stacks.len(),
+            snap.dropped,
+        );
+    }
+    drop(sampler);
 
     // Human-readable recap on stderr; the JSON is the artefact.
     eprintln!("perf report written to {out_path}");

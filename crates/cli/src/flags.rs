@@ -1,26 +1,39 @@
 //! Global CLI flag extraction, shared by every subcommand.
 //!
-//! `--metrics-out FILE` and `--trace-out FILE` may appear anywhere on
-//! the command line (before or after the positionals), in either
-//! `--flag FILE` or `--flag=FILE` form. Duplicates are allowed — the
-//! **last occurrence wins**, matching the usual Unix convention so
-//! wrapper scripts can append overrides. A flag with no FILE (end of
-//! line, or followed by another `--` option) is a clear error, not a
-//! silently swallowed argument. Extraction removes the flags from the
-//! argument list, so subcommand positional parsing never sees them and
-//! is therefore order-robust.
+//! `--metrics-out FILE`, `--trace-out FILE`, `--profile-out FILE`, and
+//! `--profile-hz N` may appear anywhere on the command line (before or
+//! after the positionals), in either `--flag VALUE` or `--flag=VALUE`
+//! form. Duplicates are allowed — the **last occurrence wins**, matching
+//! the usual Unix convention so wrapper scripts can append overrides. A
+//! flag with no value (end of line, or followed by another `--` option)
+//! is a clear error, not a silently swallowed argument. Extraction
+//! removes the flags from the argument list, so subcommand positional
+//! parsing never sees them and is therefore order-robust.
 
 /// Parsed global options, extracted before subcommand dispatch.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GlobalOpts {
-    /// Write a `bikron-obs/3` metrics report here after the command.
+    /// Write a `bikron-obs/4` metrics report here after the command.
     pub metrics_out: Option<String>,
     /// Collect spans and write a Chrome `trace_event` JSON file here.
     pub trace_out: Option<String>,
+    /// Write a folded-flamegraph profile here after the command
+    /// (implicitly starts the sampler at the default rate).
+    pub profile_out: Option<String>,
+    /// Sampler rate override: `Some(0)` disables profiling even where it
+    /// defaults on (`serve`/`router`), `Some(n)` forces `n` Hz, `None`
+    /// leaves each command's default in place.
+    pub profile_hz: Option<u64>,
 }
 
-/// The global flags every subcommand accepts.
-const FILE_FLAGS: [&str; 2] = ["--metrics-out", "--trace-out"];
+/// The global flags every subcommand accepts, with the value noun used
+/// in error messages.
+const VALUE_FLAGS: [(&str, &str); 4] = [
+    ("--metrics-out", "FILE"),
+    ("--trace-out", "FILE"),
+    ("--profile-out", "FILE"),
+    ("--profile-hz", "N"),
+];
 
 /// Split `args` into (remaining arguments, global options).
 ///
@@ -38,38 +51,38 @@ pub fn split_global_flags(args: &[String]) -> Result<(Vec<String>, GlobalOpts), 
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
-        let matched = FILE_FLAGS.iter().find_map(|flag| {
+        let matched = VALUE_FLAGS.iter().find_map(|(flag, noun)| {
             if arg == flag {
-                Some((*flag, None))
+                Some((*flag, *noun, None))
             } else {
                 arg.strip_prefix(flag)
                     .and_then(|rem| rem.strip_prefix('='))
-                    .map(|v| (*flag, Some(v.to_string())))
+                    .map(|v| (*flag, *noun, Some(v.to_string())))
             }
         });
         match matched {
-            Some((flag, Some(value))) => {
-                // --flag=FILE form; empty value is an error.
+            Some((flag, noun, Some(value))) => {
+                // --flag=VALUE form; empty value is an error.
                 if value.is_empty() {
-                    return Err(format!("{flag}= requires a FILE argument"));
+                    return Err(format!("{flag}= requires a {noun} argument"));
                 }
-                set_flag(&mut opts, flag, value);
+                set_flag(&mut opts, flag, value)?;
                 i += 1;
             }
-            Some((flag, None)) => {
-                // --flag FILE form; the next argument must exist and not
+            Some((flag, noun, None)) => {
+                // --flag VALUE form; the next argument must exist and not
                 // itself look like an option.
                 match args.get(i + 1) {
                     Some(v) if !v.starts_with("--") => {
-                        set_flag(&mut opts, flag, v.clone());
+                        set_flag(&mut opts, flag, v.clone())?;
                         i += 2;
                     }
                     Some(v) => {
                         return Err(format!(
-                            "{flag} requires a FILE argument, found option {v:?}"
+                            "{flag} requires a {noun} argument, found option {v:?}"
                         ))
                     }
-                    None => return Err(format!("{flag} requires a FILE argument")),
+                    None => return Err(format!("{flag} requires a {noun} argument")),
                 }
             }
             None => {
@@ -81,12 +94,20 @@ pub fn split_global_flags(args: &[String]) -> Result<(Vec<String>, GlobalOpts), 
     Ok((rest, opts))
 }
 
-fn set_flag(opts: &mut GlobalOpts, flag: &str, value: String) {
+fn set_flag(opts: &mut GlobalOpts, flag: &str, value: String) -> Result<(), String> {
     match flag {
         "--metrics-out" => opts.metrics_out = Some(value),
         "--trace-out" => opts.trace_out = Some(value),
+        "--profile-out" => opts.profile_out = Some(value),
+        "--profile-hz" => {
+            let hz: u64 = value
+                .parse()
+                .map_err(|_| format!("--profile-hz expects an integer rate, got {value:?}"))?;
+            opts.profile_hz = Some(hz);
+        }
         _ => unreachable!("unknown global flag {flag}"),
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -175,6 +196,31 @@ mod tests {
         assert!(err.contains("--trace-out requires a FILE"), "{err}");
         let err = split_global_flags(&args(&["--metrics-out="])).unwrap_err();
         assert!(err.contains("requires a FILE"), "{err}");
+    }
+
+    #[test]
+    fn profile_flags_extract_and_validate() {
+        let (rest, opts) = split_global_flags(&args(&[
+            "serve",
+            "--profile-out",
+            "p.folded",
+            "--profile-hz=250",
+            "--addr",
+            "127.0.0.1:0",
+        ]))
+        .unwrap();
+        assert_eq!(rest, args(&["serve", "--addr", "127.0.0.1:0"]));
+        assert_eq!(opts.profile_out.as_deref(), Some("p.folded"));
+        assert_eq!(opts.profile_hz, Some(250));
+
+        // 0 is a valid, meaningful rate (profiling off).
+        let (_, opts) = split_global_flags(&args(&["serve", "--profile-hz", "0"])).unwrap();
+        assert_eq!(opts.profile_hz, Some(0));
+
+        let err = split_global_flags(&args(&["--profile-hz", "fast"])).unwrap_err();
+        assert!(err.contains("integer rate"), "{err}");
+        let err = split_global_flags(&args(&["--profile-out"])).unwrap_err();
+        assert!(err.contains("--profile-out requires a FILE"), "{err}");
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod flags;
 pub mod monitor;
 pub mod observability;
 pub mod perfdiff;
+pub mod profile;
 pub mod replay;
 pub mod spec;
 pub mod trace;
@@ -40,6 +41,7 @@ pub mod trace;
 pub use flags::{split_global_flags, GlobalOpts};
 pub use monitor::MonitorConfig;
 pub use observability::{write_observability, Outcome};
-pub use perfdiff::{perfdiff_files, PerfDiffConfig};
+pub use perfdiff::{perfdiff_files, perfdiff_profile_files, PerfDiffConfig};
+pub use profile::ProfileConfig;
 pub use spec::{parse_factor, parse_mode, SpecError};
 pub use trace::TraceConfig;

@@ -12,7 +12,9 @@
 //! bikron promcheck FILE
 //! bikron monitor  URL [--interval SEC] [--once] [--top K]
 //! bikron trace    URL [--min-ms N] [--top K] [--token TOKEN]
+//! bikron profile  URL [--seconds N] [--top K] [--token TOKEN]
 //! bikron perfdiff BASELINE.json CANDIDATE.json [--threshold PCT] [--warn-only] [--watch P1,P2]
+//! bikron perfdiff --profile BASE.folded CAND.folded [--threshold PCT] [--warn-only] [--watch F1,F2]
 //! bikron --version
 //! ```
 //!
@@ -46,21 +48,32 @@ USAGE:
                   [--seed N] [--label NAME] [--out FILE] [--dry-run]
   bikron router   --shards URL[,URL...] [--addr HOST:PORT] [--threads N]
                   [--queue N] [--batch-max K] [--replicate-stats]
-                  [--upstream-timeout-ms MS]
+                  [--upstream-timeout-ms MS] [--admin-token TOKEN]
   bikron promcheck FILE
   bikron monitor  URL [--interval SEC] [--once] [--top K]
   bikron trace    URL [--min-ms N] [--top K] [--token TOKEN]
+  bikron profile  URL [--seconds N] [--top K] [--token TOKEN]
   bikron perfdiff BASELINE.json CANDIDATE.json
                   [--threshold PCT] [--warn-only] [--watch PHASE[,PHASE...]]
+  bikron perfdiff --profile BASE.folded CAND.folded
+                  [--threshold PCT] [--warn-only] [--watch FRAME[,FRAME...]]
   bikron --version | -V
 
-GLOBAL OPTIONS (any position, --flag FILE or --flag=FILE, last wins):
-  --metrics-out FILE   write a bikron-obs/3 JSON metrics report (phase
+GLOBAL OPTIONS (any position, --flag VALUE or --flag=VALUE, last wins):
+  --metrics-out FILE   write a bikron-obs/4 JSON metrics report (phase
                        timers, counters, gauges, histograms, rolling
-                       windows) after the command completes
+                       windows, sampled profile) after the command
+                       completes
   --trace-out FILE     record phase spans and write a Chrome trace_event
                        JSON file, viewable in chrome://tracing or
                        https://ui.perfetto.dev
+  --profile-out FILE   write the sampled CPU profile as a folded
+                       flamegraph file on exit (feed to flamegraph.pl or
+                       speedscope; implies sampling at the default rate)
+  --profile-hz N       wall-clock sampling rate. serve and router sample
+                       at 99 Hz by default; batch commands only sample
+                       when --profile-out or --profile-hz is given.
+                       0 disables sampling everywhere
 
 SERVE:
   Runs a long-lived HTTP/1.1 ground-truth query service over the factor
@@ -85,7 +98,11 @@ SERVE:
   captures the full span tree of every request slower than MS
   (tail-based sampling); --trace-sample N head-samples 1-in-N requests.
   Captured traces are served by the token-gated GET /v1/admin/traces
-  and rendered by `bikron trace`.
+  and rendered by `bikron trace`. A 99 Hz wall-clock sampler (see
+  --profile-hz) attributes CPU time to request phases; the token-gated
+  GET /v1/admin/profile serves the accumulated (or ?seconds=N windowed)
+  profile as JSON or ?format=folded flamegraph stacks, rendered by
+  `bikron profile`.
 
   With --expr, the server answers queries about an arbitrary Kronecker
   program instead of a single pair: EXPR is a chain of named factors
@@ -152,9 +169,10 @@ PROMCHECK:
 MONITOR:
   Polls URL/metrics every --interval seconds (default 2) and redraws a
   live dashboard: windowed + cumulative request rates, p50/p90/p99
-  latency, status mix, cache hit-rate, in-flight requests, dropped
-  spans/log lines (flagged when nonzero), hottest histograms (--top K).
-  --once prints one machine-readable `key value` snapshot and exits.
+  latency, status mix, cache hit-rate, in-flight requests, profile
+  sample counts, dropped spans/log lines/profile samples (flagged when
+  nonzero), hottest histograms (--top K). --once prints one
+  machine-readable `key value` snapshot and exits.
 
 TRACE:
   Fetches the span trees a server captured (see --trace-slow-ms /
@@ -165,10 +183,25 @@ TRACE:
   limits how many are shown (newest first). The endpoint is gated by
   the server's --admin-token; pass it with --token.
 
+PROFILE:
+  Fetches a sampled CPU profile from the token-gated
+  GET /v1/admin/profile (serve or router — the router profiles itself)
+  and renders a top-table: self and cumulative sample share per phase
+  path, hottest self time first. --seconds N asks the server to sample
+  a fresh N-second window (max 30); the default 0 returns everything
+  since the sampler started. Servers sample at 99 Hz unless started
+  with --profile-hz 0. Add ?format=folded to the endpoint (e.g. via
+  curl) for raw flamegraph-ready folded stacks.
+
 PERFDIFF:
-  Compares two metrics reports (schema v1, v2 or v3) and exits non-zero
-  when a watched phase's total wall-clock regressed beyond the threshold
-  (default 25%). Counters and histogram tails are shown as context.
+  Compares two metrics reports (schema v1 through v4) and exits
+  non-zero when a watched phase's total wall-clock regressed beyond the
+  threshold (default 25%). Counters and histogram tails are shown as
+  context. With --profile, compares two folded-flamegraph files (from
+  --profile-out or /v1/admin/profile?format=folded) by per-frame
+  self-time *share* instead, so differently-long runs diff cleanly;
+  a watched frame growing beyond the threshold (and by at least one
+  percentage point) fails the gate.
 
 MODE: none | loops-a
 
@@ -184,6 +217,25 @@ fn run() -> Result<bool, Box<dyn std::error::Error>> {
     if opts.trace_out.is_some() {
         bikron_obs::trace::tracer().enable();
     }
+    // Sampler lifecycle: long-running servers profile by default (the
+    // publication path costs one atomic store per phase transition, and
+    // nothing is rendered until someone scrapes /v1/admin/profile);
+    // batch commands sample only when asked. --profile-hz 0 forces off
+    // everywhere. The handle's Drop stops the thread after the
+    // observability files (which read the accumulated table) are
+    // written.
+    let default_on = matches!(
+        args.first().map(String::as_str),
+        Some("serve") | Some("router")
+    );
+    let hz = opts.profile_hz.unwrap_or(if default_on || opts.profile_out.is_some() {
+        bikron_obs::profile::DEFAULT_HZ
+    } else {
+        0
+    });
+    let _sampler = (hz > 0)
+        .then(|| bikron_obs::profile::start_sampler(hz))
+        .flatten();
     let result = dispatch(&args);
     // Write the report on the error path too (stamped `outcome: error`):
     // a failed run's timers and counters are debugging evidence, not
@@ -319,6 +371,7 @@ fn parse_router_config(
             "--addr" => config.addr = need_value(i)?,
             "--threads" => config.threads = parse_num(i, "--threads")?,
             "--queue" => config.queue_capacity = parse_num(i, "--queue")?,
+            "--admin-token" => options.admin_token = Some(need_value(i)?),
             "--batch-max" => options.batch_max = parse_num(i, "--batch-max")?,
             "--upstream-timeout-ms" => {
                 options.upstream_timeout =
@@ -469,17 +522,32 @@ fn dispatch(args: &[String]) -> Result<bool, Box<dyn std::error::Error>> {
             let cfg = bikron_cli::TraceConfig::parse(&args[1..])?;
             bikron_cli::trace::run(&cfg, &mut out)
         }
+        Some("profile") if args.len() >= 2 => {
+            let cfg = bikron_cli::ProfileConfig::parse(&args[1..])?;
+            bikron_cli::profile::run(&cfg, &mut out)
+        }
+        // Dispatched before the report form: `perfdiff --profile` also
+        // has ≥ 3 arguments.
+        Some("perfdiff") if args.get(1).map(String::as_str) == Some("--profile") => {
+            if args.len() < 4 {
+                return Err("perfdiff --profile requires BASE.folded CAND.folded".into());
+            }
+            let cfg = parse_perfdiff_config(&args[4..])?;
+            bikron_cli::perfdiff_profile_files(&args[2], &args[3], &cfg, &mut out)
+        }
         Some("perfdiff") if args.len() >= 3 => {
             let cfg = parse_perfdiff_config(&args[3..])?;
             perfdiff_files(&args[1], &args[2], &cfg, &mut out)
         }
         Some("--version") | Some("-V") | Some("version") => {
             println!(
-                "bikron {} (metrics schemas: {}, {}, {})",
+                "bikron {} (metrics schemas: {}, {}, {}, {}; profile schema: {})",
                 env!("CARGO_PKG_VERSION"),
                 bikron_obs::SCHEMA_V1,
                 bikron_obs::SCHEMA_V2,
+                bikron_obs::SCHEMA_V3,
                 bikron_obs::SCHEMA,
+                bikron_obs::profile::PROFILE_SCHEMA,
             );
             Ok(true)
         }

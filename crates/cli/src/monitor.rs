@@ -1,7 +1,7 @@
 //! `bikron monitor URL`: a live terminal dashboard over a running
 //! `bikron serve` instance or a `bikron router` cluster front.
 //!
-//! The monitor polls `GET /metrics` (the `bikron-obs/3` JSON report),
+//! The monitor polls `GET /metrics` (the `bikron-obs/4` JSON report),
 //! diffs consecutive snapshots, and redraws one screen in place:
 //! windowed and cumulative request rates, windowed p50/p99 latency,
 //! status-code mix, cache hit-rate, in-flight requests (live + peak),
@@ -468,11 +468,28 @@ pub fn render_frame(prev: Option<&Report>, cur: &Report, dt_secs: f64, top: usiz
         let seen = cur.gauge("serve.trace.seen").map_or(0, |(v, _)| v);
         out.push_str(&format!("  traces     captured {captured} of {seen}\n"));
     }
+    // Profiling: sampler totals from the report's profile section (v4),
+    // falling back to the `profile.*` counters for reports that carry
+    // the counters but not the section.
+    let profile_samples = cur
+        .profile()
+        .map(|p| p.samples)
+        .or_else(|| cur.counter("profile.samples"));
+    let profile_dropped = cur
+        .profile()
+        .map(|p| p.dropped)
+        .or_else(|| cur.counter("profile.dropped_samples"))
+        .unwrap_or(0);
+    if let Some(samples) = profile_samples {
+        out.push_str(&format!(
+            "  profile    {samples} samples, {profile_dropped} dropped\n"
+        ));
+    }
     let dropped_spans = cur.gauge("serve.trace.dropped_spans").map_or(0, |(v, _)| v);
     let dropped_lines = cur.gauge("serve.log.dropped_lines").map_or(0, |(v, _)| v);
-    if dropped_spans > 0 || dropped_lines > 0 {
+    if dropped_spans > 0 || dropped_lines > 0 || profile_dropped > 0 {
         out.push_str(&format!(
-            "  !! LOSSY TELEMETRY  dropped spans {dropped_spans}, dropped log lines {dropped_lines}\n"
+            "  !! LOSSY TELEMETRY  dropped spans {dropped_spans}, dropped log lines {dropped_lines}, dropped profile samples {profile_dropped}\n"
         ));
     }
 
@@ -539,6 +556,20 @@ pub fn render_once(cur: &Report) -> String {
     out.push_str(&format!(
         "dropped_log_lines {}\n",
         gauge("serve.log.dropped_lines")
+    ));
+    out.push_str(&format!(
+        "profile_samples {}\n",
+        cur.profile()
+            .map(|p| p.samples)
+            .or_else(|| cur.counter("profile.samples"))
+            .unwrap_or(0)
+    ));
+    out.push_str(&format!(
+        "profile_dropped {}\n",
+        cur.profile()
+            .map(|p| p.dropped)
+            .or_else(|| cur.counter("profile.dropped_samples"))
+            .unwrap_or(0)
     ));
     // Snapshot provenance — only present on serve targets (the gauge is
     // always set at boot, warm or cold), so routers emit nothing here.
@@ -792,6 +823,8 @@ mod tests {
             "inflight",
             "inflight_peak",
             "cache_hit_pct",
+            "profile_samples",
+            "profile_dropped",
             "snapshot",
             "snapshot_load_ns",
             "cache_entries_restored",
@@ -870,6 +903,58 @@ mod tests {
         // A server that has dropped nothing gets no warning line.
         let clean = render_frame(None, &sample_report(), 2.0, 5);
         assert!(!clean.contains("LOSSY"), "{clean}");
+    }
+
+    #[test]
+    fn profile_counters_render_and_drops_are_lossy() {
+        // A report whose sampler dropped nothing: informational line,
+        // no warning banner.
+        let base = bikron_obs::Registry::new();
+        base.counter("serve.requests").add(1);
+        let mut report = base.snapshot();
+        report.set_profile(bikron_obs::ProfileSnapshot {
+            hz: 99,
+            samples: 500,
+            dropped: 0,
+            idle: 20,
+            stacks: [("serve;evaluate".to_string(), 500)].into_iter().collect(),
+        });
+        let frame = render_frame(None, &report, 2.0, 5);
+        assert!(frame.contains("profile    500 samples, 0 dropped"), "{frame}");
+        assert!(!frame.contains("LOSSY"), "{frame}");
+        let once = render_once(&report);
+        assert!(once.contains("profile_samples 500\n"), "{once}");
+        assert!(once.contains("profile_dropped 0\n"), "{once}");
+
+        // Dropped samples mean the flamegraph is missing weight — that
+        // joins the lossy-telemetry banner.
+        let mut lossy = base.snapshot();
+        lossy.set_profile(bikron_obs::ProfileSnapshot {
+            hz: 99,
+            samples: 500,
+            dropped: 7,
+            idle: 0,
+            stacks: std::collections::BTreeMap::new(),
+        });
+        let frame = render_frame(None, &lossy, 2.0, 5);
+        assert!(frame.contains("profile    500 samples, 7 dropped"), "{frame}");
+        assert!(frame.contains("LOSSY TELEMETRY"), "{frame}");
+        assert!(frame.contains("dropped profile samples 7"), "{frame}");
+        assert!(render_once(&lossy).contains("profile_dropped 7\n"));
+
+        // Counters-only fallback (no profile section): same line.
+        let counters = bikron_obs::Registry::new();
+        counters.counter("serve.requests").add(1);
+        counters.counter("profile.samples").add(33);
+        counters.counter("profile.dropped_samples").add(0);
+        let frame = render_frame(None, &counters.snapshot(), 2.0, 5);
+        assert!(frame.contains("profile    33 samples, 0 dropped"), "{frame}");
+
+        // No sampler at all: no profile line.
+        assert!(
+            !render_frame(None, &sample_report(), 2.0, 5).contains("profile "),
+            "no sampler"
+        );
     }
 
     #[test]

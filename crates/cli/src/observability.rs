@@ -1,4 +1,5 @@
-//! Post-command observability output (`--metrics-out` / `--trace-out`).
+//! Post-command observability output (`--metrics-out` / `--trace-out` /
+//! `--profile-out`).
 //!
 //! Lives in the library (not `main.rs`) so the error path is
 //! unit-testable: a failed command must **still** write its metrics
@@ -35,13 +36,30 @@ pub fn write_observability(
     raw_args: &[String],
     outcome: Outcome,
 ) -> Result<(), Box<dyn std::error::Error>> {
+    let prof = bikron_obs::profile::profiler();
     if let Some(path) = &opts.metrics_out {
         let mut report = bikron_obs::global().snapshot();
         report.set_meta("tool", "bikron-cli");
         report.set_meta("command", raw_args.join(" "));
         report.set_meta("outcome", outcome.as_str());
+        if prof.sampler_hz() > 0 {
+            report.set_profile(prof.snapshot());
+        }
         report.write_to_file(std::path::Path::new(path))?;
         eprintln!("metrics written to {path}");
+    }
+    if let Some(path) = &opts.profile_out {
+        // Written even when no sampler ran (hz forced to 0): an empty
+        // folded file is an unambiguous "profiling was off", where a
+        // missing file would read as a tooling failure.
+        let snap = prof.snapshot();
+        std::fs::write(std::path::Path::new(path), snap.to_folded())?;
+        eprintln!(
+            "profile written to {path} ({} sample(s) across {} stack(s), {} dropped)",
+            snap.samples,
+            snap.stacks.len(),
+            snap.dropped,
+        );
     }
     if let Some(path) = &opts.trace_out {
         let tracer = bikron_obs::trace::tracer();
@@ -70,7 +88,7 @@ mod tests {
         let path = tmp("error.json");
         let opts = GlobalOpts {
             metrics_out: Some(path.to_string_lossy().into_owned()),
-            trace_out: None,
+            ..GlobalOpts::default()
         };
         let raw = vec!["stats".to_string(), "nonsense:spec".to_string()];
         write_observability(&opts, &raw, Outcome::Error).unwrap();
@@ -87,7 +105,7 @@ mod tests {
         let path = tmp("ok.json");
         let opts = GlobalOpts {
             metrics_out: Some(path.to_string_lossy().into_owned()),
-            trace_out: None,
+            ..GlobalOpts::default()
         };
         write_observability(&opts, &["stats".to_string()], Outcome::Ok).unwrap();
         let report =
@@ -99,5 +117,26 @@ mod tests {
     #[test]
     fn no_flags_writes_nothing() {
         write_observability(&GlobalOpts::default(), &[], Outcome::Error).unwrap();
+    }
+
+    #[test]
+    fn profile_out_writes_a_folded_file_even_without_samples() {
+        // With no sampler running the folded file is empty — written
+        // anyway, so "profiling was off" is distinguishable from "the
+        // write failed". (Sampled content is covered by the obs-crate
+        // profile tests; this one avoids touching the global sampler.)
+        let path = tmp("empty.folded");
+        let opts = GlobalOpts {
+            profile_out: Some(path.to_string_lossy().into_owned()),
+            ..GlobalOpts::default()
+        };
+        write_observability(&opts, &["stats".to_string()], Outcome::Ok).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        for line in text.lines() {
+            // Any content present must already be folded-format.
+            let (_, count) = line.rsplit_once(' ').expect("stack count");
+            assert!(count.parse::<u64>().is_ok(), "{line}");
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -11,10 +11,19 @@
 //!
 //! Reports of both schema versions are accepted ([`bikron_obs::Report::from_json`]);
 //! a v1 baseline simply has no histogram rows.
+//!
+//! With `--profile BASE.folded CAND.folded` the diff runs over sampled
+//! CPU profiles instead: per-frame **self-time share** (what fraction of
+//! all samples landed in this frame itself) is compared, and a watched
+//! frame whose share grew beyond the threshold fails the gate. Shares —
+//! not raw sample counts — so a longer candidate run does not read as a
+//! regression; an absolute floor of one percentage point keeps sampling
+//! noise on cold frames from tripping the relative threshold.
 
 use std::io::Write;
 
-use bikron_obs::Report;
+use bikron_obs::profile::frame_totals;
+use bikron_obs::{ProfileSnapshot, Report};
 
 /// Configuration for a perfdiff run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -269,6 +278,153 @@ pub fn perfdiff_files(
     )?)
 }
 
+/// Minimum self-time share (basis points of all samples) for a frame to
+/// be auto-watched, and the minimum *absolute* share growth before the
+/// relative threshold can fail a frame. One percentage point: below
+/// that, 99 Hz sampling noise dominates.
+const PROFILE_FLOOR_BP: u64 = 100;
+
+/// Self-time share of each frame in basis points (1/100 of a percent)
+/// of the snapshot's total samples.
+fn self_shares_bp(snap: &ProfileSnapshot) -> std::collections::BTreeMap<String, u64> {
+    let total = snap.samples.max(1);
+    frame_totals(&snap.stacks)
+        .into_iter()
+        .map(|(path, stat)| (path, stat.self_samples * 10_000 / total))
+        .collect()
+}
+
+/// Render basis points as a percentage with one decimal (`1234` → `12.3%`).
+fn fmt_bp(bp: u64) -> String {
+    format!("{}.{}%", bp / 100, bp % 100 / 10)
+}
+
+/// Compare two sampled profiles by per-frame self-time share; print the
+/// delta table and return `true` when the gate passes. Watched frames:
+/// the explicit `cfg.watch` list (each then *required* in the baseline),
+/// or every baseline frame with at least 1% self share. A frame fails
+/// when its share grows beyond `threshold_pct` relative *and* by at
+/// least one absolute percentage point.
+pub fn perfdiff_profiles(
+    baseline: &ProfileSnapshot,
+    candidate: &ProfileSnapshot,
+    cfg: &PerfDiffConfig,
+    out: &mut dyn Write,
+) -> std::io::Result<bool> {
+    writeln!(
+        out,
+        "perfdiff --profile: baseline {} sample(s), candidate {} sample(s), threshold {}%{}",
+        baseline.samples,
+        candidate.samples,
+        cfg.threshold_pct,
+        if cfg.warn_only { " (warn-only)" } else { "" },
+    )?;
+    let base = self_shares_bp(baseline);
+    let cand = self_shares_bp(candidate);
+
+    let watched: Vec<String> = match &cfg.watch {
+        Some(list) => list.clone(),
+        None => base
+            .iter()
+            .filter(|&(_, &bp)| bp >= PROFILE_FLOOR_BP)
+            .map(|(path, _)| path.clone())
+            .collect(),
+    };
+
+    writeln!(
+        out,
+        "\n  {:<44} {:>9} {:>9} {:>9}  status",
+        "frame", "base self", "cand self", "delta"
+    )?;
+    let mut failures = 0usize;
+    for name in &watched {
+        let (verdict, base_bp, cand_bp) = match (base.get(name), cand.get(name)) {
+            (Some(&b), c) => {
+                let c = c.copied().unwrap_or(0);
+                let v = if regressed(b, c, cfg.threshold_pct)
+                    && c.saturating_sub(b) >= PROFILE_FLOOR_BP
+                {
+                    Verdict::Regressed
+                } else if c < b {
+                    Verdict::Faster
+                } else {
+                    Verdict::Ok
+                };
+                (v, b, c)
+            }
+            // Only an explicit watch list can name a frame the baseline
+            // lacks — that is a config error worth failing on.
+            (None, c) => (Verdict::Missing, 0, c.copied().unwrap_or(0)),
+        };
+        let status = match verdict {
+            Verdict::Ok => "ok",
+            Verdict::Faster => "faster",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Missing => "MISSING",
+        };
+        if matches!(verdict, Verdict::Regressed | Verdict::Missing) {
+            failures += 1;
+        }
+        writeln!(
+            out,
+            "  {:<44} {:>9} {:>9} {:>9}  {}",
+            name,
+            fmt_bp(base_bp),
+            fmt_bp(cand_bp),
+            fmt_delta_pct(base_bp, cand_bp),
+            status,
+        )?;
+    }
+
+    // Non-gating context: hot frames the candidate grew that the
+    // baseline never had — a brand-new hot path is worth eyeballing
+    // even though only share growth gates.
+    for (name, &bp) in &cand {
+        if bp >= PROFILE_FLOOR_BP
+            && !base.contains_key(name)
+            && !watched.iter().any(|w| w == name)
+        {
+            writeln!(out, "  {:<44} (new frame at {} self)", name, fmt_bp(bp))?;
+        }
+    }
+
+    let pass = failures == 0 || cfg.warn_only;
+    writeln!(
+        out,
+        "\nperfdiff --profile: {} watched frame(s), {} regression(s) -> {}",
+        watched.len(),
+        failures,
+        if failures == 0 {
+            "PASS"
+        } else if cfg.warn_only {
+            "FAIL (ignored: warn-only)"
+        } else {
+            "FAIL"
+        },
+    )?;
+    Ok(pass)
+}
+
+/// Load two folded-flamegraph files and run [`perfdiff_profiles`].
+pub fn perfdiff_profile_files(
+    baseline_path: &str,
+    candidate_path: &str,
+    cfg: &PerfDiffConfig,
+    out: &mut dyn Write,
+) -> Result<bool, Box<dyn std::error::Error>> {
+    let load = |path: &str| -> Result<ProfileSnapshot, Box<dyn std::error::Error>> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read profile {path:?}: {e}"))?;
+        Ok(ProfileSnapshot::parse_folded(&text).map_err(|e| format!("in {path:?}: {e}"))?)
+    };
+    Ok(perfdiff_profiles(
+        &load(baseline_path)?,
+        &load(candidate_path)?,
+        cfg,
+        out,
+    )?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,5 +539,99 @@ mod tests {
         let mut out = Vec::new();
         assert!(perfdiff(&base, &cand, &PerfDiffConfig::default(), &mut out).unwrap());
         assert!(String::from_utf8(out).unwrap().contains("faster"));
+    }
+
+    /// Build a profile snapshot straight from folded text.
+    fn profile(folded: &str) -> ProfileSnapshot {
+        ProfileSnapshot::parse_folded(folded).unwrap()
+    }
+
+    #[test]
+    fn profile_synthetic_regression_fails_the_gate() {
+        // `evaluate` goes from 50% to 80% self share: a real shift.
+        let base = profile("serve;accept 40\nserve;evaluate 50\nserve;write 10\n");
+        let cand = profile("serve;accept 15\nserve;evaluate 80\nserve;write 5\n");
+        let mut out = Vec::new();
+        let pass = perfdiff_profiles(&base, &cand, &PerfDiffConfig::default(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(!pass, "50%->80% self share must fail:\n{text}");
+        assert!(text.contains("serve;evaluate"), "{text}");
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("50.0%"), "{text}");
+        assert!(text.contains("80.0%"), "{text}");
+        assert!(text.contains("FAIL"), "{text}");
+        // accept shrank — reported as faster, not a failure condition.
+        assert!(text.contains("faster"), "{text}");
+    }
+
+    #[test]
+    fn profile_shares_are_scale_invariant() {
+        // The candidate ran 10x longer but the *shape* is identical:
+        // raw counts differ by 10x, shares by 0% — must pass.
+        let base = profile("a;b 50\na;c 50\n");
+        let cand = profile("a;b 500\na;c 500\n");
+        let mut out = Vec::new();
+        assert!(perfdiff_profiles(&base, &cand, &PerfDiffConfig::default(), &mut out).unwrap());
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("PASS"), "{text}");
+        assert!(text.contains("+0.0%"), "{text}");
+    }
+
+    #[test]
+    fn profile_floor_shields_cold_frames_from_noise() {
+        // A frame at 0.5% tripling to 1.4% is within sampling noise:
+        // the absolute floor (1 point) keeps the relative gate quiet.
+        let base = profile("hot 995\ncold 5\n");
+        let cand = profile("hot 986\ncold 14\n");
+        let cfg = PerfDiffConfig {
+            watch: Some(vec!["cold".into(), "hot".into()]),
+            ..PerfDiffConfig::default()
+        };
+        let mut out = Vec::new();
+        assert!(perfdiff_profiles(&base, &cand, &cfg, &mut out).unwrap());
+        // …but the same relative growth above the floor fails.
+        let base = profile("hot 80\nwarm 20\n");
+        let cand = profile("hot 55\nwarm 45\n");
+        let mut out = Vec::new();
+        assert!(!perfdiff_profiles(&base, &cand, &PerfDiffConfig::default(), &mut out).unwrap());
+    }
+
+    #[test]
+    fn profile_explicit_watch_requires_presence_and_new_frames_are_noted() {
+        let base = profile("a 100\n");
+        let cand = profile("a 50\nb 50\n");
+        let cfg = PerfDiffConfig {
+            watch: Some(vec!["zzz".into()]),
+            ..PerfDiffConfig::default()
+        };
+        let mut out = Vec::new();
+        assert!(!perfdiff_profiles(&base, &cand, &cfg, &mut out).unwrap());
+        assert!(String::from_utf8(out).unwrap().contains("MISSING"));
+        // Default watch: the brand-new hot frame is reported as context.
+        let mut out = Vec::new();
+        assert!(perfdiff_profiles(&base, &cand, &PerfDiffConfig::default(), &mut out).unwrap());
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("new frame at 50.0% self"), "{text}");
+    }
+
+    #[test]
+    fn profile_files_load_and_diff() {
+        let dir = std::env::temp_dir();
+        let base_path = dir.join(format!("bikron-pd-base-{}.folded", std::process::id()));
+        let cand_path = dir.join(format!("bikron-pd-cand-{}.folded", std::process::id()));
+        std::fs::write(&base_path, "serve;evaluate 90\nserve;write 10\n").unwrap();
+        std::fs::write(&cand_path, "serve;evaluate 45\nserve;write 55\n").unwrap();
+        let mut out = Vec::new();
+        let pass = perfdiff_profile_files(
+            base_path.to_str().unwrap(),
+            cand_path.to_str().unwrap(),
+            &PerfDiffConfig::default(),
+            &mut out,
+        )
+        .unwrap();
+        assert!(!pass, "write 10%->55% must fail");
+        assert!(perfdiff_profile_files("/no/such/file", "/none", &PerfDiffConfig::default(), &mut Vec::new()).is_err());
+        std::fs::remove_file(&base_path).ok();
+        std::fs::remove_file(&cand_path).ok();
     }
 }

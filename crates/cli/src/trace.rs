@@ -8,9 +8,10 @@
 //!
 //! Everything except the socket I/O is pure (`parse_dump`,
 //! `render_traces`), so the JSON decoding and waterfall layout are
-//! unit-testable without a server.
+//! unit-testable without a server. JSON decoding uses the workspace's
+//! shared reader ([`bikron_obs::parse_json`]).
 
-use std::collections::BTreeMap;
+use bikron_obs::{parse_json, JsonValue};
 
 use crate::monitor::{fmt_ns, http_get, parse_host_port};
 
@@ -82,197 +83,6 @@ impl TraceConfig {
     }
 }
 
-/// A minimal JSON value — the traces payload uses strings, unsigned
-/// integers, booleans and `null` (the obs report parser deliberately
-/// rejects the latter two, so this module carries its own reader).
-#[derive(Debug, Clone, PartialEq)]
-enum Value {
-    Null,
-    Bool(bool),
-    Num(u64),
-    Str(String),
-    Arr(Vec<Value>),
-    Obj(BTreeMap<String, Value>),
-}
-
-impl Value {
-    fn get(&self, key: &str) -> Option<&Value> {
-        match self {
-            Value::Obj(m) => m.get(key),
-            _ => None,
-        }
-    }
-
-    fn str_of(&self, key: &str) -> Option<&str> {
-        match self.get(key)? {
-            Value::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn num_of(&self, key: &str) -> Option<u64> {
-        match self.get(key)? {
-            Value::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-}
-
-/// Parse one JSON document (strict enough for a payload we wrote
-/// ourselves: full string escapes, unsigned integers only).
-fn parse_json(input: &str) -> Result<Value, String> {
-    let bytes = input.as_bytes();
-    let mut pos = 0usize;
-    let v = parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
-    }
-    Ok(v)
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while matches!(bytes.get(*pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-        *pos += 1;
-    }
-}
-
-fn eat(bytes: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
-    if bytes[*pos..].starts_with(lit.as_bytes()) {
-        *pos += lit.len();
-        Ok(v)
-    } else {
-        Err(format!("bad literal at byte {pos}"))
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        Some(b'n') => eat(bytes, pos, "null", Value::Null),
-        Some(b't') => eat(bytes, pos, "true", Value::Bool(true)),
-        Some(b'f') => eat(bytes, pos, "false", Value::Bool(false)),
-        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
-        Some(b'0'..=b'9') => {
-            let start = *pos;
-            while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
-                *pos += 1;
-            }
-            std::str::from_utf8(&bytes[start..*pos])
-                .expect("digits are ASCII")
-                .parse()
-                .map(Value::Num)
-                .map_err(|e| format!("bad integer at byte {start}: {e}"))
-        }
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Value::Arr(items));
-            }
-            loop {
-                items.push(parse_value(bytes, pos)?);
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Value::Arr(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-                }
-            }
-        }
-        Some(b'{') => {
-            *pos += 1;
-            let mut map = BTreeMap::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Value::Obj(map));
-            }
-            loop {
-                skip_ws(bytes, pos);
-                let key = parse_string(bytes, pos)?;
-                skip_ws(bytes, pos);
-                if bytes.get(*pos) != Some(&b':') {
-                    return Err(format!("expected ':' at byte {pos}"));
-                }
-                *pos += 1;
-                map.insert(key, parse_value(bytes, pos)?);
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Value::Obj(map));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-                }
-            }
-        }
-        Some(c) => Err(format!(
-            "unexpected character '{}' at byte {pos}",
-            *c as char
-        )),
-        None => Err("unexpected end of input".to_string()),
-    }
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-    if bytes.get(*pos) != Some(&b'"') {
-        return Err(format!("expected string at byte {pos}"));
-    }
-    *pos += 1;
-    let mut out = String::new();
-    loop {
-        match bytes.get(*pos) {
-            None => return Err("unterminated string".to_string()),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match bytes.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'b') => out.push('\u{8}'),
-                    Some(b'f') => out.push('\u{c}'),
-                    Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or("truncated \\u escape")?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
-                        out.push(
-                            char::from_u32(code)
-                                .ok_or_else(|| format!("\\u{hex} is not a scalar value"))?,
-                        );
-                        *pos += 4;
-                    }
-                    _ => return Err("bad escape sequence".to_string()),
-                }
-                *pos += 1;
-            }
-            Some(_) => {
-                let rest = std::str::from_utf8(&bytes[*pos..])
-                    .map_err(|_| "invalid UTF-8 in string".to_string())?;
-                let c = rest.chars().next().expect("non-empty by get");
-                out.push(c);
-                *pos += c.len_utf8();
-            }
-        }
-    }
-}
-
 /// One span row of a captured trace.
 #[derive(Debug, Clone)]
 pub struct SpanEntry {
@@ -334,7 +144,7 @@ pub struct TraceDump {
 
 /// Decode the `bikron-traces/1` JSON payload.
 pub fn parse_dump(body: &str) -> Result<TraceDump, String> {
-    let root = parse_json(body)?;
+    let root = parse_json(body).map_err(|e| e.to_string())?;
     match root.str_of("schema") {
         Some("bikron-traces/1") => {}
         other => return Err(format!("unexpected traces schema {other:?}")),
@@ -344,7 +154,7 @@ pub fn parse_dump(body: &str) -> Result<TraceDump, String> {
             .ok_or_else(|| format!("traces payload is missing integer field {key:?}"))
     };
     let mut traces = Vec::new();
-    if let Some(Value::Arr(items)) = root.get("traces") {
+    if let Some(JsonValue::Arr(items)) = root.get("traces") {
         for item in items {
             let s = |key: &str| {
                 item.str_of(key)
@@ -356,7 +166,7 @@ pub fn parse_dump(body: &str) -> Result<TraceDump, String> {
                     .ok_or_else(|| format!("trace is missing integer field {key:?}"))
             };
             let mut spans = Vec::new();
-            if let Some(Value::Arr(rows)) = item.get("spans") {
+            if let Some(JsonValue::Arr(rows)) = item.get("spans") {
                 for row in rows {
                     spans.push(SpanEntry {
                         name: row.str_of("name").unwrap_or("?").to_string(),
@@ -365,7 +175,7 @@ pub fn parse_dump(body: &str) -> Result<TraceDump, String> {
                         start_ns: row.num_of("start_ns").unwrap_or(0),
                         end_ns: row.num_of("end_ns").unwrap_or(0),
                         cache: match row.get("cache") {
-                            Some(Value::Str(s)) => Some(s == "hit"),
+                            Some(JsonValue::Str(s)) => Some(s == "hit"),
                             _ => None,
                         },
                     });
@@ -386,7 +196,7 @@ pub fn parse_dump(body: &str) -> Result<TraceDump, String> {
         }
     }
     Ok(TraceDump {
-        enabled: matches!(root.get("enabled"), Some(Value::Bool(true))),
+        enabled: root.bool_of("enabled").unwrap_or(false),
         slow_ms: field("slow_ms")?,
         seen: field("seen")?,
         captured: field("captured")?,
@@ -539,20 +349,6 @@ mod tests {
         assert!(TraceConfig::parse(&[]).is_err());
         assert!(TraceConfig::parse(&["h:1".into(), "--frob".into()]).is_err());
         assert!(TraceConfig::parse(&["h:1".into(), "--min-ms".into(), "x".into()]).is_err());
-    }
-
-    #[test]
-    fn json_reader_handles_null_bool_and_escapes() {
-        let v = parse_json(r#"{"a": null, "b": true, "c": "x\n\"y\" é", "d": [1, 2]}"#).unwrap();
-        assert_eq!(v.get("a"), Some(&Value::Null));
-        assert_eq!(v.get("b"), Some(&Value::Bool(true)));
-        assert_eq!(v.str_of("c"), Some("x\n\"y\" é"));
-        assert_eq!(
-            v.get("d"),
-            Some(&Value::Arr(vec![Value::Num(1), Value::Num(2)]))
-        );
-        assert!(parse_json("{\"a\": 1} junk").is_err());
-        assert!(parse_json("{\"a\": -1}").is_err());
     }
 
     fn sample_dump() -> &'static str {

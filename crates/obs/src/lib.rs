@@ -10,10 +10,11 @@
 //! ([`window`]), Prometheus text exposition ([`prom`]), a bounded
 //! structured-event **logger** ([`log`]), request-scoped **trace
 //! contexts and span trees** with W3C `traceparent` propagation and
-//! tail-based slow-request capture ([`span`]), and a [`Report`] snapshot
-//! that
-//! serialises to a stable JSON schema (`bikron-obs/3`) and parses back
-//! ([`Report::from_json`], which also reads v1 and v2 reports). The
+//! tail-based slow-request capture ([`span`]), a continuous wall-clock
+//! **sampling profiler** over the phase machinery ([`profile`]), and a
+//! [`Report`] snapshot that
+//! serialises to a stable JSON schema (`bikron-obs/4`) and parses back
+//! ([`Report::from_json`], which also reads v1–v3 reports). The
 //! paper's lineage validated a quadrillion
 //! triangles by instrumenting the generation pipeline itself; this crate
 //! is that discipline for bikron — every hot path (SpGEMM, Kronecker
@@ -54,6 +55,7 @@ pub mod json;
 pub mod log;
 mod metrics;
 mod parse;
+pub mod profile;
 pub mod prom;
 mod registry;
 mod report;
@@ -65,7 +67,8 @@ pub use histogram::{Histogram, HistogramSnapshot, NUM_BUCKETS};
 pub use json::JsonWriter;
 pub use log::{EventLogger, LogEvent, LogValue};
 pub use metrics::{Counter, Gauge, GaugeGuard, TimerStats};
-pub use parse::ParseError;
+pub use parse::{parse_json, JsonValue, ParseError};
+pub use profile::ProfileSnapshot;
 pub use registry::{PhaseGuard, Registry};
 pub use report::{Report, TimerSnapshot};
 pub use span::{RequestTrace, SampleReason, SpanRecorder, SpanSink, SpanToken, TraceContext};
@@ -83,9 +86,14 @@ pub fn global() -> &'static Registry {
 }
 
 /// Schema identifier emitted in every JSON report. [`Report::from_json`]
-/// additionally accepts [`SCHEMA_V1`] (predates histograms) and
-/// [`SCHEMA_V2`] (predates windows) reports.
-pub const SCHEMA: &str = "bikron-obs/3";
+/// additionally accepts [`SCHEMA_V1`] (predates histograms),
+/// [`SCHEMA_V2`] (predates windows), and [`SCHEMA_V3`] (predates the
+/// profile section) reports.
+pub const SCHEMA: &str = "bikron-obs/4";
+
+/// The v3 schema identifier (no `profile` section), still accepted on
+/// input.
+pub const SCHEMA_V3: &str = "bikron-obs/3";
 
 /// The v2 schema identifier (no `windows` section), still accepted on
 /// input.

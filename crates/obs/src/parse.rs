@@ -2,17 +2,20 @@
 //! half that turns `BENCH_kron.json` from a file we write into a
 //! contract we can enforce (`bikron perfdiff`).
 //!
-//! The parser is a minimal recursive-descent JSON reader (objects,
-//! arrays, strings with full escape handling, unsigned integers — the
-//! only value kinds the schema emits), then a schema mapper that accepts
-//! `bikron-obs/1`, `/2` and `/3` reports. A v1 report simply has no
-//! `histograms` section and a v2 report no `windows` section; see
-//! DESIGN.md §"Schema versioning".
+//! The parser is a minimal recursive-descent JSON reader — objects,
+//! arrays, strings with full escape handling, unsigned integers, `null`,
+//! and booleans — exposed as [`parse_json`]/[`JsonValue`] so every CLI
+//! tool that reads our own JSON (`bikron trace`, `bikron profile`)
+//! shares one reader, then a schema mapper that accepts `bikron-obs/1`
+//! through `/4` reports. A v1 report simply has no `histograms` section,
+//! a v2 report no `windows` section, and a v3 report no `profile`
+//! section; see DESIGN.md §"Schema versioning".
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::histogram::HistogramSnapshot;
+use crate::profile::ProfileSnapshot;
 use crate::report::{Report, TimerSnapshot};
 use crate::window::{WindowKind, WindowSnapshot, WindowStats};
 
@@ -37,13 +40,88 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// A parsed JSON value restricted to what the schema emits.
+/// A parsed JSON value restricted to what bikron's own writers emit:
+/// no floats, no negative numbers. The shared reader behind
+/// [`Report::from_json`] and the CLI's trace/profile dump decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Value {
-    Str(String),
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (the only number kind our schemas emit).
     Num(u64),
-    Arr(Vec<Value>),
-    Obj(BTreeMap<String, Value>),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object (key order is not preserved).
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Member `key` of an object, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// String member `key` of an object.
+    pub fn str_of(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(JsonValue::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer member `key` of an object.
+    pub fn num_of(&self, key: &str) -> Option<u64> {
+        match self.get(key) {
+            Some(JsonValue::Num(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Boolean member `key` of an object.
+    pub fn bool_of(&self, key: &str) -> Option<bool> {
+        match self.get(key) {
+            Some(JsonValue::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The entries, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one JSON document (rejecting trailing data) with the shared
+/// minimal reader. See [`JsonValue`] for the supported value kinds.
+pub fn parse_json(input: &str) -> Result<JsonValue, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let root = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing data after document");
+    }
+    Ok(root)
 }
 
 struct Parser<'a> {
@@ -82,25 +160,37 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<Value, ParseError> {
+    fn value(&mut self) -> Result<JsonValue, ParseError> {
         self.skip_ws();
         match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
-            Some(b'"') => Ok(Value::Str(self.string()?)),
-            Some(b'0'..=b'9') => Ok(Value::Num(self.number()?)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'0'..=b'9') => Ok(JsonValue::Num(self.number()?)),
+            Some(b'n') => self.keyword("null", JsonValue::Null),
+            Some(b't') => self.keyword("true", JsonValue::Bool(true)),
+            Some(b'f') => self.keyword("false", JsonValue::Bool(false)),
             Some(c) => self.err(format!("unexpected character '{}'", c as char)),
             None => self.err("unexpected end of input"),
         }
     }
 
-    fn object(&mut self) -> Result<Value, ParseError> {
+    fn keyword(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected {word:?}"))
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, ParseError> {
         self.expect(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(Value::Obj(map));
+            return Ok(JsonValue::Obj(map));
         }
         loop {
             self.skip_ws();
@@ -114,20 +204,20 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
-                    return Ok(Value::Obj(map));
+                    return Ok(JsonValue::Obj(map));
                 }
                 _ => return self.err("expected ',' or '}' in object"),
             }
         }
     }
 
-    fn array(&mut self) -> Result<Value, ParseError> {
+    fn array(&mut self) -> Result<JsonValue, ParseError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
-            return Ok(Value::Arr(items));
+            return Ok(JsonValue::Arr(items));
         }
         loop {
             items.push(self.value()?);
@@ -136,7 +226,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
-                    return Ok(Value::Arr(items));
+                    return Ok(JsonValue::Arr(items));
                 }
                 _ => return self.err("expected ',' or ']' in array"),
             }
@@ -221,9 +311,9 @@ impl<'a> Parser<'a> {
     }
 }
 
-fn as_obj(v: &Value, what: &str) -> Result<BTreeMap<String, Value>, ParseError> {
+fn as_obj(v: &JsonValue, what: &str) -> Result<BTreeMap<String, JsonValue>, ParseError> {
     match v {
-        Value::Obj(m) => Ok(m.clone()),
+        JsonValue::Obj(m) => Ok(m.clone()),
         _ => Err(ParseError {
             offset: 0,
             message: format!("{what} must be a JSON object"),
@@ -231,9 +321,9 @@ fn as_obj(v: &Value, what: &str) -> Result<BTreeMap<String, Value>, ParseError> 
     }
 }
 
-fn num_field(obj: &BTreeMap<String, Value>, key: &str, what: &str) -> Result<u64, ParseError> {
+fn num_field(obj: &BTreeMap<String, JsonValue>, key: &str, what: &str) -> Result<u64, ParseError> {
     match obj.get(key) {
-        Some(Value::Num(n)) => Ok(*n),
+        Some(JsonValue::Num(n)) => Ok(*n),
         _ => Err(ParseError {
             offset: 0,
             message: format!("{what} is missing integer field {key:?}"),
@@ -243,28 +333,21 @@ fn num_field(obj: &BTreeMap<String, Value>, key: &str, what: &str) -> Result<u64
 
 impl Report {
     /// Parse a JSON report produced by [`Report::to_json`]
-    /// (`bikron-obs/1`, `/2` or `/3`). The parsed report remembers its
+    /// (`bikron-obs/1` through `/4`). The parsed report remembers its
     /// source schema version ([`Report::schema_version`]).
     pub fn from_json(input: &str) -> Result<Report, ParseError> {
-        let mut p = Parser {
-            bytes: input.as_bytes(),
-            pos: 0,
-        };
-        let root = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return p.err("trailing data after report");
-        }
+        let root = parse_json(input)?;
         let root = as_obj(&root, "report")?;
 
         let version = match root.get("schema") {
-            Some(Value::Str(s)) if s == "bikron-obs/1" => 1,
-            Some(Value::Str(s)) if s == "bikron-obs/2" => 2,
-            Some(Value::Str(s)) if s == "bikron-obs/3" => 3,
-            Some(Value::Str(s)) => {
+            Some(JsonValue::Str(s)) if s == "bikron-obs/1" => 1,
+            Some(JsonValue::Str(s)) if s == "bikron-obs/2" => 2,
+            Some(JsonValue::Str(s)) if s == "bikron-obs/3" => 3,
+            Some(JsonValue::Str(s)) if s == "bikron-obs/4" => 4,
+            Some(JsonValue::Str(s)) => {
                 return Err(ParseError {
                     offset: 0,
-                    message: format!("unknown schema {s:?} (expected bikron-obs/1, /2 or /3)"),
+                    message: format!("unknown schema {s:?} (expected bikron-obs/1 through /4)"),
                 })
             }
             _ => {
@@ -281,7 +364,7 @@ impl Report {
         if let Some(v) = root.get("meta") {
             for (k, v) in as_obj(v, "meta")? {
                 match v {
-                    Value::Str(s) => report.set_meta(&k, s),
+                    JsonValue::Str(s) => report.set_meta(&k, s),
                     _ => {
                         return Err(ParseError {
                             offset: 0,
@@ -294,7 +377,7 @@ impl Report {
         if let Some(v) = root.get("counters") {
             for (k, v) in as_obj(v, "counters")? {
                 match v {
-                    Value::Num(n) => report.insert_counter(k, n),
+                    JsonValue::Num(n) => report.insert_counter(k, n),
                     _ => {
                         return Err(ParseError {
                             offset: 0,
@@ -335,7 +418,7 @@ impl Report {
                 let h = as_obj(&v, &format!("histograms.{k}"))?;
                 let what = format!("histograms.{k}");
                 let mut buckets = Vec::new();
-                if let Some(Value::Arr(items)) = h.get("buckets") {
+                if let Some(JsonValue::Arr(items)) = h.get("buckets") {
                     for item in items {
                         let b = as_obj(item, &format!("{what}.buckets[]"))?;
                         buckets.push((num_field(&b, "le", &what)?, num_field(&b, "count", &what)?));
@@ -358,7 +441,7 @@ impl Report {
                 let win = as_obj(&v, &format!("windows.{k}"))?;
                 let what = format!("windows.{k}");
                 let kind = match win.get("kind") {
-                    Some(Value::Str(s)) => WindowKind::parse_str(s).ok_or_else(|| ParseError {
+                    Some(JsonValue::Str(s)) => WindowKind::parse_str(s).ok_or_else(|| ParseError {
                         offset: 0,
                         message: format!("{what}.kind {s:?} is not counter|histogram"),
                     })?,
@@ -396,6 +479,32 @@ impl Report {
                     },
                 );
             }
+        }
+        if let Some(v) = root.get("profile") {
+            let p = as_obj(v, "profile")?;
+            let mut stacks = BTreeMap::new();
+            if let Some(s) = p.get("stacks") {
+                for (stack, count) in as_obj(s, "profile.stacks")? {
+                    match count {
+                        JsonValue::Num(n) => {
+                            stacks.insert(stack, n);
+                        }
+                        _ => {
+                            return Err(ParseError {
+                                offset: 0,
+                                message: format!("profile.stacks.{stack:?} must be an integer"),
+                            })
+                        }
+                    }
+                }
+            }
+            report.set_profile(ProfileSnapshot {
+                hz: num_field(&p, "hz", "profile")?,
+                samples: num_field(&p, "samples", "profile")?,
+                dropped: num_field(&p, "dropped_samples", "profile")?,
+                idle: num_field(&p, "idle_samples", "profile")?,
+                stacks,
+            });
         }
         Ok(report)
     }
@@ -471,6 +580,48 @@ mod tests {
         assert_eq!(w.w5m.sum, 90);
         // Bad kinds are rejected.
         let bad = json.replace("histogram", "gauge");
+        assert!(Report::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn shared_reader_handles_null_bool_and_escapes() {
+        let v = parse_json(
+            "{\"enabled\": true, \"cache\": null, \"off\": false,\n \
+             \"name\": \"a\\tb\", \"spans\": [1, 2]}",
+        )
+        .unwrap();
+        assert_eq!(v.bool_of("enabled"), Some(true));
+        assert_eq!(v.bool_of("off"), Some(false));
+        assert_eq!(v.get("cache"), Some(&JsonValue::Null));
+        assert_eq!(v.str_of("name"), Some("a\tb"));
+        assert_eq!(v.get("spans").and_then(|s| s.as_array()).map(<[_]>::len), Some(2));
+        assert_eq!(v.num_of("missing"), None);
+        assert!(parse_json("nul").is_err());
+        assert!(parse_json("truex").is_err());
+        assert!(parse_json("{\"a\": 1} junk").is_err());
+    }
+
+    #[test]
+    fn parses_v4_profile_section() {
+        let json = concat!(
+            "{\"schema\": \"bikron-obs/4\", \"profile\": {\n",
+            "  \"hz\": 99, \"samples\": 412, \"dropped_samples\": 0,",
+            " \"idle_samples\": 7,\n",
+            "  \"stacks\": {\"accept;evaluate\": 400, \"write\": 12}}}",
+        );
+        let r = Report::from_json(json).unwrap();
+        assert_eq!(r.schema_version(), 4);
+        let p = r.profile().unwrap();
+        assert_eq!(p.hz, 99);
+        assert_eq!(p.samples, 412);
+        assert_eq!(p.dropped, 0);
+        assert_eq!(p.idle, 7);
+        assert_eq!(p.stacks.get("accept;evaluate"), Some(&400));
+        // A v3 report (no profile section) still parses.
+        let v3 = "{\"schema\": \"bikron-obs/3\", \"counters\": {}}";
+        assert!(Report::from_json(v3).unwrap().profile().is_none());
+        // Malformed profile sections are rejected loudly.
+        let bad = json.replace("\"samples\": 412, ", "");
         assert!(Report::from_json(&bad).is_err());
     }
 }

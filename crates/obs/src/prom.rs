@@ -461,6 +461,29 @@ mod tests {
     }
 
     #[test]
+    fn profiler_series_export_and_validate() {
+        // The sampler thread accounts for itself on the registry it is
+        // given: sample/drop counters plus a scheduling-lag histogram.
+        // Mirror those series on a private registry (the global one is
+        // shared across tests) and confirm the exposition CI scrapes is
+        // well-formed and carries all three.
+        let base = Registry::new();
+        base.counter("profile.samples").add(297);
+        base.counter("profile.dropped_samples").add(3);
+        let lag = base.histogram("profile.sampler_lag_ns");
+        lag.record(40_000);
+        lag.record(1_200_000);
+        let text = to_prometheus(&base.snapshot());
+        check_exposition(&text).unwrap();
+        assert!(text.contains("# TYPE bikron_profile_samples counter"));
+        assert!(text.contains("bikron_profile_samples 297"));
+        assert!(text.contains("bikron_profile_dropped_samples 3"));
+        assert!(text.contains("# TYPE bikron_profile_sampler_lag_ns histogram"));
+        assert!(text.contains("bikron_profile_sampler_lag_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("bikron_profile_sampler_lag_ns_count 2"));
+    }
+
+    #[test]
     fn checker_rejects_bad_exposition() {
         // Sample without a preceding TYPE.
         assert!(check_exposition("orphan 1\n").is_err());

@@ -73,10 +73,17 @@ impl Registry {
             s.push(full.clone());
             full
         });
+        // Publish the *leaf* name to the continuous profiler's per-thread
+        // slot (collapsed stacks read `outer;inner` there; one relaxed
+        // load when profiling is off). Like spans, publication targets
+        // the process-wide profiler regardless of which registry timed
+        // the phase.
+        let profiled = crate::profile::profiler().enter(name);
         PhaseGuard {
             registry: self,
             name: full,
             start: Instant::now(),
+            profiled,
         }
     }
 
@@ -167,12 +174,18 @@ pub struct PhaseGuard<'a> {
     registry: &'a Registry,
     name: String,
     start: Instant,
+    /// Whether this phase pushed a frame onto the profiler's published
+    /// stack (false while profiling is off — the pop must match).
+    profiled: bool,
 }
 
 impl Drop for PhaseGuard<'_> {
     fn drop(&mut self) {
         let ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         self.registry.timer(&self.name).record_ns(ns);
+        if self.profiled {
+            crate::profile::profiler().exit();
+        }
         // Feed the span collector too (one relaxed load when tracing is
         // off). Spans go to the process-wide tracer regardless of which
         // registry timed the phase — a trace is a per-process timeline.

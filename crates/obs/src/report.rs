@@ -5,6 +5,7 @@ use std::io::Write;
 
 use crate::histogram::HistogramSnapshot;
 use crate::json::JsonWriter;
+use crate::profile::ProfileSnapshot;
 use crate::window::WindowSnapshot;
 
 /// Frozen view of one timer taken at snapshot time.
@@ -23,10 +24,11 @@ pub struct TimerSnapshot {
 }
 
 /// An immutable metrics snapshot with optional metadata, serialisable to
-/// the `bikron-obs/3` JSON schema.
+/// the `bikron-obs/4` JSON schema.
 ///
 /// The schema is **stable and sorted**: top-level keys are `schema`,
-/// `meta`, `counters`, `gauges`, `timers`, `histograms`, `windows`;
+/// `meta`, `counters`, `gauges`, `timers`, `histograms`, `windows`,
+/// `profile`;
 /// every map is emitted in lexicographic key order; all values are
 /// strings (meta) or exact integers (everything else — nanoseconds,
 /// never floats). Golden tests and cross-PR diffs rely on this.
@@ -35,8 +37,9 @@ pub struct TimerSnapshot {
 /// fields, not extra state.
 ///
 /// Reports parse back via [`Report::from_json`], which also accepts the
-/// v1 schema (no `histograms` section) and the v2 schema (no `windows`
-/// section) — see DESIGN.md §"Schema versioning".
+/// v1 schema (no `histograms` section), the v2 schema (no `windows`
+/// section), and the v3 schema (no `profile` section) — see DESIGN.md
+/// §"Schema versioning".
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Report {
     schema_version: u32,
@@ -46,18 +49,22 @@ pub struct Report {
     timers: BTreeMap<String, TimerSnapshot>,
     histograms: BTreeMap<String, HistogramSnapshot>,
     windows: BTreeMap<String, WindowSnapshot>,
+    /// Sampled profile (collapsed stacks), attached only by processes
+    /// that ran the profiler.
+    profile: Option<ProfileSnapshot>,
 }
 
 impl Default for Report {
     fn default() -> Self {
         Report {
-            schema_version: 3,
+            schema_version: 4,
             meta: BTreeMap::new(),
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
             timers: BTreeMap::new(),
             histograms: BTreeMap::new(),
             windows: BTreeMap::new(),
+            profile: None,
         }
     }
 }
@@ -94,10 +101,21 @@ impl Report {
         self.meta.iter().map(|(k, v)| (k.as_str(), v.as_str()))
     }
 
-    /// Schema version this report was built with (3) or parsed from
-    /// (1, 2 or 3).
+    /// Schema version this report was built with (4) or parsed from
+    /// (1 through 4).
     pub fn schema_version(&self) -> u32 {
         self.schema_version
+    }
+
+    /// Attach a sampled-profile section (collapsed stacks + counters).
+    pub fn set_profile(&mut self, profile: ProfileSnapshot) {
+        self.profile = Some(profile);
+    }
+
+    /// The sampled-profile section, when the emitting process ran the
+    /// profiler (absent otherwise, and on v1–v3 reports).
+    pub fn profile(&self) -> Option<&ProfileSnapshot> {
+        self.profile.as_ref()
     }
 
     pub(crate) fn set_schema_version(&mut self, v: u32) {
@@ -202,7 +220,7 @@ impl Report {
         self.windows.iter().map(|(k, v)| (k.as_str(), v))
     }
 
-    /// Serialise to the `bikron-obs/3` JSON schema (pretty-printed,
+    /// Serialise to the `bikron-obs/4` JSON schema (pretty-printed,
     /// two-space indent, trailing newline).
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
@@ -297,6 +315,24 @@ impl Report {
         }
         w.close_object();
 
+        // Emitted only when a profiler ran: parsers treat a missing
+        // `profile` section as the v3 dialect.
+        if let Some(p) = &self.profile {
+            w.key("profile");
+            w.open_object();
+            w.u64_field("hz", p.hz);
+            w.u64_field("samples", p.samples);
+            w.u64_field("dropped_samples", p.dropped);
+            w.u64_field("idle_samples", p.idle);
+            w.key("stacks");
+            w.open_object();
+            for (stack, &count) in &p.stacks {
+                w.u64_field(stack, count);
+            }
+            w.close_object();
+            w.close_object();
+        }
+
         w.close_object();
         w.finish()
     }
@@ -364,7 +400,7 @@ mod tests {
     fn json_is_stable_and_escaped() {
         let expect = concat!(
             "{\n",
-            "  \"schema\": \"bikron-obs/3\",\n",
+            "  \"schema\": \"bikron-obs/4\",\n",
             "  \"meta\": {\n",
             "    \"workload\": \"unit \\\"quoted\\\" ✓\"\n",
             "  },\n",
@@ -454,5 +490,29 @@ mod tests {
         assert_eq!(parsed, r);
         // And the re-serialisation is byte-identical.
         assert_eq!(parsed.to_json(), r.to_json());
+    }
+
+    #[test]
+    fn profile_section_emits_and_roundtrips() {
+        let mut r = sample();
+        r.set_profile(ProfileSnapshot {
+            hz: 99,
+            samples: 412,
+            dropped: 0,
+            idle: 7,
+            stacks: [
+                ("accept;evaluate".to_string(), 400),
+                ("write".to_string(), 12),
+            ]
+            .into(),
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"profile\": {"));
+        assert!(json.contains("\"accept;evaluate\": 400"));
+        let parsed = Report::from_json(&json).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.to_json(), json);
+        // Without a profiler the section is simply absent.
+        assert!(!sample().to_json().contains("\"profile\""));
     }
 }

@@ -137,7 +137,7 @@ fn report_json_round_trips_through_file() {
     report.write_to_file(&path).unwrap();
     let text = std::fs::read_to_string(&path).unwrap();
     assert_eq!(text, report.to_json());
-    assert!(text.starts_with("{\n  \"schema\": \"bikron-obs/3\""));
+    assert!(text.starts_with("{\n  \"schema\": \"bikron-obs/4\""));
     assert!(text.ends_with("}\n"));
     let parsed = bikron_obs::Report::from_json(&text).unwrap();
     assert_eq!(parsed, report);

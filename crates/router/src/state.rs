@@ -37,6 +37,10 @@ pub struct RouterOptions {
     /// Upstream read/write timeout — bounds how long one slow shard can
     /// pin a router worker before the 503-scoped failure path runs.
     pub upstream_timeout: Duration,
+    /// Token gating the router's own admin endpoints
+    /// (`/v1/admin/profile`); `None` disables them. Independent of the
+    /// shards' tokens — the router profiles *itself*, not its upstreams.
+    pub admin_token: Option<String>,
 }
 
 impl Default for RouterOptions {
@@ -46,6 +50,7 @@ impl Default for RouterOptions {
             batch_max: bikron_serve::DEFAULT_BATCH_MAX,
             connect_timeout: Duration::from_secs(1),
             upstream_timeout: Duration::from_secs(10),
+            admin_token: None,
         }
     }
 }
@@ -203,6 +208,7 @@ pub struct RouterState {
     stats_json: String,
     replicate_stats: bool,
     batch_max: usize,
+    admin_token: Option<String>,
     metrics: RouterMetrics,
     shutdown: AtomicBool,
     started: Instant,
@@ -294,6 +300,7 @@ impl RouterState {
             stats_json,
             replicate_stats: options.replicate_stats,
             batch_max: options.batch_max.max(1),
+            admin_token: options.admin_token,
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             rr: AtomicUsize::new(0),
@@ -390,8 +397,32 @@ impl RouterState {
                 self.relay(shard, req, traceparent)
             }
             ["v1", "batch"] => Response::error(405, "batch requires POST"),
+            // The router answers this itself (it shares the process-wide
+            // profiler and the serve-side endpoint logic): a profile of
+            // the router process attributes scatter-gather and relay
+            // time, not shard-side evaluation.
+            ["v1", "admin", "profile"] => self.profile_endpoint(req),
             _ => Response::error(404, &format!("no route for {}", req.path)),
         }
+    }
+
+    /// `GET /v1/admin/profile` (token-gated): the router's own sampled
+    /// CPU profile. Same contract as the shard-side endpoint
+    /// ([`bikron_serve::profile_response`]).
+    fn profile_endpoint(&self, req: &Request) -> Response {
+        let Some(expected) = &self.admin_token else {
+            return Response::error(
+                403,
+                "admin endpoints are disabled; restart with --admin-token",
+            );
+        };
+        let presented = req
+            .query_param("token")
+            .or_else(|| req.header("x-admin-token"));
+        if presented != Some(expected.as_str()) {
+            return Response::error(403, "missing or invalid admin token");
+        }
+        bikron_serve::profile_response(req)
     }
 
     /// Relay `req` to `shard` and return its response byte-identically.
@@ -652,6 +683,13 @@ impl RouterState {
 
         let mut report = self.metrics.registry.snapshot();
         self.metrics.windows.snapshot_into(&mut report);
+        // The profiler is process-wide (unlike the router's private
+        // metric registry), so its attribution rides the router report
+        // when a sampler is running.
+        let prof = bikron_obs::profile::profiler();
+        if prof.sampler_hz() > 0 {
+            report.set_profile(prof.snapshot());
+        }
         report.set_meta("tool", "bikron-router");
         report.set_meta("shards", self.shards.len().to_string());
         for (index, shard) in self.shards.iter().enumerate() {

@@ -23,11 +23,12 @@
 //! | `POST /v1/batch` | Σ per-item cost | up to `batch_max` of vertex/edge/neighbors, one JSON array |
 //! | `GET /v1/stats` | O(1), cached | Table-I summary + canonicalised `expr` |
 //! | `GET /v1/edges/{part}/{parts}` | O(factor + limit) | resumable edge stream (pair servers; 501 on expression servers) |
-//! | `GET /metrics` | O(metrics) | live `bikron-obs/3` report (`?format=prometheus` for text exposition) |
+//! | `GET /metrics` | O(metrics) | live `bikron-obs/4` report (`?format=prometheus` for text exposition) |
 //! | `GET /v1/health` | O(1) | `ok`/`degraded` from windowed SLO signals |
 //! | `GET /v1/shutdown` | O(1) | graceful stop (token-gated) |
 //! | `GET /v1/admin/stall` | O(1) | debug latency injection (token-gated) |
 //! | `GET /v1/admin/traces` | O(captured) | tail-sampled span trees (`?min_ms=`, token-gated) |
+//! | `GET /v1/admin/profile` | O(stacks) | sampled CPU profile (`?seconds=`, `?format=folded`, token-gated) |
 //!
 //! (`k` = number of chain levels; 2 for pair servers. FORMULAS.md maps
 //! each endpoint to its theorem and evaluator function.)
@@ -72,6 +73,6 @@ pub use cache::{CacheKey, ShardedCache};
 pub use pool::{Server, ServerConfig};
 pub use snapshot::{Snapshot, SnapshotBackend, SnapshotError};
 pub use state::{
-    ServeOptions, ServeState, WarmInfo, DEFAULT_BATCH_MAX, DEFAULT_CACHE_ENTRIES,
-    DEFAULT_CACHE_SHARDS, DEFAULT_LIMIT, MAX_LIMIT,
+    profile_response, ServeOptions, ServeState, WarmInfo, DEFAULT_BATCH_MAX,
+    DEFAULT_CACHE_ENTRIES, DEFAULT_CACHE_SHARDS, DEFAULT_LIMIT, MAX_LIMIT, MAX_PROFILE_SECONDS,
 };

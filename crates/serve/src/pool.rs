@@ -207,7 +207,13 @@ fn serve_connection(stream: TcpStream, state: &ServeState, read_timeout: Duratio
         // between requests — acceptable for a diagnostic span, and kept
         // out of the latency metrics below.
         let io_started = Instant::now();
+        // The profiler's `accept` frame covers the blocking read (and,
+        // on keep-alive connections, idle time between requests — the
+        // sampler attributes a quiet server to `accept`, which is true:
+        // the worker really is parked in the socket read).
+        let accept_frame = bikron_obs::profile::phase("accept");
         let parsed = parse_request(&mut reader);
+        drop(accept_frame);
         if matches!(parsed, Err(HttpError::Closed) | Err(HttpError::Io(_))) {
             return;
         }
@@ -256,7 +262,9 @@ fn serve_connection(stream: TcpStream, state: &ServeState, read_timeout: Duratio
                     crate::state::set_current_recorder(Arc::clone(rec), tok);
                     Some(tok)
                 });
+                let evaluate_frame = bikron_obs::profile::phase("evaluate");
                 let resp = state.handle(&req);
+                drop(evaluate_frame);
                 crate::state::take_current_recorder();
                 if let Some(rec) = &recorder {
                     rec.end(evaluate);
@@ -285,7 +293,10 @@ fn serve_connection(stream: TcpStream, state: &ServeState, read_timeout: Duratio
         };
         let status = resp.status;
         let write = recorder.as_ref().and_then(|rec| rec.begin("write", None));
-        match write_response_traced(&mut writer, &resp, keep_alive, Some(&trace_hex)) {
+        let write_frame = bikron_obs::profile::phase("write");
+        let wrote = write_response_traced(&mut writer, &resp, keep_alive, Some(&trace_hex));
+        drop(write_frame);
+        match wrote {
             Ok(bytes) => {
                 if let Some(rec) = &recorder {
                     rec.end(write);

@@ -69,6 +69,9 @@ pub const ACCESS_LOG_QUEUE: usize = 4096;
 /// Upper bound on `/v1/admin/stall?ms=` — the injected stall can spike
 /// windowed latency but never pin a worker for more than this.
 pub const MAX_STALL_MS: u64 = 2_000;
+/// Upper bound on `/v1/admin/profile?seconds=` — a capture window holds
+/// a worker thread (snapshot, sleep, snapshot) for its whole duration.
+pub const MAX_PROFILE_SECONDS: u64 = 30;
 
 /// Behavioural knobs for [`ServeState::build_with`]. Transport-level
 /// knobs (address, pool size, queue) stay in
@@ -782,6 +785,7 @@ impl ServeState {
             ["v1", "shutdown"] => self.shutdown_endpoint(req),
             ["v1", "admin", "stall"] => self.stall_endpoint(req),
             ["v1", "admin", "traces"] => self.traces_endpoint(req),
+            ["v1", "admin", "profile"] => self.profile_endpoint(req),
             _ => Response::error(404, &format!("no route for {}", req.path)),
         }
     }
@@ -808,7 +812,9 @@ impl ServeState {
             return f();
         };
         let lookup = begin_child("cache");
+        let lookup_frame = bikron_obs::profile::phase("cache_lookup");
         let hit = cache.get(&key);
+        drop(lookup_frame);
         CACHE_OUTCOME.set(Some(hit.is_some()));
         if let Some((rec, tok)) = &lookup {
             rec.set_cache(*tok, Some(hit.is_some()));
@@ -821,7 +827,9 @@ impl ServeState {
         // serialises the body (the two are fused in each endpoint's
         // JsonWriter pass), so one `serialize` span covers the compute.
         let serialize = begin_child("serialize");
+        let serialize_frame = bikron_obs::profile::phase("serialize");
         let resp = f();
+        drop(serialize_frame);
         if let Some((rec, tok)) = serialize {
             rec.end(tok);
         }
@@ -1334,6 +1342,12 @@ impl ServeState {
         report.set_meta("tool", "bikron-serve");
         report.set_meta("endpoint", "/metrics");
         self.metrics.windows().snapshot_into(&mut report);
+        // Ride the cumulative profile along when a sampler is running,
+        // so `--metrics-out` files and scrapes carry attribution too.
+        let prof = bikron_obs::profile::profiler();
+        if prof.sampler_hz() > 0 {
+            report.set_profile(prof.snapshot());
+        }
         match req.query_param("format") {
             None | Some("json") => Response::json(200, report.to_json()),
             Some("prometheus") => Response {
@@ -1459,6 +1473,16 @@ impl ServeState {
         w.close_array();
         w.close_object();
         Response::json(200, w.finish())
+    }
+
+    /// `GET /v1/admin/profile[?seconds=N][&format=folded]` (token-gated):
+    /// a sample-on-demand window over the process-wide continuous
+    /// profiler. See [`profile_response`] for the contract.
+    fn profile_endpoint(&self, req: &Request) -> Response {
+        if let Err(resp) = self.check_admin(req) {
+            return resp;
+        }
+        profile_response(req)
     }
 
     /// Emit one access-log event for a completed request (no-op without
@@ -1650,6 +1674,7 @@ fn stats_body(
     for schema in [
         bikron_obs::SCHEMA_V1,
         bikron_obs::SCHEMA_V2,
+        bikron_obs::SCHEMA_V3,
         bikron_obs::SCHEMA,
     ] {
         w.string_element(schema);
@@ -1711,6 +1736,7 @@ fn stats_body_chain(chain: &KronChain) -> String {
     for schema in [
         bikron_obs::SCHEMA_V1,
         bikron_obs::SCHEMA_V2,
+        bikron_obs::SCHEMA_V3,
         bikron_obs::SCHEMA,
     ] {
         w.string_element(schema);
@@ -1736,6 +1762,79 @@ fn stats_body_chain(chain: &KronChain) -> String {
     w.u64_field("max_degree", chain.max_degree());
     w.close_object();
     w.finish()
+}
+
+/// Answer a (pre-authorised) `/v1/admin/profile` request against the
+/// process-wide sampling profiler. Shared by the single-shard server and
+/// the cluster router, which gate it behind their own admin tokens.
+///
+/// `?seconds=N` (capped at [`MAX_PROFILE_SECONDS`], default 0) scopes
+/// the profile to an on-demand window: snapshot, sleep N seconds while
+/// the sampler keeps running, snapshot again, return the difference.
+/// `seconds=0` returns the cumulative profile since the sampler started.
+/// `?format=folded` returns flamegraph-ready folded text instead of the
+/// `bikron-profile/1` JSON (collapsed stacks plus a per-frame
+/// self-vs-cumulative split). Answers 409 when no sampler is running —
+/// the process was started with `--profile-hz 0`.
+pub fn profile_response(req: &Request) -> Response {
+    let prof = bikron_obs::profile::profiler();
+    if prof.sampler_hz() == 0 {
+        return Response::error(
+            409,
+            "profiling is disabled; restart with --profile-hz N (default 99)",
+        );
+    }
+    let seconds: u64 = match req.query_param("seconds").map(str::parse) {
+        None => 0,
+        Some(Ok(v)) => v,
+        Some(Err(_)) => return Response::error(400, "seconds must be an integer"),
+    };
+    let seconds = seconds.min(MAX_PROFILE_SECONDS);
+    let snap = if seconds == 0 {
+        prof.snapshot()
+    } else {
+        let base = prof.snapshot();
+        std::thread::sleep(std::time::Duration::from_secs(seconds));
+        prof.snapshot().since(&base)
+    };
+    match req.query_param("format") {
+        Some("folded") => Response {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body: snap.to_folded(),
+        },
+        None | Some("json") => {
+            let mut w = JsonWriter::new();
+            w.open_object();
+            w.string_field("schema", bikron_obs::profile::PROFILE_SCHEMA);
+            w.u64_field("hz", snap.hz);
+            w.u64_field("seconds", seconds);
+            w.u64_field("samples", snap.samples);
+            w.u64_field("dropped_samples", snap.dropped);
+            w.u64_field("idle_samples", snap.idle);
+            w.key("stacks");
+            w.open_object();
+            for (stack, count) in &snap.stacks {
+                w.u64_field(stack, *count);
+            }
+            w.close_object();
+            w.key("frames");
+            w.open_object();
+            for (path, stat) in bikron_obs::profile::frame_totals(&snap.stacks) {
+                w.key(&path);
+                w.open_object();
+                w.u64_field("self", stat.self_samples);
+                w.u64_field("total", stat.total);
+                w.close_object();
+            }
+            w.close_object();
+            w.close_object();
+            Response::json(200, w.finish())
+        }
+        Some(other) => {
+            Response::error(400, &format!("unknown profile format {other:?} (json|folded)"))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1970,7 +2069,7 @@ mod tests {
         st.metrics().record(200, 64, 1_000_000);
         let resp = st.handle(&get("/metrics"));
         assert_eq!(resp.status, 200);
-        assert!(resp.body.contains("\"schema\": \"bikron-obs/3\""));
+        assert!(resp.body.contains("\"schema\": \"bikron-obs/4\""));
         assert!(resp.body.contains("\"tool\": \"bikron-serve\""));
         assert!(resp.body.contains("\"windows\""));
         let parsed = bikron_obs::Report::from_json(&resp.body).unwrap();
@@ -2002,7 +2101,12 @@ mod tests {
         let st = state();
         let resp = st.handle(&get("/v1/stats"));
         assert!(resp.body.contains("\"metrics_schemas\""));
-        for schema in ["bikron-obs/1", "bikron-obs/2", "bikron-obs/3"] {
+        for schema in [
+            "bikron-obs/1",
+            "bikron-obs/2",
+            "bikron-obs/3",
+            "bikron-obs/4",
+        ] {
             assert!(resp.body.contains(&format!("\"{schema}\"")), "{schema}");
         }
     }
@@ -2087,6 +2191,55 @@ mod tests {
         let resp = st.handle(&get("/v1/admin/stall?ms=2&token=sesame"));
         assert_eq!(resp.status, 200);
         assert!(resp.body.contains("\"stalled_ms\": 2"));
+    }
+
+    #[test]
+    fn profile_endpoint_is_token_gated_and_samples_on_demand() {
+        let st = state();
+        assert_eq!(st.handle(&get("/v1/admin/profile")).status, 403);
+        assert_eq!(
+            st.handle(&get("/v1/admin/profile?token=wrong")).status,
+            403
+        );
+        match bikron_obs::profile::start_sampler(500) {
+            None => {
+                // No sampler could start (hz race with a concurrent
+                // test): the endpoint must say so, not serve zeros.
+                if bikron_obs::profile::profiler().sampler_hz() == 0 {
+                    let resp = st.handle(&get("/v1/admin/profile?token=sesame"));
+                    assert_eq!(resp.status, 409);
+                    assert!(resp.body.contains("profiling is disabled"));
+                }
+            }
+            Some(sampler) => {
+                // Generate some attributable work, then read the
+                // cumulative profile (seconds=0: no capture sleep).
+                for _ in 0..50 {
+                    st.handle(&get("/v1/vertex/3"));
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                let resp = st.handle(&get("/v1/admin/profile?token=sesame"));
+                assert_eq!(resp.status, 200);
+                assert!(resp.body.contains("\"schema\": \"bikron-profile/1\""));
+                assert!(resp.body.contains("\"hz\": 500"));
+                assert!(resp.body.contains("\"stacks\""));
+                assert!(resp.body.contains("\"frames\""));
+                let folded = st.handle(&get("/v1/admin/profile?token=sesame&format=folded"));
+                assert_eq!(folded.status, 200);
+                assert!(folded.content_type.starts_with("text/plain"));
+                assert_eq!(
+                    st.handle(&get("/v1/admin/profile?token=sesame&format=svg"))
+                        .status,
+                    400
+                );
+                assert_eq!(
+                    st.handle(&get("/v1/admin/profile?token=sesame&seconds=x"))
+                        .status,
+                    400
+                );
+                sampler.stop();
+            }
+        }
     }
 
     #[test]
